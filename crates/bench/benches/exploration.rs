@@ -1,0 +1,90 @@
+//! Exploration micro-benchmarks and design-choice ablations.
+//!
+//! * full model checks of the paper's small example programs
+//!   (Figure 2/3, Figure 4, checksum recovery),
+//! * ablations of the failure-injection optimizations DESIGN.md calls
+//!   out: the skip-if-no-writes rule (paper §4) and end-of-execution
+//!   injection,
+//! * the cost of the missing-flush debugging aid (race flagging).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use jaaru::{Config, ModelChecker};
+use jaaru_workloads::recipe::pclht::Pclht;
+use jaaru_workloads::recipe::IndexWorkload;
+use jaaru_workloads::synthetic::{checksum_log_program, figure2_program, figure4_program};
+
+const POOL: usize = 1 << 16;
+
+fn base_config() -> Config {
+    let mut c = Config::new();
+    c.pool_size(POOL);
+    c
+}
+
+fn bench_examples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_examples");
+    group.bench_function("figure2_intervals", |b| {
+        let p = figure2_program();
+        b.iter(|| black_box(ModelChecker::new(base_config()).check(&p).stats.scenarios));
+    });
+    group.bench_function("figure4_commit_store", |b| {
+        let p = figure4_program();
+        b.iter(|| black_box(ModelChecker::new(base_config()).check(&p).stats.scenarios));
+    });
+    group.bench_function("checksum_recovery", |b| {
+        let p = checksum_log_program(2);
+        b.iter(|| black_box(ModelChecker::new(base_config()).check(&p).stats.scenarios));
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    let workload = IndexWorkload::<Pclht>::fixed(6);
+
+    group.bench_function("default", |b| {
+        b.iter(|| {
+            let mut config = base_config();
+            config.pool_size(1 << 18);
+            black_box(ModelChecker::new(config).check(&workload).stats.executions)
+        });
+    });
+    group.bench_function("no_skip_unchanged", |b| {
+        b.iter(|| {
+            let mut config = base_config();
+            config.pool_size(1 << 18).skip_unchanged(false);
+            black_box(ModelChecker::new(config).check(&workload).stats.executions)
+        });
+    });
+    group.bench_function("no_end_injection", |b| {
+        b.iter(|| {
+            let mut config = base_config();
+            config.pool_size(1 << 18).inject_at_end(false);
+            black_box(ModelChecker::new(config).check(&workload).stats.executions)
+        });
+    });
+    group.bench_function("no_race_flagging", |b| {
+        b.iter(|| {
+            let mut config = base_config();
+            config.pool_size(1 << 18).flag_races(false);
+            black_box(ModelChecker::new(config).check(&workload).stats.executions)
+        });
+    });
+    group.bench_function("two_failures", |b| {
+        b.iter(|| {
+            let mut config = base_config();
+            config.pool_size(1 << 18).max_failures(2);
+            black_box(ModelChecker::new(config).check(&workload).stats.executions)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_examples, bench_ablations
+}
+criterion_main!(benches);

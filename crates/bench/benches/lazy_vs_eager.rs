@@ -1,0 +1,55 @@
+//! Lazy constraint refinement (Jaaru) vs eager state enumeration (Yat)
+//! on the paper's §1 motivating workload: initialize `n` 64-bit integers
+//! and crash before the flushes. Eager checking must materialize
+//! `9^(n/8)` states; lazy checking explores a handful of executions.
+//!
+//! The eager series is capped at n = 24 (9³ = 729 states per point is
+//! already three orders of magnitude past the lazy cost); the binary
+//! `scaling` prints the analytic eager counts further out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use jaaru::{Config, ModelChecker};
+use jaaru_workloads::synthetic::array_init_program;
+use jaaru_yat::{eager_check, YatConfig};
+
+const POOL: usize = 1 << 16;
+
+fn bench_lazy_vs_eager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lazy_vs_eager");
+
+    for n in [8usize, 16, 24] {
+        group.bench_with_input(BenchmarkId::new("jaaru_lazy", n), &n, |b, &n| {
+            let program = array_init_program(n, true);
+            b.iter(|| {
+                let mut config = Config::new();
+                config.pool_size(POOL);
+                let report = ModelChecker::new(config).check(&program);
+                assert!(report.is_clean());
+                black_box(report.stats.executions);
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("yat_eager", n), &n, |b, &n| {
+            let program = array_init_program(n, true);
+            b.iter(|| {
+                let mut config = YatConfig::new();
+                config.pool_size = POOL;
+                let report = eager_check(&program, &config);
+                assert!(report.is_clean());
+                assert!(!report.truncated, "keep the eager run exhaustive");
+                black_box(report.states_explored);
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lazy_vs_eager
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! §5.2 instrumentation overhead: the paper reports Jaaru's per-execution
+//! slowdown as 736× over native execution (on par with XFDetector's
+//! dozens-to-1000×, far above PMTest's 1.69× and pmemcheck's 22.3×),
+//! because Jaaru fully simulates the x86-TSO persistency semantics while
+//! the lighter tools ignore store buffers.
+//!
+//! This bench measures one *single execution* of the same FAST&FAIR
+//! workload under each runtime:
+//!
+//! * `native`   — pass-through [`jaaru::NativeEnv`] (flushes are no-ops),
+//! * `jaaru`    — one execution under the full TSO simulation (the model
+//!   checker restricted to the single no-crash scenario),
+//! * `pmtest`   — the PMTest-style single-execution checker,
+//! * `xfdetector` — the XFDetector-style two-phase analysis.
+//!
+//! The jaaru/native ratio is the paper's slowdown figure; see
+//! EXPERIMENTS.md for measured values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use jaaru::{Config, ModelChecker, NativeEnv, Program};
+use jaaru_testers::{pmtest_check, xfdetector_check};
+use jaaru_workloads::recipe::fast_fair::FastFair;
+use jaaru_workloads::recipe::IndexWorkload;
+
+const KEYS: usize = 32;
+const POOL: usize = 1 << 18;
+
+fn workload() -> IndexWorkload<FastFair> {
+    IndexWorkload::<FastFair>::fixed(KEYS)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_execution_overhead");
+
+    group.bench_function("native", |b| {
+        let w = workload();
+        b.iter(|| {
+            let env = NativeEnv::new(POOL);
+            w.run(black_box(&env));
+        });
+    });
+
+    group.bench_function("jaaru", |b| {
+        let w = workload();
+        b.iter(|| {
+            // One scenario = the single complete (no-crash) execution,
+            // under the full store-buffer/flush-buffer simulation.
+            let mut config = Config::new();
+            config.pool_size(POOL).max_scenarios(1);
+            let report = ModelChecker::new(config).check(&w);
+            black_box(report.stats.executions_with_replay);
+        });
+    });
+
+    group.bench_function("pmtest", |b| {
+        let w = workload();
+        b.iter(|| black_box(pmtest_check(&w, POOL).violations.len()));
+    });
+
+    group.bench_function("xfdetector", |b| {
+        let w = workload();
+        b.iter(|| black_box(xfdetector_check(&w, POOL).violations.len()));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates Figure 14: Jaaru's state-space reduction on the six
+//! (fixed) RECIPE benchmarks.
+//!
+//! Columns, as in the paper: number of executions Jaaru explores
+//! (`#JExec.`), wall-clock exploration time (`JTime`), failure injection
+//! points (`#FPoints`), and the number of executions an eager
+//! Yat-style checker would need (`#Yat Execs.`, computed analytically —
+//! Yat is not publicly available, so the paper computes this too).
+//!
+//! Absolute numbers differ from the paper (different machine, different
+//! re-implementations, different key counts); the shape is the claim:
+//! Jaaru explores tens-to-hundreds of executions per benchmark with a
+//! few executions per failure point, while the eager state count is
+//! astronomically larger.
+//!
+//! Usage: `cargo run --release -p jaaru-bench --bin figure14 [keys]`
+
+use jaaru::{Config, ModelChecker};
+use jaaru_bench::registry::recipe_fixed_cases;
+use jaaru_bench::table;
+use jaaru_yat::{count_states, YatConfig};
+
+fn main() {
+    let keys: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    println!("Figure 14: Jaaru's state-space reduction ({keys} keys per benchmark)\n");
+
+    let mut rows = Vec::new();
+    for (name, program) in recipe_fixed_cases(keys) {
+        let mut config = Config::new();
+        config.pool_size(1 << 18).max_ops_per_execution(200_000);
+        let report = ModelChecker::new(config).check(&*program);
+        assert!(
+            report.is_clean(),
+            "fixed {name} must be clean for a performance run: {report}"
+        );
+
+        let mut yat_config = YatConfig::new();
+        yat_config.pool_size = 1 << 18;
+        let (yat, yat_points) = count_states(&*program, &yat_config);
+
+        let ratio = report.stats.executions as f64 / report.stats.failure_points.max(1) as f64;
+        rows.push(vec![
+            name.to_string(),
+            report.stats.executions.to_string(),
+            format!("{:.2}s", report.stats.duration.as_secs_f64()),
+            report.stats.failure_points.to_string(),
+            yat.to_string(),
+            format!("{ratio:.1}"),
+            yat_points.to_string(),
+        ]);
+    }
+
+    println!(
+        "{}",
+        table::render(
+            &["Benchmark", "#JExec.", "JTime", "#FPoints", "#Yat Execs.", "JExec/FPoint", "YatFPoints"],
+            &rows,
+        )
+    );
+    println!(
+        "Paper (Figure 14) for reference: CCEH 891/14.51s/528/2.17e182, \
+         FAST_FAIR 170/1.48s/41/5.43e15, P-ART 174/1.86s/22/1.21e34,\n\
+         P-BwTree 71/0.79s/36/1.50e16, P-CLHT 25/1.59s/12/1.93e605, \
+         P-Masstree 24/0.17s/16/1.67e15."
+    );
+}

@@ -1,0 +1,106 @@
+//! An artifact-style command-line runner, mirroring the paper's
+//! `recipe-bugs.sh` / `pmdk-bugs.sh` / `recipe-perf.sh` scripts: run any
+//! benchmark (fixed or with a seeded bug) by name and print the full
+//! report.
+//!
+//! ```text
+//! jaaru_cli list
+//! jaaru_cli check <benchmark> [keys]          # fixed configuration
+//! jaaru_cli bug (recipe|pmdk) <row#> [keys]   # one bug-table row
+//! jaaru_cli perf [keys]                       # Figure 14 run
+//! ```
+//!
+//! e.g. `cargo run --release -p jaaru-bench --bin jaaru_cli -- bug recipe 10`
+
+use jaaru::{Config, ModelChecker, Program};
+use jaaru_bench::registry::{pmdk_bug_cases, recipe_bug_cases, recipe_fixed_cases};
+
+fn config() -> Config {
+    let mut c = Config::new();
+    c.pool_size(1 << 18).max_ops_per_execution(40_000).max_scenarios(20_000);
+    c
+}
+
+fn run(program: &dyn Program) {
+    let report = ModelChecker::new(config()).check(program);
+    println!("== {} ==", program.name());
+    println!("{report}");
+    for race in &report.races {
+        println!("{race}");
+    }
+    if report.is_clean() {
+        println!("VERDICT: crash consistent under exhaustive exploration");
+    } else {
+        println!("VERDICT: {} bug(s) found; traces above reproduce them", report.bugs.len());
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  jaaru_cli list\n  jaaru_cli check <benchmark> [keys]\n  \
+         jaaru_cli bug (recipe|pmdk) <row#> [keys]\n  jaaru_cli perf [keys]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("fixed benchmarks (check):");
+            for (name, _) in recipe_fixed_cases(4) {
+                println!("  {name}");
+            }
+            println!("recipe bug rows (bug recipe N):");
+            for case in recipe_bug_cases(4) {
+                println!("  {:2}  {:<11} {}", case.id, case.benchmark, case.cause);
+            }
+            println!("pmdk bug rows (bug pmdk N):");
+            for case in pmdk_bug_cases(4) {
+                println!("  {:2}  {:<15} {}", case.id, case.benchmark, case.cause);
+            }
+        }
+        Some("check") => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            let keys = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(6);
+            let case = recipe_fixed_cases(keys)
+                .into_iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(name));
+            match case {
+                Some((_, program)) => run(&*program),
+                None => {
+                    eprintln!("unknown benchmark {name:?}; try `jaaru_cli list`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("bug") => {
+            let suite = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let id: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+            let keys = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(5);
+            let cases = match suite {
+                "recipe" => recipe_bug_cases(keys),
+                "pmdk" => pmdk_bug_cases(keys),
+                _ => usage(),
+            };
+            match cases.into_iter().find(|c| c.id == id) {
+                Some(case) => {
+                    println!("cause: {}\npaper symptom: {}", case.cause, case.paper_symptom);
+                    run(&*case.program);
+                }
+                None => {
+                    eprintln!("no row {id} in {suite}; try `jaaru_cli list`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("perf") => {
+            let keys = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+            for (name, program) in recipe_fixed_cases(keys) {
+                let report = ModelChecker::new(config()).check(&*program);
+                println!("{name:<11} {}", report.summary());
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerates Figure 13 (bugs Jaaru finds in every RECIPE program) and
+//! Figure 15 (how each bug manifests), plus the §5.1 comparison against
+//! the PMTest- and XFDetector-style single-execution tools.
+//!
+//! Usage: `cargo run --release -p jaaru-bench --bin table_recipe_bugs [keys]`
+
+use jaaru::{BugKind, Config, ModelChecker};
+use jaaru_bench::registry::recipe_bug_cases;
+use jaaru_bench::table;
+use jaaru_testers::{pmtest_check, xfdetector_check};
+
+fn kind_label(kind: BugKind) -> &'static str {
+    match kind {
+        BugKind::IllegalAccess => "illegal memory access / segfault",
+        BugKind::AssertionFailure | BugKind::GuestPanic => "assertion failure",
+        BugKind::InfiniteLoop => "infinite loop",
+        BugKind::OutOfMemory => "out of memory",
+    }
+}
+
+fn main() {
+    let keys: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    println!("Figure 13/15: bugs found by Jaaru in every RECIPE program ({keys}+ keys)\n");
+
+    let mut rows = Vec::new();
+    let mut jaaru_found = 0;
+    let mut pmtest_found = 0;
+    let mut xf_found = 0;
+
+    for case in recipe_bug_cases(keys) {
+        let mut config = Config::new();
+        config
+            .pool_size(1 << 18)
+            .max_ops_per_execution(20_000)
+            .max_scenarios(5_000);
+        let report = ModelChecker::new(config).check(&*case.program);
+        let found = !report.is_clean();
+        jaaru_found += u32::from(found);
+        let observed = report
+            .bugs
+            .first()
+            .map(|b| kind_label(b.kind).to_string())
+            .unwrap_or_else(|| "(not found)".to_string());
+
+        let pmtest = pmtest_check(&*case.program, 1 << 18);
+        let pmtest_hit = pmtest.correctness_violations().count() > 0 || !pmtest.completed;
+        pmtest_found += u32::from(pmtest_hit);
+        let xf = xfdetector_check(&*case.program, 1 << 18);
+        let xf_hit = !xf.is_clean();
+        xf_found += u32::from(xf_hit);
+
+        rows.push(vec![
+            format!("{}{}", case.id, if case.new_bug { "*" } else { "" }),
+            case.benchmark.to_string(),
+            case.cause.to_string(),
+            observed,
+            if found { "yes" } else { "NO" }.to_string(),
+            if xf_hit { "yes" } else { "no" }.to_string(),
+            if pmtest_hit { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+
+    println!(
+        "{}",
+        table::render(
+            &["#", "Benchmark", "Type of bug", "Observed symptom", "Jaaru", "XFDet", "PMTest"],
+            &rows,
+        )
+    );
+    println!(
+        "Totals: Jaaru {jaaru_found}/18, XFDetector-style {xf_found}/18, \
+         PMTest-style {pmtest_found}/18."
+    );
+    println!(
+        "Paper (§5.1): Jaaru found all 18 (12 new); XFDetector reported 4 bugs and\n\
+         PMTest 1 across these suites. Bugs marked * are new in the paper.\n\
+         Notes on the comparison: (1) our XFDetector-style tool is driven by a\n\
+         driver-level commit-variable annotation and an aggressive canonical\n\
+         post-failure state, which catches more missing-flush constructor bugs\n\
+         than the original's per-structure annotations did — but it still misses\n\
+         the GC atomicity violation (#10), the bug class that *requires*\n\
+         exhaustive state exploration; (2) the PMTest-style tool sees nothing\n\
+         without per-store annotations, the annotation burden the paper\n\
+         criticizes; (3) observed symptom classes can differ from Figure 15 —\n\
+         the paper's own artifact appendix (A.8) notes the same variability."
+    );
+    assert_eq!(jaaru_found, 18, "Jaaru must find every seeded RECIPE bug");
+}

@@ -1,0 +1,230 @@
+//! Model-checker configuration.
+
+use jaaru_tso::EvictionPolicy;
+
+/// Configuration for a [`ModelChecker`](crate::ModelChecker) run.
+///
+/// Built with a non-consuming builder, per the usual Rust convention:
+///
+/// ```
+/// use jaaru::Config;
+///
+/// let mut config = Config::new();
+/// config.pool_size(1 << 16).max_failures(2).stop_on_first_bug(true);
+/// assert_eq!(config.max_failures_value(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Config {
+    pool_size: usize,
+    eviction: EvictionPolicy,
+    max_failures: usize,
+    inject_at_end: bool,
+    skip_unchanged: bool,
+    max_ops_per_execution: u64,
+    max_scenarios: u64,
+    max_bugs: usize,
+    stop_on_first_bug: bool,
+    flag_races: bool,
+    flag_perf_issues: bool,
+}
+
+impl Config {
+    /// A configuration with the paper's defaults: a 1 MiB pool, eager
+    /// cache visibility, a single injected failure per scenario, failure
+    /// points before every flush and at the end of execution, and the
+    /// skip-if-no-writes optimization enabled.
+    pub fn new() -> Self {
+        Config {
+            pool_size: 1 << 20,
+            eviction: EvictionPolicy::Eager,
+            max_failures: 1,
+            inject_at_end: true,
+            skip_unchanged: true,
+            max_ops_per_execution: 2_000_000,
+            max_scenarios: u64::MAX,
+            max_bugs: 64,
+            stop_on_first_bug: false,
+            flag_races: true,
+            flag_perf_issues: false,
+        }
+    }
+
+    /// Sets the persistent pool size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if smaller than two cache lines.
+    pub fn pool_size(&mut self, bytes: usize) -> &mut Self {
+        assert!(bytes >= 128, "pool must hold at least the null page and a root line");
+        self.pool_size = bytes;
+        self
+    }
+
+    /// Sets the store-buffer eviction policy.
+    pub fn eviction(&mut self, policy: EvictionPolicy) -> &mut Self {
+        self.eviction = policy;
+        self
+    }
+
+    /// Maximum number of power failures per scenario (the paper's
+    /// command-line option bounding the depth of the `exec` stack).
+    /// Default 1: a pre-failure execution plus one recovery execution.
+    pub fn max_failures(&mut self, n: usize) -> &mut Self {
+        self.max_failures = n;
+        self
+    }
+
+    /// Whether to inject a failure point at the clean end of an execution
+    /// (default `true`).
+    pub fn inject_at_end(&mut self, yes: bool) -> &mut Self {
+        self.inject_at_end = yes;
+        self
+    }
+
+    /// Whether to skip injection points with no intervening writes
+    /// (default `true`; the paper's optimization).
+    pub fn skip_unchanged(&mut self, yes: bool) -> &mut Self {
+        self.skip_unchanged = yes;
+        self
+    }
+
+    /// Per-execution operation budget; exceeding it is reported as the
+    /// "stuck in an infinite loop" bug symptom.
+    pub fn max_ops_per_execution(&mut self, n: u64) -> &mut Self {
+        self.max_ops_per_execution = n;
+        self
+    }
+
+    /// Upper bound on explored scenarios (safety valve for experiments).
+    pub fn max_scenarios(&mut self, n: u64) -> &mut Self {
+        self.max_scenarios = n;
+        self
+    }
+
+    /// Stop after this many distinct bugs (default 64).
+    pub fn max_bugs(&mut self, n: usize) -> &mut Self {
+        self.max_bugs = n.max(1);
+        self
+    }
+
+    /// Stop exploring at the first bug found (default `false`).
+    pub fn stop_on_first_bug(&mut self, yes: bool) -> &mut Self {
+        self.stop_on_first_bug = yes;
+        self
+    }
+
+    /// Record loads that can read from more than one store (the paper's
+    /// §4 debugging support for missing flushes). Default `true`.
+    pub fn flag_races(&mut self, yes: bool) -> &mut Self {
+        self.flag_races = yes;
+        self
+    }
+
+    /// Current pool size in bytes.
+    pub fn pool_size_value(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Current eviction policy.
+    pub fn eviction_value(&self) -> EvictionPolicy {
+        self.eviction
+    }
+
+    /// Current failure budget.
+    pub fn max_failures_value(&self) -> usize {
+        self.max_failures
+    }
+
+    /// Whether end-of-execution injection is enabled.
+    pub fn inject_at_end_value(&self) -> bool {
+        self.inject_at_end
+    }
+
+    /// Whether the skip-if-no-writes optimization is enabled.
+    pub fn skip_unchanged_value(&self) -> bool {
+        self.skip_unchanged
+    }
+
+    /// Current per-execution operation budget.
+    pub fn max_ops_value(&self) -> u64 {
+        self.max_ops_per_execution
+    }
+
+    /// Current scenario bound.
+    pub fn max_scenarios_value(&self) -> u64 {
+        self.max_scenarios
+    }
+
+    /// Current bug cap.
+    pub fn max_bugs_value(&self) -> usize {
+        self.max_bugs
+    }
+
+    /// Whether exploration stops at the first bug.
+    pub fn stop_on_first_bug_value(&self) -> bool {
+        self.stop_on_first_bug
+    }
+
+    /// Whether multi-store loads are flagged.
+    pub fn flag_races_value(&self) -> bool {
+        self.flag_races
+    }
+
+    /// Report wasted persistency operations (redundant flushes/fences) —
+    /// the performance-bug extension the paper sketches in §5.1.
+    /// Default `false`: wasted flushes are a cost, not a correctness bug.
+    pub fn flag_perf_issues(&mut self, yes: bool) -> &mut Self {
+        self.flag_perf_issues = yes;
+        self
+    }
+
+    /// Whether wasted persistency operations are flagged.
+    pub fn flag_perf_issues_value(&self) -> bool {
+        self.flag_perf_issues
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = Config::new();
+        assert_eq!(c.max_failures_value(), 1);
+        assert!(c.inject_at_end_value());
+        assert!(c.skip_unchanged_value());
+        assert!(c.flag_races_value());
+        assert!(!c.stop_on_first_bug_value());
+        assert_eq!(c.eviction_value(), EvictionPolicy::Eager);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Config::new();
+        c.pool_size(4096).max_failures(3).flag_races(false).max_bugs(5);
+        assert_eq!(c.pool_size_value(), 4096);
+        assert_eq!(c.max_failures_value(), 3);
+        assert!(!c.flag_races_value());
+        assert_eq!(c.max_bugs_value(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn tiny_pool_rejected() {
+        Config::new().pool_size(64);
+    }
+
+    #[test]
+    fn max_bugs_floor_is_one() {
+        let mut c = Config::new();
+        c.max_bugs(0);
+        assert_eq!(c.max_bugs_value(), 1);
+    }
+}

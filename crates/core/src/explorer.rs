@@ -1,0 +1,795 @@
+//! The exploration driver: depth-first search over failure scenarios.
+//!
+//! This is the re-execution form of the paper's `Explore` algorithm
+//! (Figure 11). Each iteration runs one complete failure scenario — a
+//! pre-failure execution, zero or more injected power failures, and the
+//! recovery executions between them — steered by a decision trace. When a
+//! scenario finishes, the driver backtracks to the deepest decision with
+//! unexplored alternatives and reruns. The tree is exhausted when no
+//! decision can be advanced, at which point every equivalence class of
+//! post-failure executions (defined by which pre-failure stores the
+//! post-failure loads read) has been explored exactly once.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use crate::checker_env::CheckerEnv;
+use crate::config::Config;
+use crate::decision::DecisionLog;
+use crate::report::{BugKind, BugReport, CheckReport, CheckStats};
+use crate::signal::{
+    install_panic_hook, panic_message, take_last_panic_location, with_quiet_panics, AbortSignal,
+    CrashSignal,
+};
+use crate::Program;
+
+/// The Jaaru model checker.
+///
+/// # Example: finding a missing flush
+///
+/// ```
+/// use jaaru::{Config, ModelChecker, PmEnv};
+///
+/// // A program that commits before persisting its data: recovery can see
+/// // `committed == 1` while `data` still reads 0.
+/// let buggy = |env: &dyn PmEnv| {
+///     let root = env.root();
+///     let data = root + 64; // different cache line
+///     if env.load_u8(root) == 1 {
+///         // Recovery path: the commit flag promises the data is there.
+///         env.pm_assert(env.load_u64(data) == 42, "committed data lost");
+///         return;
+///     }
+///     env.store_u64(data, 42);
+///     // BUG: missing clflush(data) before the commit store.
+///     env.store_u8(root, 1);
+///     env.persist(root, 1);
+/// };
+///
+/// let report = ModelChecker::new(Config::new()).check(&buggy);
+/// assert!(!report.is_clean());
+/// ```
+#[derive(Debug)]
+pub struct ModelChecker {
+    config: Config,
+}
+
+impl ModelChecker {
+    /// Creates a checker with the given configuration.
+    pub fn new(config: Config) -> Self {
+        ModelChecker { config }
+    }
+
+    /// Creates a checker with default configuration.
+    pub fn with_defaults() -> Self {
+        ModelChecker { config: Config::new() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Exhaustively model checks `program` and reports every distinct bug
+    /// found, with statistics matching the paper's Figure 14 columns.
+    pub fn check(&self, program: &dyn Program) -> CheckReport {
+        install_panic_hook();
+        let start = Instant::now();
+
+        let mut decisions = DecisionLog::new();
+        let mut stats = CheckStats::default();
+        let mut bugs: Vec<BugReport> = Vec::new();
+        let mut bug_index: HashMap<(BugKind, String), usize> = HashMap::new();
+        let mut races = Vec::new();
+        let mut race_keys = std::collections::HashSet::new();
+        let mut perf_issues: Vec<crate::report::PerfIssue> = Vec::new();
+        let mut perf_index: HashMap<(crate::report::PerfIssueKind, String), usize> =
+            HashMap::new();
+        let mut truncated = false;
+
+        loop {
+            stats.scenarios += 1;
+            let env = CheckerEnv::new(&self.config, std::mem::take(&mut decisions));
+            let mut executions_this_scenario = 0usize;
+            let mut scenario_bug: Option<BugReport> = None;
+
+            loop {
+                executions_this_scenario += 1;
+                let exec_index = env.current_execution();
+                let result = with_quiet_panics(|| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        program.run(&env);
+                        env.end_of_execution_point();
+                    }))
+                });
+                match result {
+                    Ok(()) => break,
+                    Err(payload) => {
+                        if payload.is::<CrashSignal>() {
+                            env.advance_execution();
+                            continue;
+                        }
+                        let (kind, message, location) = match payload.downcast::<AbortSignal>() {
+                            Ok(sig) => {
+                                let loc = sig.location.map(|l| {
+                                    format!("{}:{}:{}", l.file(), l.line(), l.column())
+                                });
+                                (sig.kind, sig.message, loc)
+                            }
+                            Err(payload) => (
+                                BugKind::GuestPanic,
+                                panic_message(payload.as_ref()),
+                                take_last_panic_location(),
+                            ),
+                        };
+                        scenario_bug = Some(BugReport {
+                            kind,
+                            message,
+                            location,
+                            execution_index: exec_index,
+                            crash_points: Vec::new(), // filled below
+                            trace: Vec::new(),        // filled below
+                            occurrences: 1,
+                        });
+                        break;
+                    }
+                }
+            }
+
+            let record = env.finish();
+
+            // Fork-equivalent execution accounting: executions up to the
+            // divergence point were replays a fork-based checker would not
+            // have re-run.
+            let divergence = record.decisions.divergence_exec_index();
+            stats.executions +=
+                (executions_this_scenario - divergence.min(executions_this_scenario - 1)) as u64;
+            stats.executions_with_replay += executions_this_scenario as u64;
+            stats.load_choice_points += record.load_choice_points;
+            stats.max_rf_set = stats.max_rf_set.max(record.max_rf_set);
+            stats.failure_points =
+                stats.failure_points.max(record.points_per_exec.first().copied().unwrap_or(0) as u64);
+
+            for race in record.races {
+                if race_keys.insert(race.load_location.clone()) {
+                    races.push(race);
+                }
+            }
+            for issue in record.perf_issues {
+                match perf_index.get(&(issue.kind, issue.location.clone())) {
+                    Some(&i) => perf_issues[i].occurrences += issue.occurrences,
+                    None => {
+                        perf_index.insert((issue.kind, issue.location.clone()), perf_issues.len());
+                        perf_issues.push(issue);
+                    }
+                }
+            }
+
+            if let Some(mut bug) = scenario_bug {
+                bug.crash_points = record.crash_points.clone();
+                bug.trace = record.decisions.trace();
+                let key = (bug.kind, bug_dedup_key(&bug));
+                match bug_index.get(&key) {
+                    Some(&i) => bugs[i].occurrences += 1,
+                    None => {
+                        bug_index.insert(key, bugs.len());
+                        bugs.push(bug);
+                    }
+                }
+                if self.config.stop_on_first_bug_value() || bugs.len() >= self.config.max_bugs_value()
+                {
+                    truncated = true;
+                    break;
+                }
+            }
+
+            decisions = record.decisions;
+            if stats.scenarios >= self.config.max_scenarios_value() {
+                truncated = decisions.backtrack();
+                break;
+            }
+            if !decisions.backtrack() {
+                break;
+            }
+        }
+
+        stats.duration = start.elapsed();
+        CheckReport { bugs, races, perf_issues, stats, truncated }
+    }
+}
+
+impl ModelChecker {
+    /// Replays a single recorded failure scenario — the `trace` of a
+    /// [`BugReport`] — and returns its outcome. This is the paper's
+    /// "strong witness" property made executable: a reported bug comes
+    /// with the exact decision trace that reproduces it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace does not belong to this program (a decision
+    /// index out of range).
+    pub fn replay(&self, program: &dyn Program, trace: &[usize]) -> CheckReport {
+        install_panic_hook();
+        let start = Instant::now();
+        let env = CheckerEnv::new(&self.config, DecisionLog::from_trace(trace));
+        let mut stats = CheckStats::default();
+        stats.scenarios = 1;
+        let mut bugs = Vec::new();
+        loop {
+            stats.executions += 1;
+            stats.executions_with_replay += 1;
+            let exec_index = env.current_execution();
+            let result = with_quiet_panics(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    program.run(&env);
+                    env.end_of_execution_point();
+                }))
+            });
+            match result {
+                Ok(()) => break,
+                Err(payload) if payload.is::<CrashSignal>() => {
+                    env.advance_execution();
+                }
+                Err(payload) => {
+                    let (kind, message, location) = match payload.downcast::<AbortSignal>() {
+                        Ok(sig) => {
+                            let loc = sig
+                                .location
+                                .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
+                            (sig.kind, sig.message, loc)
+                        }
+                        Err(payload) => {
+                            let message = panic_message(payload.as_ref());
+                            if message.contains("trace does not match this program") {
+                                // A checker-usage error, not a guest bug.
+                                panic!("{message}");
+                            }
+                            (BugKind::GuestPanic, message, take_last_panic_location())
+                        }
+                    };
+                    bugs.push(BugReport {
+                        kind,
+                        message,
+                        location,
+                        execution_index: exec_index,
+                        crash_points: Vec::new(),
+                        trace: trace.to_vec(),
+                        occurrences: 1,
+                    });
+                    break;
+                }
+            }
+        }
+        let record = env.finish();
+        if let Some(bug) = bugs.first_mut() {
+            bug.crash_points = record.crash_points;
+        }
+        stats.failure_points =
+            record.points_per_exec.first().copied().unwrap_or(0) as u64;
+        stats.duration = start.elapsed();
+        CheckReport {
+            bugs,
+            races: record.races,
+            perf_issues: record.perf_issues,
+            stats,
+            truncated: false,
+        }
+    }
+}
+
+/// Bugs are deduplicated by symptom location (or message when no location
+/// is known) — the paper likewise groups failure injections leading to the
+/// same symptom as one bug.
+fn bug_dedup_key(bug: &BugReport) -> String {
+    bug.location.clone().unwrap_or_else(|| bug.message.clone())
+}
+
+/// Convenience: model check `program` with default configuration.
+///
+/// ```
+/// use jaaru::{check, PmEnv};
+///
+/// let report = check(&|env: &dyn PmEnv| {
+///     let root = env.root();
+///     env.store_u64(root, 9);
+///     env.persist(root, 8);
+/// });
+/// assert!(report.is_clean());
+/// ```
+pub fn check(program: &dyn Program) -> CheckReport {
+    ModelChecker::with_defaults().check(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PmEnv;
+
+    fn small_config() -> Config {
+        let mut c = Config::new();
+        c.pool_size(8192);
+        c
+    }
+
+    #[test]
+    fn straight_line_correct_program_is_clean() {
+        let report = ModelChecker::new(small_config()).check(&|env: &dyn PmEnv| {
+            let root = env.root();
+            env.store_u64(root, 5);
+            env.persist(root, 8);
+        });
+        assert!(report.is_clean(), "{report}");
+        assert!(report.stats.scenarios >= 2, "clean run + at least one crash scenario");
+    }
+
+    #[test]
+    fn commit_store_pattern_counts_match_figure_4() {
+        // addChild/readChild from Figure 4: two cache lines, data then
+        // commit pointer, each flushed. Three injection points; the paper
+        // predicts 1, 2 and 2 post-failure executions respectively, i.e.
+        // 1 (clean) + 5 (post-failure) executions and 6 scenarios.
+        let program = |env: &dyn PmEnv| {
+            let root = env.root(); // holds the child "pointer" (commit)
+            let data = root + 64; // the child node, separate line
+            if env.is_recovery() {
+                // readChild
+                if env.load_u64(root) != 0 {
+                    let v = env.load_u64(data);
+                    env.pm_assert(v == 42, "child data must be persistent once committed");
+                }
+                return;
+            }
+            // addChild
+            env.store_u64(data, 42);
+            env.clflush(data, 8); // injection point 0
+            env.store_u64(root, data.to_bits());
+            env.clflush(root, 8); // injection point 1
+            env.sfence();
+            // end-of-execution: injection point 2
+        };
+        let report = ModelChecker::new(small_config()).check(&program);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.stats.failure_points, 3);
+        // Scenarios: the clean run, plus 1 post-failure execution for the
+        // crash before clflush(data), 2 for the crash before clflush(root)
+        // (commit pointer null / non-null), and 1 for the crash at the end
+        // (both flushes landed, everything forced) — 5 total.
+        assert_eq!(report.stats.scenarios, 5, "{report}");
+    }
+
+    #[test]
+    fn missing_flush_before_commit_is_found() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            let data = root + 64;
+            if env.load_u64(root) != 0 {
+                env.pm_assert(env.load_u64(data) == 42, "lost committed data");
+                return;
+            }
+            env.store_u64(data, 42);
+            // BUG: no clflush(data) here.
+            env.store_u64(root, 1);
+            env.clflush(root, 8);
+            env.sfence();
+        };
+        let report = ModelChecker::new(small_config()).check(&program);
+        assert_eq!(report.bugs.len(), 1, "{report}");
+        assert_eq!(report.bugs[0].kind, BugKind::AssertionFailure);
+        assert!(report.bugs[0].message.contains("lost committed data"));
+        assert!(!report.races.is_empty(), "the racy data load is flagged");
+    }
+
+    #[test]
+    fn bug_trace_reproduces_the_failure() {
+        // The bug report's decision trace, replayed, must hit the same bug.
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            let data = root + 64;
+            if env.load_u64(root) != 0 {
+                env.pm_assert(env.load_u64(data) == 42, "lost committed data");
+                return;
+            }
+            env.store_u64(data, 42);
+            env.store_u64(root, 1);
+            env.clflush(root, 8);
+            env.sfence();
+        };
+        let report = ModelChecker::new(small_config()).check(&program);
+        let bug = &report.bugs[0];
+        assert!(!bug.trace.is_empty());
+        assert_eq!(bug.crash_points.len(), 1, "single failure scenario");
+    }
+
+    #[test]
+    fn guest_panics_are_reported_as_bugs() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                let v = env.load_u64(root);
+                assert!(v == 0 || v == 7, "corrupt value {v}");
+                return;
+            }
+            env.store_u64(root, 7);
+            env.store_u64(root, 13); // unflushed torn state possible? No
+            env.store_u64(root, 7);
+            env.clflush(root, 8);
+        };
+        // v can be 0, 7 or 13 in recovery; 13 trips the guest assert.
+        let report = ModelChecker::new(small_config()).check(&program);
+        assert_eq!(report.bugs.len(), 1, "{report}");
+        assert_eq!(report.bugs[0].kind, BugKind::GuestPanic);
+        assert!(report.bugs[0].message.contains("corrupt value 13"));
+    }
+
+    #[test]
+    fn stop_on_first_bug_truncates() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                env.pm_assert(env.load_u8(root) != 1, "saw intermediate");
+                return;
+            }
+            env.store_u8(root, 1);
+            env.store_u8(root, 2);
+            env.clflush(root, 1);
+        };
+        let mut config = small_config();
+        config.stop_on_first_bug(true);
+        let report = ModelChecker::new(config).check(&program);
+        assert_eq!(report.bugs.len(), 1);
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn skip_unchanged_reduces_failure_points() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            env.store_u64(root, 1);
+            env.clflush(root, 8); // point: writes happened
+            env.clflush(root, 8); // no writes since → skipped
+            env.clflush(root, 8); // skipped
+        };
+        let report = ModelChecker::new(small_config()).check(&program);
+        assert_eq!(report.stats.failure_points, 2, "first flush + end: {report}");
+
+        let mut config = small_config();
+        config.skip_unchanged(false);
+        let report = ModelChecker::new(config).check(&program);
+        assert_eq!(report.stats.failure_points, 4, "3 flushes + end");
+    }
+
+    #[test]
+    fn multi_failure_scenarios_explore_recovery_crashes() {
+        // Recovery itself writes and flushes; with max_failures = 2 the
+        // checker crashes inside recovery too.
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            let generation = env.load_u64(root);
+            env.store_u64(root, generation + 1);
+            env.clflush(root, 8);
+            env.sfence();
+        };
+        let mut one = small_config();
+        one.max_failures(1);
+        let single = ModelChecker::new(one).check(&program);
+
+        let mut two = small_config();
+        two.max_failures(2);
+        let double = ModelChecker::new(two).check(&program);
+
+        assert!(double.stats.scenarios > single.stats.scenarios);
+        assert!(single.is_clean() && double.is_clean());
+    }
+
+    #[test]
+    fn executions_leq_replayed_executions() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.load_u64(root) == 0 {
+                env.store_u64(root, 1);
+                env.clflush(root, 8);
+                env.store_u64(root + 64, 2);
+                env.clflush(root + 64, 8);
+                env.sfence();
+            } else {
+                let _ = env.load_u64(root + 64);
+            }
+        };
+        let report = ModelChecker::new(small_config()).check(&program);
+        assert!(report.stats.executions <= report.stats.executions_with_replay);
+        assert!(report.stats.executions >= report.stats.scenarios);
+    }
+
+    #[test]
+    fn max_scenarios_truncates() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            for i in 0..8 {
+                env.store_u64(root + i * 8, i);
+                env.clflush(root + i * 8, 8);
+            }
+            env.sfence();
+        };
+        let mut config = small_config();
+        config.max_scenarios(3);
+        let report = ModelChecker::new(config).check(&program);
+        assert_eq!(report.stats.scenarios, 3);
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn torn_multibyte_write_is_observable_without_flush() {
+        // A two-byte value written with two one-byte stores straddling a
+        // flush boundary can tear; the checker must surface the torn state.
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                let lo = env.load_u8(root);
+                let hi = env.load_u8(root + 1);
+                env.pm_assert(!(lo == 1 && hi == 0), "torn write observed");
+                return;
+            }
+            env.store_u8(root, 1);
+            env.store_u8(root + 1, 1);
+            env.clflush(root, 2);
+            env.sfence();
+        };
+        let report = ModelChecker::new(small_config()).check(&program);
+        assert!(!report.is_clean(), "torn state must be explored");
+    }
+
+    #[test]
+    fn atomic_multibyte_store_never_tears() {
+        // The same value written with one 2-byte store cannot tear.
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                let lo = env.load_u8(root);
+                let hi = env.load_u8(root + 1);
+                env.pm_assert(!(lo == 1 && hi == 0) && !(lo == 0 && hi == 1), "torn");
+                return;
+            }
+            env.store_u16(root, 0x0101);
+            env.clflush(root, 2);
+            env.sfence();
+        };
+        let report = ModelChecker::new(small_config()).check(&program);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn same_symptom_from_multiple_scenarios_dedups() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                env.pm_assert(env.load_u8(root) == 0, "nonzero");
+                return;
+            }
+            for i in 0..4 {
+                env.store_u8(root, i + 1);
+                env.clflush(root, 1);
+            }
+            env.sfence();
+        };
+        let report = ModelChecker::new(small_config()).check(&program);
+        assert_eq!(report.bugs.len(), 1, "one distinct symptom: {report}");
+        assert!(report.bugs[0].occurrences > 1);
+    }
+
+    #[test]
+    fn bug_traces_replay_to_the_same_bug() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            let data = root + 64;
+            if env.load_u64(root) != 0 {
+                env.pm_assert(env.load_u64(data) == 42, "lost committed data");
+                return;
+            }
+            env.store_u64(data, 42);
+            env.store_u64(root, 1);
+            env.clflush(root, 8);
+            env.sfence();
+        };
+        let checker = ModelChecker::new(small_config());
+        let report = checker.check(&program);
+        let bug = &report.bugs[0];
+        let replayed = checker.replay(&program, &bug.trace);
+        assert_eq!(replayed.bugs.len(), 1, "{replayed}");
+        assert_eq!(replayed.bugs[0].kind, bug.kind);
+        assert_eq!(replayed.bugs[0].message, bug.message);
+        assert_eq!(replayed.bugs[0].crash_points, bug.crash_points);
+        assert_eq!(replayed.stats.executions, 2, "pre-failure + recovery");
+    }
+
+    #[test]
+    fn clean_traces_replay_cleanly() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            env.store_u64(root, 5);
+            env.persist(root, 8);
+        };
+        let checker = ModelChecker::new(small_config());
+        // The empty trace is the all-defaults scenario: the clean run.
+        let replayed = checker.replay(&program, &[]);
+        assert!(replayed.is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "trace does not match")]
+    fn foreign_traces_are_rejected() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            env.store_u64(root, 5);
+            env.persist(root, 8);
+        };
+        let checker = ModelChecker::new(small_config());
+        let _ = checker.replay(&program, &[7]);
+    }
+
+    #[test]
+    fn redundant_flushes_are_flagged_when_enabled() {
+        use crate::report::PerfIssueKind;
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            env.store_u64(root, 1);
+            env.clflush(root, 8);
+            env.clflush(root, 8); // nothing dirty: wasted clflush
+            env.clflushopt(root, 8); // wasted clflushopt
+            env.sfence(); // orders the clflushopt: not redundant
+            env.sfence(); // nothing to order: wasted fence
+        };
+        let mut config = small_config();
+        config.flag_perf_issues(true);
+        let report = ModelChecker::new(config).check(&program);
+        assert!(report.is_clean(), "perf issues are not bugs: {report}");
+        let kinds: Vec<PerfIssueKind> = report.perf_issues.iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PerfIssueKind::RedundantFlush), "{kinds:?}");
+        assert!(kinds.contains(&PerfIssueKind::RedundantFlushOpt), "{kinds:?}");
+        assert!(kinds.contains(&PerfIssueKind::RedundantFence), "{kinds:?}");
+        for issue in &report.perf_issues {
+            assert!(issue.location.contains("explorer.rs"), "{issue}");
+        }
+    }
+
+    #[test]
+    fn perf_flagging_is_off_by_default_and_changes_nothing() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            env.store_u64(root, 1);
+            env.clflush(root, 8);
+            env.clflush(root, 8);
+        };
+        let off = ModelChecker::new(small_config()).check(&program);
+        assert!(off.perf_issues.is_empty());
+        let mut config = small_config();
+        config.flag_perf_issues(true);
+        let on = ModelChecker::new(config).check(&program);
+        assert_eq!(off.stats.scenarios, on.stats.scenarios, "diagnostics only");
+        assert!(!on.perf_issues.is_empty());
+    }
+
+    #[test]
+    fn necessary_flushes_are_not_flagged() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            env.store_u64(root, 1);
+            env.clflush(root, 8); // dirty: necessary
+            env.store_u64(root + 64, 2);
+            env.clflushopt(root + 64, 8); // dirty: necessary
+            env.sfence(); // orders the clflushopt: necessary
+        };
+        let mut config = small_config();
+        config.flag_perf_issues(true);
+        let report = ModelChecker::new(config).check(&program);
+        assert!(report.perf_issues.is_empty(), "{:?}", report.perf_issues);
+    }
+
+    #[test]
+    fn buffered_stores_are_definitely_lost_under_on_fence_eviction() {
+        // Under the OnFence policy a store still sitting in the store
+        // buffer at the failure is *definitely* lost (unlike unflushed
+        // cache content, which is maybe-persistent). Recovery must read
+        // only the initial value.
+        use std::cell::RefCell;
+        use std::collections::BTreeSet;
+        let observed = RefCell::new(BTreeSet::new());
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                observed.borrow_mut().insert(env.load_u64(root));
+                return;
+            }
+            env.store_u64(root, 7); // buffered, never fenced
+            env.clflush(root + 64, 8); // unrelated flush = injection point
+        };
+        let mut config = small_config();
+        config.eviction(jaaru_tso::EvictionPolicy::OnFence).skip_unchanged(false);
+        let report = ModelChecker::new(config).check(&program);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(*observed.borrow(), BTreeSet::from([0]), "buffered store must vanish");
+
+        // The same program under Eager eviction explores both outcomes.
+        observed.borrow_mut().clear();
+        let mut config = small_config();
+        config.skip_unchanged(false);
+        let report = ModelChecker::new(config).check(&program);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(*observed.borrow(), BTreeSet::from([0, 7]), "cached store is maybe-persistent");
+    }
+
+    #[test]
+    fn guest_threads_have_independent_flush_buffers() {
+        // A child thread's clflushopt is not ordered by the main thread's
+        // sfence (per-thread flush buffers, Figure 8): the line may stay
+        // unconstrained, so recovery can read 0 or 1.
+        use std::cell::RefCell;
+        use std::collections::BTreeSet;
+        let observed = RefCell::new(BTreeSet::new());
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                observed.borrow_mut().insert(env.load_u64(root));
+                return;
+            }
+            env.store_u64(root, 1);
+            env.spawn(&mut |t| t.clflushopt(root, 8));
+            env.sfence(); // main thread: does NOT order the child's flush
+            env.store_u64(root + 64, 2);
+            env.persist(root + 64, 8);
+        };
+        let report = ModelChecker::new(small_config()).check(&program);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(*observed.borrow(), BTreeSet::from([0, 1]), "{report}");
+
+        // With the fence in the *child* thread the flush is ordered and
+        // the value is pinned once the later commit is visible.
+        let pinned = RefCell::new(BTreeSet::new());
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                if env.load_u64(root + 64) == 2 {
+                    pinned.borrow_mut().insert(env.load_u64(root));
+                }
+                return;
+            }
+            env.store_u64(root, 1);
+            env.spawn(&mut |t| {
+                t.clflushopt(root, 8);
+                t.sfence();
+            });
+            env.store_u64(root + 64, 2);
+            env.persist(root + 64, 8);
+        };
+        let report = ModelChecker::new(small_config()).check(&program);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(*pinned.borrow(), BTreeSet::from([1]), "fenced flush pins the store");
+    }
+
+    #[test]
+    fn checksum_recovery_is_checked_without_flushes() {
+        // Checksum-based recovery (paper §4): data + checksum written with
+        // no flushes at all; recovery validates the checksum and only
+        // trusts data when it matches. Correct code is clean even though
+        // every load is maximally nondeterministic.
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                let a = env.load_u64(root + 8);
+                let b = env.load_u64(root + 16);
+                let sum = env.load_u64(root + 24);
+                if sum == a ^ b ^ 0xabcd && sum != 0 {
+                    env.pm_assert(a == 11 && b == 22, "checksum matched but data stale");
+                }
+                return;
+            }
+            env.store_u64(root + 8, 11);
+            env.store_u64(root + 16, 22);
+            env.store_u64(root + 24, 11 ^ 22 ^ 0xabcd);
+            env.clflush(root, 64);
+            env.sfence();
+        };
+        let report = ModelChecker::new(small_config()).check(&program);
+        assert!(report.is_clean(), "{report}");
+    }
+}

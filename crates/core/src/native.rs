@@ -1,0 +1,171 @@
+//! The uninstrumented pass-through environment.
+
+use std::cell::RefCell;
+
+use jaaru_pmem::{PmAddr, PmPool};
+
+use crate::PmEnv;
+
+/// A [`PmEnv`] that executes directly against a simulated pool with no
+/// model checking: stores land immediately, flushes and fences are no-ops.
+///
+/// Uses:
+///
+/// * baseline for the §5.2 instrumentation-overhead measurement (the
+///   paper reports Jaaru's 736× per-execution slowdown against native
+///   execution),
+/// * fast functional testing of workloads (does the B-tree insert/lookup
+///   logic work at all, before asking whether it is crash consistent).
+///
+/// # Example
+///
+/// ```
+/// use jaaru::{NativeEnv, PmEnv};
+///
+/// let env = NativeEnv::new(4096);
+/// let node = env.pm_alloc(16, 8);
+/// env.store_u64(node, 99);
+/// env.persist(node, 8); // no-op here, checked under the model checker
+/// assert_eq!(env.load_u64(node), 99);
+/// ```
+#[derive(Debug)]
+pub struct NativeEnv {
+    pool: RefCell<PmPool>,
+}
+
+impl NativeEnv {
+    /// Creates a native environment over a fresh zeroed pool.
+    pub fn new(pool_size: usize) -> Self {
+        NativeEnv { pool: RefCell::new(PmPool::new(pool_size)) }
+    }
+
+    /// Wraps an existing pool (e.g. a materialized post-failure state).
+    pub fn with_pool(pool: PmPool) -> Self {
+        NativeEnv { pool: RefCell::new(pool) }
+    }
+
+    /// Consumes the environment, returning the pool contents.
+    pub fn into_pool(self) -> PmPool {
+        self.pool.into_inner()
+    }
+}
+
+impl PmEnv for NativeEnv {
+    #[track_caller]
+    fn load_bytes(&self, addr: PmAddr, buf: &mut [u8]) {
+        self.pool.borrow().read(addr, buf).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[track_caller]
+    fn store_bytes(&self, addr: PmAddr, bytes: &[u8]) {
+        self.pool.borrow_mut().write(addr, bytes).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn clflush(&self, _addr: PmAddr, _len: usize) {}
+
+    fn clflushopt(&self, _addr: PmAddr, _len: usize) {}
+
+    fn sfence(&self) {}
+
+    fn mfence(&self) {}
+
+    #[track_caller]
+    fn compare_exchange_u64(&self, addr: PmAddr, current: u64, new: u64) -> u64 {
+        let observed = self.load_u64(addr);
+        if observed == current {
+            self.store_u64(addr, new);
+        }
+        observed
+    }
+
+    #[track_caller]
+    fn pm_alloc(&self, size: u64, align: u64) -> PmAddr {
+        self.pool.borrow_mut().alloc(size, align).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn root(&self) -> PmAddr {
+        self.pool.borrow().root()
+    }
+
+    fn pool_size(&self) -> u64 {
+        self.pool.borrow().size()
+    }
+
+    fn execution_index(&self) -> usize {
+        0
+    }
+
+    #[track_caller]
+    fn bug(&self, msg: &str) -> ! {
+        panic!("bug: {msg}");
+    }
+
+    fn spawn(&self, body: &mut dyn FnMut(&dyn PmEnv)) {
+        body(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flushes_and_fences_are_noops() {
+        let env = NativeEnv::new(4096);
+        let a = env.root();
+        env.store_u64(a, 1);
+        env.clflush(a, 8);
+        env.clflushopt(a, 8);
+        env.clwb(a, 8);
+        env.sfence();
+        env.mfence();
+        assert_eq!(env.load_u64(a), 1);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let env = NativeEnv::new(4096);
+        let a = env.root();
+        env.store_u64(a, 5);
+        assert_eq!(env.compare_exchange_u64(a, 5, 6), 5);
+        assert_eq!(env.load_u64(a), 6);
+        assert_eq!(env.compare_exchange_u64(a, 5, 7), 6, "failed CAS returns observed");
+        assert_eq!(env.load_u64(a), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "null page")]
+    fn illegal_access_panics() {
+        let env = NativeEnv::new(4096);
+        env.load_u8(PmAddr::NULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "bug: corrupted")]
+    fn bug_panics() {
+        let env = NativeEnv::new(4096);
+        env.pm_assert(false, "corrupted");
+    }
+
+    #[test]
+    fn spawn_runs_inline() {
+        let env = NativeEnv::new(4096);
+        let a = env.root();
+        let mut done = false;
+        env.spawn(&mut |e| {
+            e.store_u64(a, 3);
+            done = true;
+        });
+        assert!(done);
+        assert_eq!(env.load_u64(a), 3);
+    }
+
+    #[test]
+    fn pool_roundtrip() {
+        let env = NativeEnv::new(4096);
+        env.store_u64(env.root(), 42);
+        let pool = env.into_pool();
+        let env2 = NativeEnv::with_pool(pool);
+        assert_eq!(env2.load_u64(env2.root()), 42);
+    }
+}

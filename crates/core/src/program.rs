@@ -1,0 +1,105 @@
+//! The program-under-test abstraction.
+
+use crate::PmEnv;
+
+/// A persistent-memory program the checker can execute repeatedly.
+///
+/// `run` is invoked once per execution of a failure scenario: first for
+/// the pre-failure execution, then — after each injected power failure —
+/// again from the top, exactly as a real PM program restarts after a
+/// crash. The program distinguishes the cases the way real programs do,
+/// by inspecting its persistent state (a header magic, a commit flag), or
+/// via [`PmEnv::is_recovery`] for convenience.
+///
+/// Programs must be deterministic given the environment: no wall-clock
+/// time, no unseeded randomness, no external I/O. This is what makes
+/// re-execution-based exploration exhaustive (the original Jaaru gets the
+/// same property from `fork`-based rollback).
+///
+/// Any `Fn(&dyn PmEnv)` closure is a program:
+///
+/// ```
+/// use jaaru::{Config, ModelChecker, PmEnv};
+///
+/// let report = ModelChecker::new(Config::new()).check(&|env: &dyn PmEnv| {
+///     let root = env.root();
+///     env.store_u64(root, 1);
+///     env.persist(root, 8);
+/// });
+/// assert!(report.is_clean());
+/// ```
+pub trait Program {
+    /// Runs one execution against the environment.
+    fn run(&self, env: &dyn PmEnv);
+
+    /// A short name for logs and tables.
+    fn name(&self) -> &str {
+        "<anonymous>"
+    }
+}
+
+impl<F: Fn(&dyn PmEnv)> Program for F {
+    fn run(&self, env: &dyn PmEnv) {
+        self(env)
+    }
+
+    fn name(&self) -> &str {
+        "<closure>"
+    }
+}
+
+/// Wraps a program with a display name.
+///
+/// ```
+/// use jaaru::{Named, PmEnv, Program};
+///
+/// let p = Named::new("counter", |env: &dyn PmEnv| {
+///     env.store_u64(env.root(), 1);
+/// });
+/// assert_eq!(p.name(), "counter");
+/// ```
+pub struct Named<P> {
+    name: String,
+    inner: P,
+}
+
+impl<P: Program> Named<P> {
+    /// Attaches `name` to `inner`.
+    pub fn new(name: impl Into<String>, inner: P) -> Self {
+        Named { name: name.into(), inner }
+    }
+}
+
+impl<P: Program> Program for Named<P> {
+    fn run(&self, env: &dyn PmEnv) {
+        self.inner.run(env)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NativeEnv;
+
+    #[test]
+    fn closures_are_programs() {
+        let p = |env: &dyn PmEnv| env.store_u8(env.root(), 1);
+        let env = NativeEnv::new(4096);
+        p.run(&env);
+        assert_eq!(env.load_u8(env.root()), 1);
+        assert_eq!(Program::name(&p), "<closure>");
+    }
+
+    #[test]
+    fn named_wrapper_delegates() {
+        let p = Named::new("store-one", |env: &dyn PmEnv| env.store_u8(env.root(), 1));
+        let env = NativeEnv::new(4096);
+        p.run(&env);
+        assert_eq!(p.name(), "store-one");
+        assert_eq!(env.load_u8(env.root()), 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! Bug reports, persistency-race reports, and check statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+use jaaru_pmem::PmAddr;
+
+/// The symptom class of a detected bug, mirroring the paper's bug tables
+/// (Figures 12/13/15/16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BugKind {
+    /// Out-of-bounds or null-page access ("segmentation fault" /
+    /// "illegal memory access" in the paper's tables).
+    IllegalAccess,
+    /// A failed program sanity check (`pm_assert` / `bug()` — the paper's
+    /// "assertion failure" symptom).
+    AssertionFailure,
+    /// A Rust panic inside guest code (e.g. a failed `assert!` or an
+    /// `unwrap` on corrupted data).
+    GuestPanic,
+    /// The per-execution operation budget was exhausted (the paper's
+    /// "getting stuck in an infinite loop" symptom).
+    InfiniteLoop,
+    /// The persistent pool was exhausted.
+    OutOfMemory,
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BugKind::IllegalAccess => "illegal memory access",
+            BugKind::AssertionFailure => "assertion failure",
+            BugKind::GuestPanic => "guest panic",
+            BugKind::InfiniteLoop => "infinite loop",
+            BugKind::OutOfMemory => "out of persistent memory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A bug found by the model checker, with everything needed to reproduce
+/// it: the decision trace identifies the exact failure scenario.
+#[derive(Clone, Debug)]
+pub struct BugReport {
+    /// Symptom class.
+    pub kind: BugKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Guest source location (`file:line:column`) where the symptom
+    /// manifested, when known.
+    pub location: Option<String>,
+    /// Execution within the scenario that hit the bug (0 = pre-failure).
+    pub execution_index: usize,
+    /// Ordinals (within their executions) of the failure injection points
+    /// where power was lost in this scenario.
+    pub crash_points: Vec<usize>,
+    /// The decision trace reproducing the scenario.
+    pub trace: Vec<usize>,
+    /// How many explored scenarios manifested this same bug.
+    pub occurrences: u64,
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)?;
+        if let Some(loc) = &self.location {
+            write!(f, " at {loc}")?;
+        }
+        write!(
+            f,
+            " (execution {}, crash points {:?}, seen in {} scenario(s))",
+            self.execution_index, self.crash_points, self.occurrences
+        )
+    }
+}
+
+/// One candidate store a racy load could have read (the paper's §4
+/// debugging output lists each store, its trace position, and its source
+/// location).
+#[derive(Clone, Debug)]
+pub struct RaceCandidate {
+    /// Execution that performed the store (`None` = the initial zeroed
+    /// pool contents).
+    pub exec_index: Option<usize>,
+    /// Byte value observed.
+    pub value: u8,
+    /// Source location of the store (`file:line:column`).
+    pub location: Option<String>,
+}
+
+/// A load that could read from more than one pre-failure store — the
+/// typical signature of a missing cache-line flush.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// First byte of the racy load.
+    pub addr: PmAddr,
+    /// Source location of the load.
+    pub load_location: String,
+    /// Execution performing the load.
+    pub execution_index: usize,
+    /// The stores it may read from, newest first.
+    pub candidates: Vec<RaceCandidate>,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "load at {} (addr {}, execution {}) may read from {} stores:",
+            self.load_location,
+            self.addr,
+            self.execution_index,
+            self.candidates.len()
+        )?;
+        for c in &self.candidates {
+            match (&c.exec_index, &c.location) {
+                (Some(e), Some(loc)) => {
+                    writeln!(f, "  - {:#04x} stored by execution {e} at {loc}", c.value)?
+                }
+                _ => writeln!(f, "  - {:#04x} from initial pool contents", c.value)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A performance issue: an operation with persistency cost but no
+/// persistency effect. This implements the extension the paper sketches
+/// in §5.1 ("Jaaru could be extended to find performance bugs such as
+/// redundant cache flushes and fences") — the bug class PMTest and
+/// pmemcheck report.
+#[derive(Clone, Debug)]
+pub struct PerfIssue {
+    /// What was wasted.
+    pub kind: PerfIssueKind,
+    /// Source location of the operation (`file:line:column`).
+    pub location: String,
+    /// First byte of the flushed range.
+    pub addr: PmAddr,
+    /// How many times the site executed redundantly.
+    pub occurrences: u64,
+}
+
+/// Classes of wasted persistency operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PerfIssueKind {
+    /// A `clflush` of a cache line with no unflushed stores.
+    RedundantFlush,
+    /// A `clflushopt`/`clwb` of a cache line with no unflushed stores.
+    RedundantFlushOpt,
+    /// An `sfence` with no buffered flushes or stores to order.
+    RedundantFence,
+}
+
+impl fmt::Display for PerfIssueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PerfIssueKind::RedundantFlush => "redundant clflush",
+            PerfIssueKind::RedundantFlushOpt => "redundant clflushopt/clwb",
+            PerfIssueKind::RedundantFence => "redundant sfence",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for PerfIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of clean line at {} ({}; {} occurrence(s))",
+            self.kind, self.addr, self.location, self.occurrences
+        )
+    }
+}
+
+/// Exploration statistics (the quantities reported in Figure 14).
+#[derive(Clone, Debug, Default)]
+pub struct CheckStats {
+    /// Distinct failure scenarios explored (leaves of the decision tree).
+    pub scenarios: u64,
+    /// Program executions a fork-based implementation would perform (the
+    /// paper's `#JExec.`): executions from each scenario's divergence
+    /// point onward.
+    pub executions: u64,
+    /// Total `Program::run` invocations including replayed prefixes (the
+    /// extra cost of re-execution over fork-based rollback).
+    pub executions_with_replay: u64,
+    /// Failure injection points in the initial pre-failure execution (the
+    /// paper's `#FPoints`).
+    pub failure_points: u64,
+    /// Loads that faced a choice of more than one store.
+    pub load_choice_points: u64,
+    /// Largest may-read-from set encountered.
+    pub max_rf_set: usize,
+    /// Wall-clock exploration time (the paper's `JTime`).
+    pub duration: Duration,
+}
+
+/// The result of a model-checking run.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Distinct bugs found, in discovery order.
+    pub bugs: Vec<BugReport>,
+    /// Loads flagged as able to read multiple stores (missing-flush
+    /// debugging aid), deduplicated by load location.
+    pub races: Vec<RaceReport>,
+    /// Wasted persistency operations (the performance-bug extension),
+    /// deduplicated by site; empty unless
+    /// [`Config::flag_perf_issues`](crate::Config::flag_perf_issues) is on.
+    pub perf_issues: Vec<PerfIssue>,
+    /// Exploration statistics.
+    pub stats: CheckStats,
+    /// Whether exploration stopped early (scenario/bug caps).
+    pub truncated: bool,
+}
+
+impl CheckReport {
+    /// `true` when no bug was found.
+    pub fn is_clean(&self) -> bool {
+        self.bugs.is_empty()
+    }
+
+    /// A one-paragraph summary suitable for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} bug(s), {} race-flagged load(s); {} scenarios, {} executions \
+             ({} incl. replays), {} failure points, {:.3}s{}",
+            self.bugs.len(),
+            self.races.len(),
+            self.stats.scenarios,
+            self.stats.executions,
+            self.stats.executions_with_replay,
+            self.stats.failure_points,
+            self.stats.duration.as_secs_f64(),
+            if self.truncated { " [truncated]" } else { "" },
+        )
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        for b in &self.bugs {
+            writeln!(f, "  {b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bug_kinds_display() {
+        assert_eq!(BugKind::IllegalAccess.to_string(), "illegal memory access");
+        assert_eq!(BugKind::InfiniteLoop.to_string(), "infinite loop");
+    }
+
+    #[test]
+    fn bug_report_display_mentions_scenario() {
+        let b = BugReport {
+            kind: BugKind::AssertionFailure,
+            message: "lost committed key".into(),
+            location: Some("tree.rs:10:5".into()),
+            execution_index: 1,
+            crash_points: vec![3],
+            trace: vec![0, 1, 0],
+            occurrences: 2,
+        };
+        let s = b.to_string();
+        assert!(s.contains("assertion failure"));
+        assert!(s.contains("tree.rs:10:5"));
+        assert!(s.contains("execution 1"));
+        assert!(s.contains("2 scenario(s)"));
+    }
+
+    #[test]
+    fn race_report_lists_candidates() {
+        let r = RaceReport {
+            addr: PmAddr::new(64),
+            load_location: "recovery.rs:5:9".into(),
+            execution_index: 1,
+            candidates: vec![
+                RaceCandidate {
+                    exec_index: Some(0),
+                    value: 7,
+                    location: Some("init.rs:3:5".into()),
+                },
+                RaceCandidate { exec_index: None, value: 0, location: None },
+            ],
+        };
+        let s = r.to_string();
+        assert!(s.contains("may read from 2 stores"));
+        assert!(s.contains("initial pool contents"));
+        assert!(s.contains("init.rs:3:5"));
+    }
+
+    #[test]
+    fn clean_report() {
+        let r = CheckReport::default();
+        assert!(r.is_clean());
+        assert!(r.summary().contains("0 bug(s)"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for illegal persistent-memory accesses.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::PmAddr;
+
+/// An illegal access to simulated persistent memory.
+///
+/// These correspond to the "illegal memory access" / "segmentation fault"
+/// bug symptoms in the paper's Figures 12, 13, 15 and 16: a program whose
+/// recovery code follows a pointer that was never persisted typically lands
+/// in the null page or outside the pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PmError {
+    /// An access touched the reserved null page (a null or near-null
+    /// pointer dereference).
+    NullAccess {
+        /// First byte of the faulting access.
+        addr: PmAddr,
+        /// Length of the access in bytes.
+        len: usize,
+    },
+    /// An access fell outside the pool bounds.
+    OutOfBounds {
+        /// First byte of the faulting access.
+        addr: PmAddr,
+        /// Length of the access in bytes.
+        len: usize,
+        /// Total size of the pool in bytes.
+        pool_size: u64,
+    },
+    /// An allocation request could not be satisfied.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes remaining in the pool.
+        available: u64,
+    },
+}
+
+impl fmt::Display for PmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmError::NullAccess { addr, len } => {
+                write!(f, "illegal access to null page: {len} bytes at {addr}")
+            }
+            PmError::OutOfBounds { addr, len, pool_size } => write!(
+                f,
+                "out-of-bounds access: {len} bytes at {addr} (pool size {pool_size})"
+            ),
+            PmError::OutOfMemory { requested, available } => write!(
+                f,
+                "persistent pool exhausted: requested {requested} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl Error for PmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PmError::NullAccess { addr: PmAddr::new(8), len: 4 };
+        assert!(e.to_string().contains("null page"));
+        let e = PmError::OutOfBounds { addr: PmAddr::new(4096), len: 8, pool_size: 4096 };
+        assert!(e.to_string().contains("out-of-bounds"));
+        let e = PmError::OutOfMemory { requested: 128, available: 0 };
+        assert!(e.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<PmError>();
+    }
+}

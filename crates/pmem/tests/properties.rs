@@ -1,0 +1,94 @@
+//! Property tests for the PM substrate: the pool must behave exactly
+//! like a bounds-checked byte array with a trapping null page.
+
+use jaaru_pmem::{PmAddr, PmError, PmPool, NULL_PAGE_SIZE};
+use proptest::prelude::*;
+
+const POOL: usize = 1024;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write(u64, Vec<u8>),
+    Read(u64, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..(POOL as u64 + 32), proptest::collection::vec(any::<u8>(), 1..24))
+            .prop_map(|(a, d)| Op::Write(a, d)),
+        (0u64..(POOL as u64 + 32), 1usize..24).prop_map(|(a, n)| Op::Read(a, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Differential against a plain Vec<u8> model: identical contents,
+    /// identical accept/reject decisions.
+    #[test]
+    fn pool_matches_byte_array_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut pool = PmPool::new(POOL);
+        let mut model = vec![0u8; POOL];
+        for op in ops {
+            match op {
+                Op::Write(a, d) => {
+                    let legal = a >= NULL_PAGE_SIZE && a as usize + d.len() <= POOL;
+                    let res = pool.write(PmAddr::new(a), &d);
+                    prop_assert_eq!(res.is_ok(), legal, "write {} x{}", a, d.len());
+                    if legal {
+                        model[a as usize..a as usize + d.len()].copy_from_slice(&d);
+                    }
+                }
+                Op::Read(a, n) => {
+                    let legal = a >= NULL_PAGE_SIZE && a as usize + n <= POOL;
+                    let mut buf = vec![0u8; n];
+                    let res = pool.read(PmAddr::new(a), &mut buf);
+                    prop_assert_eq!(res.is_ok(), legal, "read {} x{}", a, n);
+                    if legal {
+                        prop_assert_eq!(&buf[..], &model[a as usize..a as usize + n]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Error classification: null-page accesses and out-of-bounds
+    /// accesses are distinguished correctly.
+    #[test]
+    fn error_kinds_are_classified(addr in 0u64..(POOL as u64 * 2), len in 1usize..16) {
+        let pool = PmPool::new(POOL);
+        let mut buf = vec![0u8; len];
+        match pool.read(PmAddr::new(addr), &mut buf) {
+            Ok(()) => {
+                prop_assert!(addr >= NULL_PAGE_SIZE);
+                prop_assert!(addr as usize + len <= POOL);
+            }
+            Err(PmError::NullAccess { .. }) => prop_assert!(addr < NULL_PAGE_SIZE),
+            Err(PmError::OutOfBounds { .. }) => {
+                prop_assert!(addr >= NULL_PAGE_SIZE);
+                prop_assert!(addr as usize + len > POOL);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// Bump allocation yields non-overlapping, aligned, in-bounds blocks.
+    #[test]
+    fn alloc_blocks_are_disjoint(
+        sizes in proptest::collection::vec((1u64..64, 0u32..4), 1..12)
+    ) {
+        let mut pool = PmPool::new(8192);
+        let mut blocks: Vec<(u64, u64)> = Vec::new();
+        for (size, align_pow) in sizes {
+            let align = 1u64 << align_pow;
+            if let Ok(a) = pool.alloc(size, align) {
+                prop_assert_eq!(a.offset() % align, 0);
+                prop_assert!(a.offset() + size <= 8192);
+                for &(b, blen) in &blocks {
+                    prop_assert!(a.offset() >= b + blen || a.offset() + size <= b);
+                }
+                blocks.push((a.offset(), size));
+            }
+        }
+    }
+}

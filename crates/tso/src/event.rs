@@ -1,0 +1,131 @@
+//! Cache-visible events and their provenance.
+
+use std::fmt;
+use std::panic::Location;
+
+use jaaru_pmem::PmAddr;
+
+use crate::Seq;
+
+/// Identity of a guest thread in the simulated machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Index of a store event within one execution's event log.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StoreId(pub u32);
+
+impl fmt::Debug for StoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Source location of a guest operation, captured with `#[track_caller]`.
+///
+/// The model checker's debugging reports (the paper's §4 "Debugging
+/// support") print the source locations of loads that can read from more
+/// than one store, and of each candidate store.
+pub type SourceLoc = &'static Location<'static>;
+
+/// A store that has taken effect in the cache.
+///
+/// Multi-byte accesses are a single event: the paper implements them as a
+/// sequence of byte accesses *performed atomically*, which is equivalent to
+/// assigning one sequence number to all bytes of the store.
+#[derive(Clone, Debug)]
+pub struct StoreEvent {
+    /// First byte written.
+    pub addr: PmAddr,
+    /// The bytes written (length = access width).
+    pub bytes: Vec<u8>,
+    /// Position in the cache total order, assigned when the store left the
+    /// store buffer.
+    pub seq: Seq,
+    /// Thread that performed the store.
+    pub thread: ThreadId,
+    /// Guest source location of the store.
+    pub loc: SourceLoc,
+}
+
+impl StoreEvent {
+    /// Renders the stored value as an integer when it has a natural width.
+    pub fn value_display(&self) -> String {
+        match self.bytes.len() {
+            1 => format!("{:#x}", self.bytes[0]),
+            2 => format!("{:#x}", u16::from_le_bytes(self.bytes[..2].try_into().unwrap())),
+            4 => format!("{:#x}", u32::from_le_bytes(self.bytes[..4].try_into().unwrap())),
+            8 => format!("{:#x}", u64::from_le_bytes(self.bytes[..8].try_into().unwrap())),
+            _ => format!("{:02x?}", self.bytes),
+        }
+    }
+}
+
+impl fmt::Display for StoreEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store {}B @ {} = {} ({} at {}:{}:{})",
+            self.bytes.len(),
+            self.addr,
+            self.value_display(),
+            self.seq,
+            self.loc.file(),
+            self.loc.line(),
+            self.loc.column(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[track_caller]
+    fn here() -> SourceLoc {
+        Location::caller()
+    }
+
+    #[test]
+    fn value_display_by_width() {
+        let mk = |bytes: Vec<u8>| StoreEvent {
+            addr: PmAddr::new(64),
+            bytes,
+            seq: Seq::new(1),
+            thread: ThreadId(0),
+            loc: here(),
+        };
+        assert_eq!(mk(vec![0xff]).value_display(), "0xff");
+        assert_eq!(mk(vec![0x34, 0x12]).value_display(), "0x1234");
+        assert_eq!(mk(vec![1, 0, 0, 0]).value_display(), "0x1");
+        assert_eq!(mk(vec![2, 0, 0, 0, 0, 0, 0, 0]).value_display(), "0x2");
+        assert_eq!(mk(vec![1, 2, 3]).value_display(), "[01, 02, 03]");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let ev = StoreEvent {
+            addr: PmAddr::new(64),
+            bytes: vec![7],
+            seq: Seq::new(3),
+            thread: ThreadId(1),
+            loc: here(),
+        };
+        let s = ev.to_string();
+        assert!(s.contains("0x40"));
+        assert!(s.contains("σ3"));
+        assert!(s.contains("event.rs"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Most-recent-writeback intervals (the paper's constraint-refinement core).
+//!
+//! For every cache line, each execution tracks the interval of sequence
+//! numbers in which the *last* writeback of that line to persistent memory
+//! may have occurred. A `clflush` taking effect at `σ_f` raises the lower
+//! bound to `σ_f` (Figure 8); a post-failure load that commits to reading a
+//! particular store narrows the interval around that store (Figure 10).
+
+use std::fmt;
+
+use crate::Seq;
+
+/// The interval `[begin, end)` of possible positions of the most recent
+/// writeback of one cache line in one execution.
+///
+/// A writeback at position `w` captures exactly the stores with `σ ≤ w`.
+/// The unconstrained interval is `[0, ∞)`: the line may never have been
+/// written back (persistent memory still holds older contents), or may
+/// have been written back after any store (everything persisted) — this is
+/// the cache evicting lines due to space pressure at arbitrary times.
+///
+/// # Example
+///
+/// The Figure 2/3 scenario: after `clflush` takes effect at `σ=3` the
+/// interval is `[3, ∞)`; the recovery load observing `x = 4` (stored at
+/// `σ=5`, next store to `x` at `σ=7`) refines it to `[5, 7)`.
+///
+/// ```
+/// use jaaru_tso::{FlushInterval, Seq};
+/// let mut iv = FlushInterval::unconstrained();
+/// iv.raise_begin(Seq::new(3));
+/// assert_eq!(iv, FlushInterval::new(Seq::new(3), Seq::INFINITY));
+/// iv.raise_begin(Seq::new(5));
+/// iv.lower_end(Seq::new(7));
+/// assert_eq!(iv, FlushInterval::new(Seq::new(5), Seq::new(7)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlushInterval {
+    begin: Seq,
+    end: Seq,
+}
+
+impl FlushInterval {
+    /// The interval `[0, ∞)`: no flush observed, no refinement yet.
+    #[inline]
+    pub const fn unconstrained() -> Self {
+        FlushInterval { begin: Seq::ZERO, end: Seq::INFINITY }
+    }
+
+    /// Creates an interval `[begin, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `begin >= end`; a sound refinement never empties the
+    /// interval (there is always at least one consistent writeback point).
+    #[inline]
+    pub fn new(begin: Seq, end: Seq) -> Self {
+        assert!(begin < end, "flush interval must be non-empty: [{begin}, {end})");
+        FlushInterval { begin, end }
+    }
+
+    /// Lower bound (inclusive): the writeback happened at or after this.
+    #[inline]
+    pub const fn begin(self) -> Seq {
+        self.begin
+    }
+
+    /// Upper bound (exclusive): the writeback happened before this.
+    #[inline]
+    pub const fn end(self) -> Seq {
+        self.end
+    }
+
+    /// Raises the lower bound: `begin := max(begin, at)`.
+    ///
+    /// Used when a `clflush` (or fenced `clflushopt`) takes effect, and by
+    /// `DoRead` when a load commits to a store at `σ = at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the refinement would empty the interval, which indicates a
+    /// model-checker bug (an inconsistent reads-from choice).
+    #[inline]
+    pub fn raise_begin(&mut self, at: Seq) {
+        if at > self.begin {
+            assert!(at < self.end, "refinement emptied interval: begin {at} >= end {}", self.end);
+            self.begin = at;
+        }
+    }
+
+    /// Lowers the upper bound: `end := min(end, at)`.
+    ///
+    /// Used by `UpdateRanges` when a load observes that a later store was
+    /// *not* captured by the last writeback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the refinement would empty the interval.
+    #[inline]
+    pub fn lower_end(&mut self, at: Seq) {
+        if at < self.end {
+            assert!(at > self.begin, "refinement emptied interval: end {at} <= begin {}", self.begin);
+            self.end = at;
+        }
+    }
+
+    /// Whether a writeback at position `w` is consistent with this interval.
+    #[inline]
+    pub fn admits(self, w: Seq) -> bool {
+        self.begin <= w && w < self.end
+    }
+
+    /// Whether this interval is still the unconstrained `[0, ∞)`.
+    #[inline]
+    pub fn is_unconstrained(self) -> bool {
+        self == Self::unconstrained()
+    }
+}
+
+impl Default for FlushInterval {
+    fn default() -> Self {
+        Self::unconstrained()
+    }
+}
+
+impl fmt::Debug for FlushInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.begin, self.end)
+    }
+}
+
+impl fmt::Display for FlushInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_admits_everything() {
+        let iv = FlushInterval::unconstrained();
+        assert!(iv.admits(Seq::ZERO));
+        assert!(iv.admits(Seq::new(1_000_000)));
+        assert!(iv.is_unconstrained());
+    }
+
+    #[test]
+    fn refinement_narrows_monotonically() {
+        let mut iv = FlushInterval::unconstrained();
+        iv.raise_begin(Seq::new(10));
+        assert!(!iv.admits(Seq::new(9)));
+        assert!(iv.admits(Seq::new(10)));
+        iv.lower_end(Seq::new(20));
+        assert!(iv.admits(Seq::new(19)));
+        assert!(!iv.admits(Seq::new(20)));
+        // Weaker constraints are no-ops.
+        iv.raise_begin(Seq::new(5));
+        iv.lower_end(Seq::new(100));
+        assert_eq!(iv, FlushInterval::new(Seq::new(10), Seq::new(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "emptied interval")]
+    fn emptying_from_below_panics() {
+        let mut iv = FlushInterval::new(Seq::new(1), Seq::new(5));
+        iv.raise_begin(Seq::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "emptied interval")]
+    fn emptying_from_above_panics() {
+        let mut iv = FlushInterval::new(Seq::new(3), Seq::new(5));
+        iv.lower_end(Seq::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn constructor_rejects_empty() {
+        FlushInterval::new(Seq::new(5), Seq::new(5));
+    }
+
+    #[test]
+    fn display_shows_half_open_interval() {
+        let iv = FlushInterval::new(Seq::new(3), Seq::INFINITY);
+        assert_eq!(format!("{iv}"), "[σ3, σ∞)");
+    }
+}

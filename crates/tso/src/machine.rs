@@ -1,0 +1,416 @@
+//! The simulated x86-TSO persistent-storage machine.
+//!
+//! [`TsoMachine`] glues the per-thread buffers to the per-execution storage
+//! and implements both phases of instruction execution from the paper:
+//! Figure 7 (`Exec_*`: insert into the store buffer) and Figure 8
+//! (`Evict_SB` / `Evict_FB`: take effect in the cache / persistent
+//! storage). A power failure is simulated by [`TsoMachine::crash`], which
+//! discards all buffered (not yet cache-visible) operations and freezes the
+//! execution's storage for post-failure refinement.
+
+use jaaru_pmem::{CacheLineId, PmAddr};
+
+use crate::{ExecutionStorage, FbEntry, SbEntry, Seq, SourceLoc, ThreadBuffers, ThreadId};
+
+/// When buffered operations drain to the cache.
+///
+/// The paper's exploration algorithm (Figure 11) includes nondeterministic
+/// eviction choices but notes Jaaru does not exhaustively explore
+/// concurrent schedules; a deterministic policy per scenario keeps replay
+/// exact while the persistency nondeterminism is carried entirely by the
+/// writeback intervals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Drain the store buffer immediately after every insertion. For
+    /// persistency exploration this exposes the superset of post-failure
+    /// states: cache-resident stores are *maybe* persistent (interval
+    /// machinery), while buffer-resident stores at a crash are *definitely*
+    /// lost.
+    #[default]
+    Eager,
+    /// Drain only at `mfence` and locked RMW instructions (and on demand).
+    /// Demonstrates TSO store-buffering behaviours in litmus tests.
+    OnFence,
+}
+
+/// A read serviced from the current execution (Figure 9, lines 2–5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CurrentRead {
+    /// The owning thread's store buffer had a covering store (bypass).
+    Buffered(u8),
+    /// The cache had a value written by this execution.
+    Cached(u8),
+    /// This execution never wrote the byte; the value must come from
+    /// pre-failure executions (`ReadPreFailure`).
+    Miss,
+}
+
+/// The simulated TSO machine for one execution.
+///
+/// # Example
+///
+/// ```
+/// use jaaru_pmem::PmAddr;
+/// use jaaru_tso::{CurrentRead, EvictionPolicy, ThreadId, TsoMachine};
+///
+/// let mut m = TsoMachine::new(EvictionPolicy::Eager);
+/// let t = ThreadId(0);
+/// let a = PmAddr::new(64);
+/// m.store(t, a, &[7], std::panic::Location::caller());
+/// assert_eq!(m.read_current(t, a), CurrentRead::Cached(7));
+/// m.clflush(t, a.cache_line());
+/// let storage = m.crash();
+/// assert!(!storage.interval(a.cache_line()).is_unconstrained());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TsoMachine {
+    sigma: Seq,
+    threads: Vec<ThreadBuffers>,
+    storage: ExecutionStorage,
+    policy: EvictionPolicy,
+}
+
+impl TsoMachine {
+    /// Creates a machine with empty storage and no threads.
+    pub fn new(policy: EvictionPolicy) -> Self {
+        TsoMachine { sigma: Seq::ZERO, threads: Vec::new(), storage: ExecutionStorage::new(), policy }
+    }
+
+    /// The eviction policy in effect.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Current value of the global sequence counter `σ_curr`.
+    pub fn sigma(&self) -> Seq {
+        self.sigma
+    }
+
+    /// Read access to this execution's storage.
+    pub fn storage(&self) -> &ExecutionStorage {
+        &self.storage
+    }
+
+    fn thread(&mut self, tid: ThreadId) -> &mut ThreadBuffers {
+        let idx = tid.0 as usize;
+        while self.threads.len() <= idx {
+            self.threads.push(ThreadBuffers::new());
+        }
+        &mut self.threads[idx]
+    }
+
+    fn thread_ref(&self, tid: ThreadId) -> Option<&ThreadBuffers> {
+        self.threads.get(tid.0 as usize)
+    }
+
+    fn maybe_drain(&mut self, tid: ThreadId) {
+        if self.policy == EvictionPolicy::Eager {
+            self.drain_store_buffer(tid);
+        }
+    }
+
+    /// `Exec_Store` (Figure 7): enqueue a store into `S_τ`.
+    pub fn store(&mut self, tid: ThreadId, addr: PmAddr, bytes: &[u8], loc: SourceLoc) {
+        assert!(!bytes.is_empty(), "zero-length store");
+        self.thread(tid).store_buffer.push_back(SbEntry::Store {
+            addr,
+            bytes: bytes.to_vec(),
+            loc,
+        });
+        self.maybe_drain(tid);
+    }
+
+    /// `Exec_CLFLUSH` (Figure 7): enqueue a cache-line flush into `S_τ`.
+    pub fn clflush(&mut self, tid: ThreadId, line: CacheLineId) {
+        self.thread(tid).store_buffer.push_back(SbEntry::Clflush { line });
+        self.maybe_drain(tid);
+    }
+
+    /// `Exec_CLFLUSHOPT` (Figure 7): enqueue an optimized flush, capturing
+    /// `σ_curr` at execution time. `clwb` is semantically identical
+    /// (paper §2) and shares this entry point.
+    pub fn clflushopt(&mut self, tid: ThreadId, line: CacheLineId) {
+        let seq_at_exec = self.sigma;
+        self.thread(tid).store_buffer.push_back(SbEntry::Clflushopt { line, seq_at_exec });
+        self.maybe_drain(tid);
+    }
+
+    /// `Exec_SFENCE` (Figure 7): enqueue a store fence into `S_τ`.
+    pub fn sfence(&mut self, tid: ThreadId) {
+        self.thread(tid).store_buffer.push_back(SbEntry::Sfence);
+        self.maybe_drain(tid);
+    }
+
+    /// `Exec_MFENCE` (Figure 7): drain `S_τ`, then flush `F_τ`. Also used
+    /// for the fence halves of locked RMW instructions.
+    pub fn mfence(&mut self, tid: ThreadId) {
+        self.drain_store_buffer(tid);
+        self.flush_flush_buffer(tid);
+    }
+
+    /// Evicts the oldest entry of `tid`'s store buffer (Figure 8).
+    /// Returns `false` if the buffer was empty.
+    pub fn evict_one(&mut self, tid: ThreadId) -> bool {
+        let Some(entry) = self.thread(tid).store_buffer.pop_front() else {
+            return false;
+        };
+        match entry {
+            SbEntry::Store { addr, bytes, loc } => {
+                let seq = self.sigma.bump();
+                self.storage.record_store(addr, &bytes, tid, loc, seq);
+                // One stamp per touched line (a store may straddle lines).
+                let first = addr.cache_line();
+                let last = (addr + (bytes.len() as u64 - 1)).cache_line();
+                let th = self.thread(tid);
+                for l in first.index()..=last.index() {
+                    th.line_stamp.insert(CacheLineId::new(l), seq);
+                }
+            }
+            SbEntry::Clflush { line } => {
+                let seq = self.sigma.bump();
+                self.storage.record_flush(line, seq);
+                self.thread(tid).line_stamp.insert(line, seq);
+            }
+            SbEntry::Clflushopt { line, seq_at_exec } => {
+                let th = self.thread(tid);
+                let seq = seq_at_exec.max(th.line_stamp(line)).max(th.sfence_stamp);
+                th.flush_buffer.push(FbEntry { line, seq });
+            }
+            SbEntry::Sfence => {
+                let seq = self.sigma.bump();
+                self.flush_flush_buffer(tid);
+                self.thread(tid).sfence_stamp = seq;
+            }
+        }
+        true
+    }
+
+    /// Drains `tid`'s store buffer completely.
+    pub fn drain_store_buffer(&mut self, tid: ThreadId) {
+        while self.evict_one(tid) {}
+    }
+
+    /// `Evict_FB` for every entry (Figure 8): applies the deferred
+    /// `clflushopt` lower bounds and empties `F_τ`.
+    pub fn flush_flush_buffer(&mut self, tid: ThreadId) {
+        let entries = std::mem::take(&mut self.thread(tid).flush_buffer);
+        for FbEntry { line, seq } in entries {
+            if seq > Seq::ZERO {
+                self.storage.record_flush(line, seq);
+            }
+        }
+    }
+
+    /// Drains every thread's store buffer (used at the clean end of an
+    /// execution; deferred `clflushopt` entries stay deferred, exactly as
+    /// un-fenced flushes remain unordered on hardware).
+    pub fn drain_all(&mut self) {
+        for tid in 0..self.threads.len() {
+            self.drain_store_buffer(ThreadId(tid as u32));
+        }
+    }
+
+    /// Services a load from the *current* execution (Figure 9, lines 2–5):
+    /// store-buffer bypass first, then the cache.
+    pub fn read_current(&self, tid: ThreadId, addr: PmAddr) -> CurrentRead {
+        if let Some(v) = self.thread_ref(tid).and_then(|t| t.bypass(addr)) {
+            return CurrentRead::Buffered(v);
+        }
+        match self.storage.last_cache_value(addr) {
+            Some(e) => CurrentRead::Cached(e.value),
+            None => CurrentRead::Miss,
+        }
+    }
+
+    /// Whether any thread still has buffered operations.
+    pub fn has_buffered_ops(&self) -> bool {
+        self.threads.iter().any(|t| !t.is_empty())
+    }
+
+    /// Whether `tid` has deferred `clflushopt` operations whose persistency
+    /// effect is still pending (waiting for an ordering instruction).
+    pub fn flush_buffer_pending(&self, tid: ThreadId) -> bool {
+        self.thread_ref(tid).is_some_and(|t| {
+            !t.flush_buffer.is_empty()
+                || t.store_buffer.iter().any(|e| matches!(e, SbEntry::Clflushopt { .. }))
+        })
+    }
+
+    /// Simulates a power failure: every buffered operation is lost (it
+    /// never took effect in the cache) and the execution's storage freezes.
+    pub fn crash(self) -> ExecutionStorage {
+        self.storage
+    }
+
+    /// Ends the execution cleanly: drains store buffers so every executed
+    /// store is cache-visible, then freezes storage. Pending flush-buffer
+    /// entries are still discarded — a `clflushopt` with no ordering
+    /// instruction after it guarantees nothing.
+    pub fn finish(mut self) -> ExecutionStorage {
+        self.drain_all();
+        self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::Location;
+
+    fn loc() -> SourceLoc {
+        Location::caller()
+    }
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    #[test]
+    fn eager_policy_makes_stores_cache_visible_immediately() {
+        let mut m = TsoMachine::new(EvictionPolicy::Eager);
+        m.store(T0, PmAddr::new(64), &[5], loc());
+        assert_eq!(m.read_current(T1, PmAddr::new(64)), CurrentRead::Cached(5));
+    }
+
+    #[test]
+    fn on_fence_policy_buffers_stores() {
+        let mut m = TsoMachine::new(EvictionPolicy::OnFence);
+        m.store(T0, PmAddr::new(64), &[5], loc());
+        // Own thread sees it via bypass; the other thread does not.
+        assert_eq!(m.read_current(T0, PmAddr::new(64)), CurrentRead::Buffered(5));
+        assert_eq!(m.read_current(T1, PmAddr::new(64)), CurrentRead::Miss);
+        m.mfence(T0);
+        assert_eq!(m.read_current(T1, PmAddr::new(64)), CurrentRead::Cached(5));
+    }
+
+    #[test]
+    fn crash_discards_buffered_stores() {
+        let mut m = TsoMachine::new(EvictionPolicy::OnFence);
+        m.store(T0, PmAddr::new(64), &[5], loc());
+        let storage = m.crash();
+        assert!(storage.last_cache_value(PmAddr::new(64)).is_none());
+    }
+
+    #[test]
+    fn clflush_constrains_interval_at_eviction() {
+        let mut m = TsoMachine::new(EvictionPolicy::Eager);
+        let line = PmAddr::new(64).cache_line();
+        m.store(T0, PmAddr::new(64), &[1], loc());
+        m.clflush(T0, line);
+        let begin = m.storage().interval(line).begin();
+        assert!(begin > Seq::ZERO);
+        // Stores after the flush do not move the interval.
+        m.store(T0, PmAddr::new(64), &[2], loc());
+        assert_eq!(m.storage().interval(line).begin(), begin);
+    }
+
+    #[test]
+    fn clflushopt_has_no_effect_without_fence() {
+        let mut m = TsoMachine::new(EvictionPolicy::Eager);
+        let line = PmAddr::new(64).cache_line();
+        m.store(T0, PmAddr::new(64), &[1], loc());
+        m.clflushopt(T0, line);
+        assert!(m.storage().interval(line).is_unconstrained(), "deferred until an sfence");
+        let storage = m.crash();
+        assert!(storage.interval(line).is_unconstrained());
+    }
+
+    #[test]
+    fn clflushopt_takes_effect_at_sfence() {
+        let mut m = TsoMachine::new(EvictionPolicy::Eager);
+        let line = PmAddr::new(64).cache_line();
+        m.store(T0, PmAddr::new(64), &[1], loc());
+        let store_seq = m.sigma();
+        m.clflushopt(T0, line);
+        m.sfence(T0);
+        let iv = m.storage().interval(line);
+        assert!(iv.begin() >= store_seq, "flush ordered after the same-line store");
+    }
+
+    #[test]
+    fn clflushopt_takes_effect_at_mfence() {
+        let mut m = TsoMachine::new(EvictionPolicy::Eager);
+        let line = PmAddr::new(64).cache_line();
+        m.store(T0, PmAddr::new(64), &[1], loc());
+        m.clflushopt(T0, line);
+        m.mfence(T0);
+        assert!(!m.storage().interval(line).is_unconstrained());
+    }
+
+    #[test]
+    fn clflushopt_reorders_past_other_line_stores() {
+        // clflushopt(A) followed by a store to line B, then sfence: the
+        // flush's lower bound must reflect only operations it is ordered
+        // after (the earlier same-line store), not the line-B store.
+        let mut m = TsoMachine::new(EvictionPolicy::Eager);
+        let a = PmAddr::new(64);
+        let b = PmAddr::new(128);
+        m.store(T0, a, &[1], loc());
+        let a_store_seq = m.sigma();
+        m.clflushopt(T0, a.cache_line());
+        m.store(T0, b, &[2], loc());
+        let b_store_seq = m.sigma();
+        m.sfence(T0);
+        let iv = m.storage().interval(a.cache_line());
+        assert_eq!(iv.begin(), a_store_seq, "bound comes from the same-line store");
+        assert!(iv.begin() < b_store_seq);
+    }
+
+    #[test]
+    fn clflushopt_does_not_reorder_past_same_line_clflush() {
+        // Table 1: clflush then clflushopt on the same line preserve order.
+        let mut m = TsoMachine::new(EvictionPolicy::Eager);
+        let line = PmAddr::new(64).cache_line();
+        m.store(T0, PmAddr::new(64), &[1], loc());
+        m.clflush(T0, line);
+        let clflush_seq = m.sigma();
+        m.clflushopt(T0, line);
+        m.sfence(T0);
+        assert!(m.storage().interval(line).begin() >= clflush_seq);
+    }
+
+    #[test]
+    fn sfence_stamp_orders_later_clflushopt() {
+        // sfence ; clflushopt: the flush cannot be ordered before the fence.
+        let mut m = TsoMachine::new(EvictionPolicy::Eager);
+        let line = PmAddr::new(64).cache_line();
+        m.store(T0, PmAddr::new(64), &[1], loc());
+        m.sfence(T0);
+        let fence_seq = m.sigma();
+        m.clflushopt(T0, line);
+        m.sfence(T0);
+        assert!(m.storage().interval(line).begin() >= fence_seq);
+    }
+
+    #[test]
+    fn finish_drains_but_keeps_unfenced_flushopt_deferred() {
+        let mut m = TsoMachine::new(EvictionPolicy::OnFence);
+        let a = PmAddr::new(64);
+        m.store(T0, a, &[3], loc());
+        m.clflushopt(T0, a.cache_line());
+        let storage = m.finish();
+        assert_eq!(storage.last_cache_value(a).unwrap().value, 3);
+        assert!(storage.interval(a.cache_line()).is_unconstrained());
+    }
+
+    #[test]
+    fn straddling_store_stamps_both_lines() {
+        let mut m = TsoMachine::new(EvictionPolicy::Eager);
+        // 8-byte store crossing the line-1/line-2 boundary at offset 124.
+        m.store(T0, PmAddr::new(124), &[0xaa; 8], loc());
+        let seq = m.sigma();
+        m.clflushopt(T0, CacheLineId::new(1));
+        m.clflushopt(T0, CacheLineId::new(2));
+        m.sfence(T0);
+        assert!(m.storage().interval(CacheLineId::new(1)).begin() >= seq);
+        assert!(m.storage().interval(CacheLineId::new(2)).begin() >= seq);
+    }
+
+    #[test]
+    fn evict_one_on_empty_buffer_returns_false() {
+        let mut m = TsoMachine::new(EvictionPolicy::OnFence);
+        assert!(!m.evict_one(T0));
+        m.store(T0, PmAddr::new(64), &[1], loc());
+        assert!(m.evict_one(T0));
+        assert!(!m.evict_one(T0));
+    }
+}

@@ -1,0 +1,382 @@
+//! Reads-from computation and constraint refinement across executions.
+//!
+//! This module implements the heart of Jaaru: `ReadPreFailure` (Figure 9),
+//! which computes the set of pre-failure stores a post-failure load may
+//! read from under the current most-recent-writeback intervals, and
+//! `DoRead`/`UpdateRanges` (Figure 10), which refine those intervals once
+//! the exploration commits the load to one candidate.
+//!
+//! The *execution stack* passed to these functions holds the storage of
+//! every execution that ended in a failure, oldest first; the currently
+//! running execution is *not* on the stack (its store buffer and cache are
+//! consulted first, by [`TsoMachine::read_current`](crate::TsoMachine)).
+
+use jaaru_pmem::PmAddr;
+
+use crate::{ExecutionStorage, Seq, StoreId};
+
+/// Where a post-failure load's value comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RfSource {
+    /// The initial (zeroed) contents of the persistent pool; no execution
+    /// ever persisted a store to this byte.
+    Initial,
+    /// A store performed by execution `exec` (index into the stack).
+    Store {
+        /// Index of the execution in the stack.
+        exec: usize,
+        /// The store event within that execution.
+        store: StoreId,
+    },
+}
+
+/// One candidate a post-failure load may read from: the paper's tuple
+/// `⟨e, σ, val⟩`, restricted to a single byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RfCandidate {
+    /// Origin of the value.
+    pub source: RfSource,
+    /// The byte value the load would observe.
+    pub value: u8,
+    /// Cache position of the store within its execution ([`Seq::ZERO`] for
+    /// [`RfSource::Initial`]).
+    pub seq: Seq,
+}
+
+impl RfCandidate {
+    /// The initial-memory candidate (value 0, before every store).
+    pub const INITIAL: RfCandidate =
+        RfCandidate { source: RfSource::Initial, value: 0, seq: Seq::ZERO };
+}
+
+/// `ReadPreFailure` (Figure 9): the stores in pre-failure executions that a
+/// load of byte `addr` may read from, given each execution's current
+/// writeback interval for the byte's cache line.
+///
+/// Candidates are ordered newest-execution-first, and within an execution
+/// newest-store-first, with [`RfCandidate::INITIAL`] last; the first
+/// candidate is therefore the value the program would see on a machine
+/// that persisted everything (the "expected" value), which lets the
+/// checker explore the happy path first.
+///
+/// The returned set is never empty.
+pub fn read_pre_failure(stack: &[ExecutionStorage], addr: PmAddr) -> Vec<RfCandidate> {
+    let line = addr.cache_line();
+    let mut out = Vec::new();
+    for (exec, st) in stack.iter().enumerate().rev() {
+        let iv = st.interval(line);
+        let q = st.queue(addr);
+        // Entries with σ ≤ begin: only the newest one is readable (it is
+        // what the last writeback captured if the writeback happened at
+        // `begin`). Entries with begin < σ < end are all readable.
+        let idx_begin = q.partition_point(|e| e.seq <= iv.begin());
+        let readable_after = q[idx_begin..].iter().take_while(|e| e.seq < iv.end());
+        for e in readable_after.collect::<Vec<_>>().into_iter().rev() {
+            out.push(RfCandidate {
+                source: RfSource::Store { exec, store: e.store },
+                value: e.value,
+                seq: e.seq,
+            });
+        }
+        if idx_begin > 0 {
+            let e = q[idx_begin - 1];
+            out.push(RfCandidate {
+                source: RfSource::Store { exec, store: e.store },
+                value: e.value,
+                seq: e.seq,
+            });
+            // A store at or before `begin` pins the line: the writeback
+            // definitely captured it, so older executions are invisible.
+            return out;
+        }
+    }
+    out.push(RfCandidate::INITIAL);
+    out
+}
+
+/// `DoRead`/`UpdateRanges` (Figure 10): refine writeback intervals after
+/// the exploration commits a load of `addr` to `chosen`.
+///
+/// For every execution *newer* than the chosen store's, the last writeback
+/// of the line must have happened before that execution's first store to
+/// the byte (otherwise the newer store would have been visible); for the
+/// chosen execution, the writeback happened at or after the chosen store
+/// and before the next store to the byte.
+///
+/// Reads satisfied by the *current* execution's buffers/cache involve no
+/// refinement and must not be passed here.
+pub fn do_read(stack: &mut [ExecutionStorage], addr: PmAddr, chosen: RfCandidate) {
+    let line = addr.cache_line();
+    let newer_than = match chosen.source {
+        RfSource::Initial => 0,
+        RfSource::Store { exec, .. } => exec + 1,
+    };
+    for st in &mut stack[newer_than..] {
+        if let Some(first) = st.first_store_seq(addr) {
+            st.interval_mut(line).lower_end(first);
+        }
+    }
+    if let RfSource::Store { exec, .. } = chosen.source {
+        let st = &mut stack[exec];
+        let next = st.next_store_after(addr, chosen.seq);
+        let iv = st.interval_mut(line);
+        iv.raise_begin(chosen.seq);
+        if let Some(next) = next {
+            iv.lower_end(next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SourceLoc, ThreadId};
+    use std::panic::Location;
+
+    fn loc() -> SourceLoc {
+        Location::caller()
+    }
+
+    /// Builds one execution's storage from (addr, value) stores with an
+    /// optional clflush position (index into the store list, flushing the
+    /// line of the given address *after* that many stores).
+    struct Builder {
+        st: ExecutionStorage,
+        sigma: Seq,
+    }
+
+    impl Builder {
+        fn new() -> Self {
+            Builder { st: ExecutionStorage::new(), sigma: Seq::ZERO }
+        }
+
+        fn store(&mut self, addr: u64, v: u8) -> Seq {
+            let seq = self.sigma.bump();
+            self.st.record_store(PmAddr::new(addr), &[v], ThreadId(0), loc(), seq);
+            seq
+        }
+
+        fn clflush(&mut self, addr: u64) -> Seq {
+            let seq = self.sigma.bump();
+            self.st.record_flush(PmAddr::new(addr).cache_line(), seq);
+            seq
+        }
+
+        fn done(self) -> ExecutionStorage {
+            self.st
+        }
+    }
+
+    fn values(cands: &[RfCandidate]) -> Vec<u8> {
+        cands.iter().map(|c| c.value).collect()
+    }
+
+    #[test]
+    fn unwritten_byte_reads_initial_zero() {
+        let stack = vec![ExecutionStorage::new()];
+        let cands = read_pre_failure(&stack, PmAddr::new(64));
+        assert_eq!(cands, vec![RfCandidate::INITIAL]);
+    }
+
+    #[test]
+    fn unflushed_stores_are_all_candidates_plus_initial() {
+        let mut b = Builder::new();
+        b.store(64, 1);
+        b.store(64, 2);
+        b.store(64, 3);
+        let stack = vec![b.done()];
+        let cands = read_pre_failure(&stack, PmAddr::new(64));
+        assert_eq!(values(&cands), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn clflush_pins_the_pre_flush_store() {
+        // x=1; clflush; x=2; x=3  →  candidates {3, 2, 1}, not initial:
+        // the flush guarantees the line was written back at least once
+        // after x=1.
+        let mut b = Builder::new();
+        b.store(64, 1);
+        b.clflush(64);
+        b.store(64, 2);
+        b.store(64, 3);
+        let stack = vec![b.done()];
+        let cands = read_pre_failure(&stack, PmAddr::new(64));
+        assert_eq!(values(&cands), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn figure_2_and_3_scenario() {
+        // y=1; x=2; clflush(x); y=3; x=4; y=5; x=6   (x=64+8, y=64; same line)
+        let x = 72;
+        let y = 64;
+        let mut b = Builder::new();
+        b.store(y, 1);
+        b.store(x, 2);
+        b.clflush(x);
+        b.store(y, 3);
+        let s_x4 = b.store(x, 4);
+        b.store(y, 5);
+        let s_x6 = b.store(x, 6);
+        let mut stack = vec![b.done()];
+
+        // Post-failure: x may be 2, 4 or 6 (never initial 0 — the flush
+        // pinned x=2 as the oldest possibility).
+        let cands = read_pre_failure(&stack, PmAddr::new(x));
+        assert_eq!(values(&cands), vec![6, 4, 2]);
+
+        // The recovery reads x = 4: interval refines to [x=4, x=6).
+        let chosen = cands.iter().find(|c| c.value == 4).copied().unwrap();
+        do_read(&mut stack, PmAddr::new(x), chosen);
+        let iv = stack[0].interval(PmAddr::new(x).cache_line());
+        assert_eq!(iv.begin(), s_x4);
+        assert_eq!(iv.end(), s_x6);
+
+        // Now y can only be 3 or 5 — reading y=1 is impossible (Figure 3).
+        let cands = read_pre_failure(&stack, PmAddr::new(y));
+        assert_eq!(values(&cands), vec![5, 3]);
+    }
+
+    #[test]
+    fn refinement_is_transitive_across_bytes() {
+        // After committing y to a value, x's candidates shrink again.
+        let x = 72;
+        let y = 64;
+        let mut b = Builder::new();
+        b.store(y, 1);
+        b.store(x, 2);
+        b.clflush(x);
+        b.store(y, 3);
+        b.store(x, 4);
+        b.store(y, 5);
+        b.store(x, 6);
+        let mut stack = vec![b.done()];
+        let cands = read_pre_failure(&stack, PmAddr::new(y));
+        // y readable: 5, 3, 1.
+        assert_eq!(values(&cands), vec![5, 3, 1]);
+        let chosen = cands.iter().find(|c| c.value == 3).copied().unwrap();
+        do_read(&mut stack, PmAddr::new(y), chosen);
+        // Writeback in [y=3, y=5) → x must read 2 or 4... and x=2 requires
+        // writeback ≥ clflush which is < y=3 — the writeback is now ≥ y=3,
+        // so only x∈{2?}: no. begin = y=3 seq; x=2 has σ ≤ begin → pinned
+        // oldest candidate; x=4 σ < end.
+        let cands = read_pre_failure(&stack, PmAddr::new(x));
+        assert_eq!(values(&cands), vec![4, 2]);
+        // Commit x=4 → y was already 3; further reads of x are singleton.
+        let chosen = cands.iter().find(|c| c.value == 4).copied().unwrap();
+        do_read(&mut stack, PmAddr::new(x), chosen);
+        let cands = read_pre_failure(&stack, PmAddr::new(x));
+        assert_eq!(values(&cands), vec![4]);
+    }
+
+    #[test]
+    fn reads_recurse_into_older_executions() {
+        // Execution 0 stores and flushes a=1; execution 1 stores a=2
+        // without flushing. Recovery may read 2 (exec 1 writeback) or 1
+        // (exec 0's flushed value), but not 0.
+        let a = 64;
+        let mut b0 = Builder::new();
+        b0.store(a, 1);
+        b0.clflush(a);
+        let mut b1 = Builder::new();
+        b1.store(a, 2);
+        let stack = vec![b0.done(), b1.done()];
+        let cands = read_pre_failure(&stack, PmAddr::new(a));
+        assert_eq!(values(&cands), vec![2, 1]);
+        assert!(matches!(cands[0].source, RfSource::Store { exec: 1, .. }));
+        assert!(matches!(cands[1].source, RfSource::Store { exec: 0, .. }));
+    }
+
+    #[test]
+    fn reading_old_execution_constrains_newer_ones() {
+        // Reading exec 0's value implies exec 1 never wrote the line back
+        // after its store, so exec 1's interval end drops below its first
+        // store to the byte.
+        let a = 64;
+        let mut b0 = Builder::new();
+        b0.store(a, 1);
+        b0.clflush(a);
+        let mut b1 = Builder::new();
+        let first1 = b1.store(a, 2);
+        let mut stack = vec![b0.done(), b1.done()];
+        let cands = read_pre_failure(&stack, PmAddr::new(a));
+        let old = cands.iter().find(|c| c.value == 1).copied().unwrap();
+        do_read(&mut stack, PmAddr::new(a), old);
+        assert_eq!(stack[1].interval(PmAddr::new(a).cache_line()).end(), first1);
+        // A second read of the same byte is now forced to the same value.
+        let cands = read_pre_failure(&stack, PmAddr::new(a));
+        assert_eq!(values(&cands), vec![1]);
+    }
+
+    #[test]
+    fn initial_choice_constrains_every_execution() {
+        let a = 64;
+        let mut b0 = Builder::new();
+        let first0 = b0.store(a, 1);
+        let mut b1 = Builder::new();
+        let first1 = b1.store(a, 2);
+        let mut stack = vec![b0.done(), b1.done()];
+        let cands = read_pre_failure(&stack, PmAddr::new(a));
+        assert_eq!(values(&cands), vec![2, 1, 0]);
+        do_read(&mut stack, PmAddr::new(a), RfCandidate::INITIAL);
+        let line = PmAddr::new(a).cache_line();
+        assert_eq!(stack[0].interval(line).end(), first0);
+        assert_eq!(stack[1].interval(line).end(), first1);
+        let cands = read_pre_failure(&stack, PmAddr::new(a));
+        assert_eq!(cands, vec![RfCandidate::INITIAL]);
+    }
+
+    #[test]
+    fn same_line_sibling_byte_is_constrained_by_initial_choice() {
+        // Committing byte a to "initial" forbids reading the sibling byte's
+        // store from the same line when it was stored before a.
+        let a = 64;
+        let b_addr = 65;
+        let mut b0 = Builder::new();
+        b0.store(b_addr, 7); // earlier store, same line
+        b0.store(a, 1);
+        let mut stack = vec![b0.done()];
+        let cands = read_pre_failure(&stack, PmAddr::new(a));
+        do_read(&mut stack, PmAddr::new(a), *cands.last().unwrap()); // initial
+        // Writeback before b=7? end = first store to byte a... the line
+        // interval end is now a's first store seq, which is *after* b=7,
+        // so b=7 remains possible — but so does initial for b.
+        let cands_b = read_pre_failure(&stack, PmAddr::new(b_addr));
+        assert_eq!(values(&cands_b), vec![7, 0]);
+        // Commit b to initial too; now the line was never written back.
+        do_read(&mut stack, PmAddr::new(b_addr), *cands_b.last().unwrap());
+        let cands_b = read_pre_failure(&stack, PmAddr::new(b_addr));
+        assert_eq!(values(&cands_b), vec![0]);
+    }
+
+    #[test]
+    fn commit_store_example_pins_data_field() {
+        // Figure 4 essence: data (line A) written then clflushed; child
+        // pointer (line B) written then clflushed. If recovery reads the
+        // pointer as non-null, the data field must read the stored value.
+        let data = 64; // line 1
+        let child = 128; // line 2
+        let mut b = Builder::new();
+        b.store(data, 42);
+        b.clflush(data);
+        b.store(child, 1); // non-null marker
+        b.clflush(child);
+        let mut stack = vec![b.done()];
+        let cands = read_pre_failure(&stack, PmAddr::new(child));
+        assert_eq!(values(&cands), vec![1], "flushed commit store is forced");
+        do_read(&mut stack, PmAddr::new(child), cands[0]);
+        let cands = read_pre_failure(&stack, PmAddr::new(data));
+        assert_eq!(values(&cands), vec![42], "data pinned by its clflush");
+    }
+
+    #[test]
+    fn candidates_are_newest_first() {
+        let mut b0 = Builder::new();
+        b0.store(64, 1);
+        let mut b1 = Builder::new();
+        b1.store(64, 2);
+        b1.store(64, 3);
+        let stack = vec![b0.done(), b1.done()];
+        let cands = read_pre_failure(&stack, PmAddr::new(64));
+        assert_eq!(values(&cands), vec![3, 2, 1, 0]);
+    }
+}

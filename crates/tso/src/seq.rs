@@ -1,0 +1,106 @@
+//! Sequence numbers over cache-visible events.
+//!
+//! The paper's model checking algorithm assigns a sequence number `σ` to
+//! every store, `clflush`, and `sfence` at the moment it takes effect in
+//! the cache (leaves the store buffer). These numbers define the total
+//! order in which stores become cache-visible, and most-recent-writeback
+//! intervals are expressed in terms of them.
+
+use std::fmt;
+
+/// A sequence number assigned to a cache-visible event.
+///
+/// `Seq::ZERO` is reserved for "before any event" (the initial contents of
+/// persistent memory), and [`Seq::INFINITY`] for "unbounded" interval ends.
+///
+/// # Example
+///
+/// ```
+/// use jaaru_tso::Seq;
+/// let mut counter = Seq::ZERO;
+/// let first = counter.bump();
+/// let second = counter.bump();
+/// assert!(Seq::ZERO < first && first < second && second < Seq::INFINITY);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Seq(u64);
+
+impl Seq {
+    /// The sequence number conceptually before every event; initial memory
+    /// contents carry this number.
+    pub const ZERO: Seq = Seq(0);
+
+    /// An unreachable upper bound, used as the open end of a
+    /// most-recent-writeback interval (`[clflush, ∞)` in the paper).
+    pub const INFINITY: Seq = Seq(u64::MAX);
+
+    /// Creates a sequence number from a raw value.
+    #[inline]
+    pub const fn new(v: u64) -> Seq {
+        Seq(v)
+    }
+
+    /// The raw value.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Increments the counter and returns the *new* number (the paper's
+    /// `σ_curr := σ_curr + 1` idiom).
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow into [`Seq::INFINITY`]; executions are far
+    /// shorter than `u64::MAX` events.
+    #[inline]
+    pub fn bump(&mut self) -> Seq {
+        self.0 += 1;
+        assert!(self.0 < u64::MAX, "sequence counter overflow");
+        *self
+    }
+
+    /// Returns `true` if this is the reserved infinite bound.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl fmt::Debug for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "σ∞")
+        } else {
+            write!(f, "σ{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_bounds() {
+        let mut c = Seq::ZERO;
+        let a = c.bump();
+        let b = c.bump();
+        assert!(Seq::ZERO < a);
+        assert!(a < b);
+        assert!(b < Seq::INFINITY);
+        assert_eq!(a, Seq::new(1));
+    }
+
+    #[test]
+    fn display_marks_infinity() {
+        assert_eq!(format!("{}", Seq::INFINITY), "σ∞");
+        assert_eq!(format!("{}", Seq::new(7)), "σ7");
+    }
+}

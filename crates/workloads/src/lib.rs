@@ -1,0 +1,25 @@
+//! Programs under test for the Jaaru reproduction.
+//!
+//! Everything in this crate is *guest code*: persistent-memory programs
+//! written against [`jaaru::PmEnv`] that the model checker (and the
+//! baselines) execute and crash. Three families:
+//!
+//! * [`recipe`] — the six RECIPE index structures the paper evaluates
+//!   (CCEH, FAST&FAIR, P-ART, P-BwTree, P-CLHT, P-Masstree), each with
+//!   the Figure 13 bugs seeded as fault toggles and a shared
+//!   crash-consistency driver ([`recipe::IndexWorkload`]),
+//! * [`pmdk`] — a miniature `libpmemobj` (validated pool header,
+//!   persistent heap allocator, undo-log transactions) plus the five
+//!   PMDK example maps, with the Figure 12 bugs seeded,
+//! * [`synthetic`] — the paper's worked examples (Figures 2–4), the
+//!   `9^(n/8)` array-init scaling workload, and checksum-based recovery.
+//!
+//! Shared substrate: [`alloc::PBump`], a crash-safe persistent bump
+//! allocator (itself checkable, with its own seeded fault), and
+//! [`util::Harness`], the driver header with durable insert/delete
+//! counters that turn durability violations into assertion failures.
+pub mod alloc;
+pub mod pmdk;
+pub mod recipe;
+pub mod synthetic;
+pub mod util;

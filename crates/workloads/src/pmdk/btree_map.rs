@@ -1,0 +1,219 @@
+//! `btree_map`: the PMDK B-tree example (simplified to a two-level
+//! tree: an 8-way radix root over per-prefix leaf chains, with items
+//! stored as separately allocated objects referenced by OID-style
+//! pointers, as in the original).
+//!
+//! Figure 12 bugs #1 and #2 surface through this map:
+//!
+//! * bug 1 ("Illegal memory access at btree_map.c:89"): the item
+//!   pointer is not flushed before the leaf's count admits it, so
+//!   recovery dereferences a null item,
+//! * bug 2 ("Failed to open pool error"): the pool-header fault
+//!   ([`PoolFault::ChecksumNotFlushed`]) — the map itself is untouched.
+//!
+//! Layout:
+//!
+//! ```text
+//! root object : { children[8] }      (radix on the key's top 3 bits)
+//! leaf        : { count, next, pad…, item_ptrs[8] @ +64 }
+//! item        : { key, value }
+//! ```
+
+use jaaru::{PmAddr, PmEnv};
+
+use super::pmalloc;
+use super::pool::ObjPool;
+use super::PmdkFaults;
+use crate::pmdk::pool::PoolFault;
+
+const FANOUT: u64 = 8;
+const LEAF_ITEMS: u64 = 8;
+const LEAF_SIZE: u64 = 64 + LEAF_ITEMS * 8;
+
+/// Map-specific fault indices for [`PmdkFaults::map_fault`].
+pub mod faults {
+    /// Bug 1: skip flushing the item pointer before bumping the count.
+    pub const ITEM_PTR_NOT_FLUSHED: u8 = 1;
+}
+
+/// The PMDK btree example map.
+#[derive(Clone, Copy, Debug)]
+pub struct BtreeMap {
+    root: PmAddr,
+    faults: PmdkFaults,
+}
+
+impl BtreeMap {
+    fn child_cell(&self, idx: u64) -> PmAddr {
+        self.root + idx * 8
+    }
+
+    // The pointer array starts one full cache line after the count, so
+    // the count's flush can never mask a missing item-pointer flush.
+    fn item_cell(leaf: PmAddr, i: u64) -> PmAddr {
+        leaf + 64 + i * 8
+    }
+
+    fn prefix(key: u64) -> u64 {
+        key >> 61
+    }
+
+    fn alloc_leaf(env: &dyn PmEnv, pool: &ObjPool) -> PmAddr {
+        let leaf = pmalloc::alloc_zeroed(env, pool, LEAF_SIZE);
+        env.clflush(leaf, LEAF_SIZE as usize);
+        env.sfence();
+        leaf
+    }
+
+    /// Scans a leaf chain for a key, returning the item address.
+    fn find_item(&self, env: &dyn PmEnv, mut leaf: PmAddr, key: u64) -> Option<PmAddr> {
+        while !leaf.is_null() {
+            let count = env.load_u64(leaf);
+            for i in 0..count.min(LEAF_ITEMS) {
+                // btree_map.c:89 — dereference the item OID. A committed
+                // count entry is trusted to carry a valid pointer.
+                let item = env.load_addr(Self::item_cell(leaf, i));
+                if env.load_u64(item) == key {
+                    return Some(item);
+                }
+            }
+            leaf = env.load_addr(leaf + 8);
+        }
+        None
+    }
+}
+
+impl super::PmdkMap for BtreeMap {
+    const NAME: &'static str = "Btree";
+
+    fn create(env: &dyn PmEnv, pool: &ObjPool, faults: PmdkFaults) -> Self {
+        let root = pmalloc::alloc_zeroed(env, pool, FANOUT * 8);
+        env.clflush(root, (FANOUT * 8) as usize);
+        env.sfence();
+        BtreeMap { root, faults }
+    }
+
+    fn open(_env: &dyn PmEnv, _pool: &ObjPool, root: PmAddr, faults: PmdkFaults) -> Self {
+        BtreeMap { root, faults }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn insert(&self, env: &dyn PmEnv, pool: &ObjPool, key: u64, value: u64) {
+        let cell = self.child_cell(Self::prefix(key));
+        let mut leaf = env.load_addr(cell);
+        if leaf.is_null() {
+            leaf = Self::alloc_leaf(env, pool);
+            env.store_addr(cell, leaf);
+            env.persist(cell, 8);
+        }
+        // In-place update.
+        if let Some(item) = self.find_item(env, leaf, key) {
+            env.store_u64(item + 8, value);
+            env.persist(item + 8, 8);
+            return;
+        }
+        // Find a leaf with room (append an overflow leaf if needed).
+        let mut tail = leaf;
+        while env.load_u64(tail) >= LEAF_ITEMS {
+            let next = env.load_addr(tail + 8);
+            if next.is_null() {
+                let fresh = Self::alloc_leaf(env, pool);
+                env.store_addr(tail + 8, fresh);
+                env.persist(tail + 8, 8);
+                tail = fresh;
+                break;
+            }
+            tail = next;
+        }
+        // The item object persists first, then its pointer, then the
+        // count that makes it visible.
+        let item = pmalloc::alloc_zeroed(env, pool, 16);
+        env.store_u64(item + 8, value);
+        env.store_u64(item, key);
+        env.clflush(item, 16);
+        env.sfence();
+        let count = env.load_u64(tail);
+        env.store_addr(Self::item_cell(tail, count), item);
+        if self.faults.map_fault != faults::ITEM_PTR_NOT_FLUSHED {
+            env.persist(Self::item_cell(tail, count), 8);
+        }
+        env.store_u64(tail, count + 1);
+        env.persist(tail, 8);
+    }
+
+    fn get(&self, env: &dyn PmEnv, _pool: &ObjPool, key: u64) -> Option<u64> {
+        let leaf = env.load_addr(self.child_cell(Self::prefix(key)));
+        if leaf.is_null() {
+            return None;
+        }
+        self.find_item(env, leaf, key).map(|item| env.load_u64(item + 8))
+    }
+
+    /// Recovery validation: every item admitted by a leaf count must be
+    /// readable.
+    fn validate(&self, env: &dyn PmEnv, _pool: &ObjPool) {
+        for idx in 0..FANOUT {
+            let mut leaf = env.load_addr(self.child_cell(idx));
+            while !leaf.is_null() {
+                let count = env.load_u64(leaf);
+                env.pm_assert(count <= LEAF_ITEMS, "leaf count corrupt");
+                for i in 0..count {
+                    let item = env.load_addr(Self::item_cell(leaf, i));
+                    let _ = env.load_u64(item); // btree_map.c:89
+                }
+                leaf = env.load_addr(leaf + 8);
+            }
+        }
+    }
+}
+
+/// Fault set for Figure 12 bug #1.
+pub fn bug1_faults() -> PmdkFaults {
+    PmdkFaults { map_fault: faults::ITEM_PTR_NOT_FLUSHED, ..PmdkFaults::default() }
+}
+
+/// Fault set for Figure 12 bug #2.
+pub fn bug2_faults() -> PmdkFaults {
+    PmdkFaults { pool: PoolFault::ChecksumNotFlushed, ..PmdkFaults::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmdk::test_support::{check_map, native_roundtrip};
+    use jaaru::BugKind;
+
+    #[test]
+    fn functional_roundtrip() {
+        native_roundtrip::<BtreeMap>(64);
+    }
+
+    #[test]
+    fn fixed_btree_is_crash_consistent() {
+        let report = check_map::<BtreeMap>(PmdkFaults::default(), 5);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unflushed_item_pointer_faults() {
+        let report = check_map::<BtreeMap>(bug1_faults(), 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+            "Btree bug 1 symptom is an illegal access: {report}"
+        );
+    }
+
+    #[test]
+    fn unflushed_pool_checksum_fails_open() {
+        let report = check_map::<BtreeMap>(bug2_faults(), 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.message.contains("Failed to open pool")),
+            "Btree bug 2 symptom is a failed pool open: {report}"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! `ctree_map`: the PMDK crit-bit tree example.
+//!
+//! A crit-bit tree stores keys in leaves; each internal node carries the
+//! index of the bit distinguishing its two subtrees, strictly
+//! decreasing along any root-to-leaf path. Inserts build the new
+//! leaf/internal pair privately and commit with a single parent-pointer
+//! swing.
+//!
+//! Figure 12 bug #4 ("Assertion failure at obj.c:1523") is an
+//! *atomicity violation*, not a missing flush: the buggy path publishes
+//! the parent pointer before the new internal node is persistent, so a
+//! crash exposes a half-initialized node and the crit-bit invariant
+//! check trips during recovery.
+//!
+//! Layout (tagged pointers, low bit 1 = leaf):
+//!
+//! ```text
+//! root object : { root: u64 }
+//! internal    : { bit: u64, child[2] }
+//! leaf        : { key, value }
+//! ```
+
+use jaaru::{PmAddr, PmEnv};
+
+use super::pmalloc;
+use super::pool::ObjPool;
+use super::PmdkFaults;
+
+/// Map-specific fault indices for [`PmdkFaults::map_fault`].
+pub mod faults {
+    /// Bug 4: publish the parent pointer before persisting the new
+    /// internal node (atomicity violation).
+    pub const PUBLISH_BEFORE_PERSIST: u8 = 1;
+}
+
+/// The PMDK ctree example map.
+#[derive(Clone, Copy, Debug)]
+pub struct CtreeMap {
+    root: PmAddr,
+    faults: PmdkFaults,
+}
+
+fn is_leaf(ptr: u64) -> bool {
+    ptr & 1 == 1
+}
+
+fn untag(ptr: u64) -> PmAddr {
+    PmAddr::from_bits(ptr & !1)
+}
+
+impl CtreeMap {
+    fn alloc_leaf(env: &dyn PmEnv, pool: &ObjPool, key: u64, value: u64) -> u64 {
+        let leaf = pmalloc::alloc_zeroed(env, pool, 16);
+        env.store_u64(leaf + 8, value);
+        env.store_u64(leaf, key);
+        env.clflush(leaf, 16);
+        env.sfence();
+        leaf.to_bits() | 1
+    }
+
+    /// Descends to the leaf a key would reach, remembering the cell the
+    /// divergence node must be swung into.
+    fn descend(&self, env: &dyn PmEnv, key: u64, stop_bit: Option<u32>) -> (PmAddr, u64) {
+        let mut cell = self.root;
+        let mut ptr = env.load_u64(cell);
+        while !is_leaf(ptr) {
+            let node = untag(ptr);
+            let bit = env.load_u64(node);
+            if let Some(stop) = stop_bit {
+                if bit < u64::from(stop) {
+                    break;
+                }
+            }
+            let side = (key >> bit) & 1;
+            cell = node + 8 + side * 8;
+            ptr = env.load_u64(cell);
+        }
+        (cell, ptr)
+    }
+}
+
+impl super::PmdkMap for CtreeMap {
+    const NAME: &'static str = "CTree";
+
+    fn create(env: &dyn PmEnv, pool: &ObjPool, faults: PmdkFaults) -> Self {
+        let root = pmalloc::alloc_zeroed(env, pool, 8);
+        env.clflush(root, 8);
+        env.sfence();
+        CtreeMap { root, faults }
+    }
+
+    fn open(_env: &dyn PmEnv, _pool: &ObjPool, root: PmAddr, faults: PmdkFaults) -> Self {
+        CtreeMap { root, faults }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn insert(&self, env: &dyn PmEnv, pool: &ObjPool, key: u64, value: u64) {
+        let rootptr = env.load_u64(self.root);
+        if rootptr == 0 {
+            let leaf = Self::alloc_leaf(env, pool, key, value);
+            env.store_u64(self.root, leaf);
+            env.persist(self.root, 8);
+            return;
+        }
+        // Find the colliding leaf and the critical bit.
+        let (_, ptr) = self.descend(env, key, None);
+        let existing = env.load_u64(untag(ptr));
+        if existing == key {
+            let leaf = untag(ptr);
+            env.store_u64(leaf + 8, value);
+            env.persist(leaf + 8, 8);
+            return;
+        }
+        let crit = 63 - (key ^ existing).leading_zeros();
+
+        // Re-descend, stopping where the new internal node belongs.
+        let (cell, displaced) = self.descend(env, key, Some(crit));
+        let new_leaf = Self::alloc_leaf(env, pool, key, value);
+        let node = pmalloc::alloc_zeroed(env, pool, 24);
+        env.store_u64(node, u64::from(crit));
+        let side = (key >> crit) & 1;
+        env.store_u64(node + 8 + side * 8, new_leaf);
+        env.store_u64(node + 8 + (1 - side) * 8, displaced);
+
+        if self.faults.map_fault == faults::PUBLISH_BEFORE_PERSIST {
+            // BUG (atomicity): the node becomes reachable before it is
+            // persistent.
+            env.store_addr(cell, node);
+            env.persist(cell, 8);
+            env.clflush(node, 24);
+            env.sfence();
+        } else {
+            env.clflush(node, 24);
+            env.sfence();
+            env.store_addr(cell, node);
+            env.persist(cell, 8);
+        }
+    }
+
+    fn get(&self, env: &dyn PmEnv, _pool: &ObjPool, key: u64) -> Option<u64> {
+        if env.load_u64(self.root) == 0 {
+            return None;
+        }
+        let (_, ptr) = self.descend(env, key, None);
+        let leaf = untag(ptr);
+        (env.load_u64(leaf) == key).then(|| env.load_u64(leaf + 8))
+    }
+
+    /// Recovery validation: crit bits strictly decrease along every
+    /// path (PMDK's object-store invariant check, obj.c:1523).
+    fn validate(&self, env: &dyn PmEnv, _pool: &ObjPool) {
+        fn walk(env: &dyn PmEnv, ptr: u64, bound: u64) {
+            if ptr == 0 || is_leaf(ptr) {
+                return;
+            }
+            let node = untag(ptr);
+            let bit = env.load_u64(node);
+            env.pm_assert(bit < bound, "crit-bit order violated (obj.c:1523)");
+            walk(env, env.load_u64(node + 8), bit);
+            walk(env, env.load_u64(node + 16), bit);
+        }
+        walk(env, env.load_u64(self.root), 64);
+    }
+}
+
+/// Fault set for Figure 12 bug #4.
+pub fn bug4_faults() -> PmdkFaults {
+    PmdkFaults { map_fault: faults::PUBLISH_BEFORE_PERSIST, ..PmdkFaults::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmdk::test_support::{check_map, native_roundtrip};
+
+    #[test]
+    fn functional_roundtrip() {
+        native_roundtrip::<CtreeMap>(64);
+    }
+
+    #[test]
+    fn fixed_ctree_is_crash_consistent() {
+        let report = check_map::<CtreeMap>(PmdkFaults::default(), 5);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn publish_before_persist_violates_invariant() {
+        let report = check_map::<CtreeMap>(bug4_faults(), 5);
+        assert!(!report.is_clean(), "CTree bug 4 (atomicity violation): {report}");
+    }
+}

@@ -1,0 +1,155 @@
+//! `hashmap_atomic`: the PMDK atomic-allocation hashmap example.
+//!
+//! Entries are allocated with `pmalloc` and linked into per-bucket
+//! chains with single 8-byte commit stores — no transactions. The map's
+//! own protocol is correct; the two Figure 12 bugs that surfaced
+//! through this example live in the allocator underneath
+//! (bug 3: "Assertion failure at heap.c:533", an unflushed block
+//! header; bug 5: "Assertion failure at pmalloc.c:270", an unflushed
+//! allocation cursor). Both are seeded via
+//! [`PmallocFault`].
+//!
+//! Layout:
+//!
+//! ```text
+//! root object : { buckets[8] }
+//! entry       : { key, value, next }
+//! ```
+
+use jaaru::{PmAddr, PmEnv};
+
+use super::pmalloc::{self, PmallocFault};
+use super::pool::ObjPool;
+use super::PmdkFaults;
+
+const BUCKETS: u64 = 8;
+
+/// The PMDK hashmap_atomic example map.
+#[derive(Clone, Copy, Debug)]
+pub struct HashmapAtomic {
+    root: PmAddr,
+}
+
+impl HashmapAtomic {
+    fn bucket_cell(&self, key: u64) -> PmAddr {
+        self.root + ((key ^ (key >> 29)) & (BUCKETS - 1)) * 8
+    }
+}
+
+impl super::PmdkMap for HashmapAtomic {
+    const NAME: &'static str = "Hashmap_atomic";
+
+    fn create(env: &dyn PmEnv, pool: &ObjPool, _faults: PmdkFaults) -> Self {
+        let root = pmalloc::alloc_zeroed(env, pool, BUCKETS * 8);
+        env.clflush(root, (BUCKETS * 8) as usize);
+        env.sfence();
+        HashmapAtomic { root }
+    }
+
+    fn open(_env: &dyn PmEnv, _pool: &ObjPool, root: PmAddr, _faults: PmdkFaults) -> Self {
+        HashmapAtomic { root }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn insert(&self, env: &dyn PmEnv, pool: &ObjPool, key: u64, value: u64) {
+        let cell = self.bucket_cell(key);
+        let mut entry = env.load_addr(cell);
+        while !entry.is_null() {
+            if env.load_u64(entry) == key {
+                env.store_u64(entry + 8, value);
+                env.persist(entry + 8, 8);
+                return;
+            }
+            entry = env.load_addr(entry + 16);
+        }
+        // Atomic-allocation pattern: persist the entry fully, then
+        // publish it with a single head-pointer store.
+        let head = env.load_addr(cell);
+        let fresh = pmalloc::alloc_zeroed(env, pool, 24);
+        env.store_u64(fresh + 8, value);
+        env.store_u64(fresh + 16, head.to_bits());
+        env.store_u64(fresh, key);
+        env.clflush(fresh, 24);
+        env.sfence();
+        env.store_addr(cell, fresh);
+        env.persist(cell, 8);
+    }
+
+    fn get(&self, env: &dyn PmEnv, _pool: &ObjPool, key: u64) -> Option<u64> {
+        let mut entry = env.load_addr(self.bucket_cell(key));
+        while !entry.is_null() {
+            if env.load_u64(entry) == key {
+                return Some(env.load_u64(entry + 8));
+            }
+            entry = env.load_addr(entry + 16);
+        }
+        None
+    }
+
+    /// Recovery validation: every chain terminates (the heap itself is
+    /// validated by `heap_check` during pool open).
+    fn validate(&self, env: &dyn PmEnv, _pool: &ObjPool) {
+        for b in 0..BUCKETS {
+            let mut entry = env.load_addr(self.root + b * 8);
+            while !entry.is_null() {
+                entry = env.load_addr(entry + 16);
+            }
+        }
+    }
+}
+
+/// Fault set for Figure 12 bug #3 (heap.c:533).
+pub fn bug3_faults() -> PmdkFaults {
+    PmdkFaults {
+        pmalloc: PmallocFault { skip_header_flush: true, skip_cursor_flush: false },
+        ..PmdkFaults::default()
+    }
+}
+
+/// Fault set for Figure 12 bug #5 (pmalloc.c:270).
+pub fn bug5_faults() -> PmdkFaults {
+    PmdkFaults {
+        pmalloc: PmallocFault { skip_header_flush: false, skip_cursor_flush: true },
+        ..PmdkFaults::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmdk::test_support::{check_map, native_roundtrip};
+
+    #[test]
+    fn functional_roundtrip() {
+        native_roundtrip::<HashmapAtomic>(64);
+    }
+
+    #[test]
+    fn fixed_hashmap_atomic_is_crash_consistent() {
+        let report = check_map::<HashmapAtomic>(PmdkFaults::default(), 5);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unflushed_block_header_trips_heap_walk() {
+        let report = check_map::<HashmapAtomic>(bug3_faults(), 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.message.contains("heap.c:533")),
+            "Hashmap_atomic bug 3 symptom: {report}"
+        );
+    }
+
+    #[test]
+    fn unflushed_cursor_trips_pmalloc_assert() {
+        let report = check_map::<HashmapAtomic>(bug5_faults(), 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.message.contains("pmalloc.c:270")),
+            "Hashmap_atomic bug 5 symptom: {report}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! `hashmap_tx`: the PMDK transactional hashmap example.
+//!
+//! Inserts run inside undo-log transactions covering the bucket head
+//! and the element counter. The map protocol is correct; Figure 12 bug
+//! #6 ("Illegal memory access at obj.c:1528") lives in the transaction
+//! machinery underneath — an unflushed undo-log entry makes recovery
+//! roll back through a torn entry — and is seeded via
+//! [`TxFault`].
+//!
+//! Layout:
+//!
+//! ```text
+//! root object : { count: u64, buckets[8] }
+//! entry       : { key, value, next }
+//! ```
+
+use jaaru::{PmAddr, PmEnv};
+
+use super::pmalloc;
+use super::pool::ObjPool;
+use super::tx::{Tx, TxFault};
+use super::PmdkFaults;
+
+const BUCKETS: u64 = 8;
+
+/// The PMDK hashmap_tx example map.
+#[derive(Clone, Copy, Debug)]
+pub struct HashmapTx {
+    root: PmAddr,
+}
+
+impl HashmapTx {
+    fn bucket_cell(&self, key: u64) -> PmAddr {
+        self.root + 8 + ((key ^ (key >> 31)) & (BUCKETS - 1)) * 8
+    }
+}
+
+impl super::PmdkMap for HashmapTx {
+    const NAME: &'static str = "Hashmap_tx";
+
+    fn create(env: &dyn PmEnv, pool: &ObjPool, _faults: PmdkFaults) -> Self {
+        let root = pmalloc::alloc_zeroed(env, pool, 8 + BUCKETS * 8);
+        env.clflush(root, (8 + BUCKETS * 8) as usize);
+        env.sfence();
+        HashmapTx { root }
+    }
+
+    fn open(_env: &dyn PmEnv, _pool: &ObjPool, root: PmAddr, _faults: PmdkFaults) -> Self {
+        HashmapTx { root }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn insert(&self, env: &dyn PmEnv, pool: &ObjPool, key: u64, value: u64) {
+        let cell = self.bucket_cell(key);
+        let mut entry = env.load_addr(cell);
+        while !entry.is_null() {
+            if env.load_u64(entry) == key {
+                env.store_u64(entry + 8, value);
+                env.persist(entry + 8, 8);
+                return;
+            }
+            entry = env.load_addr(entry + 16);
+        }
+        // Entry contents persist before the transaction links it.
+        let head = env.load_addr(cell);
+        let fresh = pmalloc::alloc_zeroed(env, pool, 24);
+        env.store_u64(fresh + 8, value);
+        env.store_u64(fresh + 16, head.to_bits());
+        env.store_u64(fresh, key);
+        env.clflush(fresh, 24);
+        env.sfence();
+
+        let tx = Tx::begin(env, pool);
+        tx.add_range(env, cell, 8);
+        tx.add_range(env, self.root, 8);
+        env.store_addr(cell, fresh);
+        let count = env.load_u64(self.root);
+        env.store_u64(self.root, count + 1);
+        tx.commit(env);
+    }
+
+    fn get(&self, env: &dyn PmEnv, _pool: &ObjPool, key: u64) -> Option<u64> {
+        let mut entry = env.load_addr(self.bucket_cell(key));
+        while !entry.is_null() {
+            if env.load_u64(entry) == key {
+                return Some(env.load_u64(entry + 8));
+            }
+            entry = env.load_addr(entry + 16);
+        }
+        None
+    }
+
+    /// Recovery validation: the counter equals the total chain length
+    /// and chains terminate.
+    fn validate(&self, env: &dyn PmEnv, _pool: &ObjPool) {
+        let mut total = 0u64;
+        for b in 0..BUCKETS {
+            let mut entry = env.load_addr(self.root + 8 + b * 8);
+            while !entry.is_null() {
+                total += 1;
+                env.pm_assert(total <= 1_000_000, "chain cycle");
+                entry = env.load_addr(entry + 16);
+            }
+        }
+        env.pm_assert(
+            env.load_u64(self.root) == total,
+            "element counter disagrees with chains (obj.c:1528)",
+        );
+    }
+}
+
+/// Fault set for Figure 12 bug #6.
+pub fn bug6_faults() -> PmdkFaults {
+    PmdkFaults { tx: TxFault::LogEntryNotFlushed, ..PmdkFaults::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmdk::test_support::{check_map, native_roundtrip};
+
+    #[test]
+    fn functional_roundtrip() {
+        native_roundtrip::<HashmapTx>(64);
+    }
+
+    #[test]
+    fn fixed_hashmap_tx_is_crash_consistent() {
+        let report = check_map::<HashmapTx>(PmdkFaults::default(), 4);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unflushed_log_entry_corrupts_rollback() {
+        let report = check_map::<HashmapTx>(bug6_faults(), 4);
+        assert!(!report.is_clean(), "Hashmap_tx bug 6 (torn undo log): {report}");
+    }
+}

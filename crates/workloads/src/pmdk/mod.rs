@@ -1,0 +1,185 @@
+//! A miniature PMDK (`libpmemobj`): the substrate under the paper's
+//! Figure 12 benchmarks.
+//!
+//! PMDK is the Persistent Memory Development Kit; its `libpmemobj`
+//! library provides pools with validated headers, a persistent heap
+//! allocator, and undo-log transactions. The paper found 7 bugs running
+//! PMDK's example maps under Jaaru — most in the core library
+//! (`obj.c` / `heap.c` / `pmalloc.c` / `tx.c`), surfaced through the
+//! example data structures. This module rebuilds that stack:
+//!
+//! * [`pool`] — pool header with checksum validation (`pmemobj_create`
+//!   / `pmemobj_open`), root object, durable operation counter,
+//! * [`pmalloc`] — persistent heap with per-block headers and a
+//!   recovery-time heap walk (`heap_check`),
+//! * [`tx`] — undo-log transactions with rollback on recovery,
+//! * five example maps: [`btree_map`], [`ctree_map`], [`rbtree_map`],
+//!   [`hashmap_atomic`], [`hashmap_tx`],
+//! * [`MapWorkload`] — the shared crash-consistency driver.
+//!
+//! Each of the paper's 7 PMDK bugs (Figure 12/16) is seeded as a fault
+//! toggle on the corresponding layer.
+
+pub mod btree_map;
+pub mod ctree_map;
+pub mod hashmap_atomic;
+pub mod hashmap_tx;
+pub mod pmalloc;
+pub mod rbtree_map;
+pub mod pool;
+pub mod tx;
+
+use jaaru::{PmAddr, PmEnv, Program};
+
+use crate::util::{gen_keys, value_of};
+use pmalloc::PmallocFault;
+use pool::PoolFault;
+use tx::TxFault;
+
+pub use pool::ObjPool;
+
+/// Fault toggles across the whole mini-PMDK stack plus the map under
+/// test. One `PmdkFaults` value describes one row of Figure 12.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PmdkFaults {
+    /// Pool-header fault (bug 2: "Failed to open pool error").
+    pub pool: PoolFault,
+    /// Allocator faults (bugs 3 and 5: heap.c / pmalloc.c assertions).
+    pub pmalloc: PmallocFault,
+    /// Transaction fault (bug 6: illegal access during rollback).
+    pub tx: TxFault,
+    /// Map-specific fault index (0 = fixed; meaning defined per map).
+    pub map_fault: u8,
+}
+
+/// A PMDK example map checked by [`MapWorkload`].
+pub trait PmdkMap: Sized {
+    /// Display name (matches Figure 12's benchmark column).
+    const NAME: &'static str;
+
+    /// Creates the map's root object in a fresh pool.
+    fn create(env: &dyn PmEnv, pool: &ObjPool, faults: PmdkFaults) -> Self;
+
+    /// Re-attaches to the root object persisted by a prior execution.
+    fn open(env: &dyn PmEnv, pool: &ObjPool, root: PmAddr, faults: PmdkFaults) -> Self;
+
+    /// The map's root object address.
+    fn root(&self) -> PmAddr;
+
+    /// Durable insert (keys non-zero).
+    fn insert(&self, env: &dyn PmEnv, pool: &ObjPool, key: u64, value: u64);
+
+    /// Point lookup.
+    fn get(&self, env: &dyn PmEnv, pool: &ObjPool, key: u64) -> Option<u64>;
+
+    /// Structure-specific recovery validation.
+    fn validate(&self, _env: &dyn PmEnv, _pool: &ObjPool) {}
+}
+
+/// The shared crash-consistency workload over a [`PmdkMap`], mirroring
+/// the PMDK examples the paper drives ("the examples merely have served
+/// as test cases for the library").
+pub struct MapWorkload<M: PmdkMap> {
+    faults: PmdkFaults,
+    keys: Vec<u64>,
+    name: String,
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M: PmdkMap> MapWorkload<M> {
+    /// A workload inserting `n` deterministic keys under `faults`.
+    pub fn new(faults: PmdkFaults, n: usize) -> Self {
+        MapWorkload {
+            faults,
+            keys: gen_keys(0x9d1c ^ n as u64, n),
+            name: format!("{}-{n}", M::NAME),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The fixed configuration.
+    pub fn fixed(n: usize) -> Self {
+        Self::new(PmdkFaults::default(), n)
+    }
+}
+
+impl<M: PmdkMap> Program for MapWorkload<M> {
+    fn run(&self, env: &dyn PmEnv) {
+        // Comparator-tool annotation (no-op under the model checker).
+        env.annotate_commit_var(env.root() + 16, 8);
+        // pmemobj_open: validates the header, runs transaction recovery
+        // and the heap walk; creates the pool when the header is absent.
+        let (pool, map) = match ObjPool::open(env, self.faults) {
+            Some(pool) => {
+                let root = pool.root_object(env);
+                let map = M::open(env, &pool, root, self.faults);
+                (pool, map)
+            }
+            None => {
+                let pool = ObjPool::create(env, self.faults);
+                let map = M::create(env, &pool, self.faults);
+                pool.set_root_object(env, map.root());
+                pool.seal(env);
+                (pool, map)
+            }
+        };
+
+        map.validate(env, &pool);
+
+        let committed = pool.committed(env);
+        env.pm_assert(committed <= self.keys.len() as u64, "commit counter corrupt");
+        for &key in &self.keys[..committed as usize] {
+            match map.get(env, &pool, key) {
+                Some(v) => env.pm_assert(v == value_of(key), "committed key has wrong value"),
+                None => env.bug("durably committed key lost"),
+            }
+        }
+        for (i, &key) in self.keys.iter().enumerate().skip(committed as usize) {
+            match map.get(env, &pool, key) {
+                Some(v) => env.pm_assert(v == value_of(key), "key present with wrong value"),
+                None => map.insert(env, &pool, key, value_of(key)),
+            }
+            pool.set_committed(env, i as u64 + 1);
+        }
+        for &key in &self.keys {
+            env.pm_assert(map.get(env, &pool, key) == Some(value_of(key)), "key lost at end");
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use jaaru::{CheckReport, Config, ModelChecker, NativeEnv};
+
+    /// Functional smoke test under the native environment.
+    pub fn native_roundtrip<M: PmdkMap>(n: usize) {
+        let env = NativeEnv::new(1 << 20);
+        let pool = ObjPool::create(&env, PmdkFaults::default());
+        let map = M::create(&env, &pool, PmdkFaults::default());
+        pool.set_root_object(&env, map.root());
+        pool.seal(&env);
+        let keys = gen_keys(7, n);
+        for &k in &keys {
+            assert_eq!(map.get(&env, &pool, k), None);
+            map.insert(&env, &pool, k, value_of(k));
+            assert_eq!(map.get(&env, &pool, k), Some(value_of(k)), "insert-then-get");
+        }
+        for &k in &keys {
+            assert_eq!(map.get(&env, &pool, k), Some(value_of(k)));
+        }
+        map.insert(&env, &pool, keys[0], 31337);
+        assert_eq!(map.get(&env, &pool, keys[0]), Some(31337));
+    }
+
+    /// Model checks a map workload and returns the report.
+    pub fn check_map<M: PmdkMap>(faults: PmdkFaults, n: usize) -> CheckReport {
+        let mut config = Config::new();
+        config.pool_size(1 << 18).max_scenarios(2_000).max_ops_per_execution(20_000);
+        ModelChecker::new(config).check(&MapWorkload::<M>::new(faults, n))
+    }
+}

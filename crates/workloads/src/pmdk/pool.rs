@@ -1,0 +1,211 @@
+//! Pool management: `pmemobj_create` / `pmemobj_open`.
+//!
+//! A pool begins with a validated header. Creation initializes the
+//! allocator and transaction regions, persists a header checksum, and
+//! finally persists the magic — the magic is the pool-level commit
+//! store. Opening validates magic and checksum ("Failed to open pool
+//! error" when the checksum does not match, the paper's Btree bug #2),
+//! then runs transaction recovery and the allocator's heap walk.
+//!
+//! Layout:
+//!
+//! ```text
+//! +0    magic      (u64)   line 1
+//! +8    root ptr   (u64)
+//! +16   committed  (u64)   driver's durable operation counter
+//! +64   checksum   (u64)   line 2 (separate so the magic flush cannot
+//!                          mask a missing checksum flush)
+//! +128  heap cursor (u64)  line 3 (see `pmalloc`)
+//! +192  tx log            (see `tx`)
+//! +768  heap blocks...
+//! ```
+
+use jaaru::{PmAddr, PmEnv};
+
+use super::pmalloc::{self};
+use super::tx;
+use super::PmdkFaults;
+
+const MAGIC: u64 = 0x706d_656d_6f62_6a21; // "pmemobj!"
+
+pub(crate) const OFF_MAGIC: u64 = 0;
+pub(crate) const OFF_ROOT: u64 = 8;
+pub(crate) const OFF_COMMITTED: u64 = 16;
+pub(crate) const OFF_CHECKSUM: u64 = 64;
+pub(crate) const OFF_HEAP_CURSOR: u64 = 128;
+pub(crate) const OFF_TX: u64 = 192;
+pub(crate) const OFF_HEAP_BASE: u64 = 768;
+
+/// Pool-header fault toggles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PoolFault {
+    /// Fixed configuration.
+    #[default]
+    None,
+    /// Bug 2 ("Failed to open pool error"): the header checksum is not
+    /// flushed before the magic is persisted; a crash can leave a pool
+    /// whose magic is valid but whose checksum is not.
+    ChecksumNotFlushed,
+}
+
+/// Handle to an open pool. The base address is the environment root.
+#[derive(Clone, Copy, Debug)]
+pub struct ObjPool {
+    base: PmAddr,
+    faults: PmdkFaults,
+}
+
+impl ObjPool {
+    fn header_checksum() -> u64 {
+        // Covers the header constants (layout version, magic); mutable
+        // fields are excluded, as in PMDK's `util_checksum` over the
+        // immutable header portion.
+        MAGIC.rotate_left(7) ^ 0x5151_5151_5151_5151
+    }
+
+    /// `pmemobj_create`: initializes a fresh pool. The caller stores the
+    /// root object and then calls [`ObjPool::seal`].
+    pub fn create(env: &dyn PmEnv, faults: PmdkFaults) -> ObjPool {
+        let base = env.root();
+        let pool = ObjPool { base, faults };
+        pmalloc::init(env, &pool);
+        tx::init(env, &pool);
+        pool
+    }
+
+    /// Persists the checksum and magic, making the pool openable. Called
+    /// after the root object is in place.
+    pub fn seal(&self, env: &dyn PmEnv) {
+        let sum = Self::header_checksum();
+        env.store_u64(self.base + OFF_CHECKSUM, sum);
+        if self.faults.pool != PoolFault::ChecksumNotFlushed {
+            env.persist(self.base + OFF_CHECKSUM, 8);
+        }
+        env.store_u64(self.base + OFF_MAGIC, MAGIC);
+        env.persist(self.base + OFF_MAGIC, 8);
+    }
+
+    /// `pmemobj_open`: returns `None` for a virgin pool (no magic);
+    /// reports "Failed to open pool" for a sealed pool with a bad
+    /// checksum; otherwise runs transaction recovery and the heap walk.
+    pub fn open(env: &dyn PmEnv, faults: PmdkFaults) -> Option<ObjPool> {
+        let base = env.root();
+        if env.load_u64(base + OFF_MAGIC) != MAGIC {
+            return None;
+        }
+        let pool = ObjPool { base, faults };
+        let sum = env.load_u64(base + OFF_CHECKSUM);
+        if sum != Self::header_checksum() {
+            env.bug("Failed to open pool: header checksum mismatch");
+        }
+        tx::recover(env, &pool);
+        pmalloc::heap_check(env, &pool);
+        Some(pool)
+    }
+
+    /// Pool base address.
+    pub fn base(&self) -> PmAddr {
+        self.base
+    }
+
+    /// The active fault configuration.
+    pub fn faults(&self) -> PmdkFaults {
+        self.faults
+    }
+
+    /// The root object pointer.
+    pub fn root_object(&self, env: &dyn PmEnv) -> PmAddr {
+        env.load_addr(self.base + OFF_ROOT)
+    }
+
+    /// Stores (and persists) the root object pointer.
+    pub fn set_root_object(&self, env: &dyn PmEnv, root: PmAddr) {
+        env.store_addr(self.base + OFF_ROOT, root);
+        env.persist(self.base + OFF_ROOT, 8);
+    }
+
+    /// The driver's durable operation counter.
+    pub fn committed(&self, env: &dyn PmEnv) -> u64 {
+        env.load_u64(self.base + OFF_COMMITTED)
+    }
+
+    /// Durably advances the operation counter.
+    pub fn set_committed(&self, env: &dyn PmEnv, n: u64) {
+        env.store_u64(self.base + OFF_COMMITTED, n);
+        env.persist(self.base + OFF_COMMITTED, 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaaru::{Config, ModelChecker, NativeEnv};
+
+    #[test]
+    fn create_seal_open_roundtrip() {
+        let env = NativeEnv::new(1 << 16);
+        let pool = ObjPool::create(&env, PmdkFaults::default());
+        pool.set_root_object(&env, PmAddr::new(0x1000));
+        pool.seal(&env);
+        let again = ObjPool::open(&env, PmdkFaults::default()).expect("sealed pool opens");
+        assert_eq!(again.root_object(&env), PmAddr::new(0x1000));
+        assert_eq!(again.committed(&env), 0);
+    }
+
+    #[test]
+    fn virgin_pool_does_not_open() {
+        let env = NativeEnv::new(1 << 16);
+        assert!(ObjPool::open(&env, PmdkFaults::default()).is_none());
+    }
+
+    #[test]
+    fn committed_counter_roundtrip() {
+        let env = NativeEnv::new(1 << 16);
+        let pool = ObjPool::create(&env, PmdkFaults::default());
+        pool.set_committed(&env, 9);
+        assert_eq!(pool.committed(&env), 9);
+    }
+
+    #[test]
+    fn unflushed_checksum_fails_open_under_checker() {
+        // Bug 2: crash between magic persist and (never issued) checksum
+        // flush → recovery cannot open the pool.
+        let faults = PmdkFaults {
+            pool: PoolFault::ChecksumNotFlushed,
+            ..PmdkFaults::default()
+        };
+        let program = move |env: &dyn jaaru::PmEnv| {
+            match ObjPool::open(env, faults) {
+                Some(_) => {}
+                None => {
+                    let pool = ObjPool::create(env, faults);
+                    pool.set_root_object(env, PmAddr::new(0x1000));
+                    pool.seal(env);
+                }
+            }
+        };
+        let mut config = Config::new();
+        config.pool_size(1 << 16);
+        let report = ModelChecker::new(config).check(&program);
+        assert!(!report.is_clean(), "{report}");
+        assert!(report.bugs[0].message.contains("Failed to open pool"), "{report}");
+    }
+
+    #[test]
+    fn fixed_seal_is_crash_consistent() {
+        let program = |env: &dyn jaaru::PmEnv| {
+            match ObjPool::open(env, PmdkFaults::default()) {
+                Some(_) => {}
+                None => {
+                    let pool = ObjPool::create(env, PmdkFaults::default());
+                    pool.set_root_object(env, PmAddr::new(0x1000));
+                    pool.seal(env);
+                }
+            }
+        };
+        let mut config = Config::new();
+        config.pool_size(1 << 16);
+        let report = ModelChecker::new(config).check(&program);
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -1,0 +1,179 @@
+//! `rbtree_map`: the PMDK red-black tree example (simplified: node
+//! colors are stored and toggled but rebalancing rotations are elided —
+//! the paper's bug lives in the transactional update protocol, not in
+//! the balancing arithmetic).
+//!
+//! Every insert runs inside an undo-log transaction covering the two
+//! locations it mutates: the parent's child pointer and the tree's node
+//! counter. Figure 12 bug #7 (Figure 16: "Assertion failure at
+//! tx.c:1678") is a missed `tx_add_range`: the counter is updated
+//! outside the transaction, so a rolled-back insert leaves the counter
+//! disagreeing with the tree.
+//!
+//! Layout:
+//!
+//! ```text
+//! root object : { root: u64, count: u64 }
+//! node        : { key, value, left, right, color }
+//! ```
+
+use jaaru::{PmAddr, PmEnv};
+
+use super::pmalloc;
+use super::pool::ObjPool;
+use super::tx::Tx;
+use super::PmdkFaults;
+
+const NODE_SIZE: u64 = 40;
+
+/// Map-specific fault indices for [`PmdkFaults::map_fault`].
+pub mod faults {
+    /// Bug 7: the node counter is updated outside the transaction.
+    pub const COUNTER_OUTSIDE_TX: u8 = 1;
+}
+
+/// The PMDK rbtree example map.
+#[derive(Clone, Copy, Debug)]
+pub struct RbtreeMap {
+    root: PmAddr,
+    faults: PmdkFaults,
+}
+
+impl RbtreeMap {
+    fn count_cell(&self) -> PmAddr {
+        self.root + 8
+    }
+
+    /// Finds the cell that holds (or would hold) the link to `key`.
+    fn find_cell(&self, env: &dyn PmEnv, key: u64) -> PmAddr {
+        let mut cell = self.root;
+        loop {
+            let node = env.load_addr(cell);
+            if node.is_null() {
+                return cell;
+            }
+            let k = env.load_u64(node);
+            if k == key {
+                return cell;
+            }
+            cell = if key < k { node + 16 } else { node + 24 };
+        }
+    }
+
+    fn subtree_size(env: &dyn PmEnv, node: PmAddr) -> u64 {
+        if node.is_null() {
+            return 0;
+        }
+        1 + Self::subtree_size(env, env.load_addr(node + 16))
+            + Self::subtree_size(env, env.load_addr(node + 24))
+    }
+}
+
+impl super::PmdkMap for RbtreeMap {
+    const NAME: &'static str = "RBTree";
+
+    fn create(env: &dyn PmEnv, pool: &ObjPool, faults: PmdkFaults) -> Self {
+        let root = pmalloc::alloc_zeroed(env, pool, 16);
+        env.clflush(root, 16);
+        env.sfence();
+        RbtreeMap { root, faults }
+    }
+
+    fn open(_env: &dyn PmEnv, _pool: &ObjPool, root: PmAddr, faults: PmdkFaults) -> Self {
+        RbtreeMap { root, faults }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn insert(&self, env: &dyn PmEnv, pool: &ObjPool, key: u64, value: u64) {
+        let cell = self.find_cell(env, key);
+        let existing = env.load_addr(cell);
+        if !existing.is_null() {
+            env.store_u64(existing + 8, value);
+            env.persist(existing + 8, 8);
+            return;
+        }
+        // Build the node privately (red, like a fresh RB insert).
+        let node = pmalloc::alloc_zeroed(env, pool, NODE_SIZE);
+        env.store_u64(node + 8, value);
+        env.store_u64(node + 32, 1); // color = red
+        env.store_u64(node, key);
+        env.clflush(node, NODE_SIZE as usize);
+        env.sfence();
+
+        // Transaction: link + counter must move together.
+        let tx = Tx::begin(env, pool);
+        tx.add_range(env, cell, 8);
+        env.store_addr(cell, node);
+        let count = env.load_u64(self.count_cell());
+        if self.faults.map_fault == faults::COUNTER_OUTSIDE_TX {
+            // BUG: the counter mutation is not logged; a rollback
+            // restores the link but keeps the bumped counter.
+            env.store_u64(self.count_cell(), count + 1);
+        } else {
+            tx.add_range(env, self.count_cell(), 8);
+            env.store_u64(self.count_cell(), count + 1);
+        }
+        tx.commit(env);
+    }
+
+    fn get(&self, env: &dyn PmEnv, _pool: &ObjPool, key: u64) -> Option<u64> {
+        let cell = self.find_cell(env, key);
+        let node = env.load_addr(cell);
+        (!node.is_null()).then(|| env.load_u64(node + 8))
+    }
+
+    /// Recovery validation: the persisted counter must equal the tree's
+    /// actual size (tx.c:1678-style post-recovery consistency assert),
+    /// and BST ordering must hold.
+    fn validate(&self, env: &dyn PmEnv, _pool: &ObjPool) {
+        let size = Self::subtree_size(env, env.load_addr(self.root));
+        let count = env.load_u64(self.count_cell());
+        env.pm_assert(size == count, "node counter disagrees with tree (tx.c:1678)");
+
+        fn check_order(env: &dyn PmEnv, node: PmAddr, lo: u64, hi: u64) {
+            if node.is_null() {
+                return;
+            }
+            let k = env.load_u64(node);
+            env.pm_assert(lo < k && k <= hi, "BST order violated (rbtree_map.c:137)");
+            check_order(env, env.load_addr(node + 16), lo, k - 1);
+            check_order(env, env.load_addr(node + 24), k, hi);
+        }
+        check_order(env, env.load_addr(self.root), 0, u64::MAX);
+    }
+}
+
+/// Fault set for Figure 12 bug #7.
+pub fn bug7_faults() -> PmdkFaults {
+    PmdkFaults { map_fault: faults::COUNTER_OUTSIDE_TX, ..PmdkFaults::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmdk::test_support::{check_map, native_roundtrip};
+
+    #[test]
+    fn functional_roundtrip() {
+        native_roundtrip::<RbtreeMap>(64);
+    }
+
+    #[test]
+    fn fixed_rbtree_is_crash_consistent() {
+        let report = check_map::<RbtreeMap>(PmdkFaults::default(), 4);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn counter_outside_tx_breaks_rollback() {
+        let report = check_map::<RbtreeMap>(bug7_faults(), 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.message.contains("tx.c:1678")),
+            "RBTree bug 7 symptom is the recovery consistency assert: {report}"
+        );
+    }
+}

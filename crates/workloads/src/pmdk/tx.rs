@@ -1,0 +1,255 @@
+//! Undo-log transactions (`tx.c`).
+//!
+//! A transaction snapshots each range it is about to modify into a
+//! persistent undo log (`tx_add_range`), lets the caller modify the
+//! ranges in place, and on commit flushes the modified ranges and
+//! truncates the log. Recovery at pool open rolls back any transaction
+//! that did not reach the committed stage by restoring the snapshots.
+//!
+//! The log-entry persist ordering is the crux: an entry must be fully
+//! persistent *before* the entry count admits it, otherwise recovery
+//! can "restore" garbage over live data — the paper's Hashmap_tx bug
+//! (Figure 12 #6, "illegal memory access at obj.c:1528") is exactly a
+//! rollback walking corrupt log state.
+//!
+//! Log layout (at pool offset `OFF_TX`):
+//!
+//! ```text
+//! +0    stage     (u64: 0 = none, 1 = work, 2 = committed)
+//! +8    n_entries (u64)
+//! +64   entries[4], each 128 B: { addr, len, data[112] }
+//! ```
+
+use jaaru::{PmAddr, PmEnv};
+
+use super::pool::{ObjPool, OFF_TX};
+
+const STAGE_NONE: u64 = 0;
+const STAGE_WORK: u64 = 1;
+const STAGE_COMMITTED: u64 = 2;
+const MAX_ENTRIES: u64 = 4;
+const ENTRY_SIZE: u64 = 128;
+const ENTRY_DATA: u64 = 112;
+const OFF_ENTRIES: u64 = 64;
+
+/// Transaction fault toggles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TxFault {
+    /// Fixed configuration.
+    #[default]
+    None,
+    /// Bug 6: log entries are not flushed before the entry count is
+    /// persisted; recovery can roll back from a torn log entry, writing
+    /// stale bytes through a garbage address/length.
+    LogEntryNotFlushed,
+}
+
+fn stage_cell(pool: &ObjPool) -> PmAddr {
+    pool.base() + OFF_TX
+}
+
+fn count_cell(pool: &ObjPool) -> PmAddr {
+    pool.base() + OFF_TX + 8
+}
+
+fn entry_cell(pool: &ObjPool, i: u64) -> PmAddr {
+    pool.base() + OFF_TX + OFF_ENTRIES + i * ENTRY_SIZE
+}
+
+/// Initializes the log region in a fresh pool.
+pub fn init(env: &dyn PmEnv, pool: &ObjPool) {
+    env.store_u64(stage_cell(pool), STAGE_NONE);
+    env.store_u64(count_cell(pool), 0);
+    env.persist(stage_cell(pool), 16);
+}
+
+/// An active transaction. PMDK nests these via `TX_BEGIN` blocks; the
+/// reproduction uses explicit begin/commit calls.
+#[derive(Debug)]
+pub struct Tx<'p> {
+    pool: &'p ObjPool,
+}
+
+impl<'p> Tx<'p> {
+    /// `tx_begin`: enters the WORK stage.
+    pub fn begin(env: &dyn PmEnv, pool: &'p ObjPool) -> Tx<'p> {
+        env.pm_assert(
+            env.load_u64(stage_cell(pool)) == STAGE_NONE,
+            "nested transactions are not supported",
+        );
+        env.store_u64(count_cell(pool), 0);
+        env.store_u64(stage_cell(pool), STAGE_WORK);
+        env.persist(stage_cell(pool), 16);
+        Tx { pool }
+    }
+
+    /// `tx_add_range`: snapshots `[addr, addr+len)` into the undo log
+    /// before the caller modifies it.
+    pub fn add_range(&self, env: &dyn PmEnv, addr: PmAddr, len: usize) {
+        env.pm_assert(len as u64 <= ENTRY_DATA, "tx range larger than a log entry");
+        let n = env.load_u64(count_cell(self.pool));
+        env.pm_assert(n < MAX_ENTRIES, "undo log full");
+        let entry = entry_cell(self.pool, n);
+        let mut data = vec![0u8; len];
+        env.load_bytes(addr, &mut data);
+        env.store_bytes(entry + 16, &data);
+        env.store_u64(entry + 8, len as u64);
+        env.store_u64(entry, addr.to_bits());
+        if self.pool.faults().tx != TxFault::LogEntryNotFlushed {
+            env.persist(entry, 16 + len);
+        }
+        env.store_u64(count_cell(self.pool), n + 1);
+        env.persist(count_cell(self.pool), 8);
+    }
+
+    /// `tx_commit`: flushes every snapshotted range's current contents,
+    /// marks the transaction committed, then truncates the log.
+    pub fn commit(self, env: &dyn PmEnv) {
+        let n = env.load_u64(count_cell(self.pool));
+        for i in 0..n {
+            let entry = entry_cell(self.pool, i);
+            let addr = env.load_addr(entry);
+            let len = env.load_u64(entry + 8) as usize;
+            env.clflush(addr, len);
+        }
+        env.sfence();
+        env.store_u64(stage_cell(self.pool), STAGE_COMMITTED);
+        env.persist(stage_cell(self.pool), 8);
+        // Truncate.
+        env.store_u64(count_cell(self.pool), 0);
+        env.store_u64(stage_cell(self.pool), STAGE_NONE);
+        env.persist(stage_cell(self.pool), 16);
+    }
+}
+
+/// Transaction recovery at pool open: roll back an in-flight WORK
+/// transaction from the undo log; a COMMITTED transaction only needs
+/// its truncation completed.
+pub fn recover(env: &dyn PmEnv, pool: &ObjPool) {
+    match env.load_u64(stage_cell(pool)) {
+        STAGE_WORK => {
+            let n = env.load_u64(count_cell(pool));
+            // Restore newest-first, mirroring PMDK's ulog walk.
+            for i in (0..n).rev() {
+                let entry = entry_cell(pool, i);
+                let addr = env.load_addr(entry);
+                let len = (env.load_u64(entry + 8) as usize).min(ENTRY_DATA as usize);
+                if len == 0 {
+                    continue;
+                }
+                let mut data = vec![0u8; len];
+                env.load_bytes(entry + 16, &mut data);
+                // The restore write trusts the logged address — a torn
+                // log entry sends it into the null page (obj.c:1528).
+                env.store_bytes(addr, &data);
+                env.clflush(addr, data.len());
+            }
+            env.sfence();
+            env.store_u64(count_cell(pool), 0);
+            env.store_u64(stage_cell(pool), STAGE_NONE);
+            env.persist(stage_cell(pool), 16);
+        }
+        STAGE_COMMITTED => {
+            env.store_u64(count_cell(pool), 0);
+            env.store_u64(stage_cell(pool), STAGE_NONE);
+            env.persist(stage_cell(pool), 16);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmdk::pmalloc;
+    use crate::pmdk::PmdkFaults;
+    use jaaru::{Config, ModelChecker, NativeEnv};
+
+    #[test]
+    fn tx_commit_applies_changes() {
+        let env = NativeEnv::new(1 << 16);
+        let pool = ObjPool::create(&env, PmdkFaults::default());
+        let cell = pmalloc::alloc_zeroed(&env, &pool, 16);
+        env.store_u64(cell, 1);
+
+        let tx = Tx::begin(&env, &pool);
+        tx.add_range(&env, cell, 8);
+        env.store_u64(cell, 2);
+        tx.commit(&env);
+        assert_eq!(env.load_u64(cell), 2);
+    }
+
+    #[test]
+    fn recovery_rolls_back_uncommitted_work() {
+        let env = NativeEnv::new(1 << 16);
+        let pool = ObjPool::create(&env, PmdkFaults::default());
+        let cell = pmalloc::alloc_zeroed(&env, &pool, 16);
+        env.store_u64(cell, 1);
+
+        let tx = Tx::begin(&env, &pool);
+        tx.add_range(&env, cell, 8);
+        env.store_u64(cell, 2);
+        drop(tx); // no commit: simulate reaching recovery in WORK stage
+        recover(&env, &pool);
+        assert_eq!(env.load_u64(cell), 1, "rollback restores the snapshot");
+        assert_eq!(env.load_u64(stage_cell(&pool)), STAGE_NONE);
+    }
+
+    #[test]
+    fn recovery_is_a_noop_after_commit() {
+        let env = NativeEnv::new(1 << 16);
+        let pool = ObjPool::create(&env, PmdkFaults::default());
+        let cell = pmalloc::alloc_zeroed(&env, &pool, 16);
+        let tx = Tx::begin(&env, &pool);
+        tx.add_range(&env, cell, 8);
+        env.store_u64(cell, 5);
+        tx.commit(&env);
+        recover(&env, &pool);
+        assert_eq!(env.load_u64(cell), 5);
+    }
+
+    /// A transactional counter program: crash anywhere, recovery must
+    /// see either the old or the new value, never a torn intermediate.
+    fn tx_counter_program(faults: PmdkFaults) -> impl jaaru::Program {
+        move |env: &dyn jaaru::PmEnv| {
+            match ObjPool::open(env, faults) {
+                Some(pool) => {
+                    let cell = pool.root_object(env);
+                    let v = env.load_u64(cell);
+                    let w = env.load_u64(cell + 8);
+                    env.pm_assert(v == w, "tx atomicity violated: halves differ");
+                    env.pm_assert(v == 0 || v == 7, "tx produced a torn value");
+                }
+                None => {
+                    let pool = ObjPool::create(env, faults);
+                    let cell = pmalloc::alloc_zeroed(env, &pool, 16);
+                    pool.set_root_object(env, cell);
+                    pool.seal(env);
+                    // Atomically set both halves to 7.
+                    let tx = Tx::begin(env, &pool);
+                    tx.add_range(env, cell, 16);
+                    env.store_u64(cell, 7);
+                    env.store_u64(cell + 8, 7);
+                    tx.commit(env);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_tx_is_failure_atomic() {
+        let mut config = Config::new();
+        config.pool_size(1 << 16);
+        let report = ModelChecker::new(config).check(&tx_counter_program(PmdkFaults::default()));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unflushed_log_entry_breaks_recovery() {
+        let faults = PmdkFaults { tx: TxFault::LogEntryNotFlushed, ..PmdkFaults::default() };
+        let mut config = Config::new();
+        config.pool_size(1 << 16);
+        let report = ModelChecker::new(config).check(&tx_counter_program(faults));
+        assert!(!report.is_clean(), "bug 6 must surface: {report}");
+    }
+}

@@ -1,0 +1,383 @@
+//! FAST&FAIR B+-tree (Hwang et al., FAST '18), as used by RECIPE.
+//!
+//! FAST (failure-atomic shift) inserts into sorted node arrays with
+//! 8-byte atomic stores ordered so that every crash state is tolerable:
+//! transient duplicate entries are resolved by a *rightmost-wins* scan.
+//! FAIR (failure-atomic in-place rebalance) links siblings B-link style:
+//! the persisted sibling pointer commits a split before the parent is
+//! updated, and lookups chase siblings when a key lies beyond a node's
+//! range.
+//!
+//! Node layout (16-byte entries, four per node — one cache line):
+//!
+//! ```text
+//! +0   is_leaf  (u64)
+//! +8   sibling  (u64)  — right sibling (B-link)
+//! +16  leftmost (u64)  — inner: child for keys below entries[0].key
+//! +24  low_key  (u64)  — smallest key this node may hold (chase bound)
+//! +64  entries  [(key, value-or-child); 4]
+//! ```
+//!
+//! Seeded faults reproduce Figure 13 bugs #4–6 (all "segmentation
+//! fault" in Figure 15).
+
+use jaaru::{PmAddr, PmEnv};
+
+use crate::alloc::PBump;
+use crate::recipe::PmIndex;
+
+const CAP: u64 = 4;
+const HDR: u64 = 64;
+const NODE_SIZE: u64 = HDR + CAP * 16;
+const MID: u64 = CAP / 2;
+
+/// Seeded FAST&FAIR faults (Figure 13, bugs 4–6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FastFairFault {
+    /// Fixed configuration.
+    #[default]
+    None,
+    /// Bug 4: node headers are not flushed when nodes are constructed.
+    /// Recovery can read `is_leaf = 0` for a leaf and descend through a
+    /// null `leftmost` pointer.
+    HeaderCtorNotFlushed,
+    /// Bug 5: the entries of freshly built inner nodes (the `leftmost`
+    /// child pointer and copied separators) are not flushed before the
+    /// node becomes reachable. Recovery can descend through a null
+    /// `leftmost` pointer.
+    EntryCtorNotFlushed,
+    /// Bug 6: the tree root object is not flushed in the constructor.
+    /// Recovery reads a null root node pointer.
+    BtreeCtorNotFlushed,
+}
+
+/// A FAST&FAIR B+-tree handle. The root object holds one field: the
+/// pointer to the root node.
+#[derive(Clone, Copy, Debug)]
+pub struct FastFair {
+    root: PmAddr,
+    fault: FastFairFault,
+}
+
+impl FastFair {
+    fn root_node(&self, env: &dyn PmEnv) -> PmAddr {
+        env.load_addr(self.root)
+    }
+
+    fn is_leaf(env: &dyn PmEnv, node: PmAddr) -> bool {
+        env.load_u64(node) == 1
+    }
+
+    fn sibling(env: &dyn PmEnv, node: PmAddr) -> PmAddr {
+        env.load_addr(node + 8)
+    }
+
+    fn entry(node: PmAddr, i: u64) -> PmAddr {
+        node + HDR + i * 16
+    }
+
+    fn alloc_node(&self, env: &dyn PmEnv, heap: &PBump, is_leaf: bool, low_key: u64) -> PmAddr {
+        let node = heap.alloc_zeroed(env, NODE_SIZE, 64);
+        env.store_u64(node, u64::from(is_leaf));
+        env.store_u64(node + 24, low_key);
+        if self.fault != FastFairFault::HeaderCtorNotFlushed {
+            env.clflush(node, HDR as usize);
+            env.sfence();
+        }
+        node
+    }
+
+    /// Number of live entries (scan stops at the first null key).
+    fn count(env: &dyn PmEnv, node: PmAddr) -> u64 {
+        let mut n = 0;
+        while n < CAP && env.load_u64(Self::entry(node, n)) != 0 {
+            n += 1;
+        }
+        n
+    }
+
+    /// B-link chase: follow siblings while the key lies at or beyond the
+    /// sibling's low key (covers splits whose parent update was lost).
+    fn chase(env: &dyn PmEnv, mut node: PmAddr, key: u64) -> PmAddr {
+        loop {
+            let sib = Self::sibling(env, node);
+            if sib.is_null() || key < env.load_u64(sib + 24) {
+                return node;
+            }
+            node = sib;
+        }
+    }
+
+    /// Inner-node child selection; rightmost matching separator wins,
+    /// which also resolves FAST's transient duplicates.
+    fn find_child(env: &dyn PmEnv, node: PmAddr, key: u64) -> PmAddr {
+        let mut child = env.load_addr(node + 16);
+        for i in 0..CAP {
+            let k = env.load_u64(Self::entry(node, i));
+            if k == 0 {
+                break;
+            }
+            if key >= k {
+                child = env.load_addr(Self::entry(node, i) + 8);
+            }
+        }
+        child
+    }
+
+    /// FAST insertion into a non-full sorted node: shift right with
+    /// value-before-key stores, then write the new entry the same way.
+    fn fast_insert(&self, env: &dyn PmEnv, node: PmAddr, key: u64, value: u64, leaf: bool) {
+        let count = Self::count(env, node);
+        debug_assert!(count < CAP);
+        let mut pos = count;
+        for i in 0..count {
+            if env.load_u64(Self::entry(node, i)) > key {
+                pos = i;
+                break;
+            }
+        }
+        let mut i = count;
+        while i > pos {
+            let src = Self::entry(node, i - 1);
+            let dst = Self::entry(node, i);
+            let v = env.load_u64(src + 8);
+            env.store_u64(dst + 8, v);
+            let k = env.load_u64(src);
+            env.store_u64(dst, k);
+            i -= 1;
+        }
+        let cell = Self::entry(node, pos);
+        env.store_u64(cell + 8, value);
+        env.store_u64(cell, key);
+        let _ = leaf;
+        env.clflush(Self::entry(node, 0), (CAP * 16) as usize);
+        env.sfence();
+    }
+
+    /// FAIR split of a full `child`; `parent` is guaranteed non-full.
+    fn split_child(&self, env: &dyn PmEnv, heap: &PBump, parent: PmAddr, child: PmAddr) {
+        let leaf = Self::is_leaf(env, child);
+        let sep = env.load_u64(Self::entry(child, MID));
+        let new = self.alloc_node(env, heap, leaf, sep);
+
+        // Populate the new node privately (no ordering constraints until
+        // it becomes reachable).
+        if leaf {
+            for (j, i) in (MID..CAP).enumerate() {
+                let src = Self::entry(child, i);
+                let dst = Self::entry(new, j as u64);
+                let v = env.load_u64(src + 8);
+                env.store_u64(dst + 8, v);
+                let k = env.load_u64(src);
+                env.store_u64(dst, k);
+            }
+        } else {
+            let mid_child = env.load_addr(Self::entry(child, MID) + 8);
+            env.store_addr(new + 16, mid_child);
+            for (j, i) in (MID + 1..CAP).enumerate() {
+                let src = Self::entry(child, i);
+                let dst = Self::entry(new, j as u64);
+                let v = env.load_u64(src + 8);
+                env.store_u64(dst + 8, v);
+                let k = env.load_u64(src);
+                env.store_u64(dst, k);
+            }
+        }
+        env.store_addr(new + 8, Self::sibling(env, child));
+        if leaf || self.fault != FastFairFault::EntryCtorNotFlushed {
+            env.clflush(new, NODE_SIZE as usize);
+            env.sfence();
+        }
+
+        // Commit the split: the persisted sibling link makes the new node
+        // reachable (FAIR), before the old node is truncated and the
+        // parent learns the separator.
+        env.store_addr(child + 8, new);
+        env.persist(child + 8, 8);
+        env.store_u64(Self::entry(child, MID), 0);
+        env.persist(Self::entry(child, MID), 8);
+
+        self.fast_insert(env, parent, sep, new.to_bits(), false);
+    }
+}
+
+impl PmIndex for FastFair {
+    const NAME: &'static str = "FAST_FAIR";
+    type Fault = FastFairFault;
+
+    fn create(env: &dyn PmEnv, heap: &PBump, fault: FastFairFault) -> Self {
+        let root = heap.alloc_zeroed(env, 8, 64);
+        let tree = FastFair { root, fault };
+        let leaf = tree.alloc_node(env, heap, true, 0);
+        env.store_addr(root, leaf);
+        if fault != FastFairFault::BtreeCtorNotFlushed {
+            env.persist(root, 8);
+        }
+        tree
+    }
+
+    fn open(_env: &dyn PmEnv, root: PmAddr, fault: FastFairFault) -> Self {
+        FastFair { root, fault }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn insert(&self, env: &dyn PmEnv, heap: &PBump, key: u64, value: u64) {
+        // Grow the root if full (preemptive splitting keeps every parent
+        // non-full on the way down).
+        let mut node = self.root_node(env);
+        if Self::count(env, node) == CAP {
+            let low = env.load_u64(node + 24);
+            let new_root = self.alloc_node(env, heap, false, low);
+            env.store_addr(new_root + 16, node);
+            if self.fault != FastFairFault::EntryCtorNotFlushed {
+                env.clflush(new_root + 16, 8);
+                env.sfence();
+            }
+            env.store_addr(self.root, new_root);
+            env.persist(self.root, 8);
+            self.split_child(env, heap, new_root, node);
+            node = new_root;
+        }
+        loop {
+            node = Self::chase(env, node, key);
+            if Self::is_leaf(env, node) {
+                // In-place update?
+                let mut found = None;
+                for i in 0..CAP {
+                    let k = env.load_u64(Self::entry(node, i));
+                    if k == 0 {
+                        break;
+                    }
+                    if k == key {
+                        found = Some(i);
+                    }
+                }
+                if let Some(i) = found {
+                    env.store_u64(Self::entry(node, i) + 8, value);
+                    env.persist(Self::entry(node, i) + 8, 8);
+                    return;
+                }
+                self.fast_insert(env, node, key, value, true);
+                return;
+            }
+            let child = Self::find_child(env, node, key);
+            if Self::count(env, child) == CAP {
+                self.split_child(env, heap, node, child);
+                continue; // re-select the child under the new separator
+            }
+            node = child;
+        }
+    }
+
+    fn get(&self, env: &dyn PmEnv, key: u64) -> Option<u64> {
+        let mut node = self.root_node(env);
+        loop {
+            node = Self::chase(env, node, key);
+            if Self::is_leaf(env, node) {
+                let mut hit = None;
+                for i in 0..CAP {
+                    let k = env.load_u64(Self::entry(node, i));
+                    if k == 0 {
+                        break;
+                    }
+                    if k == key {
+                        // Rightmost duplicate wins (FAST transient state).
+                        hit = Some(env.load_u64(Self::entry(node, i) + 8));
+                    }
+                }
+                return hit;
+            }
+            node = Self::find_child(env, node, key);
+        }
+    }
+
+    /// Recovery validation: walk the leaf chain via leftmost descent and
+    /// sibling links. Keys must be non-decreasing *within* each leaf and
+    /// at or above the leaf's low key, and low keys must be monotone
+    /// along the chain. (Keys may legitimately overlap between a leaf and
+    /// its new sibling while a split's truncation is in flight.)
+    fn validate(&self, env: &dyn PmEnv) {
+        let mut node = self.root_node(env);
+        while !Self::is_leaf(env, node) {
+            node = env.load_addr(node + 16);
+        }
+        let mut prev_low = 0u64;
+        loop {
+            let low = env.load_u64(node + 24);
+            env.pm_assert(low >= prev_low, "leaf chain low keys out of order");
+            prev_low = low;
+            let mut prev = low;
+            for i in 0..CAP {
+                let k = env.load_u64(Self::entry(node, i));
+                if k == 0 {
+                    break;
+                }
+                env.pm_assert(k >= prev, "leaf keys out of order");
+                prev = k;
+            }
+            let sib = Self::sibling(env, node);
+            if sib.is_null() {
+                break;
+            }
+            node = sib;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::test_support::{check_workload, native_roundtrip};
+    use jaaru::BugKind;
+
+    #[test]
+    fn functional_roundtrip() {
+        native_roundtrip::<FastFair>(64);
+    }
+
+    #[test]
+    fn deep_trees_preserve_all_keys() {
+        native_roundtrip::<FastFair>(300);
+    }
+
+    #[test]
+    fn fixed_fast_fair_is_crash_consistent() {
+        let report = check_workload::<FastFair>(FastFairFault::None, 5);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn missing_header_flush_faults() {
+        let report = check_workload::<FastFair>(FastFairFault::HeaderCtorNotFlushed, 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+            "FAST_FAIR bug 4 symptom is a segfault: {report}"
+        );
+    }
+
+    #[test]
+    fn missing_entry_flush_faults() {
+        // Needs enough keys to create an inner node whose entry can be
+        // lost (5+ keys → a split → root with one separator).
+        let report = check_workload::<FastFair>(FastFairFault::EntryCtorNotFlushed, 6);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+            "FAST_FAIR bug 5 symptom is a segfault: {report}"
+        );
+    }
+
+    #[test]
+    fn missing_btree_ctor_flush_faults() {
+        let report = check_workload::<FastFair>(FastFairFault::BtreeCtorNotFlushed, 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+            "FAST_FAIR bug 6 symptom is a segfault: {report}"
+        );
+    }
+}

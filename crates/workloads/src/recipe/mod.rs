@@ -1,0 +1,267 @@
+//! RECIPE benchmark suite: six persistent index structures, each
+//! re-implemented against [`jaaru::PmEnv`] with the paper's Figure 13
+//! bugs seeded as toggleable faults.
+//!
+//! Every structure implements [`PmIndex`]; the shared [`IndexWorkload`]
+//! driver runs the same protocol the paper's test harnesses use:
+//!
+//! 1. open (or create) the structure from the pool root,
+//! 2. run the structure's recovery validation,
+//! 3. verify that every *durably committed* key is still present with
+//!    the right value (the durability contract),
+//! 4. continue inserting the remaining keys, advancing a persistent
+//!    commit counter after each insert,
+//! 5. verify everything at the end.
+//!
+//! Bugs manifest as the paper's symptom classes: illegal memory
+//! accesses (following unpersisted pointers into the null page),
+//! infinite loops (corrupted metadata driving recovery scans in
+//! circles), and assertion failures (durably committed keys lost).
+
+pub mod cceh;
+pub mod fast_fair;
+pub mod part;
+pub mod pbwtree;
+pub mod pclht;
+pub mod pmasstree;
+
+use jaaru::{PmAddr, PmEnv, Program};
+
+use crate::alloc::{AllocFault, PBump};
+use crate::util::{gen_keys, value_of, Harness};
+
+/// A persistent key-value index checked by the shared workload driver.
+pub trait PmIndex: Sized {
+    /// Display name (matches the paper's benchmark naming).
+    const NAME: &'static str;
+
+    /// Fault-toggle type; `Default` is the fixed (correct) configuration.
+    type Fault: Copy + Default + Send + Sync + 'static;
+
+    /// Builds a fresh structure in the pool, returning the handle.
+    /// Constructor flushes are where most of the paper's RECIPE bugs
+    /// live.
+    fn create(env: &dyn PmEnv, heap: &PBump, fault: Self::Fault) -> Self;
+
+    /// Re-attaches to a structure whose root object pointer was persisted
+    /// by a previous execution.
+    fn open(env: &dyn PmEnv, root: PmAddr, fault: Self::Fault) -> Self;
+
+    /// The structure's root object (stored in the driver header).
+    fn root(&self) -> PmAddr;
+
+    /// Inserts or updates a key (keys are non-zero; zero marks empty
+    /// slots). Must be durable when it returns.
+    fn insert(&self, env: &dyn PmEnv, heap: &PBump, key: u64, value: u64);
+
+    /// Point lookup.
+    fn get(&self, env: &dyn PmEnv, key: u64) -> Option<u64>;
+
+    /// Durable removal. Structures without delete support keep the
+    /// default and are exercised insert/get-only, like the paper's
+    /// driver inputs.
+    fn remove(&self, env: &dyn PmEnv, heap: &PBump, key: u64) {
+        let _ = (env, heap, key);
+        unimplemented!("{} does not implement removal", Self::NAME);
+    }
+
+    /// Structure-specific recovery validation (the structure's own
+    /// recovery procedure; runs on every open).
+    fn validate(&self, _env: &dyn PmEnv) {}
+}
+
+/// The shared crash-consistency workload over a [`PmIndex`].
+pub struct IndexWorkload<I: PmIndex> {
+    fault: I::Fault,
+    alloc_fault: AllocFault,
+    keys: Vec<u64>,
+    deletes: usize,
+    name: String,
+    _marker: std::marker::PhantomData<fn() -> I>,
+}
+
+impl<I: PmIndex> IndexWorkload<I> {
+    /// A workload inserting `n` deterministic keys under `fault`.
+    pub fn new(fault: I::Fault, n: usize) -> Self {
+        IndexWorkload {
+            fault,
+            alloc_fault: AllocFault::default(),
+            keys: gen_keys(0x5eed ^ n as u64, n),
+            deletes: 0,
+            name: format!("{}-{n}", I::NAME),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Adds a delete phase: after every key is inserted, the first `d`
+    /// keys are durably removed (requires [`PmIndex::remove`] support).
+    pub fn with_deletes(mut self, d: usize) -> Self {
+        self.deletes = d.min(self.keys.len());
+        self
+    }
+
+    /// The fixed configuration (no faults).
+    pub fn fixed(n: usize) -> Self {
+        Self::new(I::Fault::default(), n)
+    }
+
+    /// Additionally seeds an allocator fault (the RECIPE allocator bug
+    /// class).
+    pub fn with_alloc_fault(mut self, alloc_fault: AllocFault) -> Self {
+        self.alloc_fault = alloc_fault;
+        self
+    }
+
+    /// The key set used.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+}
+
+impl<I: PmIndex> Program for IndexWorkload<I> {
+    fn run(&self, env: &dyn PmEnv) {
+        let h = Harness::new(env);
+        // Comparator-tool annotations (no-ops under the model checker):
+        // the durable insert counter is the commit variable.
+        env.annotate_commit_var(env.root() + 8, 8);
+        let (index, heap) = if h.is_initialized(env) {
+            let heap = PBump::open(h.heap_cursor_cell(), self.alloc_fault);
+            (I::open(env, h.structure(env), self.fault), heap)
+        } else {
+            let heap = PBump::create(env, h.heap_cursor_cell(), h.heap_base(), self.alloc_fault);
+            let index = I::create(env, &heap, self.fault);
+            h.set_structure(env, index.root());
+            h.set_initialized(env);
+            (index, heap)
+        };
+
+        // The structure's own recovery procedure.
+        index.validate(env);
+
+        // Durability contract: committed keys must be present and intact,
+        // except those whose deletion is durably witnessed (the key at
+        // exactly the delete counter may be mid-removal: either state is
+        // legal).
+        let committed = h.committed(env);
+        let deleted = h.deleted(env);
+        env.pm_assert(committed <= self.keys.len() as u64, "commit counter corrupt");
+        env.pm_assert(deleted <= self.deletes as u64, "delete counter corrupt");
+        env.pm_assert(deleted == 0 || committed == self.keys.len() as u64, "deletes before inserts finished");
+        for (i, &key) in self.keys.iter().enumerate().take(committed as usize) {
+            let got = index.get(env, key);
+            if (i as u64) < deleted {
+                env.pm_assert(got.is_none(), "durably deleted key still present");
+            } else if i as u64 == deleted && deleted < self.deletes as u64 {
+                // In-flight deletion: present or absent.
+                if let Some(v) = got {
+                    env.pm_assert(v == value_of(key), "in-flight key has wrong value");
+                }
+            } else {
+                match got {
+                    Some(v) => env.pm_assert(v == value_of(key), "committed key has wrong value"),
+                    None => env.bug("durably committed key lost"),
+                }
+            }
+        }
+
+        // Continue the workload to completion: remaining inserts, then
+        // remaining deletes, each witnessed by its counter.
+        for (i, &key) in self.keys.iter().enumerate().skip(committed as usize) {
+            match index.get(env, key) {
+                Some(v) => env.pm_assert(v == value_of(key), "key present with wrong value"),
+                None => index.insert(env, &heap, key, value_of(key)),
+            }
+            h.set_committed(env, i as u64 + 1);
+        }
+        for (i, &key) in self.keys.iter().enumerate().take(self.deletes).skip(deleted as usize) {
+            if index.get(env, key).is_some() {
+                index.remove(env, &heap, key);
+            }
+            env.pm_assert(index.get(env, key).is_none(), "removal not effective");
+            h.set_deleted(env, i as u64 + 1);
+        }
+
+        // Final full verification.
+        for (i, &key) in self.keys.iter().enumerate() {
+            if i < self.deletes {
+                env.pm_assert(index.get(env, key).is_none(), "deleted key resurrected");
+            } else {
+                env.pm_assert(index.get(env, key) == Some(value_of(key)), "key lost at end");
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use jaaru::{CheckReport, Config, ModelChecker, NativeEnv};
+
+    /// Functional smoke test under the native environment: insert and
+    /// look up `n` keys with no crashes at all.
+    pub fn native_roundtrip<I: PmIndex>(n: usize) {
+        let env = NativeEnv::new(1 << 20);
+        let h = Harness::new(&env);
+        let heap = PBump::create(&env, h.heap_cursor_cell(), h.heap_base(), AllocFault::default());
+        let index = I::create(&env, &heap, I::Fault::default());
+        let keys = gen_keys(42, n);
+        for &k in &keys {
+            assert_eq!(index.get(&env, k), None);
+            index.insert(&env, &heap, k, value_of(k));
+            assert_eq!(index.get(&env, k), Some(value_of(k)), "insert-then-get");
+        }
+        for &k in &keys {
+            assert_eq!(index.get(&env, k), Some(value_of(k)), "all keys found at end");
+        }
+        // Updates overwrite.
+        index.insert(&env, &heap, keys[0], 7777);
+        assert_eq!(index.get(&env, keys[0]), Some(7777));
+    }
+
+    /// Native remove/reinsert smoke test.
+    pub fn native_remove_roundtrip<I: PmIndex>(n: usize) {
+        let env = NativeEnv::new(1 << 20);
+        let h = Harness::new(&env);
+        let heap = PBump::create(&env, h.heap_cursor_cell(), h.heap_base(), AllocFault::default());
+        let index = I::create(&env, &heap, I::Fault::default());
+        let keys = gen_keys(43, n);
+        for &k in &keys {
+            index.insert(&env, &heap, k, value_of(k));
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                index.remove(&env, &heap, k);
+            }
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            let expect = (i % 2 == 1).then(|| value_of(k));
+            assert_eq!(index.get(&env, k), expect, "{} after remove", I::NAME);
+        }
+        // Removed keys can be re-inserted.
+        index.insert(&env, &heap, keys[0], 123);
+        assert_eq!(index.get(&env, keys[0]), Some(123));
+    }
+
+    /// Model checks an insert+delete workload and returns the report.
+    pub fn check_delete_workload<I: PmIndex>(n: usize, deletes: usize) -> CheckReport {
+        let mut config = Config::new();
+        config.pool_size(1 << 18).max_scenarios(2_000).max_ops_per_execution(20_000);
+        ModelChecker::new(config)
+            .check(&IndexWorkload::<I>::new(I::Fault::default(), n).with_deletes(deletes))
+    }
+
+    /// Model checks a workload with a small pool and returns the report.
+    pub fn check_workload<I: PmIndex>(fault: I::Fault, n: usize) -> CheckReport {
+        let mut config = Config::new();
+        // The tight op budget keeps infinite-loop bugs cheap to detect
+        // across the many scenarios that reach them; the scenario cap
+        // bounds unit-test time on heavily faulted configurations whose
+        // unconstrained reads branch widely.
+        config.pool_size(1 << 18).max_scenarios(2_000).max_ops_per_execution(20_000);
+        ModelChecker::new(config).check(&IndexWorkload::<I>::new(fault, n))
+    }
+}

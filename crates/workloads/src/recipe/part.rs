@@ -1,0 +1,389 @@
+//! P-ART: the persistent Adaptive Radix Tree from RECIPE.
+//!
+//! A 16-ary radix tree over 4-bit key nibbles (most significant first)
+//! with lazy leaf expansion: leaves store the full key, and internal
+//! nodes are created only at divergence points, so random keys touch one
+//! or two levels. Subtrees replacing a leaf are built privately and
+//! committed with a single tagged-pointer store.
+//!
+//! Like the original P-ART, internal nodes carry a lock word that is
+//! *conceptually* volatile but lives in PM; correct recovery must clear
+//! the locks on open. The tree also keeps an epoch object (the
+//! memory-reclamation bookkeeping the original delegated to `tbb`).
+//! These two pieces are where the paper's three P-ART bugs live
+//! (Figure 13 #7–9; Figure 15 symptoms: segfault, illegal access,
+//! infinite loop).
+//!
+//! Layout:
+//!
+//! ```text
+//! root object : { root_node: u64 }  @ +0   (own line)
+//!               { epoch_ptr: u64 }  @ +64  (own line)
+//! epoch       : { global_epoch: u64 }      (own line)
+//! node        : { lock: u64, children: [tagged u64; 16] }
+//!               tag bit 0: 1 = leaf pointer, 0 = internal node
+//! leaf        : { key: u64, value: u64 }
+//! ```
+
+use std::cell::RefCell;
+
+use jaaru::{PmAddr, PmEnv};
+
+use crate::alloc::PBump;
+use crate::recipe::PmIndex;
+
+const FANOUT: u64 = 16;
+const NODE_SIZE: u64 = 8 + FANOUT * 8;
+const MAX_DEPTH: u64 = 16;
+
+/// Seeded P-ART faults (Figure 13, bugs 7–9).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PartFault {
+    /// Fixed configuration.
+    #[default]
+    None,
+    /// Bug 7: the epoch object's pointer is treated as volatile
+    /// bookkeeping and never flushed; recovery dereferences a null epoch.
+    EpochNotPersistent,
+    /// Bug 8: the tree root pointer is not flushed in the constructor;
+    /// recovery descends from null.
+    TreeCtorNotFlushed,
+    /// Bug 9: recovery relies on a volatile (DRAM) list of locked nodes
+    /// to release locks — the list is empty after a power failure, so a
+    /// lock persisted in the locked state spins recovery forever.
+    VolatileRecoverySet,
+}
+
+/// A P-ART handle. The `locked_nodes` list models the original's `tbb`
+/// vector: it is reconstructed (empty) on every execution, exactly like
+/// DRAM contents after a power failure.
+#[derive(Debug)]
+pub struct Part {
+    root: PmAddr,
+    fault: PartFault,
+    locked_nodes: RefCell<Vec<PmAddr>>,
+}
+
+impl Part {
+    fn root_node(&self, env: &dyn PmEnv) -> PmAddr {
+        env.load_addr(self.root)
+    }
+
+    fn epoch_cell(&self) -> PmAddr {
+        self.root + 64
+    }
+
+    fn nibble(key: u64, depth: u64) -> u64 {
+        (key >> (60 - 4 * depth)) & 0xf
+    }
+
+    fn child_cell(node: PmAddr, idx: u64) -> PmAddr {
+        node + 8 + idx * 8
+    }
+
+    fn is_leaf(ptr: u64) -> bool {
+        ptr & 1 == 1
+    }
+
+    fn leaf_addr(ptr: u64) -> PmAddr {
+        PmAddr::from_bits(ptr & !1)
+    }
+
+    fn alloc_node(env: &dyn PmEnv, heap: &PBump) -> PmAddr {
+        heap.alloc_zeroed(env, NODE_SIZE, 64)
+    }
+
+    fn alloc_leaf(env: &dyn PmEnv, heap: &PBump, key: u64, value: u64) -> u64 {
+        let leaf = heap.alloc_zeroed(env, 16, 8);
+        env.store_u64(leaf + 8, value);
+        env.store_u64(leaf, key);
+        env.clflush(leaf, 16);
+        env.sfence();
+        leaf.to_bits() | 1
+    }
+
+    /// Spin-acquire a node lock, remembering it in the volatile cleanup
+    /// list (the original records locked nodes for its recovery path).
+    fn lock(&self, env: &dyn PmEnv, node: PmAddr) {
+        while env.load_u64(node) != 0 {
+            // A lock persisted in the locked state spins here forever
+            // after a failure; the checker's budget reports it.
+        }
+        env.store_u64(node, 1);
+        self.locked_nodes.borrow_mut().push(node);
+    }
+
+    fn unlock(&self, env: &dyn PmEnv, node: PmAddr) {
+        env.store_u64(node, 0);
+        self.locked_nodes.borrow_mut().pop();
+    }
+
+    /// Bump the global epoch (reclamation bookkeeping on every update).
+    fn bump_epoch(&self, env: &dyn PmEnv) {
+        let epoch = env.load_addr(self.epoch_cell());
+        let e = env.load_u64(epoch);
+        env.store_u64(epoch, e + 1);
+    }
+
+    /// Builds the internal chain replacing a leaf that collided with a
+    /// new key: nodes for the shared nibbles, then the divergence node
+    /// holding both leaves. Entirely private until the returned pointer
+    /// is committed.
+    fn build_chain(
+        &self,
+        env: &dyn PmEnv,
+        heap: &PBump,
+        depth: u64,
+        new_tagged: u64,
+        new_key: u64,
+        old_tagged: u64,
+        old_key: u64,
+    ) -> u64 {
+        let mut diverge = depth;
+        while diverge < MAX_DEPTH && Self::nibble(new_key, diverge) == Self::nibble(old_key, diverge)
+        {
+            diverge += 1;
+        }
+        env.pm_assert(diverge < MAX_DEPTH, "duplicate key reached chain builder");
+        let bottom = Self::alloc_node(env, heap);
+        env.store_u64(Self::child_cell(bottom, Self::nibble(new_key, diverge)), new_tagged);
+        env.store_u64(Self::child_cell(bottom, Self::nibble(old_key, diverge)), old_tagged);
+        env.clflush(bottom, NODE_SIZE as usize);
+        let mut top = bottom;
+        let mut d = diverge;
+        while d > depth {
+            d -= 1;
+            let n = Self::alloc_node(env, heap);
+            env.store_u64(Self::child_cell(n, Self::nibble(new_key, d)), top.to_bits());
+            env.clflush(n, NODE_SIZE as usize);
+            top = n;
+        }
+        env.sfence();
+        top.to_bits()
+    }
+
+    fn reset_locks(&self, env: &dyn PmEnv, node: PmAddr) {
+        env.store_u64(node, 0);
+        for i in 0..FANOUT {
+            let ptr = env.load_u64(Self::child_cell(node, i));
+            if ptr != 0 && !Self::is_leaf(ptr) {
+                self.reset_locks(env, PmAddr::from_bits(ptr));
+            }
+        }
+    }
+}
+
+impl PmIndex for Part {
+    const NAME: &'static str = "P-ART";
+    type Fault = PartFault;
+
+    fn create(env: &dyn PmEnv, heap: &PBump, fault: PartFault) -> Self {
+        let root = heap.alloc_zeroed(env, 128, 64);
+        let tree = Part { root, fault, locked_nodes: RefCell::new(Vec::new()) };
+
+        let node = Self::alloc_node(env, heap);
+        env.clflush(node, NODE_SIZE as usize);
+        env.sfence();
+        env.store_addr(root, node);
+        if fault != PartFault::TreeCtorNotFlushed {
+            env.persist(root, 8);
+        }
+
+        let epoch = heap.alloc_zeroed(env, 8, 64);
+        env.clflush(epoch, 8);
+        env.sfence();
+        env.store_addr(tree.epoch_cell(), epoch);
+        if fault != PartFault::EpochNotPersistent {
+            env.persist(tree.epoch_cell(), 8);
+        }
+        tree
+    }
+
+    fn open(_env: &dyn PmEnv, root: PmAddr, fault: PartFault) -> Self {
+        Part { root, fault, locked_nodes: RefCell::new(Vec::new()) }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn insert(&self, env: &dyn PmEnv, heap: &PBump, key: u64, value: u64) {
+        self.bump_epoch(env);
+        let mut node = self.root_node(env);
+        let mut depth = 0;
+        loop {
+            let idx = Self::nibble(key, depth);
+            let cell = Self::child_cell(node, idx);
+            let ptr = env.load_u64(cell);
+            if ptr == 0 {
+                self.lock(env, node);
+                let leaf = Self::alloc_leaf(env, heap, key, value);
+                env.store_u64(cell, leaf);
+                env.persist(cell, 8);
+                self.unlock(env, node);
+                return;
+            }
+            if Self::is_leaf(ptr) {
+                let leaf = Self::leaf_addr(ptr);
+                let existing = env.load_u64(leaf);
+                if existing == key {
+                    env.store_u64(leaf + 8, value);
+                    env.persist(leaf + 8, 8);
+                    return;
+                }
+                self.lock(env, node);
+                let new_leaf = Self::alloc_leaf(env, heap, key, value);
+                let chain =
+                    self.build_chain(env, heap, depth + 1, new_leaf, key, ptr, existing);
+                env.store_u64(cell, chain);
+                env.persist(cell, 8);
+                self.unlock(env, node);
+                return;
+            }
+            node = PmAddr::from_bits(ptr);
+            depth += 1;
+            env.pm_assert(depth < MAX_DEPTH, "radix descent past key width");
+        }
+    }
+
+    fn get(&self, env: &dyn PmEnv, key: u64) -> Option<u64> {
+        let mut node = self.root_node(env);
+        let mut depth = 0;
+        loop {
+            let ptr = env.load_u64(Self::child_cell(node, Self::nibble(key, depth)));
+            if ptr == 0 {
+                return None;
+            }
+            if Self::is_leaf(ptr) {
+                let leaf = Self::leaf_addr(ptr);
+                if env.load_u64(leaf) == key {
+                    return Some(env.load_u64(leaf + 8));
+                }
+                return None;
+            }
+            node = PmAddr::from_bits(ptr);
+            depth += 1;
+            if depth >= MAX_DEPTH {
+                return None;
+            }
+        }
+    }
+
+    /// Durable removal: clearing the tagged child slot is the atomic
+    /// commit (the leaf is leaked, as in the original's epoch scheme).
+    fn remove(&self, env: &dyn PmEnv, _heap: &PBump, key: u64) {
+        self.bump_epoch(env);
+        let mut node = self.root_node(env);
+        let mut depth = 0;
+        loop {
+            let cell = Self::child_cell(node, Self::nibble(key, depth));
+            let ptr = env.load_u64(cell);
+            if ptr == 0 {
+                return;
+            }
+            if Self::is_leaf(ptr) {
+                if env.load_u64(Self::leaf_addr(ptr)) == key {
+                    self.lock(env, node);
+                    env.store_u64(cell, 0);
+                    env.persist(cell, 8);
+                    self.unlock(env, node);
+                }
+                return;
+            }
+            node = PmAddr::from_bits(ptr);
+            depth += 1;
+            env.pm_assert(depth < MAX_DEPTH, "radix descent past key width");
+        }
+    }
+
+    /// P-ART recovery: read the epoch bookkeeping and release locks.
+    /// The fixed version walks the whole tree clearing lock words; the
+    /// buggy version trusts the (volatile, now empty) locked-node list.
+    fn validate(&self, env: &dyn PmEnv) {
+        // Epoch check-in (bug 7 dereferences a never-persisted pointer).
+        let epoch = env.load_addr(self.epoch_cell());
+        let _ = env.load_u64(epoch);
+
+        if self.fault == PartFault::VolatileRecoverySet {
+            // BUG: the original used a volatile tbb vector here; after a
+            // failure it is empty, so persisted locks are never released.
+            for node in self.locked_nodes.borrow().iter() {
+                env.store_u64(*node, 0);
+            }
+        } else {
+            self.reset_locks(env, self.root_node(env));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::test_support::{check_workload, native_roundtrip};
+    use jaaru::BugKind;
+
+    #[test]
+    fn native_remove_roundtrip() {
+        crate::recipe::test_support::native_remove_roundtrip::<Part>(48);
+    }
+
+    #[test]
+    fn deletes_are_crash_consistent() {
+        let report = crate::recipe::test_support::check_delete_workload::<Part>(5, 2);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    
+    #[test]
+    fn functional_roundtrip() {
+        native_roundtrip::<Part>(64);
+    }
+
+    #[test]
+    fn collisions_build_chains() {
+        native_roundtrip::<Part>(300);
+    }
+
+    #[test]
+    fn nibble_order_is_msb_first() {
+        assert_eq!(Part::nibble(0xf000_0000_0000_0000, 0), 0xf);
+        assert_eq!(Part::nibble(0x0000_0000_0000_000f, 15), 0xf);
+        assert_eq!(Part::nibble(0x0120_0000_0000_0000, 1), 1);
+    }
+
+    #[test]
+    fn fixed_part_is_crash_consistent() {
+        let report = check_workload::<Part>(PartFault::None, 5);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn epoch_pointer_not_persisted_faults() {
+        let report = check_workload::<Part>(PartFault::EpochNotPersistent, 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+            "P-ART bug 7 symptom is a segfault: {report}"
+        );
+    }
+
+    #[test]
+    fn tree_ctor_not_flushed_faults() {
+        let report = check_workload::<Part>(PartFault::TreeCtorNotFlushed, 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+            "P-ART bug 8 symptom is an illegal access: {report}"
+        );
+    }
+
+    #[test]
+    fn volatile_recovery_set_spins_on_stale_locks() {
+        let report = check_workload::<Part>(PartFault::VolatileRecoverySet, 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::InfiniteLoop),
+            "P-ART bug 9 symptom is an infinite loop: {report}"
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! P-BwTree: the persistent Bw-tree from RECIPE (derived from the
+//! OpenBwTree implementation).
+//!
+//! A Bw-tree maps logical page ids to physical pointers through a
+//! *mapping table*; updates prepend *delta records* to a page's chain,
+//! and consolidation periodically replaces a chain with a compact base
+//! node, retiring the old records to a garbage-collection list for
+//! later reuse. Five of the paper's RECIPE bugs live in exactly this
+//! machinery (Figure 13 #10–14): the GC atomicity violation, two GC
+//! metadata flushes, the allocation-metadata constructor, and the tree
+//! constructor.
+//!
+//! Layout:
+//!
+//! ```text
+//! root object  : { mapping_table: u64 } @ +0  (own line)
+//!                { gc_meta: u64 }       @ +64 (own line)
+//! mapping table: [page_ptr; 2]                (one line)
+//! gc meta      : { head: u64, retired: u64 }  (one line)
+//! delta record : { key, value, next }         (32 B)
+//! base node    : { marker = u64::MAX, count, pairs[(k, v); 64] }
+//! ```
+
+use jaaru::{PmAddr, PmEnv};
+
+use crate::alloc::PBump;
+use crate::recipe::PmIndex;
+
+const PAGES: u64 = 2;
+const DELTA_SIZE: u64 = 32;
+const BASE_MARKER: u64 = u64::MAX;
+const BASE_CAP: u64 = 64;
+const BASE_SIZE: u64 = 16 + BASE_CAP * 16;
+const CONSOLIDATE_AT: u64 = 3;
+/// Delete deltas carry this value; live values are never 0 in the
+/// drivers (`value_of` is non-zero for every key used here).
+const TOMBSTONE: u64 = 0;
+
+/// Seeded P-BwTree faults (Figure 13, bugs 10–14; bug 13 — the
+/// allocation-metadata constructor — is seeded through
+/// [`crate::alloc::AllocFault`] on the shared allocator).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PbwtreeFault {
+    /// Fixed configuration.
+    #[default]
+    None,
+    /// Bug 10: consolidation retires the old chain (rewriting the
+    /// records' `next` fields into the GC list) *before* the mapping
+    /// entry swing is persistent — a crash leaves the live chain
+    /// threaded into the free list.
+    GcRetireBeforeCommit,
+    /// Bug 11: the root object's GC-metadata pointer is not flushed in
+    /// the constructor; recovery dereferences null when it touches GC
+    /// state.
+    GcMetaPointerNotFlushed,
+    /// Bug 12: GC head/count updates are not flushed; after a failure a
+    /// stale head hands the same record out twice, aliasing two chains.
+    GcMetadataNotFlushed,
+    /// Bug 14: the mapping-table pointer is not flushed in the
+    /// constructor; recovery reads a null mapping table.
+    CtorNotFlushed,
+}
+
+/// A P-BwTree handle.
+#[derive(Clone, Copy, Debug)]
+pub struct Pbwtree {
+    root: PmAddr,
+    fault: PbwtreeFault,
+}
+
+impl Pbwtree {
+    fn mapping(&self, env: &dyn PmEnv) -> PmAddr {
+        env.load_addr(self.root)
+    }
+
+    fn gc_meta(&self, env: &dyn PmEnv) -> PmAddr {
+        env.load_addr(self.root + 64)
+    }
+
+    fn page_cell(mapping: PmAddr, key: u64) -> PmAddr {
+        mapping + (key & (PAGES - 1)) * 8
+    }
+
+    fn is_base(env: &dyn PmEnv, node: PmAddr) -> bool {
+        env.load_u64(node) == BASE_MARKER
+    }
+
+    /// Allocates a delta record, preferring a retired record from the GC
+    /// free list (the reuse path bug 12 corrupts).
+    fn alloc_delta(&self, env: &dyn PmEnv, heap: &PBump) -> PmAddr {
+        let gc = self.gc_meta(env);
+        let head = env.load_addr(gc);
+        if !head.is_null() {
+            let next = env.load_addr(head + 16);
+            let retired = env.load_u64(gc + 8);
+            env.store_addr(gc, next);
+            env.store_u64(gc + 8, retired.saturating_sub(1));
+            if self.fault != PbwtreeFault::GcMetadataNotFlushed {
+                env.persist(gc, 16);
+            }
+            return head;
+        }
+        heap.alloc_zeroed(env, DELTA_SIZE, 64)
+    }
+
+    /// Pushes a dead record onto the GC list (rewrites its `next`).
+    fn retire(&self, env: &dyn PmEnv, node: PmAddr) {
+        let gc = self.gc_meta(env);
+        let head = env.load_u64(gc);
+        env.store_u64(node + 16, head);
+        env.clflush(node + 16, 8);
+        let retired = env.load_u64(gc + 8);
+        env.store_addr(gc, node);
+        env.store_u64(gc + 8, retired + 1);
+        if self.fault != PbwtreeFault::GcMetadataNotFlushed {
+            env.persist(gc, 16);
+        } else {
+            env.sfence();
+        }
+    }
+
+    /// Replaces a long delta chain with a consolidated base node.
+    fn consolidate(&self, env: &dyn PmEnv, heap: &PBump, cell: PmAddr, chain_head: PmAddr) {
+        // Gather newest-wins pairs from the chain; delete deltas carry
+        // the tombstone value 0 and drop their key from the base.
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut node = chain_head;
+        let mut old_records = Vec::new();
+        while !node.is_null() {
+            if Self::is_base(env, node) {
+                let count = env.load_u64(node + 8);
+                for i in 0..count {
+                    let k = env.load_u64(node + 16 + i * 16);
+                    let v = env.load_u64(node + 24 + i * 16);
+                    if !pairs.iter().any(|&(pk, _)| pk == k) {
+                        pairs.push((k, v));
+                    }
+                }
+                old_records.push(node);
+                break;
+            }
+            let k = env.load_u64(node);
+            let v = env.load_u64(node + 8);
+            if !pairs.iter().any(|&(pk, _)| pk == k) {
+                pairs.push((k, v));
+            }
+            old_records.push(node);
+            node = env.load_addr(node + 16);
+        }
+        pairs.retain(|&(_, v)| v != TOMBSTONE);
+        env.pm_assert(pairs.len() as u64 <= BASE_CAP, "consolidated base overflow");
+
+        // Build the new base privately and persist it.
+        let base = heap.alloc_zeroed(env, BASE_SIZE, 64);
+        env.store_u64(base + 8, pairs.len() as u64);
+        for (i, &(k, v)) in pairs.iter().enumerate() {
+            env.store_u64(base + 24 + i as u64 * 16, v);
+            env.store_u64(base + 16 + i as u64 * 16, k);
+        }
+        env.store_u64(base, BASE_MARKER);
+        env.clflush(base, BASE_SIZE as usize);
+        env.sfence();
+
+        if self.fault == PbwtreeFault::GcRetireBeforeCommit {
+            // BUG (atomicity): the old records join the free list while
+            // the mapping entry still points at them in persistent
+            // memory — their `next` fields are live chain links.
+            for &r in &old_records {
+                if !Self::is_base(env, r) {
+                    self.retire(env, r);
+                }
+            }
+            env.store_addr(cell, base);
+            env.persist(cell, 8);
+        } else {
+            // Correct order: the mapping swing is the commit; only then
+            // are the old records dead and safe to rewrite.
+            env.store_addr(cell, base);
+            env.persist(cell, 8);
+            for &r in &old_records {
+                if !Self::is_base(env, r) {
+                    self.retire(env, r);
+                }
+            }
+        }
+    }
+
+    fn chain_len(env: &dyn PmEnv, mut node: PmAddr) -> u64 {
+        let mut len = 0;
+        while !node.is_null() && !Self::is_base(env, node) {
+            len += 1;
+            node = env.load_addr(node + 16);
+        }
+        len
+    }
+}
+
+impl PmIndex for Pbwtree {
+    const NAME: &'static str = "P-BwTree";
+    type Fault = PbwtreeFault;
+
+    fn create(env: &dyn PmEnv, heap: &PBump, fault: PbwtreeFault) -> Self {
+        let root = heap.alloc_zeroed(env, 128, 64);
+        let mapping = heap.alloc_zeroed(env, PAGES * 8, 64);
+        env.clflush(mapping, (PAGES * 8) as usize);
+        env.sfence();
+        env.store_addr(root, mapping);
+        if fault != PbwtreeFault::CtorNotFlushed {
+            env.persist(root, 8);
+        }
+
+        let gc = heap.alloc_zeroed(env, 16, 64);
+        env.clflush(gc, 16);
+        env.sfence();
+        env.store_addr(root + 64, gc);
+        if fault != PbwtreeFault::GcMetaPointerNotFlushed {
+            env.persist(root + 64, 8);
+        }
+        Pbwtree { root, fault }
+    }
+
+    fn open(_env: &dyn PmEnv, root: PmAddr, fault: PbwtreeFault) -> Self {
+        Pbwtree { root, fault }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn insert(&self, env: &dyn PmEnv, heap: &PBump, key: u64, value: u64) {
+        let mapping = self.mapping(env);
+        let cell = Self::page_cell(mapping, key);
+        let head = env.load_addr(cell);
+
+        // Prepend an insert delta; the mapping store is the commit.
+        let delta = self.alloc_delta(env, heap);
+        env.store_u64(delta + 8, value);
+        env.store_u64(delta, key);
+        env.store_u64(delta + 16, head.to_bits());
+        env.clflush(delta, DELTA_SIZE as usize);
+        env.sfence();
+        env.store_addr(cell, delta);
+        env.persist(cell, 8);
+
+        if Self::chain_len(env, delta) > CONSOLIDATE_AT {
+            self.consolidate(env, heap, cell, delta);
+        }
+    }
+
+    fn get(&self, env: &dyn PmEnv, key: u64) -> Option<u64> {
+        let mapping = self.mapping(env);
+        let mut node = env.load_addr(Self::page_cell(mapping, key));
+        while !node.is_null() {
+            if Self::is_base(env, node) {
+                let count = env.load_u64(node + 8);
+                for i in 0..count {
+                    if env.load_u64(node + 16 + i * 16) == key {
+                        let v = env.load_u64(node + 24 + i * 16);
+                        return (v != TOMBSTONE).then_some(v);
+                    }
+                }
+                return None;
+            }
+            if env.load_u64(node) == key {
+                let v = env.load_u64(node + 8);
+                return (v != TOMBSTONE).then_some(v);
+            }
+            node = env.load_addr(node + 16);
+        }
+        None
+    }
+
+    /// Durable removal: prepend a delete delta (tombstone value); the
+    /// mapping-entry store commits it, exactly like an insert delta.
+    fn remove(&self, env: &dyn PmEnv, heap: &PBump, key: u64) {
+        self.insert(env, heap, key, TOMBSTONE);
+    }
+
+    /// Recovery validation: every page chain must terminate, and the GC
+    /// list must be reachable (dereferencing the GC metadata — bug 11's
+    /// symptom site).
+    fn validate(&self, env: &dyn PmEnv) {
+        let gc = self.gc_meta(env);
+        let _ = env.load_u64(gc + 8);
+        let mapping = self.mapping(env);
+        for p in 0..PAGES {
+            let _ = Self::chain_len(env, env.load_addr(mapping + p * 8));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocFault;
+    use crate::recipe::test_support::{check_workload, native_roundtrip};
+    use crate::recipe::IndexWorkload;
+    use jaaru::{BugKind, Config, ModelChecker};
+
+    #[test]
+    fn native_remove_roundtrip() {
+        crate::recipe::test_support::native_remove_roundtrip::<Pbwtree>(48);
+    }
+
+    #[test]
+    fn deletes_are_crash_consistent() {
+        // Deletes flow through the same delta/consolidation machinery.
+        let report = crate::recipe::test_support::check_delete_workload::<Pbwtree>(6, 3);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    
+    #[test]
+    fn functional_roundtrip() {
+        native_roundtrip::<Pbwtree>(64);
+    }
+
+    #[test]
+    fn consolidation_preserves_keys() {
+        native_roundtrip::<Pbwtree>(120);
+    }
+
+    #[test]
+    fn fixed_pbwtree_is_crash_consistent() {
+        // 6 keys over 2 pages force consolidation and GC reuse.
+        let report = check_workload::<Pbwtree>(PbwtreeFault::None, 6);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn gc_retire_before_commit_corrupts_chains() {
+        let report = check_workload::<Pbwtree>(PbwtreeFault::GcRetireBeforeCommit, 8);
+        assert!(!report.is_clean(), "P-BwTree bug 10 (GC atomicity): {report}");
+    }
+
+    #[test]
+    fn gc_meta_pointer_not_flushed_faults() {
+        let report = check_workload::<Pbwtree>(PbwtreeFault::GcMetaPointerNotFlushed, 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+            "P-BwTree bug 11 symptom is a segfault: {report}"
+        );
+    }
+
+    #[test]
+    fn gc_metadata_not_flushed_aliases_records() {
+        let report = check_workload::<Pbwtree>(PbwtreeFault::GcMetadataNotFlushed, 8);
+        assert!(!report.is_clean(), "P-BwTree bug 12 (stale GC head): {report}");
+    }
+
+    #[test]
+    fn allocation_meta_ctor_not_flushed_faults() {
+        // Bug 13: the allocation metadata (persistent heap cursor) is not
+        // flushed by its constructor.
+        let workload = IndexWorkload::<Pbwtree>::new(PbwtreeFault::None, 4)
+            .with_alloc_fault(AllocFault { skip_cursor_flush: true });
+        let mut config = Config::new();
+        config.pool_size(1 << 18).max_scenarios(2_000).max_ops_per_execution(20_000);
+        let report = ModelChecker::new(config).check(&workload);
+        assert!(!report.is_clean(), "P-BwTree bug 13 (allocator ctor): {report}");
+    }
+
+    #[test]
+    fn tree_ctor_not_flushed_faults() {
+        let report = check_workload::<Pbwtree>(PbwtreeFault::CtorNotFlushed, 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+            "P-BwTree bug 14 symptom is a segfault: {report}"
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! P-CLHT: the persistent Cache-Line Hash Table from RECIPE (derived
+//! from CLHT, Gramoli et al.).
+//!
+//! Three-level layout, one object per level (matching the paper's three
+//! distinct missing-flush sites: the clht constructor, the hashtable
+//! object, and the hashtable array):
+//!
+//! ```text
+//! clht root object : { ht_ptr: u64 }                      (own line)
+//! hashtable object : { descriptor: u64 }                  (own line)
+//!                    descriptor = bucket_array_ptr | log2(n_buckets)
+//!                    (single word → atomically swung on resize)
+//! bucket array     : [bucket; n_buckets], one line each:
+//!                    3 × (key, value) pairs + next (chain) + pad
+//! ```
+//!
+//! Inserts fill the three in-line slots, then chain overflow buckets;
+//! when a chain would exceed the limit the table is rehashed into a
+//! fresh double-size array and committed by swinging the single
+//! descriptor word.
+
+use jaaru::{PmAddr, PmEnv};
+
+use crate::alloc::PBump;
+use crate::recipe::PmIndex;
+
+const SLOTS: u64 = 3;
+const BUCKET_SIZE: u64 = 64;
+const NEXT_OFF: u64 = SLOTS * 16; // +48
+const INITIAL_LOG2: u64 = 2; // 4 buckets
+
+/// Seeded P-CLHT faults (Figure 13, bugs 15–17).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PclhtFault {
+    /// Fixed configuration.
+    #[default]
+    None,
+    /// Bug 15: the clht root object (hashtable pointer) is not flushed in
+    /// the constructor — recovery dereferences null.
+    CtorNotFlushed,
+    /// Bug 16: the hashtable object (descriptor word) is not flushed —
+    /// recovery reads a null bucket-array pointer.
+    TableObjectNotFlushed,
+    /// Bug 17: the rehashed bucket array is not flushed before the
+    /// descriptor swings to it — durably committed keys vanish.
+    ArrayNotFlushed,
+}
+
+/// A P-CLHT handle.
+#[derive(Clone, Copy, Debug)]
+pub struct Pclht {
+    root: PmAddr,
+    fault: PclhtFault,
+}
+
+impl Pclht {
+    fn ht(&self, env: &dyn PmEnv) -> PmAddr {
+        env.load_addr(self.root)
+    }
+
+    fn descriptor(env: &dyn PmEnv, ht: PmAddr) -> (PmAddr, u64) {
+        let desc = env.load_u64(ht);
+        (PmAddr::from_bits(desc & !63), 1u64 << (desc & 63))
+    }
+
+    fn bucket(array: PmAddr, idx: u64) -> PmAddr {
+        array + idx * BUCKET_SIZE
+    }
+
+    fn slot(bucket: PmAddr, s: u64) -> PmAddr {
+        bucket + s * 16
+    }
+
+    fn hash(key: u64, n: u64) -> u64 {
+        // Keys are already SplitMix-distributed; fold the high bits in so
+        // small tables still spread.
+        (key ^ (key >> 32)) & (n - 1)
+    }
+
+    fn alloc_array(env: &dyn PmEnv, heap: &PBump, log2_n: u64, flush: bool) -> PmAddr {
+        let n = 1u64 << log2_n;
+        let array = heap.alloc_zeroed(env, n * BUCKET_SIZE, 64);
+        if flush {
+            env.clflush(array, (n * BUCKET_SIZE) as usize);
+            env.sfence();
+        }
+        array
+    }
+
+    fn make_descriptor(array: PmAddr, log2_n: u64) -> u64 {
+        debug_assert_eq!(array.offset() % 64, 0);
+        array.to_bits() | log2_n
+    }
+
+    /// Writes a pair into a known-empty slot (value before key; the key
+    /// store commits the slot).
+    fn fill_slot(env: &dyn PmEnv, cell: PmAddr, key: u64, value: u64, flush: bool) {
+        env.store_u64(cell + 8, value);
+        env.store_u64(cell, key);
+        if flush {
+            env.clflush(cell, 16);
+            env.sfence();
+        }
+    }
+
+    /// Inserts into the private (not yet reachable) table during rehash.
+    fn rehash_insert(
+        env: &dyn PmEnv,
+        heap: &PBump,
+        array: PmAddr,
+        n: u64,
+        key: u64,
+        value: u64,
+        flush_chain: bool,
+    ) {
+        let mut bucket = Self::bucket(array, Self::hash(key, n));
+        loop {
+            for s in 0..SLOTS {
+                let cell = Self::slot(bucket, s);
+                if env.load_u64(cell) == 0 {
+                    Self::fill_slot(env, cell, key, value, false);
+                    return;
+                }
+            }
+            let next = env.load_addr(bucket + NEXT_OFF);
+            if next.is_null() {
+                let fresh = heap.alloc_zeroed(env, BUCKET_SIZE, 64);
+                Self::fill_slot(env, Self::slot(fresh, 0), key, value, false);
+                if flush_chain {
+                    env.clflush(fresh, BUCKET_SIZE as usize);
+                    env.sfence();
+                }
+                env.store_addr(bucket + NEXT_OFF, fresh);
+                return;
+            }
+            bucket = next;
+        }
+    }
+
+    /// Rehash into a double-size array and swing the descriptor word.
+    fn resize(&self, env: &dyn PmEnv, heap: &PBump) {
+        let ht = self.ht(env);
+        let (old_array, old_n) = Self::descriptor(env, ht);
+        let new_log2 = old_n.trailing_zeros() as u64 + 1;
+        let flush = self.fault != PclhtFault::ArrayNotFlushed;
+        let new_array = Self::alloc_array(env, heap, new_log2, false);
+        for i in 0..old_n {
+            let mut bucket = Self::bucket(old_array, i);
+            loop {
+                for s in 0..SLOTS {
+                    let cell = Self::slot(bucket, s);
+                    let k = env.load_u64(cell);
+                    if k != 0 {
+                        let v = env.load_u64(cell + 8);
+                        Self::rehash_insert(env, heap, new_array, 1 << new_log2, k, v, flush);
+                    }
+                }
+                let next = env.load_addr(bucket + NEXT_OFF);
+                if next.is_null() {
+                    break;
+                }
+                bucket = next;
+            }
+        }
+        if flush {
+            env.clflush(new_array, ((1u64 << new_log2) * BUCKET_SIZE) as usize);
+            env.sfence();
+        }
+        // Single-word commit: the descriptor carries both the array
+        // pointer and the size, so no torn resize is observable.
+        env.store_u64(ht, Self::make_descriptor(new_array, new_log2));
+        env.persist(ht, 8);
+    }
+
+    fn chain_len(env: &dyn PmEnv, mut bucket: PmAddr) -> u64 {
+        let mut len = 0;
+        loop {
+            let next = env.load_addr(bucket + NEXT_OFF);
+            if next.is_null() {
+                return len;
+            }
+            len += 1;
+            bucket = next;
+        }
+    }
+}
+
+impl PmIndex for Pclht {
+    const NAME: &'static str = "P-CLHT";
+    type Fault = PclhtFault;
+
+    fn create(env: &dyn PmEnv, heap: &PBump, fault: PclhtFault) -> Self {
+        let root = heap.alloc_zeroed(env, 8, 64);
+        let ht = heap.alloc_zeroed(env, 8, 64);
+        let array = Self::alloc_array(env, heap, INITIAL_LOG2, true);
+
+        env.store_u64(ht, Self::make_descriptor(array, INITIAL_LOG2));
+        if fault != PclhtFault::TableObjectNotFlushed {
+            env.persist(ht, 8);
+        }
+        env.store_addr(root, ht);
+        if fault != PclhtFault::CtorNotFlushed {
+            env.persist(root, 8);
+        }
+        Pclht { root, fault }
+    }
+
+    fn open(_env: &dyn PmEnv, root: PmAddr, fault: PclhtFault) -> Self {
+        Pclht { root, fault }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn insert(&self, env: &dyn PmEnv, heap: &PBump, key: u64, value: u64) {
+        loop {
+            let ht = self.ht(env);
+            let (array, n) = Self::descriptor(env, ht);
+            let head = Self::bucket(array, Self::hash(key, n));
+            let mut bucket = head;
+            loop {
+                for s in 0..SLOTS {
+                    let cell = Self::slot(bucket, s);
+                    let k = env.load_u64(cell);
+                    if k == key {
+                        env.store_u64(cell + 8, value);
+                        env.persist(cell + 8, 8);
+                        return;
+                    }
+                    if k == 0 {
+                        Self::fill_slot(env, cell, key, value, true);
+                        return;
+                    }
+                }
+                let next = env.load_addr(bucket + NEXT_OFF);
+                if next.is_null() {
+                    break;
+                }
+                bucket = next;
+            }
+            // Bucket chain full: grow the table and retry (CLHT-style
+            // resize; chains appear only transiently during the rehash).
+            let _ = head;
+            self.resize(env, heap);
+        }
+    }
+
+    fn get(&self, env: &dyn PmEnv, key: u64) -> Option<u64> {
+        let ht = self.ht(env);
+        let (array, n) = Self::descriptor(env, ht);
+        let mut bucket = Self::bucket(array, Self::hash(key, n));
+        loop {
+            for s in 0..SLOTS {
+                let cell = Self::slot(bucket, s);
+                if env.load_u64(cell) == key {
+                    return Some(env.load_u64(cell + 8));
+                }
+            }
+            let next = env.load_addr(bucket + NEXT_OFF);
+            if next.is_null() {
+                return None;
+            }
+            bucket = next;
+        }
+    }
+
+    /// Durable removal: clearing the slot's key word is the atomic
+    /// commit (the CLHT deletion protocol).
+    fn remove(&self, env: &dyn PmEnv, _heap: &PBump, key: u64) {
+        let ht = self.ht(env);
+        let (array, n) = Self::descriptor(env, ht);
+        let mut bucket = Self::bucket(array, Self::hash(key, n));
+        loop {
+            for s in 0..SLOTS {
+                let cell = Self::slot(bucket, s);
+                if env.load_u64(cell) == key {
+                    env.store_u64(cell, 0);
+                    env.persist(cell, 8);
+                    return;
+                }
+            }
+            let next = env.load_addr(bucket + NEXT_OFF);
+            if next.is_null() {
+                return;
+            }
+            bucket = next;
+        }
+    }
+
+    /// Recovery validation: every bucket of the live array must be
+    /// addressable and its chain terminated.
+    fn validate(&self, env: &dyn PmEnv) {
+        let ht = self.ht(env);
+        let (array, n) = Self::descriptor(env, ht);
+        for i in 0..n {
+            let _ = Self::chain_len(env, Self::bucket(array, i));
+        }
+        let _ = self.fault;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::test_support::{check_workload, native_roundtrip};
+    use jaaru::BugKind;
+
+    #[test]
+    fn native_remove_roundtrip() {
+        crate::recipe::test_support::native_remove_roundtrip::<Pclht>(48);
+    }
+
+    #[test]
+    fn deletes_are_crash_consistent() {
+        let report = crate::recipe::test_support::check_delete_workload::<Pclht>(5, 2);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    
+    #[test]
+    fn functional_roundtrip() {
+        native_roundtrip::<Pclht>(64);
+    }
+
+    #[test]
+    fn resizes_preserve_all_keys() {
+        native_roundtrip::<Pclht>(200);
+    }
+
+    #[test]
+    fn fixed_pclht_is_crash_consistent() {
+        let report = check_workload::<Pclht>(PclhtFault::None, 5);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn missing_ctor_flush_faults() {
+        let report = check_workload::<Pclht>(PclhtFault::CtorNotFlushed, 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+            "P-CLHT bug 15 symptom is an illegal access: {report}"
+        );
+    }
+
+    #[test]
+    fn missing_table_object_flush_faults() {
+        let report = check_workload::<Pclht>(PclhtFault::TableObjectNotFlushed, 4);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+            "P-CLHT bug 16 symptom is an illegal access: {report}"
+        );
+    }
+
+    #[test]
+    fn missing_array_flush_loses_committed_keys() {
+        // 13 keys over 4 buckets guarantee an overflow (pigeonhole) and
+        // hence at least one resize.
+        let report = check_workload::<Pclht>(PclhtFault::ArrayNotFlushed, 13);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report
+                .bugs
+                .iter()
+                .any(|b| b.kind == BugKind::AssertionFailure || b.kind == BugKind::GuestPanic),
+            "P-CLHT bug 17: committed keys lost after an unflushed rehash: {report}"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! P-Masstree: the persistent Masstree from RECIPE.
+//!
+//! Masstree is a trie of B+-trees keyed on 8-byte key slices. For 64-bit
+//! keys this reduces to two layers: layer 0 indexes the high 32 bits and
+//! points to a per-prefix layer-1 leaf list indexed by the full key.
+//!
+//! The single P-Masstree bug the paper reports (Figure 13 #18, symptom
+//! "illegal memory access") is a classic flush-target mix-up: the code
+//! flushed the *object a pointer refers to* instead of the *cell holding
+//! the pointer*. The layer-0 entry array is deliberately laid out so
+//! entries straddle cache-line boundaries — with the wrong flush target,
+//! a separator key can persist while its child pointer does not, and
+//! recovery descends through null.
+//!
+//! Layout:
+//!
+//! ```text
+//! root object  : { layer0: u64 }                      (own line)
+//! layer0 node  : { count: u64, entries [(key_hi, layer1_head); 64] }
+//!                entries start at +8 → every fourth entry straddles
+//! leaf         : { key: u64, value: u64, next: u64 }  (layer-1 list)
+//! ```
+
+use jaaru::{PmAddr, PmEnv};
+
+use crate::alloc::PBump;
+use crate::recipe::PmIndex;
+
+const L0_CAP: u64 = 64;
+const L0_SIZE: u64 = 8 + L0_CAP * 16;
+const LEAF_SIZE: u64 = 32;
+
+/// Seeded P-Masstree fault (Figure 13, bug 18).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PmasstreeFault {
+    /// Fixed configuration.
+    #[default]
+    None,
+    /// Bug 18: when publishing a layer-1 pointer, the code flushes the
+    /// referenced leaf (already persistent) instead of the pointer cell.
+    /// The separator key can then persist without its pointer.
+    FlushedObjectInsteadOfPointer,
+}
+
+/// A P-Masstree handle.
+#[derive(Clone, Copy, Debug)]
+pub struct Pmasstree {
+    root: PmAddr,
+    fault: PmasstreeFault,
+}
+
+impl Pmasstree {
+    fn layer0(&self, env: &dyn PmEnv) -> PmAddr {
+        env.load_addr(self.root)
+    }
+
+    fn key_hi(key: u64) -> u64 {
+        key >> 32
+    }
+
+    fn entry(l0: PmAddr, i: u64) -> PmAddr {
+        l0 + 8 + i * 16
+    }
+
+    /// Finds the layer-0 entry for a high-bits prefix.
+    fn find_entry(env: &dyn PmEnv, l0: PmAddr, hi: u64) -> Option<u64> {
+        let count = env.load_u64(l0);
+        (0..count.min(L0_CAP)).find(|&i| env.load_u64(Self::entry(l0, i)) == hi)
+    }
+
+    fn alloc_leaf(env: &dyn PmEnv, heap: &PBump, key: u64, value: u64, next: PmAddr) -> PmAddr {
+        let leaf = heap.alloc_zeroed(env, LEAF_SIZE, 8);
+        env.store_u64(leaf + 8, value);
+        env.store_u64(leaf + 16, next.to_bits());
+        env.store_u64(leaf, key);
+        env.clflush(leaf, LEAF_SIZE as usize);
+        env.sfence();
+        leaf
+    }
+
+    /// Publishes a pointer into a cell. The fixed version flushes the
+    /// cell; the buggy version flushes the referenced object — the
+    /// paper's "flushed referenced object instead of pointer".
+    fn publish_ptr(&self, env: &dyn PmEnv, cell: PmAddr, target: PmAddr) {
+        env.store_addr(cell, target);
+        match self.fault {
+            PmasstreeFault::None => {
+                env.clflush(cell, 8);
+                env.sfence();
+            }
+            PmasstreeFault::FlushedObjectInsteadOfPointer => {
+                env.clflush(target, LEAF_SIZE as usize);
+                env.sfence();
+            }
+        }
+    }
+}
+
+impl PmIndex for Pmasstree {
+    const NAME: &'static str = "P-MassTree";
+    type Fault = PmasstreeFault;
+
+    fn create(env: &dyn PmEnv, heap: &PBump, fault: PmasstreeFault) -> Self {
+        let root = heap.alloc_zeroed(env, 8, 64);
+        let l0 = heap.alloc_zeroed(env, L0_SIZE, 64);
+        env.clflush(l0, L0_SIZE as usize);
+        env.sfence();
+        env.store_addr(root, l0);
+        env.persist(root, 8);
+        Pmasstree { root, fault }
+    }
+
+    fn open(_env: &dyn PmEnv, root: PmAddr, fault: PmasstreeFault) -> Self {
+        Pmasstree { root, fault }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn insert(&self, env: &dyn PmEnv, heap: &PBump, key: u64, value: u64) {
+        let l0 = self.layer0(env);
+        let hi = Self::key_hi(key);
+        match Self::find_entry(env, l0, hi) {
+            Some(i) => {
+                // Existing prefix: update in place or prepend to layer 1.
+                // A committed separator implies a valid head pointer, so
+                // the head is dereferenced without a null check — exactly
+                // the invariant bug 18 violates.
+                let head_cell = Self::entry(l0, i) + 8;
+                let head = env.load_addr(head_cell);
+                let mut leaf = head;
+                loop {
+                    if env.load_u64(leaf) == key {
+                        env.store_u64(leaf + 8, value);
+                        env.persist(leaf + 8, 8);
+                        return;
+                    }
+                    let next = env.load_addr(leaf + 16);
+                    if next.is_null() {
+                        break;
+                    }
+                    leaf = next;
+                }
+                let fresh = Self::alloc_leaf(env, heap, key, value, head);
+                self.publish_ptr(env, head_cell, fresh);
+            }
+            None => {
+                // New prefix: append a layer-0 entry. Pointer first, then
+                // the separator key, then the count (each committed in
+                // order so a torn append is invisible).
+                let count = env.load_u64(l0);
+                env.pm_assert(count < L0_CAP, "layer0 node full");
+                let cell = Self::entry(l0, count);
+                let fresh = Self::alloc_leaf(env, heap, key, value, PmAddr::NULL);
+                self.publish_ptr(env, cell + 8, fresh);
+                env.store_u64(cell, hi);
+                env.clflush(cell, 8);
+                env.sfence();
+                env.store_u64(l0, count + 1);
+                env.persist(l0, 8);
+            }
+        }
+    }
+
+    fn get(&self, env: &dyn PmEnv, key: u64) -> Option<u64> {
+        let l0 = self.layer0(env);
+        let i = Self::find_entry(env, l0, Self::key_hi(key))?;
+        // Committed separator ⇒ valid head pointer (bug 18's invariant).
+        let mut leaf = env.load_addr(Self::entry(l0, i) + 8);
+        loop {
+            if env.load_u64(leaf) == key {
+                return Some(env.load_u64(leaf + 8));
+            }
+            let next = env.load_addr(leaf + 16);
+            if next.is_null() {
+                return None;
+            }
+            leaf = next;
+        }
+    }
+
+    /// Recovery validation: every layer-0 entry below the committed
+    /// count must lead to a terminated layer-1 list.
+    fn validate(&self, env: &dyn PmEnv) {
+        let l0 = self.layer0(env);
+        let count = env.load_u64(l0);
+        env.pm_assert(count <= L0_CAP, "layer0 count corrupt");
+        for i in 0..count {
+            let mut leaf = env.load_addr(Self::entry(l0, i) + 8);
+            loop {
+                let next = env.load_addr(leaf + 16); // derefs the head
+                if next.is_null() {
+                    break;
+                }
+                leaf = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::test_support::{check_workload, native_roundtrip};
+    use jaaru::BugKind;
+
+    #[test]
+    fn functional_roundtrip() {
+        native_roundtrip::<Pmasstree>(48);
+    }
+
+    #[test]
+    fn fixed_pmasstree_is_crash_consistent() {
+        let report = check_workload::<Pmasstree>(PmasstreeFault::None, 5);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn wrong_flush_target_faults() {
+        let report =
+            check_workload::<Pmasstree>(PmasstreeFault::FlushedObjectInsteadOfPointer, 5);
+        assert!(!report.is_clean(), "{report}");
+        assert!(
+            report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+            "P-Masstree bug 18 symptom is an illegal access: {report}"
+        );
+    }
+}

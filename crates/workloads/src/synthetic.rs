@@ -1,0 +1,247 @@
+//! Synthetic workloads used by the paper's motivating examples and the
+//! scaling studies.
+
+use jaaru::{Named, PmEnv, Program};
+
+/// The Figure 2/3 program: `y=1; x=2; clflush(x); y=3; x=4; y=5; x=6`
+/// with `x` and `y` on the same cache line, then a recovery that reads
+/// both and checks the writeback-consistency invariant (reading `x == 4`
+/// must imply `y ∈ {3, 5}`, etc.).
+pub fn figure2_program() -> impl Program {
+    Named::new("figure2", |env: &dyn PmEnv| {
+        let y = env.root();
+        let x = y + 8; // same 64-byte line
+        if env.is_recovery() {
+            let rx = env.load_u64(x);
+            let ry = env.load_u64(y);
+            // Every (x, y) pair must be a prefix-consistent snapshot of
+            // the store sequence: enumerate the legal pairs.
+            let legal = [
+                (0, 0),
+                (0, 1),
+                (2, 1),
+                (2, 3),
+                (4, 3),
+                (4, 5),
+                (6, 5),
+            ];
+            env.pm_assert(
+                legal.contains(&(rx, ry)),
+                &format!("inconsistent snapshot x={rx} y={ry}"),
+            );
+            return;
+        }
+        env.store_u64(y, 1);
+        env.store_u64(x, 2);
+        env.clflush(x, 8);
+        env.store_u64(y, 3);
+        env.store_u64(x, 4);
+        env.store_u64(y, 5);
+        env.store_u64(x, 6);
+        // Power failure happens via injected crashes; the program also
+        // simply ends here (the paper's example stops at the failure).
+    })
+}
+
+/// The Figure 4 commit-store program: `addChild` persists a child node,
+/// then a commit pointer; `readChild` trusts the commit pointer.
+pub fn figure4_program() -> impl Program {
+    Named::new("figure4", |env: &dyn PmEnv| {
+        let child_ptr = env.root(); // ptr->child
+        let child = child_ptr + 64; // the child node (data field), own line
+        if env.is_recovery() {
+            // readChild
+            let p = env.load_addr(child_ptr);
+            if !p.is_null() {
+                let data = env.load_u64(p);
+                env.pm_assert(data == 42, "committed child data lost");
+            }
+            return;
+        }
+        // addChild
+        env.store_u64(child, 42); // tmp->data = data
+        env.clflush(child, 8); // clflush(tmp, ...)
+        env.store_addr(child_ptr, child); // ptr->child = tmp (commit store)
+        env.clflush(child_ptr, 8); // clflush(&ptr->child, ...)
+        env.sfence();
+    })
+}
+
+/// The §1/§3.2 scaling example: initialize `n` 64-bit integers in a
+/// cache-line-aligned array and crash right before the flushes. An eager
+/// checker must enumerate `9^(n/8)` states; Jaaru's recovery — which uses
+/// a commit flag — explores a handful of executions.
+///
+/// `with_commit_store` selects the recovery style: `true` checks a commit
+/// flag before touching the array (the idiom Jaaru exploits); `false`
+/// reads the whole array unconditionally (the worst case for any
+/// checker, still sound for Jaaru, just slower).
+pub fn array_init_program(n: usize, with_commit_store: bool) -> impl Program {
+    assert!(n % 8 == 0, "n must fill whole cache lines");
+    let name = format!(
+        "array-init-{n}-{}",
+        if with_commit_store { "commit" } else { "nocommit" }
+    );
+    Named::new(name, move |env: &dyn PmEnv| {
+        let commit = env.root();
+        let array = commit + 64;
+        if env.is_recovery() {
+            if with_commit_store {
+                if env.load_u64(commit) == 1 {
+                    for i in 0..n as u64 {
+                        let v = env.load_u64(array + i * 8);
+                        env.pm_assert(v == i + 1, "committed array entry lost");
+                    }
+                }
+            } else {
+                // Unconditional read of everything: exponential for Yat,
+                // and a large-but-polynomial read-from space for Jaaru.
+                for i in 0..n as u64 {
+                    let v = env.load_u64(array + i * 8);
+                    env.pm_assert(v == 0 || v == i + 1, "torn array entry");
+                }
+            }
+            return;
+        }
+        for i in 0..n as u64 {
+            env.store_u64(array + i * 8, i + 1);
+        }
+        env.clflush(array, n * 8);
+        env.sfence();
+        env.store_u64(commit, 1);
+        env.persist(commit, 8);
+    })
+}
+
+/// A checksum-recovery log record (paper §4, "Checksum-based recovery"):
+/// data is written with *no* flushes at all; recovery trusts it only when
+/// the checksum matches.
+pub fn checksum_log_program(entries: usize) -> impl Program {
+    Named::new(format!("checksum-log-{entries}"), move |env: &dyn PmEnv| {
+        let base = env.root();
+        let slot = |i: u64| base + i * 24;
+        if env.is_recovery() {
+            for i in 0..entries as u64 {
+                let a = env.load_u64(slot(i));
+                let b = env.load_u64(slot(i) + 8);
+                let sum = env.load_u64(slot(i) + 16);
+                if sum != 0 && sum == checksum(a, b) {
+                    env.pm_assert(
+                        a == i + 1 && b == (i + 1) * 10,
+                        "checksum matched but record is stale",
+                    );
+                } else {
+                    // Record invalid: earlier records may still be valid,
+                    // later ones must not be trusted. Nothing to check.
+                }
+            }
+            return;
+        }
+        for i in 0..entries as u64 {
+            env.store_u64(slot(i), i + 1);
+            env.store_u64(slot(i) + 8, (i + 1) * 10);
+            env.store_u64(slot(i) + 16, checksum(i + 1, (i + 1) * 10));
+        }
+        // One flush at the very end so there is at least one injection
+        // point after the writes.
+        env.clflush(base, entries * 24);
+        env.sfence();
+    })
+}
+
+fn checksum(a: u64, b: u64) -> u64 {
+    a.rotate_left(17) ^ b ^ 0x5bd1_e995
+}
+
+/// A buggy variant of [`figure4_program`]: `readChild` skips the commit
+/// check and reads the data field directly — the anti-pattern the paper
+/// uses to motivate commit stores (§3.2). The checker reports the lost
+/// data.
+pub fn figure4_no_commit_check_program() -> impl Program {
+    Named::new("figure4-no-commit-check", |env: &dyn PmEnv| {
+        let child_ptr = env.root();
+        let child = child_ptr + 64;
+        if env.is_recovery() {
+            let p = env.load_addr(child_ptr);
+            // BUG: trusts the data field without checking the commit.
+            let data = env.load_u64(child);
+            if !p.is_null() || data != 0 {
+                env.pm_assert(data == 42, "read uncommitted child data");
+            }
+            return;
+        }
+        env.store_u64(child, 42);
+        env.store_addr(child_ptr, child);
+        env.clflush(child_ptr, 8);
+        env.sfence();
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaaru::{Config, ModelChecker};
+
+    fn checker() -> ModelChecker {
+        let mut c = Config::new();
+        c.pool_size(1 << 16);
+        ModelChecker::new(c)
+    }
+
+    #[test]
+    fn figure2_snapshots_are_all_consistent() {
+        let report = checker().check(&figure2_program());
+        assert!(report.is_clean(), "{report}");
+        // x and y share a line with no flush after the stores begin...
+        // the one clflush creates the [clflush, ∞) interval; exploration
+        // covers the pairs on the red line of Figure 2.
+        assert!(report.stats.scenarios >= 4);
+    }
+
+    #[test]
+    fn figure4_commit_store_is_crash_consistent() {
+        let report = checker().check(&figure4_program());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.stats.failure_points, 3, "{report}");
+    }
+
+    #[test]
+    fn figure4_without_commit_check_is_buggy() {
+        let report = checker().check(&figure4_no_commit_check_program());
+        assert!(!report.is_clean());
+        assert!(report.bugs[0].message.contains("uncommitted"));
+    }
+
+    #[test]
+    fn array_init_with_commit_store_is_clean_and_small() {
+        let report = checker().check(&array_init_program(16, true));
+        assert!(report.is_clean(), "{report}");
+        // Constraint refinement keeps this far from 9^(n/8).
+        assert!(report.stats.scenarios < 100, "{report}");
+    }
+
+    #[test]
+    fn array_init_without_commit_store_is_clean_but_larger() {
+        let small = checker().check(&array_init_program(8, true));
+        let big = checker().check(&array_init_program(8, false));
+        assert!(big.is_clean(), "{big}");
+        assert!(
+            big.stats.scenarios > small.stats.scenarios,
+            "no commit store → more equivalence classes ({} vs {})",
+            big.stats.scenarios,
+            small.stats.scenarios
+        );
+    }
+
+    #[test]
+    fn checksum_log_is_crash_consistent() {
+        let report = checker().check(&checksum_log_program(2));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn programs_have_names() {
+        assert_eq!(figure2_program().name(), "figure2");
+        assert_eq!(array_init_program(8, true).name(), "array-init-8-commit");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: every RECIPE index and PMDK map behaves like
+//! `std::collections::BTreeMap` under randomized insert/update/get
+//! sequences (functional correctness, independent of crash consistency).
+
+use std::collections::BTreeMap;
+
+use jaaru::{NativeEnv, PmEnv};
+use jaaru_workloads::alloc::{AllocFault, PBump};
+use jaaru_workloads::pmdk::{
+    btree_map::BtreeMap, ctree_map::CtreeMap, hashmap_atomic::HashmapAtomic,
+    hashmap_tx::HashmapTx, rbtree_map::RbtreeMap, ObjPool, PmdkFaults, PmdkMap,
+};
+use jaaru_workloads::recipe::{
+    cceh::Cceh, fast_fair::FastFair, part::Part, pbwtree::Pbwtree, pclht::Pclht,
+    pmasstree::Pmasstree, PmIndex,
+};
+use jaaru_workloads::util::Harness;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u64),
+    Get(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key universe forces updates and collisions.
+    let key = prop_oneof![1u64..40, any::<u64>().prop_filter("nonzero", |&k| k != 0)];
+    prop_oneof![
+        3 => (key.clone(), 1u64..u64::MAX).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key.prop_map(Op::Get),
+    ]
+}
+
+fn run_recipe_model<I: PmIndex>(ops: &[Op]) -> Result<(), TestCaseError> {
+    let env = NativeEnv::new(1 << 20);
+    let h = Harness::new(&env);
+    let heap = PBump::create(&env, h.heap_cursor_cell(), h.heap_base(), AllocFault::default());
+    let index = I::create(&env, &heap, I::Fault::default());
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                index.insert(&env, &heap, k, v);
+                model.insert(k, v);
+            }
+            Op::Get(k) => {
+                prop_assert_eq!(index.get(&env, k), model.get(&k).copied(), "{}: get {}", I::NAME, k);
+            }
+        }
+    }
+    for (&k, &v) in &model {
+        prop_assert_eq!(index.get(&env, k), Some(v), "{}: final {}", I::NAME, k);
+    }
+    Ok(())
+}
+
+fn run_pmdk_model<M: PmdkMap>(ops: &[Op]) -> Result<(), TestCaseError> {
+    let env = NativeEnv::new(1 << 20);
+    let pool = ObjPool::create(&env, PmdkFaults::default());
+    let map = M::create(&env, &pool, PmdkFaults::default());
+    pool.set_root_object(&env, map.root());
+    pool.seal(&env);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                map.insert(&env, &pool, k, v);
+                model.insert(k, v);
+            }
+            Op::Get(k) => {
+                prop_assert_eq!(map.get(&env, &pool, k), model.get(&k).copied(), "{}: get {}", M::NAME, k);
+            }
+        }
+    }
+    for (&k, &v) in &model {
+        prop_assert_eq!(map.get(&env, &pool, k), Some(v), "{}: final {}", M::NAME, k);
+    }
+    Ok(())
+}
+
+macro_rules! model_test {
+    (recipe $name:ident, $ty:ty) => {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+            #[test]
+            fn $name(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+                run_recipe_model::<$ty>(&ops)?;
+            }
+        }
+    };
+    (pmdk $name:ident, $ty:ty) => {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+            #[test]
+            fn $name(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+                run_pmdk_model::<$ty>(&ops)?;
+            }
+        }
+    };
+}
+
+model_test!(recipe cceh_matches_btreemap, Cceh);
+model_test!(recipe fast_fair_matches_btreemap, FastFair);
+model_test!(recipe part_matches_btreemap, Part);
+model_test!(recipe pbwtree_matches_btreemap, Pbwtree);
+model_test!(recipe pclht_matches_btreemap, Pclht);
+model_test!(recipe pmasstree_matches_btreemap, Pmasstree);
+model_test!(pmdk btree_map_matches_btreemap, BtreeMap);
+model_test!(pmdk ctree_map_matches_btreemap, CtreeMap);
+model_test!(pmdk rbtree_map_matches_btreemap, RbtreeMap);
+model_test!(pmdk hashmap_atomic_matches_btreemap, HashmapAtomic);
+model_test!(pmdk hashmap_tx_matches_btreemap, HashmapTx);

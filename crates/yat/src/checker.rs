@@ -1,0 +1,381 @@
+//! The eager (Yat-style) model checking algorithm.
+//!
+//! Yat enumerates, at each failure point, *every* legal post-failure
+//! memory state — the cartesian product over cache lines of candidate
+//! last-writeback points — and runs the recovery code against each
+//! materialized state. This is exhaustive but exponential in the number
+//! of unflushed stores; the paper uses it as the baseline that Jaaru's
+//! constraint refinement beats by orders of magnitude (Figure 14).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use jaaru::{PmPool, Program};
+use jaaru_pmem::CacheLineId;
+use jaaru_tso::{ExecutionStorage, Seq};
+
+use crate::env::{ConcreteEnv, PreFailureEnv, YatBugSignal, YatCrash};
+use crate::StateCount;
+
+/// Configuration for the eager baseline.
+#[derive(Clone, Debug)]
+pub struct YatConfig {
+    /// Pool size in bytes.
+    pub pool_size: usize,
+    /// Stop materializing states after this many total executions
+    /// (protection against the exponential blow-up the baseline is
+    /// designed to demonstrate).
+    pub max_states: u64,
+}
+
+impl YatConfig {
+    /// Defaults: 1 MiB pool, 1,000,000-state exploration cap.
+    pub fn new() -> Self {
+        YatConfig { pool_size: 1 << 20, max_states: 1_000_000 }
+    }
+}
+
+impl Default for YatConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A bug found by eager exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct YatBug {
+    /// Description (panic/abort message from the recovery execution).
+    pub message: String,
+    /// Failure injection point whose state space exposed the bug.
+    pub failure_point: usize,
+}
+
+/// Result of an eager check.
+#[derive(Clone, Debug, Default)]
+pub struct YatReport {
+    /// Distinct bugs, in discovery order.
+    pub bugs: Vec<YatBug>,
+    /// Post-failure states actually materialized and executed.
+    pub states_explored: u64,
+    /// Failure injection points in the pre-failure execution.
+    pub failure_points: usize,
+    /// Whether the state cap truncated exploration.
+    pub truncated: bool,
+    /// Wall-clock time.
+    pub duration: Duration,
+}
+
+impl YatReport {
+    /// `true` when no bug was found.
+    pub fn is_clean(&self) -> bool {
+        self.bugs.is_empty()
+    }
+}
+
+/// Runs the pre-failure execution, crashing at `crash_at` (or completing).
+/// Returns the environment for inspection, or a bug message if the
+/// pre-failure execution itself misbehaved.
+fn run_pre_failure(
+    program: &dyn Program,
+    pool_size: usize,
+    crash_at: Option<usize>,
+) -> Result<PreFailureEnv, String> {
+    let env = PreFailureEnv::new(pool_size, crash_at);
+    let outcome = jaaru::with_quiet_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            program.run(&env);
+            env.end_point();
+        }))
+    });
+    match outcome {
+        Ok(()) => Ok(env),
+        Err(p) if p.is::<YatCrash>() => Ok(env),
+        Err(p) => match p.downcast::<YatBugSignal>() {
+            Ok(sig) => Err(sig.0),
+            Err(p) => Err(crate::panic_text(p.as_ref())),
+        },
+    }
+}
+
+/// The per-line writeback choices for a crashed execution: every touched
+/// line paired with its candidate last-writeback positions.
+fn line_choices(storage: &ExecutionStorage) -> Vec<(CacheLineId, Vec<Seq>)> {
+    let mut lines: Vec<CacheLineId> = storage.touched_lines().collect();
+    lines.sort();
+    lines.into_iter().map(|l| (l, storage.writeback_points(l))).collect()
+}
+
+/// Number of distinct post-failure states of a crashed execution.
+fn state_count(storage: &ExecutionStorage) -> StateCount {
+    line_choices(storage)
+        .iter()
+        .map(|(_, pts)| StateCount::from_u64(pts.len() as u64))
+        .fold(StateCount::ONE, |a, b| a * b)
+}
+
+/// Materializes the post-failure pool for one combination of per-line
+/// writeback points.
+fn materialize(
+    storage: &ExecutionStorage,
+    choices: &[(CacheLineId, Vec<Seq>)],
+    odometer: &[usize],
+    pool_size: usize,
+) -> PmPool {
+    let mut pool = PmPool::new(pool_size);
+    for ((line, points), &idx) in choices.iter().zip(odometer) {
+        let w = points[idx];
+        for addr in line.bytes() {
+            if let Some(v) = storage.snapshot_value(addr, w) {
+                pool.write_u8(addr, v).expect("touched addresses are in bounds");
+            }
+        }
+    }
+    pool
+}
+
+/// Advances the odometer; returns `false` after the last combination.
+fn advance(odometer: &mut [usize], choices: &[(CacheLineId, Vec<Seq>)]) -> bool {
+    for (slot, (_, points)) in odometer.iter_mut().zip(choices) {
+        *slot += 1;
+        if *slot < points.len() {
+            return true;
+        }
+        *slot = 0;
+    }
+    false
+}
+
+/// Eagerly model checks `program`: for every failure injection point,
+/// enumerates every legal post-failure state and runs recovery against it.
+///
+/// # Example
+///
+/// ```
+/// use jaaru::PmEnv;
+/// use jaaru_yat::{eager_check, YatConfig};
+///
+/// let program = |env: &dyn PmEnv| {
+///     let root = env.root();
+///     if env.is_recovery() {
+///         let v = env.load_u64(root);
+///         env.pm_assert(v == 0 || v == 5, "corrupt");
+///         return;
+///     }
+///     env.store_u64(root, 5);
+///     env.persist(root, 8);
+/// };
+/// let mut config = YatConfig::new();
+/// config.pool_size = 4096;
+/// let report = eager_check(&program, &config);
+/// assert!(report.is_clean());
+/// assert!(report.states_explored >= 2);
+/// ```
+pub fn eager_check(program: &dyn Program, config: &YatConfig) -> YatReport {
+    let start = Instant::now();
+    let mut report = YatReport::default();
+
+    // Discover the injection points (and any plain functional bug).
+    let probe = match run_pre_failure(program, config.pool_size, None) {
+        Ok(env) => env,
+        Err(message) => {
+            report.bugs.push(YatBug { message, failure_point: usize::MAX });
+            report.duration = start.elapsed();
+            return report;
+        }
+    };
+    report.failure_points = probe.points_seen();
+
+    'points: for point in 0..report.failure_points {
+        let env = match run_pre_failure(program, config.pool_size, Some(point)) {
+            Ok(env) => env,
+            Err(message) => {
+                push_bug(&mut report.bugs, message, point);
+                continue;
+            }
+        };
+        let storage = env.into_storage();
+        let choices = line_choices(&storage);
+        let mut odometer = vec![0usize; choices.len()];
+        loop {
+            if report.states_explored >= config.max_states {
+                report.truncated = true;
+                break 'points;
+            }
+            report.states_explored += 1;
+            let pool = materialize(&storage, &choices, &odometer, config.pool_size);
+            let recovery = ConcreteEnv::new(pool);
+            let outcome = jaaru::with_quiet_panics(|| {
+                catch_unwind(AssertUnwindSafe(|| program.run(&recovery)))
+            });
+            if let Err(p) = outcome {
+                let message = match p.downcast::<YatBugSignal>() {
+                    Ok(sig) => sig.0,
+                    Err(p) => crate::panic_text(p.as_ref()),
+                };
+                push_bug(&mut report.bugs, message, point);
+            }
+            if !advance(&mut odometer, &choices) {
+                break;
+            }
+        }
+    }
+
+    report.duration = start.elapsed();
+    report
+}
+
+fn push_bug(bugs: &mut Vec<YatBug>, message: String, failure_point: usize) {
+    if !bugs.iter().any(|b| b.message == message) {
+        bugs.push(YatBug { message, failure_point });
+    }
+}
+
+/// Computes, without materializing anything, the number of post-failure
+/// states Yat would have to explore for `program`: the sum over failure
+/// points of the per-point state-space size. This regenerates the
+/// `#Yat Execs.` column of Figure 14.
+///
+/// Returns the count and the number of failure points.
+pub fn count_states(program: &dyn Program, config: &YatConfig) -> (StateCount, usize) {
+    let probe = match run_pre_failure(program, config.pool_size, None) {
+        Ok(env) => env,
+        Err(_) => return (StateCount::ZERO, 0),
+    };
+    let points = probe.points_seen();
+    let mut total = StateCount::ZERO;
+    for point in 0..points {
+        if let Ok(env) = run_pre_failure(program, config.pool_size, Some(point)) {
+            total = total + state_count(&env.into_storage());
+        }
+    }
+    (total, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaaru::PmEnv;
+
+    fn config() -> YatConfig {
+        YatConfig { pool_size: 4096, max_states: 100_000 }
+    }
+
+    #[test]
+    fn clean_program_explores_all_states_quietly() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                let v = env.load_u64(root);
+                env.pm_assert(v == 0 || v == 5, "corrupt");
+                return;
+            }
+            env.store_u64(root, 5);
+            env.persist(root, 8);
+        };
+        let report = eager_check(&program, &config());
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.failure_points, 2, "flush + end");
+        // Point 0 (before clflush): states = {initial, 5} = 2.
+        // Point 1 (end): flush landed → the single post-flush state... the
+        // flush pins begin, no stores after it → 1 state. Total 3.
+        assert_eq!(report.states_explored, 3);
+    }
+
+    #[test]
+    fn missing_flush_bug_is_found_eagerly() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            let data = root + 64;
+            if env.load_u64(root) != 0 {
+                env.pm_assert(env.load_u64(data) == 42, "lost committed data");
+                return;
+            }
+            env.store_u64(data, 42);
+            // BUG: data never flushed.
+            env.store_u64(root, 1);
+            env.persist(root, 8);
+        };
+        let report = eager_check(&program, &config());
+        assert_eq!(report.bugs.len(), 1, "{report:?}");
+        assert!(report.bugs[0].message.contains("lost committed data"));
+    }
+
+    #[test]
+    fn exponential_state_growth_is_counted() {
+        // The paper's §1 example: initialize n cache-line-resident u64s
+        // and crash before flushing. Each line holds 8 stores → 9 states.
+        let n_lines = 4u64;
+        let program = move |env: &dyn PmEnv| {
+            let base = env.root();
+            if env.is_recovery() {
+                return;
+            }
+            for line in 0..n_lines {
+                for slot in 0..8u64 {
+                    env.store_u64(base + line * 64 + slot * 8, slot + 1);
+                }
+            }
+            env.clflush(base, (n_lines * 64) as usize);
+            env.sfence();
+        };
+        let (count, points) = count_states(&program, &config());
+        assert_eq!(points, 2);
+        // Point 0: 9^4 states; point 1 (end, all flushed): 1 state.
+        assert_eq!(count.as_u64(), Some(9u64.pow(4) + 1));
+    }
+
+    #[test]
+    fn state_cap_truncates() {
+        let program = |env: &dyn PmEnv| {
+            if env.is_recovery() {
+                return;
+            }
+            let base = env.root();
+            for line in 0..8u64 {
+                for slot in 0..8u64 {
+                    env.store_u64(base + line * 64 + slot * 8, slot + 1);
+                }
+            }
+            env.clflush(base, 512);
+            env.sfence();
+        };
+        let mut cfg = config();
+        cfg.max_states = 1000;
+        let report = eager_check(&program, &cfg);
+        assert!(report.truncated);
+        assert_eq!(report.states_explored, 1000);
+    }
+
+    #[test]
+    fn functional_bug_in_pre_failure_is_reported() {
+        let program = |env: &dyn PmEnv| {
+            env.bug("broken before any failure");
+        };
+        let report = eager_check(&program, &config());
+        assert_eq!(report.bugs.len(), 1);
+        assert_eq!(report.failure_points, 0);
+    }
+
+    #[test]
+    fn torn_state_enumeration_matches_snapshots() {
+        // Two stores to the same line, unflushed: states are 0-0, 1-0, 1-1
+        // (prefix-closed, never 0-1).
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                let lo = env.load_u8(root);
+                let hi = env.load_u8(root + 1);
+                env.pm_assert(!(lo == 0 && hi == 1), "non-prefix state materialized");
+                return;
+            }
+            env.store_u8(root, 1);
+            env.store_u8(root + 1, 1);
+            env.clflush(root, 2);
+            env.sfence();
+        };
+        let report = eager_check(&program, &config());
+        assert!(report.is_clean(), "{report:?}");
+        // Point 0: 3 states; point 1 (end): 1 state.
+        assert_eq!(report.states_explored, 4);
+    }
+}

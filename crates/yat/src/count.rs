@@ -1,0 +1,173 @@
+//! Astronomically large state counts, kept in log space.
+//!
+//! Yat's eager exploration must visit every legal post-failure memory
+//! state; for realistic programs the paper reports counts up to
+//! `1.93×10^605` (Figure 14), far beyond `u64` and even `f64` range.
+//! [`StateCount`] stores `log10` of the count and renders it the way the
+//! paper's table does (`2.17e182`).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Mul};
+
+/// A non-negative count held as `log10(count)`.
+///
+/// # Example
+///
+/// ```
+/// use jaaru_yat::StateCount;
+///
+/// let per_line = StateCount::from_u64(9);
+/// // 9 states per cache line, 100 independent lines:
+/// let total = per_line.pow(100);
+/// assert_eq!(total.to_string(), "2.66e95");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct StateCount {
+    log10: f64,
+}
+
+impl StateCount {
+    /// The count 1 (the multiplicative identity: an empty product of
+    /// per-line state counts).
+    pub const ONE: StateCount = StateCount { log10: 0.0 };
+
+    /// The count 0 (the additive identity).
+    pub const ZERO: StateCount = StateCount { log10: f64::NEG_INFINITY };
+
+    /// Creates a count from an exact integer.
+    pub fn from_u64(n: u64) -> Self {
+        if n == 0 {
+            Self::ZERO
+        } else {
+            StateCount { log10: (n as f64).log10() }
+        }
+    }
+
+    /// `log10` of the count (`-inf` for zero).
+    pub fn log10(self) -> f64 {
+        self.log10
+    }
+
+    /// Raises the count to an integer power (independent lines multiply).
+    pub fn pow(self, exp: u32) -> Self {
+        StateCount { log10: self.log10 * f64::from(exp) }
+    }
+
+    /// The count as a `u64` if it fits exactly enough to be meaningful.
+    pub fn as_u64(self) -> Option<u64> {
+        if self == Self::ZERO {
+            return Some(0);
+        }
+        (self.log10 < 18.0).then(|| 10f64.powf(self.log10).round() as u64)
+    }
+}
+
+impl Add for StateCount {
+    type Output = StateCount;
+
+    /// Log-space addition (`logsumexp` base 10): totals across failure
+    /// points add.
+    fn add(self, rhs: StateCount) -> StateCount {
+        if self == Self::ZERO {
+            return rhs;
+        }
+        if rhs == Self::ZERO {
+            return self;
+        }
+        let (hi, lo) = if self.log10 >= rhs.log10 { (self, rhs) } else { (rhs, self) };
+        StateCount { log10: hi.log10 + (1.0 + 10f64.powf(lo.log10 - hi.log10)).log10() }
+    }
+}
+
+impl Mul for StateCount {
+    type Output = StateCount;
+
+    /// Counts of independent choices multiply.
+    fn mul(self, rhs: StateCount) -> StateCount {
+        if self == Self::ZERO || rhs == Self::ZERO {
+            return Self::ZERO;
+        }
+        StateCount { log10: self.log10 + rhs.log10 }
+    }
+}
+
+impl Sum for StateCount {
+    fn sum<I: Iterator<Item = StateCount>>(iter: I) -> StateCount {
+        iter.fold(StateCount::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for StateCount {
+    /// Renders like the paper's Figure 14: `2.17e182`, or the plain
+    /// integer when small.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Self::ZERO {
+            return write!(f, "0");
+        }
+        if let Some(n) = self.as_u64() {
+            if n < 1_000_000 {
+                return write!(f, "{n}");
+            }
+        }
+        let exp = self.log10.floor();
+        let mantissa = 10f64.powf(self.log10 - exp);
+        write!(f, "{mantissa:.2}e{exp:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_counts() {
+        assert_eq!(StateCount::from_u64(0).to_string(), "0");
+        assert_eq!(StateCount::from_u64(1).to_string(), "1");
+        assert_eq!(StateCount::from_u64(9).to_string(), "9");
+        assert_eq!(StateCount::from_u64(0).as_u64(), Some(0));
+        assert_eq!(StateCount::from_u64(123_456).as_u64(), Some(123_456));
+    }
+
+    #[test]
+    fn multiplication_is_exact_in_log_space() {
+        let a = StateCount::from_u64(9);
+        let b = StateCount::from_u64(81);
+        assert_eq!((a * a).to_string(), b.to_string());
+        assert_eq!((a * StateCount::ONE).as_u64(), Some(9));
+        assert_eq!((a * StateCount::ZERO).to_string(), "0");
+    }
+
+    #[test]
+    fn addition_is_logsumexp() {
+        let a = StateCount::from_u64(1000);
+        let b = StateCount::from_u64(24);
+        assert_eq!((a + b).as_u64(), Some(1024));
+        assert_eq!((StateCount::ZERO + b).as_u64(), Some(24));
+        assert_eq!((b + StateCount::ZERO).as_u64(), Some(24));
+    }
+
+    #[test]
+    fn paper_scale_counts_do_not_overflow() {
+        // P-CLHT in Figure 14 needs 1.93×10^605 — representable only in
+        // log space. 9^636 ≈ 6.6×10^606 is the same order.
+        let direct = StateCount::from_u64(9).pow(636);
+        assert!(direct.log10().is_finite());
+        assert!(direct.log10() > 600.0);
+        assert!(direct.to_string().contains('e'));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: StateCount = (1..=4u64).map(StateCount::from_u64).sum();
+        assert_eq!(total.as_u64(), Some(10));
+    }
+
+    #[test]
+    fn intro_example_nine_to_the_n_over_eight() {
+        // §1: an array of n 64-bit integers spans n/8 lines with 9 states
+        // each. For n = 64: 9^8 = 43,046,721.
+        let n = StateCount::from_u64(9).pow(8);
+        assert_eq!(n.as_u64(), Some(43_046_721));
+    }
+}

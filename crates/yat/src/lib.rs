@@ -1,0 +1,61 @@
+//! Yat-style eager baseline for persistent-memory model checking.
+//!
+//! Yat (Lantz et al., USENIX ATC '14) validates PM software by
+//! enumerating, at every failure point, *all* legal post-failure memory
+//! states before running the recovery code. The Jaaru paper uses Yat as
+//! the baseline its constraint-refinement approach beats by many orders
+//! of magnitude (Figure 14). Yat itself is not publicly available; like
+//! the paper, this crate provides
+//!
+//! * a working eager enumerator for programs whose state spaces are small
+//!   enough to explore ([`eager_check`]) — used by the differential
+//!   property tests that validate Jaaru's "no false positives or
+//!   negatives" claim, and
+//! * an analytic state counter ([`count_states`]) that computes the
+//!   number of executions Yat *would* need without running them —
+//!   exactly how the paper produced numbers like `1.93×10^605`
+//!   ([`StateCount`] keeps them in log space).
+//!
+//! # Example
+//!
+//! ```
+//! use jaaru::PmEnv;
+//! use jaaru_yat::{count_states, YatConfig};
+//!
+//! // Initialize 16 u64 slots (2 cache lines) and crash before the flush:
+//! // Yat must enumerate 9^2 states for that point.
+//! let program = |env: &dyn PmEnv| {
+//!     if env.is_recovery() {
+//!         return;
+//!     }
+//!     let base = env.root();
+//!     for i in 0..16u64 {
+//!         env.store_u64(base + i * 8, i + 1);
+//!     }
+//!     env.clflush(base, 128);
+//!     env.sfence();
+//! };
+//! let mut config = YatConfig::new();
+//! config.pool_size = 4096;
+//! let (count, points) = count_states(&program, &config);
+//! assert_eq!(points, 2);
+//! assert_eq!(count.as_u64(), Some(9 * 9 + 1));
+//! ```
+
+mod checker;
+mod count;
+mod env;
+
+pub use checker::{count_states, eager_check, YatBug, YatConfig, YatReport};
+pub use count::StateCount;
+
+/// Extracts readable text from a panic payload (shared helper).
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,61 @@
+//! Auditing a persistent key-value library before release — the paper's
+//! headline use case ("the best use case for Jaaru is to exhaustively
+//! check widely-used libraries such as PMDK, finding as many potential
+//! bugs as possible before their release").
+//!
+//! The audit sweeps the CCEH hash table (RECIPE) through its fixed
+//! configuration and all three seeded constructor faults, and the
+//! mini-PMDK hashmap examples through their allocator and transaction
+//! faults, printing a short verdict for each.
+//!
+//! Run with: `cargo run --release -p jaaru-examples --example kv_store_audit`
+
+use jaaru::{CheckReport, Config, ModelChecker, Program};
+use jaaru_workloads::pmdk::{hashmap_atomic, hashmap_tx, MapWorkload, PmdkFaults};
+use jaaru_workloads::recipe::cceh::{Cceh, CcehFault};
+use jaaru_workloads::recipe::IndexWorkload;
+
+fn audit(name: &str, program: &dyn Program) -> CheckReport {
+    let mut config = Config::new();
+    config.pool_size(1 << 18).max_ops_per_execution(20_000).max_scenarios(5_000);
+    let report = ModelChecker::new(config).check(program);
+    let verdict = if report.is_clean() { "clean" } else { "BUGGY" };
+    println!("{name:<44} {verdict:>6}  ({})", report.summary());
+    for bug in &report.bugs {
+        println!("    -> {bug}");
+    }
+    report
+}
+
+fn main() {
+    println!("Crash-consistency audit, CCEH build matrix:");
+    let clean = audit("CCEH (fixed)", &IndexWorkload::<Cceh>::fixed(6));
+    assert!(clean.is_clean());
+    for (label, fault) in [
+        ("CCEH (directory header not flushed)", CcehFault::CtorDirectoryHeaderNotFlushed),
+        ("CCEH (directory entries not flushed)", CcehFault::CtorDirectoryEntriesNotFlushed),
+        ("CCEH (root pointer not flushed)", CcehFault::CtorRootNotFlushed),
+    ] {
+        let report = audit(label, &IndexWorkload::<Cceh>::new(fault, 4));
+        assert!(!report.is_clean());
+    }
+
+    println!("\nCrash-consistency audit, mini-PMDK hashmaps:");
+    let clean = audit(
+        "hashmap_atomic (fixed)",
+        &MapWorkload::<hashmap_atomic::HashmapAtomic>::new(PmdkFaults::default(), 5),
+    );
+    assert!(clean.is_clean());
+    let report = audit(
+        "hashmap_atomic (allocator cursor unflushed)",
+        &MapWorkload::<hashmap_atomic::HashmapAtomic>::new(hashmap_atomic::bug5_faults(), 4),
+    );
+    assert!(!report.is_clean());
+    let report = audit(
+        "hashmap_tx (undo-log entry unflushed)",
+        &MapWorkload::<hashmap_tx::HashmapTx>::new(hashmap_tx::bug6_faults(), 4),
+    );
+    assert!(!report.is_clean());
+
+    println!("\nAudit complete: every seeded fault was exposed, every fixed build is clean.");
+}

@@ -1,0 +1,4 @@
+//! Runnable examples for the Jaaru reproduction (see the `examples/`
+//! binaries: `quickstart`, `persistent_log`, `kv_store_audit`,
+//! `debug_missing_flush`). This library target exists only to anchor the
+//! example binaries in the workspace.

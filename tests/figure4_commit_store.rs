@@ -1,0 +1,126 @@
+//! End-to-end reproduction of the Figure 4 walkthrough (§3.2): the
+//! commit-store pattern and the execution counts Jaaru's lazy
+//! exploration achieves on it.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+use jaaru::{Config, ModelChecker, PmEnv};
+use jaaru_workloads::synthetic::{figure4_no_commit_check_program, figure4_program};
+
+fn checker() -> ModelChecker {
+    let mut config = Config::new();
+    config.pool_size(1 << 12);
+    ModelChecker::new(config)
+}
+
+/// The paper's walkthrough: failures before each clflush plus the end of
+/// `addChild` (3 points), with 1, 2 and 1 post-failure executions
+/// respectively → 5 scenarios including the clean run.
+#[test]
+fn walkthrough_execution_counts() {
+    let report = checker().check(&figure4_program());
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.stats.failure_points, 3);
+    assert_eq!(report.stats.scenarios, 5, "{report}");
+}
+
+/// The commit store bounds exploration: reading `data` without checking
+/// the commit (the §3.2 anti-pattern) explores *more* executions and is
+/// buggy.
+#[test]
+fn no_commit_check_explores_more_and_fails() {
+    let with_commit = checker().check(&figure4_program());
+    let without = checker().check(&figure4_no_commit_check_program());
+    assert!(!without.is_clean(), "reading uncommitted data is a bug: {without}");
+    assert!(
+        without.stats.executions >= with_commit.stats.executions,
+        "skipping the commit check cannot shrink the exploration: {} vs {}",
+        without.stats.executions,
+        with_commit.stats.executions
+    );
+}
+
+/// Scaling the anti-pattern (§3.2): with n unflushed cache lines read
+/// unconditionally, exploration grows with n — while the commit-store
+/// version stays flat. (The eager equivalent would grow as 2^n.)
+#[test]
+fn commit_store_keeps_exploration_flat() {
+    fn program(n: u64, check_commit: bool) -> impl jaaru::Program {
+        move |env: &dyn PmEnv| {
+            let commit = env.root();
+            let data = commit + 64;
+            if env.is_recovery() {
+                if !check_commit || env.load_u64(commit) == 1 {
+                    for i in 0..n {
+                        let v = env.load_u64(data + i * 64);
+                        if check_commit {
+                            env.pm_assert(v == i + 1, "committed line lost");
+                        } else {
+                            env.pm_assert(v == 0 || v == i + 1, "torn line");
+                        }
+                    }
+                }
+                return;
+            }
+            for i in 0..n {
+                env.store_u64(data + i * 64, i + 1);
+            }
+            env.clflush(data, (n * 64) as usize);
+            env.sfence();
+            env.store_u64(commit, 1);
+            env.persist(commit, 8);
+        }
+    }
+
+    let mut commit_counts = Vec::new();
+    let mut raw_counts = Vec::new();
+    for n in [1u64, 2, 4, 6] {
+        let c = checker().check(&program(n, true));
+        assert!(c.is_clean(), "{c}");
+        commit_counts.push(c.stats.executions);
+        let r = checker().check(&program(n, false));
+        assert!(r.is_clean(), "{r}");
+        raw_counts.push(r.stats.executions);
+    }
+    // Commit-store exploration is flat in n (same few equivalence
+    // classes); unconditional reads grow with n.
+    assert!(
+        commit_counts.windows(2).all(|w| w[1] <= w[0] + 2),
+        "commit-store exploration should stay flat: {commit_counts:?}"
+    );
+    assert!(
+        raw_counts.last().unwrap() > raw_counts.first().unwrap(),
+        "unconditional reads must grow with n: {raw_counts:?}"
+    );
+}
+
+/// The three outcomes the walkthrough enumerates are exactly the
+/// observable recovery behaviours.
+#[test]
+fn observable_outcomes_match_walkthrough() {
+    let outcomes = RefCell::new(BTreeSet::new());
+    let program = |env: &dyn PmEnv| {
+        let child_ptr = env.root();
+        let child = child_ptr + 64;
+        if env.is_recovery() {
+            let p = env.load_addr(child_ptr);
+            if p.is_null() {
+                outcomes.borrow_mut().insert("null");
+            } else {
+                let data = env.load_u64(p);
+                assert_eq!(data, 42, "committed data must be intact");
+                outcomes.borrow_mut().insert("data");
+            }
+            return;
+        }
+        env.store_u64(child, 42);
+        env.clflush(child, 8);
+        env.store_addr(child_ptr, child);
+        env.clflush(child_ptr, 8);
+        env.sfence();
+    };
+    let report = checker().check(&program);
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(outcomes.into_inner(), BTreeSet::from(["null", "data"]));
+}

@@ -1,0 +1,6 @@
+//! Cross-crate integration tests for the Jaaru reproduction. The test
+//! binaries in this package exercise the public APIs of every crate
+//! together: the paper's worked examples (Figures 2–4), the Table 1
+//! litmus probes, the RECIPE/PMDK bug sweeps, multi-failure scenarios,
+//! the comparator tools, and the differential lazy-vs-eager property
+//! tests.

@@ -1,0 +1,149 @@
+//! Multi-failure scenarios: the paper's command-line option that lets
+//! failures hit post-failure (recovery) executions too, bounding the
+//! depth of the `exec` stack.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+use jaaru::{Config, ModelChecker, PmEnv};
+
+fn config(max_failures: usize) -> Config {
+    let mut c = Config::new();
+    c.pool_size(1 << 12).max_failures(max_failures);
+    c
+}
+
+/// A generation counter that each execution bumps durably.
+fn generation_program(env: &dyn PmEnv) {
+    let cell = env.root();
+    let g = env.load_u64(cell);
+    env.pm_assert(g <= 8, "generation corrupt");
+    env.store_u64(cell, g + 1);
+    env.persist(cell, 8);
+}
+
+#[test]
+fn deeper_failure_budgets_explore_more() {
+    let one = ModelChecker::new(config(1)).check(&generation_program);
+    let two = ModelChecker::new(config(2)).check(&generation_program);
+    let three = ModelChecker::new(config(3)).check(&generation_program);
+    assert!(one.is_clean() && two.is_clean() && three.is_clean());
+    assert!(two.stats.scenarios > one.stats.scenarios);
+    assert!(three.stats.scenarios > two.stats.scenarios);
+}
+
+#[test]
+fn generations_observed_grow_with_depth() {
+    // With k failures, recovery executions can observe generations up
+    // to k (each crashed execution may or may not have persisted its
+    // bump).
+    for depth in 1..=3usize {
+        let observed = RefCell::new(BTreeSet::new());
+        let program = |env: &dyn PmEnv| {
+            let cell = env.root();
+            let g = env.load_u64(cell);
+            observed.borrow_mut().insert((env.execution_index(), g));
+            env.store_u64(cell, g + 1);
+            env.persist(cell, 8);
+        };
+        let report = ModelChecker::new(config(depth)).check(&program);
+        assert!(report.is_clean());
+        let max_gen = observed.into_inner().into_iter().map(|(_, g)| g).max().unwrap();
+        assert_eq!(
+            max_gen, depth as u64,
+            "an execution after {depth} failures can see {depth} persisted bumps"
+        );
+    }
+}
+
+/// An undo-style protocol must also survive a crash *during recovery*:
+/// the rollback itself is re-entrant. The protocol guards a (data, gen)
+/// pair with a backup + stage flag, and a monotonic `committed` counter
+/// (persisted last) witnesses completed updates.
+fn guarded_update_program(flush_backup: bool) -> impl jaaru::Program {
+    move |env: &dyn PmEnv| {
+        let stage = env.root();
+        let data = env.root() + 64;
+        let backup = env.root() + 128; // (data, gen) pair
+        let gen = env.root() + 192;
+        let committed = env.root() + 256;
+
+        // Recovery: roll back an in-flight update (idempotent).
+        if env.load_u64(stage) == 1 {
+            let (bv, bg) = (env.load_u64(backup), env.load_u64(backup + 8));
+            env.store_u64(data, bv);
+            env.store_u64(gen, bg);
+            env.clflush(data, 8);
+            env.clflush(gen, 8);
+            env.sfence();
+            env.store_u64(stage, 0);
+            env.persist(stage, 8);
+        }
+        let v = env.load_u64(data);
+        let g = env.load_u64(gen);
+        env.pm_assert(v == g * 10, "data does not match its generation");
+        env.pm_assert(g >= env.load_u64(committed), "a committed update was rolled back");
+        if g >= 2 {
+            return;
+        }
+
+        // One guarded update: backup, mark, mutate (torn on purpose),
+        // flush, unmark, then witness completion.
+        env.store_u64(backup, v);
+        env.store_u64(backup + 8, g);
+        if flush_backup {
+            env.persist(backup, 16);
+        }
+        env.store_u64(stage, 1);
+        env.persist(stage, 8);
+        env.store_u64(data, v + 5); // torn intermediate
+        env.store_u64(data, v + 10);
+        env.store_u64(gen, g + 1);
+        env.clflush(data, 8);
+        env.clflush(gen, 8);
+        env.sfence();
+        env.store_u64(stage, 0);
+        env.persist(stage, 8);
+        env.store_u64(committed, g + 1);
+        env.persist(committed, 8);
+    }
+}
+
+#[test]
+fn reentrant_recovery_is_checked() {
+    for depth in 1..=3usize {
+        let report = ModelChecker::new(config(depth)).check(&guarded_update_program(true));
+        assert!(report.is_clean(), "depth {depth}: {report}");
+    }
+}
+
+/// The same protocol with the backup flush removed rolls a committed
+/// update back to a stale snapshot — caught only because exploration
+/// reaches the second update's crash window (two failures deep).
+#[test]
+fn broken_reentrant_recovery_is_caught() {
+    let report = ModelChecker::new(config(2)).check(&guarded_update_program(false));
+    assert!(!report.is_clean(), "lost backup must surface: {report}");
+    assert!(report
+        .bugs
+        .iter()
+        .any(|b| b.message.contains("committed update was rolled back")
+            || b.message.contains("generation")),
+        "{report}");
+}
+
+#[test]
+fn crash_points_are_recorded_per_failure() {
+    let program = |env: &dyn PmEnv| {
+        let cell = env.root();
+        let g = env.load_u64(cell);
+        env.pm_assert(g < 2, "third generation reached"); // trips at depth 2
+        env.store_u64(cell, g + 1);
+        env.persist(cell, 8);
+    };
+    let report = ModelChecker::new(config(2)).check(&program);
+    assert!(!report.is_clean());
+    let bug = &report.bugs[0];
+    assert_eq!(bug.crash_points.len(), 2, "two failures preceded the symptom: {bug}");
+    assert_eq!(bug.execution_index, 2);
+}
