@@ -7,15 +7,17 @@
 //!   injection,
 //! * the cost of the missing-flush debugging aid (race flagging).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use jaaru::{Config, ModelChecker};
+use jaaru_bench::timing::bench;
 use jaaru_workloads::recipe::pclht::Pclht;
 use jaaru_workloads::recipe::IndexWorkload;
 use jaaru_workloads::synthetic::{checksum_log_program, figure2_program, figure4_program};
 
 const POOL: usize = 1 << 16;
+const SAMPLES: usize = 10;
+const WARMUP: usize = 2;
 
 fn base_config() -> Config {
     let mut c = Config::new();
@@ -23,68 +25,54 @@ fn base_config() -> Config {
     c
 }
 
-fn bench_examples(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper_examples");
-    group.bench_function("figure2_intervals", |b| {
-        let p = figure2_program();
-        b.iter(|| black_box(ModelChecker::new(base_config()).check(&p).stats.scenarios));
+fn bench_examples() {
+    let group = "paper_examples";
+    let p = figure2_program();
+    bench(group, "figure2_intervals", SAMPLES, WARMUP, || {
+        black_box(ModelChecker::new(base_config()).check(&p).stats.scenarios);
     });
-    group.bench_function("figure4_commit_store", |b| {
-        let p = figure4_program();
-        b.iter(|| black_box(ModelChecker::new(base_config()).check(&p).stats.scenarios));
+    let p = figure4_program();
+    bench(group, "figure4_commit_store", SAMPLES, WARMUP, || {
+        black_box(ModelChecker::new(base_config()).check(&p).stats.scenarios);
     });
-    group.bench_function("checksum_recovery", |b| {
-        let p = checksum_log_program(2);
-        b.iter(|| black_box(ModelChecker::new(base_config()).check(&p).stats.scenarios));
+    let p = checksum_log_program(2);
+    bench(group, "checksum_recovery", SAMPLES, WARMUP, || {
+        black_box(ModelChecker::new(base_config()).check(&p).stats.scenarios);
     });
-    group.finish();
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations");
+fn bench_ablations() {
+    let group = "ablations";
     let workload = IndexWorkload::<Pclht>::fixed(6);
 
-    group.bench_function("default", |b| {
-        b.iter(|| {
-            let mut config = base_config();
-            config.pool_size(1 << 18);
-            black_box(ModelChecker::new(config).check(&workload).stats.executions)
-        });
+    bench(group, "default", SAMPLES, WARMUP, || {
+        let mut config = base_config();
+        config.pool_size(1 << 18);
+        black_box(ModelChecker::new(config).check(&workload).stats.executions);
     });
-    group.bench_function("no_skip_unchanged", |b| {
-        b.iter(|| {
-            let mut config = base_config();
-            config.pool_size(1 << 18).skip_unchanged(false);
-            black_box(ModelChecker::new(config).check(&workload).stats.executions)
-        });
+    bench(group, "no_skip_unchanged", SAMPLES, WARMUP, || {
+        let mut config = base_config();
+        config.pool_size(1 << 18).skip_unchanged(false);
+        black_box(ModelChecker::new(config).check(&workload).stats.executions);
     });
-    group.bench_function("no_end_injection", |b| {
-        b.iter(|| {
-            let mut config = base_config();
-            config.pool_size(1 << 18).inject_at_end(false);
-            black_box(ModelChecker::new(config).check(&workload).stats.executions)
-        });
+    bench(group, "no_end_injection", SAMPLES, WARMUP, || {
+        let mut config = base_config();
+        config.pool_size(1 << 18).inject_at_end(false);
+        black_box(ModelChecker::new(config).check(&workload).stats.executions);
     });
-    group.bench_function("no_race_flagging", |b| {
-        b.iter(|| {
-            let mut config = base_config();
-            config.pool_size(1 << 18).flag_races(false);
-            black_box(ModelChecker::new(config).check(&workload).stats.executions)
-        });
+    bench(group, "no_race_flagging", SAMPLES, WARMUP, || {
+        let mut config = base_config();
+        config.pool_size(1 << 18).flag_races(false);
+        black_box(ModelChecker::new(config).check(&workload).stats.executions);
     });
-    group.bench_function("two_failures", |b| {
-        b.iter(|| {
-            let mut config = base_config();
-            config.pool_size(1 << 18).max_failures(2);
-            black_box(ModelChecker::new(config).check(&workload).stats.executions)
-        });
+    bench(group, "two_failures", SAMPLES, WARMUP, || {
+        let mut config = base_config();
+        config.pool_size(1 << 18).max_failures(2);
+        black_box(ModelChecker::new(config).check(&workload).stats.executions);
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_examples, bench_ablations
+fn main() {
+    bench_examples();
+    bench_ablations();
 }
-criterion_main!(benches);

@@ -7,49 +7,40 @@
 //! already three orders of magnitude past the lazy cost); the binary
 //! `scaling` prints the analytic eager counts further out.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use jaaru::{Config, ModelChecker};
+use jaaru_bench::timing::{bench, ratio};
 use jaaru_workloads::synthetic::array_init_program;
 use jaaru_yat::{eager_check, YatConfig};
 
 const POOL: usize = 1 << 16;
+const SAMPLES: usize = 10;
+const WARMUP: usize = 2;
 
-fn bench_lazy_vs_eager(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lazy_vs_eager");
+fn main() {
+    let group = "lazy_vs_eager";
 
     for n in [8usize, 16, 24] {
-        group.bench_with_input(BenchmarkId::new("jaaru_lazy", n), &n, |b, &n| {
-            let program = array_init_program(n, true);
-            b.iter(|| {
-                let mut config = Config::new();
-                config.pool_size(POOL);
-                let report = ModelChecker::new(config).check(&program);
-                assert!(report.is_clean());
-                black_box(report.stats.executions);
-            });
+        let program = array_init_program(n, true);
+        let lazy = bench(group, &format!("jaaru_lazy/{n}"), SAMPLES, WARMUP, || {
+            let mut config = Config::new();
+            config.pool_size(POOL);
+            let report = ModelChecker::new(config).check(&program);
+            assert!(report.is_clean());
+            black_box(report.stats.executions);
         });
 
-        group.bench_with_input(BenchmarkId::new("yat_eager", n), &n, |b, &n| {
-            let program = array_init_program(n, true);
-            b.iter(|| {
-                let mut config = YatConfig::new();
-                config.pool_size = POOL;
-                let report = eager_check(&program, &config);
-                assert!(report.is_clean());
-                assert!(!report.truncated, "keep the eager run exhaustive");
-                black_box(report.states_explored);
-            });
+        let program = array_init_program(n, true);
+        let eager = bench(group, &format!("yat_eager/{n}"), SAMPLES, WARMUP, || {
+            let mut config = YatConfig::new();
+            config.pool_size = POOL;
+            let report = eager_check(&program, &config);
+            assert!(report.is_clean());
+            assert!(!report.truncated, "keep the eager run exhaustive");
+            black_box(report.states_explored);
         });
+
+        ratio(&format!("eager/lazy at n={n}"), eager, lazy);
     }
-
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_lazy_vs_eager
-}
-criterion_main!(benches);

@@ -16,60 +16,53 @@
 //! The jaaru/native ratio is the paper's slowdown figure; see
 //! EXPERIMENTS.md for measured values.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use jaaru::{Config, ModelChecker, NativeEnv, Program};
+use jaaru_bench::timing::{bench, ratio};
 use jaaru_testers::{pmtest_check, xfdetector_check};
 use jaaru_workloads::recipe::fast_fair::FastFair;
 use jaaru_workloads::recipe::IndexWorkload;
 
 const KEYS: usize = 32;
 const POOL: usize = 1 << 18;
+const SAMPLES: usize = 20;
+const WARMUP: usize = 3;
 
 fn workload() -> IndexWorkload<FastFair> {
     IndexWorkload::<FastFair>::fixed(KEYS)
 }
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("single_execution_overhead");
+fn main() {
+    let group = "single_execution_overhead";
 
-    group.bench_function("native", |b| {
-        let w = workload();
-        b.iter(|| {
-            let env = NativeEnv::new(POOL);
-            w.run(black_box(&env));
-        });
+    let w = workload();
+    let native = bench(group, "native", SAMPLES, WARMUP, || {
+        let env = NativeEnv::new(POOL);
+        w.run(black_box(&env));
     });
 
-    group.bench_function("jaaru", |b| {
-        let w = workload();
-        b.iter(|| {
-            // One scenario = the single complete (no-crash) execution,
-            // under the full store-buffer/flush-buffer simulation.
-            let mut config = Config::new();
-            config.pool_size(POOL).max_scenarios(1);
-            let report = ModelChecker::new(config).check(&w);
-            black_box(report.stats.executions_with_replay);
-        });
+    let w = workload();
+    let jaaru = bench(group, "jaaru", SAMPLES, WARMUP, || {
+        // One scenario = the single complete (no-crash) execution,
+        // under the full store-buffer/flush-buffer simulation.
+        let mut config = Config::new();
+        config.pool_size(POOL).max_scenarios(1);
+        let report = ModelChecker::new(config).check(&w);
+        black_box(report.stats.executions_with_replay);
     });
 
-    group.bench_function("pmtest", |b| {
-        let w = workload();
-        b.iter(|| black_box(pmtest_check(&w, POOL).violations.len()));
+    let w = workload();
+    let pmtest = bench(group, "pmtest", SAMPLES, WARMUP, || {
+        black_box(pmtest_check(&w, POOL).violations.len());
     });
 
-    group.bench_function("xfdetector", |b| {
-        let w = workload();
-        b.iter(|| black_box(xfdetector_check(&w, POOL).violations.len()));
+    let w = workload();
+    let xfdetector = bench(group, "xfdetector", SAMPLES, WARMUP, || {
+        black_box(xfdetector_check(&w, POOL).violations.len());
     });
 
-    group.finish();
+    ratio("jaaru/native slowdown", jaaru, native);
+    ratio("pmtest/native slowdown", pmtest, native);
+    ratio("xfdetector/native slowdown", xfdetector, native);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_overhead
-}
-criterion_main!(benches);

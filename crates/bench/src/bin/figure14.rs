@@ -21,7 +21,10 @@ use jaaru_bench::table;
 use jaaru_yat::{count_states, YatConfig};
 
 fn main() {
-    let keys: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let keys: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
     println!("Figure 14: Jaaru's state-space reduction ({keys} keys per benchmark)\n");
 
     let mut rows = Vec::new();
@@ -53,7 +56,15 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["Benchmark", "#JExec.", "JTime", "#FPoints", "#Yat Execs.", "JExec/FPoint", "YatFPoints"],
+            &[
+                "Benchmark",
+                "#JExec.",
+                "JTime",
+                "#FPoints",
+                "#Yat Execs.",
+                "JExec/FPoint",
+                "YatFPoints"
+            ],
             &rows,
         )
     );

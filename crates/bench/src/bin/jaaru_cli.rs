@@ -4,25 +4,29 @@
 //! report.
 //!
 //! ```text
-//! jaaru_cli list
-//! jaaru_cli check <benchmark> [keys]          # fixed configuration
-//! jaaru_cli bug (recipe|pmdk) <row#> [keys]   # one bug-table row
-//! jaaru_cli perf [keys]                       # Figure 14 run
+//! jaaru_cli [--jobs N] list
+//! jaaru_cli [--jobs N] check <benchmark> [keys]          # fixed configuration
+//! jaaru_cli [--jobs N] bug (recipe|pmdk) <row#> [keys]   # one bug-table row
+//! jaaru_cli [--jobs N] perf [keys]                       # Figure 14 run
 //! ```
 //!
+//! `--jobs N` explores on N worker threads (0 = all cores; default 1).
 //! e.g. `cargo run --release -p jaaru-bench --bin jaaru_cli -- bug recipe 10`
 
 use jaaru::{Config, ModelChecker, Program};
 use jaaru_bench::registry::{pmdk_bug_cases, recipe_bug_cases, recipe_fixed_cases};
 
-fn config() -> Config {
+fn config(jobs: usize) -> Config {
     let mut c = Config::new();
-    c.pool_size(1 << 18).max_ops_per_execution(40_000).max_scenarios(20_000);
+    c.pool_size(1 << 18)
+        .max_ops_per_execution(40_000)
+        .max_scenarios(20_000)
+        .jobs(jobs);
     c
 }
 
-fn run(program: &dyn Program) {
-    let report = ModelChecker::new(config()).check(program);
+fn run(program: &(dyn Program + Sync), jobs: usize) {
+    let report = ModelChecker::new(config(jobs)).check(program);
     println!("== {} ==", program.name());
     println!("{report}");
     for race in &report.races {
@@ -31,20 +35,31 @@ fn run(program: &dyn Program) {
     if report.is_clean() {
         println!("VERDICT: crash consistent under exhaustive exploration");
     } else {
-        println!("VERDICT: {} bug(s) found; traces above reproduce them", report.bugs.len());
+        println!(
+            "VERDICT: {} bug(s) found; traces above reproduce them",
+            report.bugs.len()
+        );
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jaaru_cli list\n  jaaru_cli check <benchmark> [keys]\n  \
-         jaaru_cli bug (recipe|pmdk) <row#> [keys]\n  jaaru_cli perf [keys]"
+        "usage:\n  jaaru_cli [--jobs N] list\n  jaaru_cli [--jobs N] check <benchmark> [keys]\n  \
+         jaaru_cli [--jobs N] bug (recipe|pmdk) <row#> [keys]\n  jaaru_cli [--jobs N] perf [keys]"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = 1usize;
+    if let Some(pos) = args.iter().position(|a| a == "--jobs" || a == "-j") {
+        let Some(n) = args.get(pos + 1).and_then(|a| a.parse().ok()) else {
+            usage()
+        };
+        jobs = n;
+        args.drain(pos..=pos + 1);
+    }
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("fixed benchmarks (check):");
@@ -67,7 +82,7 @@ fn main() {
                 .into_iter()
                 .find(|(n, _)| n.eq_ignore_ascii_case(name));
             match case {
-                Some((_, program)) => run(&*program),
+                Some((_, program)) => run(&*program, jobs),
                 None => {
                     eprintln!("unknown benchmark {name:?}; try `jaaru_cli list`");
                     std::process::exit(2);
@@ -76,7 +91,10 @@ fn main() {
         }
         Some("bug") => {
             let suite = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-            let id: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+            let id: usize = args
+                .get(2)
+                .and_then(|a| a.parse().ok())
+                .unwrap_or_else(|| usage());
             let keys = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(5);
             let cases = match suite {
                 "recipe" => recipe_bug_cases(keys),
@@ -85,8 +103,11 @@ fn main() {
             };
             match cases.into_iter().find(|c| c.id == id) {
                 Some(case) => {
-                    println!("cause: {}\npaper symptom: {}", case.cause, case.paper_symptom);
-                    run(&*case.program);
+                    println!(
+                        "cause: {}\npaper symptom: {}",
+                        case.cause, case.paper_symptom
+                    );
+                    run(&*case.program, jobs);
                 }
                 None => {
                     eprintln!("no row {id} in {suite}; try `jaaru_cli list`");
@@ -97,7 +118,7 @@ fn main() {
         Some("perf") => {
             let keys = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
             for (name, program) in recipe_fixed_cases(keys) {
-                let report = ModelChecker::new(config()).check(&*program);
+                let report = ModelChecker::new(config(jobs)).check(&*program);
                 println!("{name:<11} {}", report.summary());
             }
         }

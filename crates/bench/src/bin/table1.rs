@@ -28,7 +28,16 @@ fn check(name: &str, ok: bool) {
 
 fn main() {
     println!("Table 1: reordering constraints in the Px86sim model\n");
-    let headers = ["earlier \\ later", "Re", "Wr", "RMW", "mf", "sf", "clflushopt", "clflush"];
+    let headers = [
+        "earlier \\ later",
+        "Re",
+        "Wr",
+        "RMW",
+        "mf",
+        "sf",
+        "clflushopt",
+        "clflush",
+    ];
     let rows: Vec<Vec<String>> = [
         ["Read", "✓", "✓", "✓", "✓", "✓", "✓", "✓"],
         ["Write", "✗", "✓", "✓", "✓", "✓", "CL", "✓"],
@@ -50,21 +59,30 @@ fn main() {
         vec![LitmusOp::Store(X, 1), LitmusOp::Load(Y)],
         vec![LitmusOp::Store(Y, 1), LitmusOp::Load(X)],
     ]);
-    check("Write→Read reorders (SB allows r1=r2=0)", regs(&sb).contains(&vec![vec![0], vec![0]]));
+    check(
+        "Write→Read reorders (SB allows r1=r2=0)",
+        regs(&sb).contains(&vec![vec![0], vec![0]]),
+    );
 
     // mfence restores the order (the ✓ cells in the mfence row/column).
     let sb_mf = LitmusProgram::new(vec![
         vec![LitmusOp::Store(X, 1), LitmusOp::Mfence, LitmusOp::Load(Y)],
         vec![LitmusOp::Store(Y, 1), LitmusOp::Mfence, LitmusOp::Load(X)],
     ]);
-    check("mfence forbids the SB outcome", !regs(&sb_mf).contains(&vec![vec![0], vec![0]]));
+    check(
+        "mfence forbids the SB outcome",
+        !regs(&sb_mf).contains(&vec![vec![0], vec![0]]),
+    );
 
     // Write → Write preserved: message passing never shows (1, 0).
     let mp = LitmusProgram::new(vec![
         vec![LitmusOp::Store(X, 1), LitmusOp::Store(Y, 1)],
         vec![LitmusOp::Load(Y), LitmusOp::Load(X)],
     ]);
-    check("Write→Write preserved (no MP anomaly)", !regs(&mp).contains(&vec![vec![], vec![1, 0]]));
+    check(
+        "Write→Write preserved (no MP anomaly)",
+        !regs(&mp).contains(&vec![vec![], vec![1, 0]]),
+    );
 
     // Write → clflushopt same line: CL (cannot reorder). The fenced
     // flush's lower bound must cover the same-line store.
@@ -87,10 +105,12 @@ fn main() {
     ]]);
     check(
         "Write→clflushopt other line reorders",
-        p.outcomes().iter().all(|o| o.flush_bounds.is_empty() || {
-            // The X-line flush exists but is unconstrained relative to
-            // the Y store: its begin may be 0 only if nothing orders it.
-            true
+        p.outcomes().iter().all(|o| {
+            o.flush_bounds.is_empty() || {
+                // The X-line flush exists but is unconstrained relative to
+                // the Y store: its begin may be 0 only if nothing orders it.
+                true
+            }
         }),
     );
 
@@ -130,10 +150,9 @@ fn main() {
     ]]);
     check(
         "clflush→clflushopt same line ordered (CL)",
-        p.outcomes().iter().all(|o| o
-            .flush_bounds
+        p.outcomes()
             .iter()
-            .all(|&(_, begin, _)| begin >= 2)),
+            .all(|o| o.flush_bounds.iter().all(|&(_, begin, _)| begin >= 2)),
     );
 
     // clflush behaves like a store for ordering: once evicted it always

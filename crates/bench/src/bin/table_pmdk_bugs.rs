@@ -10,7 +10,10 @@ use jaaru_bench::registry::pmdk_bug_cases;
 use jaaru_bench::table;
 
 fn main() {
-    let keys: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let keys: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
     println!("Figure 12/16: bugs found by Jaaru in the PMDK stack ({keys}+ keys)\n");
 
     let mut rows = Vec::new();

@@ -19,7 +19,10 @@ fn kind_label(kind: BugKind) -> &'static str {
 }
 
 fn main() {
-    let keys: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    let keys: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
     println!("Figure 13/15: bugs found by Jaaru in every RECIPE program ({keys}+ keys)\n");
 
     let mut rows = Vec::new();
@@ -63,7 +66,15 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["#", "Benchmark", "Type of bug", "Observed symptom", "Jaaru", "XFDet", "PMTest"],
+            &[
+                "#",
+                "Benchmark",
+                "Type of bug",
+                "Observed symptom",
+                "Jaaru",
+                "XFDet",
+                "PMTest"
+            ],
             &rows,
         )
     );

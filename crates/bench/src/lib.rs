@@ -15,3 +15,4 @@
 
 pub mod registry;
 pub mod table;
+pub mod timing;

@@ -29,7 +29,7 @@ pub struct BugCase {
     /// Whether the paper marks the bug as newly found by Jaaru (`*`).
     pub new_bug: bool,
     /// The program with the fault seeded.
-    pub program: Box<dyn Program>,
+    pub program: Box<dyn Program + Sync>,
 }
 
 /// The 18 RECIPE bug rows of Figure 13 (symptoms from Figure 15).
@@ -123,7 +123,10 @@ pub fn recipe_bug_cases(keys: usize) -> Vec<BugCase> {
             cause: "Use of non-persistent data structure for recovery",
             paper_symptom: "Getting stuck in an infinite loop",
             new_bug: true,
-            program: Box::new(IndexWorkload::<Part>::new(PartFault::VolatileRecoverySet, k)),
+            program: Box::new(IndexWorkload::<Part>::new(
+                PartFault::VolatileRecoverySet,
+                k,
+            )),
         },
         BugCase {
             id: 10,
@@ -165,8 +168,9 @@ pub fn recipe_bug_cases(keys: usize) -> Vec<BugCase> {
             paper_symptom: "Segmentation fault in the program",
             new_bug: true,
             program: Box::new(
-                IndexWorkload::<Pbwtree>::new(PbwtreeFault::None, k)
-                    .with_alloc_fault(AllocFault { skip_cursor_flush: true }),
+                IndexWorkload::<Pbwtree>::new(PbwtreeFault::None, k).with_alloc_fault(AllocFault {
+                    skip_cursor_flush: true,
+                }),
             ),
         },
         BugCase {
@@ -175,7 +179,10 @@ pub fn recipe_bug_cases(keys: usize) -> Vec<BugCase> {
             cause: "Missing flush in BwTree constructor",
             paper_symptom: "Segmentation fault in the program",
             new_bug: true,
-            program: Box::new(IndexWorkload::<Pbwtree>::new(PbwtreeFault::CtorNotFlushed, k)),
+            program: Box::new(IndexWorkload::<Pbwtree>::new(
+                PbwtreeFault::CtorNotFlushed,
+                k,
+            )),
         },
         BugCase {
             id: 15,
@@ -191,7 +198,10 @@ pub fn recipe_bug_cases(keys: usize) -> Vec<BugCase> {
             cause: "Missing flush for hashtable object",
             paper_symptom: "Illegal memory access in the program",
             new_bug: false,
-            program: Box::new(IndexWorkload::<Pclht>::new(PclhtFault::TableObjectNotFlushed, k)),
+            program: Box::new(IndexWorkload::<Pclht>::new(
+                PclhtFault::TableObjectNotFlushed,
+                k,
+            )),
         },
         BugCase {
             id: 17,
@@ -305,31 +315,49 @@ pub fn pmdk_bug_cases(keys: usize) -> Vec<BugCase> {
 use jaaru_workloads::pmdk::rbtree_map as rbtree_bug7_alias;
 
 /// The six fixed (bug-free) RECIPE benchmarks for Figure 14.
-pub fn recipe_fixed_cases(keys: usize) -> Vec<(&'static str, Box<dyn Program>)> {
+pub fn recipe_fixed_cases(keys: usize) -> Vec<(&'static str, Box<dyn Program + Sync>)> {
     vec![
-        ("CCEH", Box::new(IndexWorkload::<Cceh>::fixed(keys)) as Box<dyn Program>),
-        ("FAST_FAIR", Box::new(IndexWorkload::<FastFair>::fixed(keys))),
+        (
+            "CCEH",
+            Box::new(IndexWorkload::<Cceh>::fixed(keys)) as Box<dyn Program + Sync>,
+        ),
+        (
+            "FAST_FAIR",
+            Box::new(IndexWorkload::<FastFair>::fixed(keys)),
+        ),
         ("P-ART", Box::new(IndexWorkload::<Part>::fixed(keys))),
         ("P-BwTree", Box::new(IndexWorkload::<Pbwtree>::fixed(keys))),
         ("P-CLHT", Box::new(IndexWorkload::<Pclht>::fixed(keys))),
-        ("P-Masstree", Box::new(IndexWorkload::<Pmasstree>::fixed(keys))),
+        (
+            "P-Masstree",
+            Box::new(IndexWorkload::<Pmasstree>::fixed(keys)),
+        ),
     ]
 }
 
 /// The fixed PMDK maps for extended clean-run checks.
-pub fn pmdk_fixed_cases(keys: usize) -> Vec<(&'static str, Box<dyn Program>)> {
+pub fn pmdk_fixed_cases(keys: usize) -> Vec<(&'static str, Box<dyn Program + Sync>)> {
     vec![
         (
             "Btree",
-            Box::new(MapWorkload::<btree_map::BtreeMap>::fixed(keys)) as Box<dyn Program>,
+            Box::new(MapWorkload::<btree_map::BtreeMap>::fixed(keys)) as Box<dyn Program + Sync>,
         ),
-        ("CTree", Box::new(MapWorkload::<ctree_map::CtreeMap>::fixed(keys))),
-        ("RBTree", Box::new(MapWorkload::<rbtree_bug7_alias::RbtreeMap>::fixed(keys))),
+        (
+            "CTree",
+            Box::new(MapWorkload::<ctree_map::CtreeMap>::fixed(keys)),
+        ),
+        (
+            "RBTree",
+            Box::new(MapWorkload::<rbtree_bug7_alias::RbtreeMap>::fixed(keys)),
+        ),
         (
             "Hashmap_atomic",
             Box::new(MapWorkload::<hashmap_atomic::HashmapAtomic>::fixed(keys)),
         ),
-        ("Hashmap_tx", Box::new(MapWorkload::<hashmap_tx::HashmapTx>::fixed(keys))),
+        (
+            "Hashmap_tx",
+            Box::new(MapWorkload::<hashmap_tx::HashmapTx>::fixed(keys)),
+        ),
     ]
 }
 

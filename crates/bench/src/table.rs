@@ -36,7 +36,10 @@ pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
     out.push_str(&"-".repeat(rule));
     out.push('\n');
@@ -54,7 +57,10 @@ mod tests {
     fn columns_align() {
         let out = render(
             &["a", "long-header"],
-            &[vec!["xxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+            &[
+                vec!["xxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,0 +1,45 @@
+//! Minimal wall-clock timing harness for the `harness = false` bench
+//! targets. The workspace builds offline, so there is no criterion; this
+//! reports median / mean / min over a fixed sample count, which is all
+//! the paper-ratio experiments need.
+
+use std::time::{Duration, Instant};
+
+/// One measured series: `samples` timed runs of `f` after `warmup`
+/// untimed runs. Prints a criterion-like one-liner and returns the
+/// median so callers can compute ratios.
+pub fn bench<F: FnMut()>(
+    group: &str,
+    name: &str,
+    samples: usize,
+    warmup: usize,
+    mut f: F,
+) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "{group}/{name:<24} median {:>12?}  mean {:>12?}  min {:>12?}  ({samples} samples)",
+        median, mean, times[0]
+    );
+    median
+}
+
+/// Formats a ratio between two medians (e.g. the 736× overhead claim).
+pub fn ratio(label: &str, num: Duration, den: Duration) {
+    if den.as_nanos() == 0 {
+        println!("{label}: n/a (zero denominator)");
+    } else {
+        println!("{label}: {:.1}x", num.as_secs_f64() / den.as_secs_f64());
+    }
+}

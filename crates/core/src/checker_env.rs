@@ -107,10 +107,10 @@ impl CheckerEnv {
                 work_since_fence: 0,
             }),
             pool_size: config.pool_size_value() as u64,
-            max_failures: config.max_failures_value(),
+            max_failures: config.failure_limit(),
             inject_at_end: config.inject_at_end_value(),
             skip_unchanged: config.skip_unchanged_value(),
-            max_ops: config.max_ops_value(),
+            max_ops: config.op_limit(),
             flag_races: config.flag_races_value(),
             flag_perf: config.flag_perf_issues_value(),
         }
@@ -172,8 +172,17 @@ impl CheckerEnv {
     // borrows safely).
     // ------------------------------------------------------------------
 
-    fn abort(&self, kind: BugKind, message: String, location: Option<&'static Location<'static>>) -> ! {
-        panic_any(AbortSignal { kind, message, location })
+    fn abort(
+        &self,
+        kind: BugKind,
+        message: String,
+        location: Option<&'static Location<'static>>,
+    ) -> ! {
+        panic_any(AbortSignal {
+            kind,
+            message,
+            location,
+        })
     }
 
     #[track_caller]
@@ -197,10 +206,17 @@ impl CheckerEnv {
         let end = addr.offset().checked_add(len as u64);
         let bad_oob = !matches!(end, Some(e) if e <= self.pool_size);
         if bad_null || bad_oob {
-            let what = if bad_null { "null-page" } else { "out-of-bounds" };
+            let what = if bad_null {
+                "null-page"
+            } else {
+                "out-of-bounds"
+            };
             self.abort(
                 BugKind::IllegalAccess,
-                format!("{what} access: {len} bytes at {addr} (pool size {})", self.pool_size),
+                format!(
+                    "{what} access: {len} bytes at {addr} (pool size {})",
+                    self.pool_size
+                ),
                 Some(Location::caller()),
             );
         }
@@ -224,8 +240,11 @@ impl CheckerEnv {
             return;
         }
         if self.skip_unchanged {
-            let eligible =
-                if at_end { inner.any_writes_this_exec } else { inner.writes_since_point };
+            let eligible = if at_end {
+                inner.any_writes_this_exec
+            } else {
+                inner.writes_since_point
+            };
             if !eligible {
                 return;
             }
@@ -259,7 +278,9 @@ impl CheckerEnv {
                     if self.flag_races {
                         record_race(inner, addr, loc, &cands);
                     }
-                    inner.decisions.next(cands.len(), ChoiceKind::ReadFrom, inner.exec_index)
+                    inner
+                        .decisions
+                        .next(cands.len(), ChoiceKind::ReadFrom, inner.exec_index)
                 };
                 let chosen = cands[choice];
                 do_read(&mut inner.stack, addr, chosen);
@@ -282,7 +303,10 @@ impl CheckerEnv {
             // stores wastes a persistency operation (the bug class PMTest
             // and pmemcheck report).
             let redundant = (first..=last).all(|l| {
-                !inner.machine.storage().has_unflushed_stores(jaaru_pmem::CacheLineId::new(l))
+                !inner
+                    .machine
+                    .storage()
+                    .has_unflushed_stores(jaaru_pmem::CacheLineId::new(l))
             });
             if redundant {
                 let kind = if opt {
@@ -304,7 +328,12 @@ impl CheckerEnv {
     }
 }
 
-fn record_race(inner: &mut Inner, addr: PmAddr, loc: &'static Location<'static>, cands: &[RfCandidate]) {
+fn record_race(
+    inner: &mut Inner,
+    addr: PmAddr,
+    loc: &'static Location<'static>,
+    cands: &[RfCandidate],
+) {
     if inner.races.len() >= MAX_RACES {
         return;
     }
@@ -315,9 +344,11 @@ fn record_race(inner: &mut Inner, addr: PmAddr, loc: &'static Location<'static>,
     let candidates = cands
         .iter()
         .map(|c| match c.source {
-            RfSource::Initial => {
-                RaceCandidate { exec_index: None, value: c.value, location: None }
-            }
+            RfSource::Initial => RaceCandidate {
+                exec_index: None,
+                value: c.value,
+                location: None,
+            },
             RfSource::Store { exec, store } => {
                 let ev = inner.stack[exec].event(store);
                 RaceCandidate {
@@ -351,8 +382,15 @@ fn record_perf(
     match inner.perf_index.get(&(kind, location.clone())) {
         Some(&i) => inner.perf_issues[i].occurrences += 1,
         None => {
-            inner.perf_index.insert((kind, location.clone()), inner.perf_issues.len());
-            inner.perf_issues.push(PerfIssue { kind, location, addr, occurrences: 1 });
+            inner
+                .perf_index
+                .insert((kind, location.clone()), inner.perf_issues.len());
+            inner.perf_issues.push(PerfIssue {
+                kind,
+                location,
+                addr,
+                occurrences: 1,
+            });
         }
     }
 }
@@ -473,7 +511,10 @@ impl PmEnv for CheckerEnv {
                 drop(inner);
                 self.abort(
                     BugKind::OutOfMemory,
-                    format!("pm_alloc({size}, {align}) exhausted the {}B pool", self.pool_size),
+                    format!(
+                        "pm_alloc({size}, {align}) exhausted the {}B pool",
+                        self.pool_size
+                    ),
                     Some(Location::caller()),
                 )
             }
@@ -494,7 +535,11 @@ impl PmEnv for CheckerEnv {
 
     #[track_caller]
     fn bug(&self, msg: &str) -> ! {
-        self.abort(BugKind::AssertionFailure, msg.to_string(), Some(Location::caller()))
+        self.abort(
+            BugKind::AssertionFailure,
+            msg.to_string(),
+            Some(Location::caller()),
+        )
     }
 
     fn spawn(&self, body: &mut dyn FnMut(&dyn PmEnv)) {
@@ -553,8 +598,7 @@ mod tests {
     #[test]
     fn out_of_bounds_aborts() {
         let e = env();
-        let err =
-            catch_unwind(AssertUnwindSafe(|| e.load_u64(PmAddr::new(4092)))).unwrap_err();
+        let err = catch_unwind(AssertUnwindSafe(|| e.load_u64(PmAddr::new(4092)))).unwrap_err();
         let sig = err.downcast::<AbortSignal>().expect("abort signal");
         assert_eq!(sig.kind, BugKind::IllegalAccess);
         assert!(sig.message.contains("out-of-bounds"));

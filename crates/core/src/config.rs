@@ -11,7 +11,7 @@ use jaaru_tso::EvictionPolicy;
 ///
 /// let mut config = Config::new();
 /// config.pool_size(1 << 16).max_failures(2).stop_on_first_bug(true);
-/// assert_eq!(config.max_failures_value(), 2);
+/// assert_eq!(config.failure_limit(), 2);
 /// ```
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -26,6 +26,7 @@ pub struct Config {
     stop_on_first_bug: bool,
     flag_races: bool,
     flag_perf_issues: bool,
+    jobs: usize,
 }
 
 impl Config {
@@ -46,6 +47,7 @@ impl Config {
             stop_on_first_bug: false,
             flag_races: true,
             flag_perf_issues: false,
+            jobs: 1,
         }
     }
 
@@ -55,7 +57,10 @@ impl Config {
     ///
     /// Panics if smaller than two cache lines.
     pub fn pool_size(&mut self, bytes: usize) -> &mut Self {
-        assert!(bytes >= 128, "pool must hold at least the null page and a root line");
+        assert!(
+            bytes >= 128,
+            "pool must hold at least the null page and a root line"
+        );
         self.pool_size = bytes;
         self
     }
@@ -120,6 +125,17 @@ impl Config {
         self
     }
 
+    /// Number of worker threads exploring failure scenarios. `1`
+    /// (default) runs the single-threaded depth-first search; `0` uses
+    /// [`std::thread::available_parallelism`]; `n > 1` partitions the
+    /// scenario frontier over `n` work-stealing workers. The final
+    /// report is byte-identical across job counts for non-truncated
+    /// runs (see DESIGN.md, "Parallel exploration").
+    pub fn jobs(&mut self, n: usize) -> &mut Self {
+        self.jobs = n;
+        self
+    }
+
     /// Current pool size in bytes.
     pub fn pool_size_value(&self) -> usize {
         self.pool_size
@@ -130,8 +146,8 @@ impl Config {
         self.eviction
     }
 
-    /// Current failure budget.
-    pub fn max_failures_value(&self) -> usize {
+    /// Maximum number of power failures injected per scenario.
+    pub fn failure_limit(&self) -> usize {
         self.max_failures
     }
 
@@ -145,18 +161,18 @@ impl Config {
         self.skip_unchanged
     }
 
-    /// Current per-execution operation budget.
-    pub fn max_ops_value(&self) -> u64 {
+    /// Per-execution operation budget.
+    pub fn op_limit(&self) -> u64 {
         self.max_ops_per_execution
     }
 
-    /// Current scenario bound.
-    pub fn max_scenarios_value(&self) -> u64 {
+    /// Upper bound on explored scenarios.
+    pub fn scenario_limit(&self) -> u64 {
         self.max_scenarios
     }
 
-    /// Current bug cap.
-    pub fn max_bugs_value(&self) -> usize {
+    /// Upper bound on distinct reported bugs.
+    pub fn bug_limit(&self) -> usize {
         self.max_bugs
     }
 
@@ -182,6 +198,22 @@ impl Config {
     pub fn flag_perf_issues_value(&self) -> bool {
         self.flag_perf_issues
     }
+
+    /// The configured worker count, as set (`0` = auto).
+    pub fn jobs_value(&self) -> usize {
+        self.jobs
+    }
+
+    /// The worker count a check will actually use: `jobs` with `0`
+    /// resolved to the machine's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
 }
 
 impl Default for Config {
@@ -197,22 +229,36 @@ mod tests {
     #[test]
     fn defaults_match_paper_setup() {
         let c = Config::new();
-        assert_eq!(c.max_failures_value(), 1);
+        assert_eq!(c.failure_limit(), 1);
         assert!(c.inject_at_end_value());
         assert!(c.skip_unchanged_value());
         assert!(c.flag_races_value());
         assert!(!c.stop_on_first_bug_value());
         assert_eq!(c.eviction_value(), EvictionPolicy::Eager);
+        assert_eq!(c.jobs_value(), 1, "sequential by default");
     }
 
     #[test]
     fn builder_chains() {
         let mut c = Config::new();
-        c.pool_size(4096).max_failures(3).flag_races(false).max_bugs(5);
+        c.pool_size(4096)
+            .max_failures(3)
+            .flag_races(false)
+            .max_bugs(5)
+            .jobs(4);
         assert_eq!(c.pool_size_value(), 4096);
-        assert_eq!(c.max_failures_value(), 3);
+        assert_eq!(c.failure_limit(), 3);
         assert!(!c.flag_races_value());
-        assert_eq!(c.max_bugs_value(), 5);
+        assert_eq!(c.bug_limit(), 5);
+        assert_eq!(c.effective_jobs(), 4);
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_available_parallelism() {
+        let mut c = Config::new();
+        c.jobs(0);
+        assert_eq!(c.jobs_value(), 0);
+        assert!(c.effective_jobs() >= 1);
     }
 
     #[test]
@@ -225,6 +271,6 @@ mod tests {
     fn max_bugs_floor_is_one() {
         let mut c = Config::new();
         c.max_bugs(0);
-        assert_eq!(c.max_bugs_value(), 1);
+        assert_eq!(c.bug_limit(), 1);
     }
 }

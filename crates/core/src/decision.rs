@@ -117,7 +117,12 @@ impl DecisionLog {
             );
             d.chosen
         } else {
-            self.decisions.push(Decision { chosen: 0, total, kind, exec_index });
+            self.decisions.push(Decision {
+                chosen: 0,
+                total,
+                kind,
+                exec_index,
+            });
             0
         }
     }
@@ -146,6 +151,33 @@ impl DecisionLog {
     /// The alternatives chosen, as a compact reproduction trace.
     pub fn trace(&self) -> Vec<usize> {
         self.decisions.iter().map(|d| d.chosen).collect()
+    }
+
+    /// Length of the prescribed prefix of the most recent run (decisions
+    /// replayed rather than made fresh).
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// The unexplored sibling subtrees of this completed run, rooted at
+    /// or after decision `start`, as trace prefixes: for each decision
+    /// `i >= start` and each alternative it did *not* take, the prefix
+    /// `trace[..i] + [alt]`. Running each prefix (and recursively
+    /// expanding *its* fresh decisions) enumerates exactly the leaves a
+    /// depth-first [`backtrack`](Self::backtrack) walk would visit after
+    /// this one within the subtree rooted at `trace[..start]` — the
+    /// frontier-splitting rule behind parallel exploration.
+    pub fn sibling_prefixes(&self, start: usize) -> Vec<Vec<usize>> {
+        let chosen: Vec<usize> = self.trace();
+        let mut out = Vec::new();
+        for (i, d) in self.decisions.iter().enumerate().skip(start) {
+            for alt in (d.chosen + 1)..d.total {
+                let mut prefix = chosen[..i].to_vec();
+                prefix.push(alt);
+                out.push(prefix);
+            }
+        }
+        out
     }
 
     /// Advances to the next unexplored trace: flips the deepest decision
@@ -210,7 +242,10 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(leaves, vec![(0, None), (1, Some(0)), (1, Some(1)), (1, Some(2))]);
+        assert_eq!(
+            leaves,
+            vec![(0, None), (1, Some(0)), (1, Some(1)), (1, Some(2))]
+        );
     }
 
     #[test]
@@ -261,6 +296,50 @@ mod tests {
     fn singleton_decisions_do_not_branch() {
         let mut log = DecisionLog::new();
         log.next(1, ChoiceKind::ReadFrom, 0);
-        assert!(!log.backtrack(), "a 1-way decision leaves nothing to explore");
+        assert!(
+            !log.backtrack(),
+            "a 1-way decision leaves nothing to explore"
+        );
+    }
+
+    #[test]
+    fn sibling_prefixes_enumerate_untaken_alternatives() {
+        let mut log = DecisionLog::new();
+        run(&mut log); // (0, None): one binary decision, alternative 0
+        assert_eq!(log.sibling_prefixes(0), vec![vec![1]]);
+        // Prefixes starting past every decision are empty.
+        assert_eq!(log.sibling_prefixes(1), Vec::<Vec<usize>>::new());
+    }
+
+    #[test]
+    fn frontier_expansion_covers_the_dfs_tree_exactly_once() {
+        // Worklist exploration via sibling_prefixes must visit the same
+        // leaf set as the sequential backtracking walk, each leaf once.
+        let mut log = DecisionLog::new();
+        let mut dfs_leaves = Vec::new();
+        loop {
+            dfs_leaves.push(run(&mut log));
+            if !log.backtrack() {
+                break;
+            }
+        }
+
+        let mut work = vec![Vec::new()];
+        let mut frontier_leaves = Vec::new();
+        while let Some(prefix) = work.pop() {
+            let mut log = DecisionLog::from_trace(&prefix);
+            frontier_leaves.push(run(&mut log));
+            work.extend(log.sibling_prefixes(prefix.len()));
+        }
+
+        frontier_leaves.sort();
+        let mut expected = dfs_leaves.clone();
+        expected.sort();
+        assert_eq!(frontier_leaves, expected);
+        assert_eq!(
+            frontier_leaves.len(),
+            dfs_leaves.len(),
+            "no leaf visited twice"
+        );
     }
 }

@@ -10,19 +10,125 @@
 //! post-failure executions (defined by which pre-failure stores the
 //! post-failure loads read) has been explored exactly once.
 
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use crate::checker_env::CheckerEnv;
 use crate::config::Config;
 use crate::decision::DecisionLog;
-use crate::report::{BugKind, BugReport, CheckReport, CheckStats};
+use crate::parallel::merge::ReportAccumulator;
+use crate::report::{BugKind, BugReport, CheckReport, CheckStats, PerfIssue, RaceReport};
 use crate::signal::{
     install_panic_hook, panic_message, take_last_panic_location, with_quiet_panics, AbortSignal,
     CrashSignal,
 };
 use crate::Program;
+
+/// Everything one completed failure scenario contributes to the final
+/// report. Both the sequential DFS and the parallel workers produce
+/// these; [`ReportAccumulator`] folds them — in canonical trace order —
+/// into a [`CheckReport`].
+#[derive(Clone, Debug)]
+pub(crate) struct ScenarioOutcome {
+    /// The scenario's complete decision trace (its identity, and the
+    /// canonical sort key for deterministic merging).
+    pub trace: Vec<usize>,
+    /// `Program::run` invocations in this scenario, including replayed
+    /// prefixes.
+    pub executions_with_replay: usize,
+    /// Execution index from which this scenario diverged from its
+    /// predecessor (fork-equivalent accounting).
+    pub divergence: usize,
+    /// Loads that faced more than one possible store.
+    pub load_choice_points: u64,
+    /// Largest may-read-from set encountered.
+    pub max_rf_set: usize,
+    /// Injection points in the scenario's first execution.
+    pub failure_points: u64,
+    /// Racy loads observed (when race flagging is on).
+    pub races: Vec<RaceReport>,
+    /// Wasted persistency operations (when perf flagging is on).
+    pub perf_issues: Vec<PerfIssue>,
+    /// The bug this scenario hit, if any, with crash points and trace
+    /// filled in.
+    pub bug: Option<BugReport>,
+}
+
+/// Runs one complete failure scenario steered by `decisions` and returns
+/// its outcome plus the decision log (with alternative counts filled in),
+/// ready for [`DecisionLog::backtrack`] or
+/// [`DecisionLog::sibling_prefixes`].
+pub(crate) fn run_scenario(
+    config: &Config,
+    program: &dyn Program,
+    decisions: DecisionLog,
+) -> (ScenarioOutcome, DecisionLog) {
+    let env = CheckerEnv::new(config, decisions);
+    let mut executions_this_scenario = 0usize;
+    let mut scenario_bug: Option<BugReport> = None;
+
+    loop {
+        executions_this_scenario += 1;
+        let exec_index = env.current_execution();
+        let result = with_quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                program.run(&env);
+                env.end_of_execution_point();
+            }))
+        });
+        match result {
+            Ok(()) => break,
+            Err(payload) => {
+                if payload.is::<CrashSignal>() {
+                    env.advance_execution();
+                    continue;
+                }
+                let (kind, message, location) = match payload.downcast::<AbortSignal>() {
+                    Ok(sig) => {
+                        let loc = sig
+                            .location
+                            .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
+                        (sig.kind, sig.message, loc)
+                    }
+                    Err(payload) => (
+                        BugKind::GuestPanic,
+                        panic_message(payload.as_ref()),
+                        take_last_panic_location(),
+                    ),
+                };
+                scenario_bug = Some(BugReport {
+                    kind,
+                    message,
+                    location,
+                    execution_index: exec_index,
+                    crash_points: Vec::new(), // filled below
+                    trace: Vec::new(),        // filled below
+                    occurrences: 1,
+                });
+                break;
+            }
+        }
+    }
+
+    let record = env.finish();
+    let mut bug = scenario_bug;
+    if let Some(b) = &mut bug {
+        b.crash_points = record.crash_points.clone();
+        b.trace = record.decisions.trace();
+    }
+    let outcome = ScenarioOutcome {
+        trace: record.decisions.trace(),
+        executions_with_replay: executions_this_scenario,
+        divergence: record.decisions.divergence_exec_index(),
+        load_choice_points: record.load_choice_points,
+        max_rf_set: record.max_rf_set,
+        failure_points: record.points_per_exec.first().copied().unwrap_or(0) as u64,
+        races: record.races,
+        perf_issues: record.perf_issues,
+        bug,
+    };
+    (outcome, record.decisions)
+}
 
 /// The Jaaru model checker.
 ///
@@ -63,7 +169,9 @@ impl ModelChecker {
 
     /// Creates a checker with default configuration.
     pub fn with_defaults() -> Self {
-        ModelChecker { config: Config::new() }
+        ModelChecker {
+            config: Config::new(),
+        }
     }
 
     /// The active configuration.
@@ -73,119 +181,40 @@ impl ModelChecker {
 
     /// Exhaustively model checks `program` and reports every distinct bug
     /// found, with statistics matching the paper's Figure 14 columns.
-    pub fn check(&self, program: &dyn Program) -> CheckReport {
+    ///
+    /// With [`Config::jobs`] > 1 the scenario frontier is explored by a
+    /// work-stealing thread pool; for non-truncated runs the report is
+    /// byte-identical (per [`CheckReport::digest`]) to the sequential one.
+    pub fn check(&self, program: &(dyn Program + Sync)) -> CheckReport {
+        match self.config.effective_jobs() {
+            0 | 1 => self.check_sequential(program),
+            jobs => crate::parallel::check_parallel(&self.config, program, jobs),
+        }
+    }
+
+    /// The single-threaded depth-first walk over the decision tree.
+    fn check_sequential(&self, program: &dyn Program) -> CheckReport {
         install_panic_hook();
         let start = Instant::now();
 
         let mut decisions = DecisionLog::new();
-        let mut stats = CheckStats::default();
-        let mut bugs: Vec<BugReport> = Vec::new();
-        let mut bug_index: HashMap<(BugKind, String), usize> = HashMap::new();
-        let mut races = Vec::new();
-        let mut race_keys = std::collections::HashSet::new();
-        let mut perf_issues: Vec<crate::report::PerfIssue> = Vec::new();
-        let mut perf_index: HashMap<(crate::report::PerfIssueKind, String), usize> =
-            HashMap::new();
+        let mut acc = ReportAccumulator::new();
         let mut truncated = false;
 
         loop {
-            stats.scenarios += 1;
-            let env = CheckerEnv::new(&self.config, std::mem::take(&mut decisions));
-            let mut executions_this_scenario = 0usize;
-            let mut scenario_bug: Option<BugReport> = None;
+            let (outcome, log) = run_scenario(&self.config, program, decisions);
+            decisions = log;
+            let had_bug = outcome.bug.is_some();
+            acc.add(outcome);
 
-            loop {
-                executions_this_scenario += 1;
-                let exec_index = env.current_execution();
-                let result = with_quiet_panics(|| {
-                    catch_unwind(AssertUnwindSafe(|| {
-                        program.run(&env);
-                        env.end_of_execution_point();
-                    }))
-                });
-                match result {
-                    Ok(()) => break,
-                    Err(payload) => {
-                        if payload.is::<CrashSignal>() {
-                            env.advance_execution();
-                            continue;
-                        }
-                        let (kind, message, location) = match payload.downcast::<AbortSignal>() {
-                            Ok(sig) => {
-                                let loc = sig.location.map(|l| {
-                                    format!("{}:{}:{}", l.file(), l.line(), l.column())
-                                });
-                                (sig.kind, sig.message, loc)
-                            }
-                            Err(payload) => (
-                                BugKind::GuestPanic,
-                                panic_message(payload.as_ref()),
-                                take_last_panic_location(),
-                            ),
-                        };
-                        scenario_bug = Some(BugReport {
-                            kind,
-                            message,
-                            location,
-                            execution_index: exec_index,
-                            crash_points: Vec::new(), // filled below
-                            trace: Vec::new(),        // filled below
-                            occurrences: 1,
-                        });
-                        break;
-                    }
-                }
+            if had_bug
+                && (self.config.stop_on_first_bug_value()
+                    || acc.distinct_bugs() >= self.config.bug_limit())
+            {
+                truncated = true;
+                break;
             }
-
-            let record = env.finish();
-
-            // Fork-equivalent execution accounting: executions up to the
-            // divergence point were replays a fork-based checker would not
-            // have re-run.
-            let divergence = record.decisions.divergence_exec_index();
-            stats.executions +=
-                (executions_this_scenario - divergence.min(executions_this_scenario - 1)) as u64;
-            stats.executions_with_replay += executions_this_scenario as u64;
-            stats.load_choice_points += record.load_choice_points;
-            stats.max_rf_set = stats.max_rf_set.max(record.max_rf_set);
-            stats.failure_points =
-                stats.failure_points.max(record.points_per_exec.first().copied().unwrap_or(0) as u64);
-
-            for race in record.races {
-                if race_keys.insert(race.load_location.clone()) {
-                    races.push(race);
-                }
-            }
-            for issue in record.perf_issues {
-                match perf_index.get(&(issue.kind, issue.location.clone())) {
-                    Some(&i) => perf_issues[i].occurrences += issue.occurrences,
-                    None => {
-                        perf_index.insert((issue.kind, issue.location.clone()), perf_issues.len());
-                        perf_issues.push(issue);
-                    }
-                }
-            }
-
-            if let Some(mut bug) = scenario_bug {
-                bug.crash_points = record.crash_points.clone();
-                bug.trace = record.decisions.trace();
-                let key = (bug.kind, bug_dedup_key(&bug));
-                match bug_index.get(&key) {
-                    Some(&i) => bugs[i].occurrences += 1,
-                    None => {
-                        bug_index.insert(key, bugs.len());
-                        bugs.push(bug);
-                    }
-                }
-                if self.config.stop_on_first_bug_value() || bugs.len() >= self.config.max_bugs_value()
-                {
-                    truncated = true;
-                    break;
-                }
-            }
-
-            decisions = record.decisions;
-            if stats.scenarios >= self.config.max_scenarios_value() {
+            if acc.scenarios() >= self.config.scenario_limit() {
                 truncated = decisions.backtrack();
                 break;
             }
@@ -194,8 +223,7 @@ impl ModelChecker {
             }
         }
 
-        stats.duration = start.elapsed();
-        CheckReport { bugs, races, perf_issues, stats, truncated }
+        acc.into_report(truncated, start.elapsed(), None)
     }
 }
 
@@ -213,8 +241,10 @@ impl ModelChecker {
         install_panic_hook();
         let start = Instant::now();
         let env = CheckerEnv::new(&self.config, DecisionLog::from_trace(trace));
-        let mut stats = CheckStats::default();
-        stats.scenarios = 1;
+        let mut stats = CheckStats {
+            scenarios: 1,
+            ..Default::default()
+        };
         let mut bugs = Vec::new();
         loop {
             stats.executions += 1;
@@ -265,8 +295,7 @@ impl ModelChecker {
         if let Some(bug) = bugs.first_mut() {
             bug.crash_points = record.crash_points;
         }
-        stats.failure_points =
-            record.points_per_exec.first().copied().unwrap_or(0) as u64;
+        stats.failure_points = record.points_per_exec.first().copied().unwrap_or(0) as u64;
         stats.duration = start.elapsed();
         CheckReport {
             bugs,
@@ -274,6 +303,7 @@ impl ModelChecker {
             perf_issues: record.perf_issues,
             stats,
             truncated: false,
+            parallel: None,
         }
     }
 }
@@ -281,7 +311,7 @@ impl ModelChecker {
 /// Bugs are deduplicated by symptom location (or message when no location
 /// is known) — the paper likewise groups failure injections leading to the
 /// same symptom as one bug.
-fn bug_dedup_key(bug: &BugReport) -> String {
+pub(crate) fn bug_dedup_key(bug: &BugReport) -> String {
     bug.location.clone().unwrap_or_else(|| bug.message.clone())
 }
 
@@ -297,7 +327,7 @@ fn bug_dedup_key(bug: &BugReport) -> String {
 /// });
 /// assert!(report.is_clean());
 /// ```
-pub fn check(program: &dyn Program) -> CheckReport {
+pub fn check(program: &(dyn Program + Sync)) -> CheckReport {
     ModelChecker::with_defaults().check(program)
 }
 
@@ -320,7 +350,10 @@ mod tests {
             env.persist(root, 8);
         });
         assert!(report.is_clean(), "{report}");
-        assert!(report.stats.scenarios >= 2, "clean run + at least one crash scenario");
+        assert!(
+            report.stats.scenarios >= 2,
+            "clean run + at least one crash scenario"
+        );
     }
 
     #[test]
@@ -451,7 +484,10 @@ mod tests {
             env.clflush(root, 8); // skipped
         };
         let report = ModelChecker::new(small_config()).check(&program);
-        assert_eq!(report.stats.failure_points, 2, "first flush + end: {report}");
+        assert_eq!(
+            report.stats.failure_points, 2,
+            "first flush + end: {report}"
+        );
 
         let mut config = small_config();
         config.skip_unchanged(false);
@@ -547,7 +583,8 @@ mod tests {
             if env.is_recovery() {
                 let lo = env.load_u8(root);
                 let hi = env.load_u8(root + 1);
-                env.pm_assert(!(lo == 1 && hi == 0) && !(lo == 0 && hi == 1), "torn");
+                // Both bytes are 0 (initial) or 1 (stored); a mismatch is a tear.
+                env.pm_assert(lo == hi, "torn");
                 return;
             }
             env.store_u16(root, 0x0101);
@@ -645,7 +682,10 @@ mod tests {
         assert!(report.is_clean(), "perf issues are not bugs: {report}");
         let kinds: Vec<PerfIssueKind> = report.perf_issues.iter().map(|p| p.kind).collect();
         assert!(kinds.contains(&PerfIssueKind::RedundantFlush), "{kinds:?}");
-        assert!(kinds.contains(&PerfIssueKind::RedundantFlushOpt), "{kinds:?}");
+        assert!(
+            kinds.contains(&PerfIssueKind::RedundantFlushOpt),
+            "{kinds:?}"
+        );
         assert!(kinds.contains(&PerfIssueKind::RedundantFence), "{kinds:?}");
         for issue in &report.perf_issues {
             assert!(issue.location.contains("explorer.rs"), "{issue}");
@@ -691,31 +731,41 @@ mod tests {
         // buffer at the failure is *definitely* lost (unlike unflushed
         // cache content, which is maybe-persistent). Recovery must read
         // only the initial value.
-        use std::cell::RefCell;
         use std::collections::BTreeSet;
-        let observed = RefCell::new(BTreeSet::new());
+        use std::sync::Mutex;
+        let observed = Mutex::new(BTreeSet::new());
         let program = |env: &dyn PmEnv| {
             let root = env.root();
             if env.is_recovery() {
-                observed.borrow_mut().insert(env.load_u64(root));
+                observed.lock().unwrap().insert(env.load_u64(root));
                 return;
             }
             env.store_u64(root, 7); // buffered, never fenced
             env.clflush(root + 64, 8); // unrelated flush = injection point
         };
         let mut config = small_config();
-        config.eviction(jaaru_tso::EvictionPolicy::OnFence).skip_unchanged(false);
+        config
+            .eviction(jaaru_tso::EvictionPolicy::OnFence)
+            .skip_unchanged(false);
         let report = ModelChecker::new(config).check(&program);
         assert!(report.is_clean(), "{report}");
-        assert_eq!(*observed.borrow(), BTreeSet::from([0]), "buffered store must vanish");
+        assert_eq!(
+            *observed.lock().unwrap(),
+            BTreeSet::from([0]),
+            "buffered store must vanish"
+        );
 
         // The same program under Eager eviction explores both outcomes.
-        observed.borrow_mut().clear();
+        observed.lock().unwrap().clear();
         let mut config = small_config();
         config.skip_unchanged(false);
         let report = ModelChecker::new(config).check(&program);
         assert!(report.is_clean(), "{report}");
-        assert_eq!(*observed.borrow(), BTreeSet::from([0, 7]), "cached store is maybe-persistent");
+        assert_eq!(
+            *observed.lock().unwrap(),
+            BTreeSet::from([0, 7]),
+            "cached store is maybe-persistent"
+        );
     }
 
     #[test]
@@ -723,13 +773,13 @@ mod tests {
         // A child thread's clflushopt is not ordered by the main thread's
         // sfence (per-thread flush buffers, Figure 8): the line may stay
         // unconstrained, so recovery can read 0 or 1.
-        use std::cell::RefCell;
         use std::collections::BTreeSet;
-        let observed = RefCell::new(BTreeSet::new());
+        use std::sync::Mutex;
+        let observed = Mutex::new(BTreeSet::new());
         let program = |env: &dyn PmEnv| {
             let root = env.root();
             if env.is_recovery() {
-                observed.borrow_mut().insert(env.load_u64(root));
+                observed.lock().unwrap().insert(env.load_u64(root));
                 return;
             }
             env.store_u64(root, 1);
@@ -740,16 +790,20 @@ mod tests {
         };
         let report = ModelChecker::new(small_config()).check(&program);
         assert!(report.is_clean(), "{report}");
-        assert_eq!(*observed.borrow(), BTreeSet::from([0, 1]), "{report}");
+        assert_eq!(
+            *observed.lock().unwrap(),
+            BTreeSet::from([0, 1]),
+            "{report}"
+        );
 
         // With the fence in the *child* thread the flush is ordered and
         // the value is pinned once the later commit is visible.
-        let pinned = RefCell::new(BTreeSet::new());
+        let pinned = Mutex::new(BTreeSet::new());
         let program = |env: &dyn PmEnv| {
             let root = env.root();
             if env.is_recovery() {
                 if env.load_u64(root + 64) == 2 {
-                    pinned.borrow_mut().insert(env.load_u64(root));
+                    pinned.lock().unwrap().insert(env.load_u64(root));
                 }
                 return;
             }
@@ -763,7 +817,11 @@ mod tests {
         };
         let report = ModelChecker::new(small_config()).check(&program);
         assert!(report.is_clean(), "{report}");
-        assert_eq!(*pinned.borrow(), BTreeSet::from([1]), "fenced flush pins the store");
+        assert_eq!(
+            *pinned.lock().unwrap(),
+            BTreeSet::from([1]),
+            "fenced flush pins the store"
+        );
     }
 
     #[test]

@@ -71,6 +71,7 @@ mod env;
 mod explorer;
 pub mod litmus;
 mod native;
+mod parallel;
 mod program;
 mod report;
 mod signal;
@@ -81,8 +82,8 @@ pub use explorer::{check, ModelChecker};
 pub use native::NativeEnv;
 pub use program::{Named, Program};
 pub use report::{
-    BugKind, BugReport, CheckReport, CheckStats, PerfIssue, PerfIssueKind, RaceCandidate,
-    RaceReport,
+    BugKind, BugReport, CheckReport, CheckStats, ParallelStats, PerfIssue, PerfIssueKind,
+    RaceCandidate, RaceReport, WorkerStats,
 };
 pub use signal::with_quiet_panics;
 

@@ -12,9 +12,6 @@
 use std::collections::BTreeSet;
 use std::panic::Location;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use jaaru_pmem::{CacheLineId, PmAddr};
 use jaaru_tso::{CurrentRead, EvictionPolicy, FlushInterval, Seq, ThreadId, TsoMachine};
 
@@ -68,6 +65,32 @@ pub struct LitmusProgram {
     threads: Vec<Vec<LitmusOp>>,
 }
 
+/// SplitMix64: a small deterministic generator for schedule sampling.
+/// (Self-contained so the checker has no external dependencies.)
+struct ScheduleRng {
+    state: u64,
+}
+
+impl ScheduleRng {
+    fn new(seed: u64) -> Self {
+        ScheduleRng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-enough index into `0..n` (n is tiny; modulo bias is
+    /// irrelevant for schedule sampling).
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
 #[derive(Clone)]
 struct State {
     machine: TsoMachine,
@@ -82,7 +105,10 @@ impl LitmusProgram {
     ///
     /// Panics if there are no threads.
     pub fn new(threads: Vec<Vec<LitmusOp>>) -> Self {
-        assert!(!threads.is_empty(), "litmus program needs at least one thread");
+        assert!(
+            !threads.is_empty(),
+            "litmus program needs at least one thread"
+        );
         LitmusProgram { threads }
     }
 
@@ -135,7 +161,7 @@ impl LitmusProgram {
     /// Sampling is deterministic in `seed`; the result is always a subset
     /// of the exhaustive outcome set.
     pub fn outcomes_sampled(&self, seed: u64, iterations: u32) -> BTreeSet<LitmusOutcome> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = ScheduleRng::new(seed);
         let mut results = BTreeSet::new();
         for _ in 0..iterations {
             let mut state = State {
@@ -155,7 +181,7 @@ impl LitmusProgram {
                 }
                 let mut progressed = false;
                 while !moves.is_empty() {
-                    let pick = rng.gen_range(0..moves.len());
+                    let pick = rng.pick(moves.len());
                     let (t, evict) = moves.swap_remove(pick);
                     if evict {
                         if state.machine.evict_one(ThreadId(t as u32)) {
@@ -212,7 +238,10 @@ fn outcome_of(state: State) -> LitmusOutcome {
         })
         .filter(|&(_, begin, end)| begin != Seq::ZERO.value() || end.is_some())
         .collect();
-    LitmusOutcome { regs: state.regs, flush_bounds }
+    LitmusOutcome {
+        regs: state.regs,
+        flush_bounds,
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +263,10 @@ mod tests {
             vec![LitmusOp::Store(Y, 1), LitmusOp::Load(X)],
         ]);
         let outcomes = reg_outcomes(&p);
-        assert!(outcomes.contains(&vec![vec![0], vec![0]]), "W→R reordering observable");
+        assert!(
+            outcomes.contains(&vec![vec![0], vec![0]]),
+            "W→R reordering observable"
+        );
         assert!(outcomes.contains(&vec![vec![1], vec![1]]));
     }
 
@@ -247,7 +279,10 @@ mod tests {
             vec![LitmusOp::Store(Y, 1), LitmusOp::Mfence, LitmusOp::Load(X)],
         ]);
         let outcomes = reg_outcomes(&p);
-        assert!(!outcomes.contains(&vec![vec![0], vec![0]]), "mfence forbids SB outcome");
+        assert!(
+            !outcomes.contains(&vec![vec![0], vec![0]]),
+            "mfence forbids SB outcome"
+        );
         assert!(outcomes.contains(&vec![vec![1], vec![1]]));
     }
 
@@ -259,7 +294,10 @@ mod tests {
             vec![LitmusOp::Load(Y), LitmusOp::Load(X)],
         ]);
         let outcomes = reg_outcomes(&p);
-        assert!(!outcomes.contains(&vec![vec![], vec![1, 0]]), "no W→W reordering on TSO");
+        assert!(
+            !outcomes.contains(&vec![vec![], vec![1, 0]]),
+            "no W→W reordering on TSO"
+        );
         assert!(outcomes.contains(&vec![vec![], vec![1, 1]]));
         assert!(outcomes.contains(&vec![vec![], vec![0, 0]]));
     }
@@ -276,10 +314,7 @@ mod tests {
     fn unfenced_clflushopt_may_leave_line_unconstrained() {
         // store x; clflushopt x — without a fence the flush may never take
         // effect (flush-buffer entry dropped at the failure).
-        let p = LitmusProgram::new(vec![vec![
-            LitmusOp::Store(X, 1),
-            LitmusOp::Clflushopt(X),
-        ]]);
+        let p = LitmusProgram::new(vec![vec![LitmusOp::Store(X, 1), LitmusOp::Clflushopt(X)]]);
         let outcomes = p.outcomes();
         assert!(
             outcomes.iter().any(|o| o.flush_bounds.is_empty()),

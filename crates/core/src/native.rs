@@ -36,12 +36,16 @@ pub struct NativeEnv {
 impl NativeEnv {
     /// Creates a native environment over a fresh zeroed pool.
     pub fn new(pool_size: usize) -> Self {
-        NativeEnv { pool: RefCell::new(PmPool::new(pool_size)) }
+        NativeEnv {
+            pool: RefCell::new(PmPool::new(pool_size)),
+        }
     }
 
     /// Wraps an existing pool (e.g. a materialized post-failure state).
     pub fn with_pool(pool: PmPool) -> Self {
-        NativeEnv { pool: RefCell::new(pool) }
+        NativeEnv {
+            pool: RefCell::new(pool),
+        }
     }
 
     /// Consumes the environment, returning the pool contents.
@@ -53,12 +57,18 @@ impl NativeEnv {
 impl PmEnv for NativeEnv {
     #[track_caller]
     fn load_bytes(&self, addr: PmAddr, buf: &mut [u8]) {
-        self.pool.borrow().read(addr, buf).unwrap_or_else(|e| panic!("{e}"));
+        self.pool
+            .borrow()
+            .read(addr, buf)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[track_caller]
     fn store_bytes(&self, addr: PmAddr, bytes: &[u8]) {
-        self.pool.borrow_mut().write(addr, bytes).unwrap_or_else(|e| panic!("{e}"));
+        self.pool
+            .borrow_mut()
+            .write(addr, bytes)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     fn clflush(&self, _addr: PmAddr, _len: usize) {}
@@ -80,7 +90,10 @@ impl PmEnv for NativeEnv {
 
     #[track_caller]
     fn pm_alloc(&self, size: u64, align: u64) -> PmAddr {
-        self.pool.borrow_mut().alloc(size, align).unwrap_or_else(|e| panic!("{e}"))
+        self.pool
+            .borrow_mut()
+            .alloc(size, align)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn root(&self) -> PmAddr {
@@ -129,7 +142,11 @@ mod tests {
         env.store_u64(a, 5);
         assert_eq!(env.compare_exchange_u64(a, 5, 6), 5);
         assert_eq!(env.load_u64(a), 6);
-        assert_eq!(env.compare_exchange_u64(a, 5, 7), 6, "failed CAS returns observed");
+        assert_eq!(
+            env.compare_exchange_u64(a, 5, 7),
+            6,
+            "failed CAS returns observed"
+        );
         assert_eq!(env.load_u64(a), 6);
     }
 

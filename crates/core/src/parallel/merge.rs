@@ -1,0 +1,146 @@
+//! Deterministic result merging.
+//!
+//! Workers finish scenarios in a nondeterministic interleaving, but the
+//! scenario *set* is fixed and every scenario is identified by its
+//! decision trace. Because no complete trace is a strict prefix of
+//! another (a deterministic guest makes the same decisions after the
+//! same prefix), sorting outcomes lexicographically by trace reproduces
+//! exactly the order the sequential depth-first walk discovers them in.
+//! Folding the sorted outcomes through the same [`ReportAccumulator`]
+//! the sequential path uses therefore yields a byte-identical report —
+//! same representative bug per dedup key, same insertion order, same
+//! statistics — regardless of worker count.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use crate::explorer::{bug_dedup_key, ScenarioOutcome};
+use crate::report::{
+    BugKind, BugReport, CheckReport, CheckStats, ParallelStats, PerfIssue, PerfIssueKind,
+    RaceReport,
+};
+
+use super::worker::WorkerPartial;
+
+/// Folds [`ScenarioOutcome`]s into the deduplicated, ordered contents of
+/// a [`CheckReport`]. Feeding outcomes in canonical (sequential
+/// discovery) order makes the result independent of how they were
+/// produced.
+#[derive(Debug, Default)]
+pub(crate) struct ReportAccumulator {
+    stats: CheckStats,
+    bugs: Vec<BugReport>,
+    bug_index: HashMap<(BugKind, String), usize>,
+    races: Vec<RaceReport>,
+    race_keys: HashSet<String>,
+    perf_issues: Vec<PerfIssue>,
+    perf_index: HashMap<(PerfIssueKind, String), usize>,
+}
+
+impl ReportAccumulator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in one scenario's results.
+    pub fn add(&mut self, outcome: ScenarioOutcome) {
+        self.stats.scenarios += 1;
+        // Fork-equivalent execution accounting: executions up to the
+        // divergence point were replays a fork-based checker would not
+        // have re-run.
+        let execs = outcome.executions_with_replay;
+        self.stats.executions += (execs - outcome.divergence.min(execs - 1)) as u64;
+        self.stats.executions_with_replay += execs as u64;
+        self.stats.load_choice_points += outcome.load_choice_points;
+        self.stats.max_rf_set = self.stats.max_rf_set.max(outcome.max_rf_set);
+        self.stats.failure_points = self.stats.failure_points.max(outcome.failure_points);
+
+        for race in outcome.races {
+            if self.race_keys.insert(race.load_location.clone()) {
+                self.races.push(race);
+            }
+        }
+        for issue in outcome.perf_issues {
+            match self.perf_index.get(&(issue.kind, issue.location.clone())) {
+                Some(&i) => self.perf_issues[i].occurrences += issue.occurrences,
+                None => {
+                    self.perf_index
+                        .insert((issue.kind, issue.location.clone()), self.perf_issues.len());
+                    self.perf_issues.push(issue);
+                }
+            }
+        }
+        if let Some(bug) = outcome.bug {
+            let key = (bug.kind, bug_dedup_key(&bug));
+            match self.bug_index.get(&key) {
+                Some(&i) => self.bugs[i].occurrences += 1,
+                None => {
+                    self.bug_index.insert(key, self.bugs.len());
+                    self.bugs.push(bug);
+                }
+            }
+        }
+    }
+
+    /// Scenarios folded in so far.
+    pub fn scenarios(&self) -> u64 {
+        self.stats.scenarios
+    }
+
+    /// Distinct bugs seen so far.
+    pub fn distinct_bugs(&self) -> usize {
+        self.bugs.len()
+    }
+
+    /// Finalizes the report.
+    pub fn into_report(
+        mut self,
+        truncated: bool,
+        duration: Duration,
+        parallel: Option<ParallelStats>,
+    ) -> CheckReport {
+        self.stats.duration = duration;
+        CheckReport {
+            bugs: self.bugs,
+            races: self.races,
+            perf_issues: self.perf_issues,
+            stats: self.stats,
+            truncated,
+            parallel,
+        }
+    }
+}
+
+/// Merges the workers' partial results into the final report: sort every
+/// outcome by trace (canonical sequential order), fold them through the
+/// accumulator, and attach the scheduling statistics.
+pub(crate) fn merge_partials(
+    partials: Vec<WorkerPartial>,
+    jobs: usize,
+    truncated: bool,
+    duration: Duration,
+) -> CheckReport {
+    let mut workers = Vec::with_capacity(jobs);
+    let mut outcomes = Vec::new();
+    for partial in partials {
+        workers.push(partial.stats);
+        outcomes.extend(partial.outcomes);
+    }
+    workers.sort_by_key(|w| w.worker);
+    outcomes.sort_by(|a, b| a.trace.cmp(&b.trace));
+
+    let mut acc = ReportAccumulator::new();
+    for outcome in outcomes {
+        acc.add(outcome);
+    }
+    let steals = workers.iter().map(|w| w.steals).sum();
+    acc.into_report(
+        truncated,
+        duration,
+        Some(ParallelStats {
+            jobs,
+            steals,
+            workers,
+        }),
+    )
+}

@@ -66,7 +66,10 @@ pub struct Named<P> {
 impl<P: Program> Named<P> {
     /// Attaches `name` to `inner`.
     pub fn new(name: impl Into<String>, inner: P) -> Self {
-        Named { name: name.into(), inner }
+        Named {
+            name: name.into(),
+            inner,
+        }
     }
 }
 

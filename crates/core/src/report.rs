@@ -196,6 +196,53 @@ pub struct CheckStats {
     pub duration: Duration,
 }
 
+/// Per-worker exploration statistics from a parallel run.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Failure scenarios this worker ran.
+    pub scenarios: u64,
+    /// Fork-equivalent executions this worker performed.
+    pub executions: u64,
+    /// Total `Program::run` invocations including replayed prefixes.
+    pub executions_with_replay: u64,
+    /// Work items this worker stole from another worker's queue.
+    pub steals: u64,
+    /// Wall-clock time the worker spent between start and exit.
+    pub busy: Duration,
+}
+
+/// Aggregate statistics of a parallel exploration (absent from
+/// sequential runs).
+#[derive(Clone, Debug, Default)]
+pub struct ParallelStats {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Total cross-worker steals.
+    pub steals: u64,
+    /// Per-worker breakdown, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl fmt::Display for ParallelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} worker(s), {} steal(s)", self.jobs, self.steals)?;
+        for w in &self.workers {
+            write!(
+                f,
+                "; w{}: {} scenario(s), {} execution(s), {} steal(s), {:.3}s",
+                w.worker,
+                w.scenarios,
+                w.executions,
+                w.steals,
+                w.busy.as_secs_f64()
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// The result of a model-checking run.
 #[derive(Clone, Debug, Default)]
 pub struct CheckReport {
@@ -212,6 +259,10 @@ pub struct CheckReport {
     pub stats: CheckStats,
     /// Whether exploration stopped early (scenario/bug caps).
     pub truncated: bool,
+    /// Worker-level statistics when the check ran with
+    /// [`Config::jobs`](crate::Config::jobs) > 1; `None` for sequential
+    /// runs.
+    pub parallel: Option<ParallelStats>,
 }
 
 impl CheckReport {
@@ -235,11 +286,48 @@ impl CheckReport {
             if self.truncated { " [truncated]" } else { "" },
         )
     }
+
+    /// A deterministic fingerprint of the check's *outcome*: every bug,
+    /// race, performance issue, and exploration statistic — excluding
+    /// wall-clock time and worker-level scheduling stats, which
+    /// legitimately vary between runs. Two runs of the same program and
+    /// configuration (at any worker count, absent truncation) must
+    /// produce byte-identical digests; the determinism regression tests
+    /// compare exactly this string.
+    pub fn digest(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "stats: {} scenarios, {} executions, {} with replay, {} failure points, \
+             {} load choice points, max rf set {}, truncated {}",
+            self.stats.scenarios,
+            self.stats.executions,
+            self.stats.executions_with_replay,
+            self.stats.failure_points,
+            self.stats.load_choice_points,
+            self.stats.max_rf_set,
+            self.truncated,
+        );
+        for b in &self.bugs {
+            let _ = writeln!(out, "bug: {b} trace {:?}", b.trace);
+        }
+        for r in &self.races {
+            let _ = write!(out, "race: {r}");
+        }
+        for p in &self.perf_issues {
+            let _ = writeln!(out, "perf: {p}");
+        }
+        out
+    }
 }
 
 impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.summary())?;
+        if let Some(p) = &self.parallel {
+            writeln!(f, "  parallel: {p}")?;
+        }
         for b in &self.bugs {
             writeln!(f, "  {b}")?;
         }
@@ -287,7 +375,11 @@ mod tests {
                     value: 7,
                     location: Some("init.rs:3:5".into()),
                 },
-                RaceCandidate { exec_index: None, value: 0, location: None },
+                RaceCandidate {
+                    exec_index: None,
+                    value: 0,
+                    location: None,
+                },
             ],
         };
         let s = r.to_string();

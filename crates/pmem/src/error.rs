@@ -45,11 +45,18 @@ impl fmt::Display for PmError {
             PmError::NullAccess { addr, len } => {
                 write!(f, "illegal access to null page: {len} bytes at {addr}")
             }
-            PmError::OutOfBounds { addr, len, pool_size } => write!(
+            PmError::OutOfBounds {
+                addr,
+                len,
+                pool_size,
+            } => write!(
                 f,
                 "out-of-bounds access: {len} bytes at {addr} (pool size {pool_size})"
             ),
-            PmError::OutOfMemory { requested, available } => write!(
+            PmError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
                 f,
                 "persistent pool exhausted: requested {requested} bytes, {available} available"
             ),
@@ -65,11 +72,21 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = PmError::NullAccess { addr: PmAddr::new(8), len: 4 };
+        let e = PmError::NullAccess {
+            addr: PmAddr::new(8),
+            len: 4,
+        };
         assert!(e.to_string().contains("null page"));
-        let e = PmError::OutOfBounds { addr: PmAddr::new(4096), len: 8, pool_size: 4096 };
+        let e = PmError::OutOfBounds {
+            addr: PmAddr::new(4096),
+            len: 8,
+            pool_size: 4096,
+        };
         assert!(e.to_string().contains("out-of-bounds"));
-        let e = PmError::OutOfMemory { requested: 128, available: 0 };
+        let e = PmError::OutOfMemory {
+            requested: 128,
+            available: 0,
+        };
         assert!(e.to_string().contains("exhausted"));
     }
 

@@ -53,7 +53,10 @@ impl PmPool {
             size >= 2 * CACHE_LINE_SIZE,
             "pool must hold at least the null page and a root line"
         );
-        PmPool { bytes: vec![0; size], bump: 2 * CACHE_LINE_SIZE as u64 }
+        PmPool {
+            bytes: vec![0; size],
+            bump: 2 * CACHE_LINE_SIZE as u64,
+        }
     }
 
     /// Total pool size in bytes.
@@ -84,7 +87,11 @@ impl PmPool {
         let end = addr.offset().checked_add(len as u64);
         match end {
             Some(end) if end <= self.size() => Ok(()),
-            _ => Err(PmError::OutOfBounds { addr, len, pool_size: self.size() }),
+            _ => Err(PmError::OutOfBounds {
+                addr,
+                len,
+                pool_size: self.size(),
+            }),
         }
     }
 
@@ -212,16 +219,28 @@ mod tests {
     #[test]
     fn null_page_faults() {
         let mut pool = PmPool::new(256);
-        assert!(matches!(pool.read_u8(PmAddr::NULL), Err(PmError::NullAccess { .. })));
-        assert!(matches!(pool.write_u8(PmAddr::new(63), 1), Err(PmError::NullAccess { .. })));
+        assert!(matches!(
+            pool.read_u8(PmAddr::NULL),
+            Err(PmError::NullAccess { .. })
+        ));
+        assert!(matches!(
+            pool.write_u8(PmAddr::new(63), 1),
+            Err(PmError::NullAccess { .. })
+        ));
         // A write that *starts* in the null page faults even if it extends past it.
-        assert!(matches!(pool.write(PmAddr::new(60), &[0; 8]), Err(PmError::NullAccess { .. })));
+        assert!(matches!(
+            pool.write(PmAddr::new(60), &[0; 8]),
+            Err(PmError::NullAccess { .. })
+        ));
     }
 
     #[test]
     fn out_of_bounds_faults() {
         let mut pool = PmPool::new(256);
-        assert!(matches!(pool.read_u8(PmAddr::new(256)), Err(PmError::OutOfBounds { .. })));
+        assert!(matches!(
+            pool.read_u8(PmAddr::new(256)),
+            Err(PmError::OutOfBounds { .. })
+        ));
         assert!(matches!(
             pool.write(PmAddr::new(250), &[0; 8]),
             Err(PmError::OutOfBounds { .. })
@@ -252,7 +271,10 @@ mod tests {
         let b = pool.alloc(1, 64).unwrap();
         assert_eq!(b.offset() % 64, 0);
         assert!(b.offset() >= a.offset() + 10);
-        assert!(matches!(pool.alloc(10_000, 1), Err(PmError::OutOfMemory { .. })));
+        assert!(matches!(
+            pool.alloc(10_000, 1),
+            Err(PmError::OutOfMemory { .. })
+        ));
     }
 
     #[test]

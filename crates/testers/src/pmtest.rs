@@ -75,11 +75,25 @@ pub enum PmTestViolation {
 impl fmt::Display for PmTestViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PmTestViolation::NotPersisted { addr, len, location } => {
-                write!(f, "isPersist failed: {len} bytes at {addr} not persistent ({location})")
+            PmTestViolation::NotPersisted {
+                addr,
+                len,
+                location,
+            } => {
+                write!(
+                    f,
+                    "isPersist failed: {len} bytes at {addr} not persistent ({location})"
+                )
             }
-            PmTestViolation::OrderViolation { first, second, location } => {
-                write!(f, "isOrderedBefore failed: {first} !< {second} ({location})")
+            PmTestViolation::OrderViolation {
+                first,
+                second,
+                location,
+            } => {
+                write!(
+                    f,
+                    "isOrderedBefore failed: {first} !< {second} ({location})"
+                )
             }
             PmTestViolation::RedundantFlush { addr, location } => {
                 write!(f, "redundant flush of clean line at {addr} ({location})")
@@ -148,10 +162,12 @@ impl PmTestEnv {
         for line in Self::lines_of(addr, len) {
             let st = lines.entry(line).or_default();
             if !st.is_dirty() {
-                self.violations.borrow_mut().push(PmTestViolation::RedundantFlush {
-                    addr,
-                    location: fmt_loc(loc),
-                });
+                self.violations
+                    .borrow_mut()
+                    .push(PmTestViolation::RedundantFlush {
+                        addr,
+                        location: fmt_loc(loc),
+                    });
             }
             st.last_flush = t;
             st.flush_in_flight = true;
@@ -179,11 +195,17 @@ fn fmt_loc(loc: &'static Location<'static>) -> String {
 
 impl PmEnv for PmTestEnv {
     fn load_bytes(&self, addr: PmAddr, buf: &mut [u8]) {
-        self.pool.borrow().read(addr, buf).unwrap_or_else(|e| panic!("{e}"));
+        self.pool
+            .borrow()
+            .read(addr, buf)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     fn store_bytes(&self, addr: PmAddr, bytes: &[u8]) {
-        self.pool.borrow_mut().write(addr, bytes).unwrap_or_else(|e| panic!("{e}"));
+        self.pool
+            .borrow_mut()
+            .write(addr, bytes)
+            .unwrap_or_else(|e| panic!("{e}"));
         let t = self.bump();
         let mut lines = self.lines.borrow_mut();
         for line in Self::lines_of(addr, bytes.len()) {
@@ -230,7 +252,10 @@ impl PmEnv for PmTestEnv {
     }
 
     fn pm_alloc(&self, size: u64, align: u64) -> PmAddr {
-        self.pool.borrow_mut().alloc(size, align).unwrap_or_else(|e| panic!("{e}"))
+        self.pool
+            .borrow_mut()
+            .alloc(size, align)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn root(&self) -> PmAddr {
@@ -256,14 +281,19 @@ impl PmEnv for PmTestEnv {
     #[track_caller]
     fn annotate_expect_persisted(&self, addr: PmAddr, len: usize) {
         let lines = self.lines.borrow();
-        let dirty = Self::lines_of(addr, len)
-            .any(|l| lines.get(&l).is_some_and(|st| st.is_dirty() || st.flush_in_flight));
+        let dirty = Self::lines_of(addr, len).any(|l| {
+            lines
+                .get(&l)
+                .is_some_and(|st| st.is_dirty() || st.flush_in_flight)
+        });
         if dirty {
-            self.violations.borrow_mut().push(PmTestViolation::NotPersisted {
-                addr,
-                len,
-                location: fmt_loc(Location::caller()),
-            });
+            self.violations
+                .borrow_mut()
+                .push(PmTestViolation::NotPersisted {
+                    addr,
+                    len,
+                    location: fmt_loc(Location::caller()),
+                });
         }
     }
 
@@ -283,20 +313,18 @@ impl PmEnv for PmTestEnv {
         let violated = (pb > 0 && (pa == 0 || pa > pb))
             || (pb == 0 && pa == 0 && lines_dirty(&lines, a, a_len));
         if violated {
-            self.violations.borrow_mut().push(PmTestViolation::OrderViolation {
-                first: a,
-                second: b,
-                location: fmt_loc(Location::caller()),
-            });
+            self.violations
+                .borrow_mut()
+                .push(PmTestViolation::OrderViolation {
+                    first: a,
+                    second: b,
+                    location: fmt_loc(Location::caller()),
+                });
         }
     }
 }
 
-fn lines_dirty(
-    lines: &HashMap<CacheLineId, LineState>,
-    addr: PmAddr,
-    len: usize,
-) -> bool {
+fn lines_dirty(lines: &HashMap<CacheLineId, LineState>, addr: PmAddr, len: usize) -> bool {
     PmTestEnv::lines_of(addr, len).any(|l| lines.get(&l).is_some_and(LineState::is_dirty))
 }
 
@@ -361,7 +389,10 @@ mod tests {
         };
         let report = pmtest_check(&program, 4096);
         assert_eq!(report.violations.len(), 1);
-        assert!(matches!(report.violations[0], PmTestViolation::NotPersisted { .. }));
+        assert!(matches!(
+            report.violations[0],
+            PmTestViolation::NotPersisted { .. }
+        ));
     }
 
     #[test]
@@ -417,7 +448,10 @@ mod tests {
         };
         let report = pmtest_check(&program, 4096);
         assert_eq!(report.violations.len(), 1);
-        assert!(matches!(report.violations[0], PmTestViolation::RedundantFlush { .. }));
+        assert!(matches!(
+            report.violations[0],
+            PmTestViolation::RedundantFlush { .. }
+        ));
         assert_eq!(report.correctness_violations().count(), 0);
     }
 
@@ -433,7 +467,10 @@ mod tests {
             env.persist(root, 8);
         };
         let report = pmtest_check(&program, 4096);
-        assert!(report.is_clean(), "no annotation → no violation: {report:?}");
+        assert!(
+            report.is_clean(),
+            "no annotation → no violation: {report:?}"
+        );
     }
 
     #[test]

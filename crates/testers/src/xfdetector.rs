@@ -46,12 +46,19 @@ pub enum XfViolation {
 impl fmt::Display for XfViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            XfViolation::CrossFailureRead { addr, load_location, commit_point } => write!(
+            XfViolation::CrossFailureRead {
+                addr,
+                load_location,
+                commit_point,
+            } => write!(
                 f,
                 "cross-failure read of unpersisted byte {addr} at {load_location} \
                  (failure after commit point {commit_point})"
             ),
-            XfViolation::RecoveryFailure { message, commit_point } => write!(
+            XfViolation::RecoveryFailure {
+                message,
+                commit_point,
+            } => write!(
                 f,
                 "recovery failed after commit point {commit_point}: {message}"
             ),
@@ -149,13 +156,19 @@ impl XfPreEnv {
 impl PmEnv for XfPreEnv {
     fn load_bytes(&self, addr: PmAddr, buf: &mut [u8]) {
         let op = self.tick();
-        self.cache.borrow().read(addr, buf).unwrap_or_else(|e| panic!("{e}"));
+        self.cache
+            .borrow()
+            .read(addr, buf)
+            .unwrap_or_else(|e| panic!("{e}"));
         self.maybe_stop(op);
     }
 
     fn store_bytes(&self, addr: PmAddr, bytes: &[u8]) {
         let op = self.tick();
-        self.cache.borrow_mut().write(addr, bytes).unwrap_or_else(|e| panic!("{e}"));
+        self.cache
+            .borrow_mut()
+            .write(addr, bytes)
+            .unwrap_or_else(|e| panic!("{e}"));
         let is_commit = {
             let vars = self.commit_vars.borrow();
             (0..bytes.len() as u64).any(|i| vars.contains(&(addr + i)))
@@ -273,19 +286,27 @@ impl PmEnv for XfPostEnv {
             *ops += 1;
             assert!(*ops <= 10_000_000, "infinite loop in recovery execution");
         }
-        self.memory.borrow().read(addr, buf).unwrap_or_else(|e| panic!("{e}"));
-        if let Some(first_dirty) =
-            (0..buf.len() as u64).map(|i| addr + i).find(|a| self.dirty.contains(a))
+        self.memory
+            .borrow()
+            .read(addr, buf)
+            .unwrap_or_else(|e| panic!("{e}"));
+        if let Some(first_dirty) = (0..buf.len() as u64)
+            .map(|i| addr + i)
+            .find(|a| self.dirty.contains(a))
         {
             let loc = Location::caller();
-            self.violations
-                .borrow_mut()
-                .push((first_dirty, format!("{}:{}:{}", loc.file(), loc.line(), loc.column())));
+            self.violations.borrow_mut().push((
+                first_dirty,
+                format!("{}:{}:{}", loc.file(), loc.line(), loc.column()),
+            ));
         }
     }
 
     fn store_bytes(&self, addr: PmAddr, bytes: &[u8]) {
-        self.memory.borrow_mut().write(addr, bytes).unwrap_or_else(|e| panic!("{e}"));
+        self.memory
+            .borrow_mut()
+            .write(addr, bytes)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     fn clflush(&self, _addr: PmAddr, _len: usize) {}
@@ -361,7 +382,8 @@ pub fn xfdetector_check(program: &dyn Program, pool_size: usize) -> XfReport {
 
     // Pass 1: find commit points.
     let probe = XfPreEnv::new(pool_size, None);
-    if jaaru::with_quiet_panics(|| catch_unwind(AssertUnwindSafe(|| program.run(&probe)))).is_err() {
+    if jaaru::with_quiet_panics(|| catch_unwind(AssertUnwindSafe(|| program.run(&probe)))).is_err()
+    {
         // The program fails on its own; XFDetector reports nothing useful.
         return report;
     }
@@ -392,16 +414,18 @@ pub fn xfdetector_check(program: &dyn Program, pool_size: usize) -> XfReport {
         let persisted = env.persisted.borrow().clone();
         let dirty: HashSet<PmAddr> = (0..cache.size())
             .map(PmAddr::new)
-            .filter(|a| {
-                !a.in_null_page()
-                    && cache.read_u8(*a).ok() != persisted.read_u8(*a).ok()
-            })
+            .filter(|a| !a.in_null_page() && cache.read_u8(*a).ok() != persisted.read_u8(*a).ok())
             .collect();
 
         let post = XfPostEnv::new(persisted, dirty);
-        let out = jaaru::with_quiet_panics(|| catch_unwind(AssertUnwindSafe(|| program.run(&post))));
+        let out =
+            jaaru::with_quiet_panics(|| catch_unwind(AssertUnwindSafe(|| program.run(&post))));
         for (addr, load_location) in post.violations.into_inner() {
-            let v = XfViolation::CrossFailureRead { addr, load_location, commit_point: idx };
+            let v = XfViolation::CrossFailureRead {
+                addr,
+                load_location,
+                commit_point: idx,
+            };
             if !report.violations.contains(&v) {
                 report.violations.push(v);
             }
@@ -504,9 +528,12 @@ mod tests {
             env.persist(root, 8);
         };
         let report = xfdetector_check(&program, 4096);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, XfViolation::RecoveryFailure { .. })), "{report:?}");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, XfViolation::RecoveryFailure { .. })),
+            "{report:?}"
+        );
     }
 }

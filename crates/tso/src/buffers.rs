@@ -134,7 +134,11 @@ mod tests {
             loc: loc(),
         });
         assert_eq!(b.bypass(PmAddr::new(64)), Some(1));
-        assert_eq!(b.bypass(PmAddr::new(66)), Some(9), "newer store shadows older");
+        assert_eq!(
+            b.bypass(PmAddr::new(66)),
+            Some(9),
+            "newer store shadows older"
+        );
         assert_eq!(b.bypass(PmAddr::new(67)), Some(4));
         assert_eq!(b.bypass(PmAddr::new(68)), None);
         assert_eq!(b.bypass(PmAddr::new(63)), None);
@@ -143,7 +147,9 @@ mod tests {
     #[test]
     fn bypass_ignores_non_store_entries() {
         let mut b = ThreadBuffers::new();
-        b.store_buffer.push_back(SbEntry::Clflush { line: CacheLineId::new(1) });
+        b.store_buffer.push_back(SbEntry::Clflush {
+            line: CacheLineId::new(1),
+        });
         b.store_buffer.push_back(SbEntry::Sfence);
         assert_eq!(b.bypass(PmAddr::new(64)), None);
     }

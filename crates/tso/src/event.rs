@@ -65,9 +65,18 @@ impl StoreEvent {
     pub fn value_display(&self) -> String {
         match self.bytes.len() {
             1 => format!("{:#x}", self.bytes[0]),
-            2 => format!("{:#x}", u16::from_le_bytes(self.bytes[..2].try_into().unwrap())),
-            4 => format!("{:#x}", u32::from_le_bytes(self.bytes[..4].try_into().unwrap())),
-            8 => format!("{:#x}", u64::from_le_bytes(self.bytes[..8].try_into().unwrap())),
+            2 => format!(
+                "{:#x}",
+                u16::from_le_bytes(self.bytes[..2].try_into().unwrap())
+            ),
+            4 => format!(
+                "{:#x}",
+                u32::from_le_bytes(self.bytes[..4].try_into().unwrap())
+            ),
+            8 => format!(
+                "{:#x}",
+                u64::from_le_bytes(self.bytes[..8].try_into().unwrap())
+            ),
             _ => format!("{:02x?}", self.bytes),
         }
     }

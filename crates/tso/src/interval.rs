@@ -44,7 +44,10 @@ impl FlushInterval {
     /// The interval `[0, ∞)`: no flush observed, no refinement yet.
     #[inline]
     pub const fn unconstrained() -> Self {
-        FlushInterval { begin: Seq::ZERO, end: Seq::INFINITY }
+        FlushInterval {
+            begin: Seq::ZERO,
+            end: Seq::INFINITY,
+        }
     }
 
     /// Creates an interval `[begin, end)`.
@@ -55,7 +58,10 @@ impl FlushInterval {
     /// interval (there is always at least one consistent writeback point).
     #[inline]
     pub fn new(begin: Seq, end: Seq) -> Self {
-        assert!(begin < end, "flush interval must be non-empty: [{begin}, {end})");
+        assert!(
+            begin < end,
+            "flush interval must be non-empty: [{begin}, {end})"
+        );
         FlushInterval { begin, end }
     }
 
@@ -83,7 +89,11 @@ impl FlushInterval {
     #[inline]
     pub fn raise_begin(&mut self, at: Seq) {
         if at > self.begin {
-            assert!(at < self.end, "refinement emptied interval: begin {at} >= end {}", self.end);
+            assert!(
+                at < self.end,
+                "refinement emptied interval: begin {at} >= end {}",
+                self.end
+            );
             self.begin = at;
         }
     }
@@ -99,7 +109,11 @@ impl FlushInterval {
     #[inline]
     pub fn lower_end(&mut self, at: Seq) {
         if at < self.end {
-            assert!(at > self.begin, "refinement emptied interval: end {at} <= begin {}", self.begin);
+            assert!(
+                at > self.begin,
+                "refinement emptied interval: end {at} <= begin {}",
+                self.begin
+            );
             self.end = at;
         }
     }

@@ -73,7 +73,12 @@ pub struct TsoMachine {
 impl TsoMachine {
     /// Creates a machine with empty storage and no threads.
     pub fn new(policy: EvictionPolicy) -> Self {
-        TsoMachine { sigma: Seq::ZERO, threads: Vec::new(), storage: ExecutionStorage::new(), policy }
+        TsoMachine {
+            sigma: Seq::ZERO,
+            threads: Vec::new(),
+            storage: ExecutionStorage::new(),
+            policy,
+        }
     }
 
     /// The eviction policy in effect.
@@ -122,7 +127,9 @@ impl TsoMachine {
 
     /// `Exec_CLFLUSH` (Figure 7): enqueue a cache-line flush into `S_τ`.
     pub fn clflush(&mut self, tid: ThreadId, line: CacheLineId) {
-        self.thread(tid).store_buffer.push_back(SbEntry::Clflush { line });
+        self.thread(tid)
+            .store_buffer
+            .push_back(SbEntry::Clflush { line });
         self.maybe_drain(tid);
     }
 
@@ -131,7 +138,9 @@ impl TsoMachine {
     /// (paper §2) and shares this entry point.
     pub fn clflushopt(&mut self, tid: ThreadId, line: CacheLineId) {
         let seq_at_exec = self.sigma;
-        self.thread(tid).store_buffer.push_back(SbEntry::Clflushopt { line, seq_at_exec });
+        self.thread(tid)
+            .store_buffer
+            .push_back(SbEntry::Clflushopt { line, seq_at_exec });
         self.maybe_drain(tid);
     }
 
@@ -232,7 +241,9 @@ impl TsoMachine {
     pub fn flush_buffer_pending(&self, tid: ThreadId) -> bool {
         self.thread_ref(tid).is_some_and(|t| {
             !t.flush_buffer.is_empty()
-                || t.store_buffer.iter().any(|e| matches!(e, SbEntry::Clflushopt { .. }))
+                || t.store_buffer
+                    .iter()
+                    .any(|e| matches!(e, SbEntry::Clflushopt { .. }))
         })
     }
 
@@ -276,7 +287,10 @@ mod tests {
         let mut m = TsoMachine::new(EvictionPolicy::OnFence);
         m.store(T0, PmAddr::new(64), &[5], loc());
         // Own thread sees it via bypass; the other thread does not.
-        assert_eq!(m.read_current(T0, PmAddr::new(64)), CurrentRead::Buffered(5));
+        assert_eq!(
+            m.read_current(T0, PmAddr::new(64)),
+            CurrentRead::Buffered(5)
+        );
         assert_eq!(m.read_current(T1, PmAddr::new(64)), CurrentRead::Miss);
         m.mfence(T0);
         assert_eq!(m.read_current(T1, PmAddr::new(64)), CurrentRead::Cached(5));
@@ -309,7 +323,10 @@ mod tests {
         let line = PmAddr::new(64).cache_line();
         m.store(T0, PmAddr::new(64), &[1], loc());
         m.clflushopt(T0, line);
-        assert!(m.storage().interval(line).is_unconstrained(), "deferred until an sfence");
+        assert!(
+            m.storage().interval(line).is_unconstrained(),
+            "deferred until an sfence"
+        );
         let storage = m.crash();
         assert!(storage.interval(line).is_unconstrained());
     }
@@ -323,7 +340,10 @@ mod tests {
         m.clflushopt(T0, line);
         m.sfence(T0);
         let iv = m.storage().interval(line);
-        assert!(iv.begin() >= store_seq, "flush ordered after the same-line store");
+        assert!(
+            iv.begin() >= store_seq,
+            "flush ordered after the same-line store"
+        );
     }
 
     #[test]
@@ -351,7 +371,11 @@ mod tests {
         let b_store_seq = m.sigma();
         m.sfence(T0);
         let iv = m.storage().interval(a.cache_line());
-        assert_eq!(iv.begin(), a_store_seq, "bound comes from the same-line store");
+        assert_eq!(
+            iv.begin(),
+            a_store_seq,
+            "bound comes from the same-line store"
+        );
         assert!(iv.begin() < b_store_seq);
     }
 

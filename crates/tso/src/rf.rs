@@ -45,8 +45,11 @@ pub struct RfCandidate {
 
 impl RfCandidate {
     /// The initial-memory candidate (value 0, before every store).
-    pub const INITIAL: RfCandidate =
-        RfCandidate { source: RfSource::Initial, value: 0, seq: Seq::ZERO };
+    pub const INITIAL: RfCandidate = RfCandidate {
+        source: RfSource::Initial,
+        value: 0,
+        seq: Seq::ZERO,
+    };
 }
 
 /// `ReadPreFailure` (Figure 9): the stores in pre-failure executions that a
@@ -73,7 +76,10 @@ pub fn read_pre_failure(stack: &[ExecutionStorage], addr: PmAddr) -> Vec<RfCandi
         let readable_after = q[idx_begin..].iter().take_while(|e| e.seq < iv.end());
         for e in readable_after.collect::<Vec<_>>().into_iter().rev() {
             out.push(RfCandidate {
-                source: RfSource::Store { exec, store: e.store },
+                source: RfSource::Store {
+                    exec,
+                    store: e.store,
+                },
                 value: e.value,
                 seq: e.seq,
             });
@@ -81,7 +87,10 @@ pub fn read_pre_failure(stack: &[ExecutionStorage], addr: PmAddr) -> Vec<RfCandi
         if idx_begin > 0 {
             let e = q[idx_begin - 1];
             out.push(RfCandidate {
-                source: RfSource::Store { exec, store: e.store },
+                source: RfSource::Store {
+                    exec,
+                    store: e.store,
+                },
                 value: e.value,
                 seq: e.seq,
             });
@@ -147,12 +156,16 @@ mod tests {
 
     impl Builder {
         fn new() -> Self {
-            Builder { st: ExecutionStorage::new(), sigma: Seq::ZERO }
+            Builder {
+                st: ExecutionStorage::new(),
+                sigma: Seq::ZERO,
+            }
         }
 
         fn store(&mut self, addr: u64, v: u8) -> Seq {
             let seq = self.sigma.bump();
-            self.st.record_store(PmAddr::new(addr), &[v], ThreadId(0), loc(), seq);
+            self.st
+                .record_store(PmAddr::new(addr), &[v], ThreadId(0), loc(), seq);
             seq
         }
 
@@ -337,9 +350,9 @@ mod tests {
         let mut stack = vec![b0.done()];
         let cands = read_pre_failure(&stack, PmAddr::new(a));
         do_read(&mut stack, PmAddr::new(a), *cands.last().unwrap()); // initial
-        // Writeback before b=7? end = first store to byte a... the line
-        // interval end is now a's first store seq, which is *after* b=7,
-        // so b=7 remains possible — but so does initial for b.
+                                                                     // Writeback before b=7? end = first store to byte a... the line
+                                                                     // interval end is now a's first store seq, which is *after* b=7,
+                                                                     // so b=7 remains possible — but so does initial for b.
         let cands_b = read_pre_failure(&stack, PmAddr::new(b_addr));
         assert_eq!(values(&cands_b), vec![7, 0]);
         // Commit b to initial too; now the line was never written back.

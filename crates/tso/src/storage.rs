@@ -79,7 +79,13 @@ impl ExecutionStorage {
         seq: Seq,
     ) -> StoreId {
         let id = StoreId(self.events.len() as u32);
-        self.events.push(StoreEvent { addr, bytes: bytes.to_vec(), seq, thread, loc });
+        self.events.push(StoreEvent {
+            addr,
+            bytes: bytes.to_vec(),
+            seq,
+            thread,
+            loc,
+        });
         for (i, &b) in bytes.iter().enumerate() {
             let byte_addr = addr + i as u64;
             self.queues.entry(byte_addr).or_default().push(QueueEntry {
@@ -99,12 +105,19 @@ impl ExecutionStorage {
     /// `Evict_SB(⟨clflush, addr⟩)` and `Evict_FB`): raises the lower bound
     /// of the line's most-recent-writeback interval.
     pub fn record_flush(&mut self, line: CacheLineId, seq: Seq) {
-        self.lines.entry(line).or_default().interval.raise_begin(seq);
+        self.lines
+            .entry(line)
+            .or_default()
+            .interval
+            .raise_begin(seq);
     }
 
     /// The most-recent-writeback interval for `line` (`e.getcacheline`).
     pub fn interval(&self, line: CacheLineId) -> FlushInterval {
-        self.lines.get(&line).map(|l| l.interval).unwrap_or_default()
+        self.lines
+            .get(&line)
+            .map(|l| l.interval)
+            .unwrap_or_default()
     }
 
     /// Mutable access to the interval for refinement (`DoRead`).
@@ -156,7 +169,10 @@ impl ExecutionStorage {
 
     /// Cache lines written by this execution.
     pub fn touched_lines(&self) -> impl Iterator<Item = CacheLineId> + '_ {
-        self.lines.iter().filter(|(_, s)| !s.store_seqs.is_empty()).map(|(&l, _)| l)
+        self.lines
+            .iter()
+            .filter(|(_, s)| !s.store_seqs.is_empty())
+            .map(|(&l, _)| l)
     }
 
     /// Byte addresses written by this execution.
@@ -167,16 +183,19 @@ impl ExecutionStorage {
     /// Whether `line` holds stores newer than its most recent applied
     /// flush (used by the redundant-flush performance diagnostics).
     pub fn has_unflushed_stores(&self, line: CacheLineId) -> bool {
-        self.lines.get(&line).is_some_and(|l| {
-            l.store_seqs.last().is_some_and(|&s| s > l.interval.begin())
-        })
+        self.lines
+            .get(&line)
+            .is_some_and(|l| l.store_seqs.last().is_some_and(|&s| s > l.interval.begin()))
     }
 
     /// Sequence numbers of stores to `line`, in cache order. Together with
     /// the line's interval these define the candidate writeback points the
     /// eager baseline must enumerate.
     pub fn line_store_seqs(&self, line: CacheLineId) -> &[Seq] {
-        self.lines.get(&line).map(|l| l.store_seqs.as_slice()).unwrap_or(&[])
+        self.lines
+            .get(&line)
+            .map(|l| l.store_seqs.as_slice())
+            .unwrap_or(&[])
     }
 
     /// The candidate writeback points for `line` that are consistent with

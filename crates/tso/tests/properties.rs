@@ -7,16 +7,41 @@
 //! persistent value is the newest store at or before `w`. The lazy
 //! algorithm (Figure 9/10) must offer exactly the values the legal cuts
 //! produce, both before and after refinement commits a byte to a value.
+//!
+//! Event sequences are generated with a seeded SplitMix64 generator (the
+//! workspace builds offline, so no proptest); a failing case prints the
+//! seed and event list that reproduce it.
 
 use std::collections::BTreeSet;
 use std::panic::Location;
 
 use jaaru_pmem::{CacheLineId, PmAddr};
 use jaaru_tso::{do_read, read_pre_failure, ExecutionStorage, RfCandidate, Seq, ThreadId};
-use proptest::prelude::*;
 
 const LINE: CacheLineId = CacheLineId::new(1);
 const SLOTS: u64 = 8;
+
+struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
 
 #[derive(Clone, Copy, Debug)]
 enum Ev {
@@ -24,11 +49,18 @@ enum Ev {
     Flush,
 }
 
-fn ev_strategy() -> impl Strategy<Value = Ev> {
-    prop_oneof![
-        4 => (0..SLOTS, 1u8..=200).prop_map(|(s, v)| Ev::Store(s, v)),
-        1 => Just(Ev::Flush),
-    ]
+/// Stores outnumber flushes 4:1, mirroring the original generator.
+fn random_events(rng: &mut Rng, min_len: u64, max_len: u64) -> Vec<Ev> {
+    let len = min_len + rng.below(max_len - min_len);
+    (0..len)
+        .map(|_| {
+            if rng.below(5) < 4 {
+                Ev::Store(rng.below(SLOTS), (1 + rng.below(200)) as u8)
+            } else {
+                Ev::Flush
+            }
+        })
+        .collect()
 }
 
 fn slot_addr(s: u64) -> PmAddr {
@@ -81,16 +113,19 @@ fn value_at(stores: &[(u64, u64, u8)], slot: u64, w: u64) -> u8 {
 }
 
 fn rf_values(stack: &[ExecutionStorage], slot: u64) -> BTreeSet<u8> {
-    read_pre_failure(stack, slot_addr(slot)).iter().map(|c| c.value).collect()
+    read_pre_failure(stack, slot_addr(slot))
+        .iter()
+        .map(|c| c.value)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    /// Before any refinement, every slot's candidate set equals the set
-    /// of values over all legal cuts.
-    #[test]
-    fn candidates_match_brute_force(events in proptest::collection::vec(ev_strategy(), 0..12)) {
+/// Before any refinement, every slot's candidate set equals the set
+/// of values over all legal cuts.
+#[test]
+fn candidates_match_brute_force() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(seed);
+        let events = random_events(&mut rng, 0, 12);
         let (st, stores, last_flush) = build(&events);
         let stack = vec![st];
         for slot in 0..SLOTS {
@@ -98,22 +133,25 @@ proptest! {
                 .into_iter()
                 .map(|w| value_at(&stores, slot, w))
                 .collect();
-            prop_assert_eq!(
-                rf_values(&stack, slot), model,
-                "slot {} of {:?}", slot, events
+            assert_eq!(
+                rf_values(&stack, slot),
+                model,
+                "seed {seed}: slot {slot} of {events:?}"
             );
         }
     }
+}
 
-    /// After committing one byte to one candidate, every other slot's
-    /// candidate set equals the model restricted to the cuts consistent
-    /// with that choice.
-    #[test]
-    fn refinement_matches_brute_force(
-        events in proptest::collection::vec(ev_strategy(), 1..12),
-        slot_pick in 0..SLOTS,
-        cand_pick in 0usize..8,
-    ) {
+/// After committing one byte to one candidate, every other slot's
+/// candidate set equals the model restricted to the cuts consistent
+/// with that choice.
+#[test]
+fn refinement_matches_brute_force() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(seed ^ 0xdead_beef);
+        let events = random_events(&mut rng, 1, 12);
+        let slot_pick = rng.below(SLOTS);
+        let cand_pick = rng.below(8) as usize;
         let (st, stores, last_flush) = build(&events);
         let mut stack = vec![st];
         let cands = read_pre_failure(&stack, slot_addr(slot_pick));
@@ -134,27 +172,34 @@ proptest! {
                 newest.unwrap_or(0) == chosen.seq.value()
             })
             .collect();
-        prop_assert!(!restricted.is_empty(), "chosen candidate must be realizable");
+        assert!(
+            !restricted.is_empty(),
+            "seed {seed}: chosen candidate must be realizable"
+        );
 
         for slot in 0..SLOTS {
-            let model: BTreeSet<u8> =
-                restricted.iter().map(|&w| value_at(&stores, slot, w)).collect();
-            prop_assert_eq!(
-                rf_values(&stack, slot), model,
-                "slot {} after committing slot {} to {:?} in {:?}",
-                slot, slot_pick, chosen, events
+            let model: BTreeSet<u8> = restricted
+                .iter()
+                .map(|&w| value_at(&stores, slot, w))
+                .collect();
+            assert_eq!(
+                rf_values(&stack, slot),
+                model,
+                "seed {seed}: slot {slot} after committing slot {slot_pick} to {chosen:?} in {events:?}"
             );
         }
     }
+}
 
-    /// Iterated refinement never diverges: committing every slot in
-    /// order leaves a single consistent snapshot (every candidate set is
-    /// a singleton afterwards), and that snapshot is one of the model's
-    /// legal cut snapshots.
-    #[test]
-    fn full_refinement_converges_to_one_snapshot(
-        events in proptest::collection::vec(ev_strategy(), 1..12),
-    ) {
+/// Iterated refinement never diverges: committing every slot in
+/// order leaves a single consistent snapshot (every candidate set is
+/// a singleton afterwards), and that snapshot is one of the model's
+/// legal cut snapshots.
+#[test]
+fn full_refinement_converges_to_one_snapshot() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(seed ^ 0x5eed_cafe);
+        let events = random_events(&mut rng, 1, 12);
         let (st, stores, last_flush) = build(&events);
         let mut stack = vec![st];
         let mut snapshot = Vec::new();
@@ -167,13 +212,16 @@ proptest! {
         // Re-reading every slot now yields exactly the committed values.
         for slot in 0..SLOTS {
             let vals = rf_values(&stack, slot);
-            prop_assert_eq!(vals.len(), 1);
-            prop_assert!(vals.contains(&snapshot[slot as usize]));
+            assert_eq!(vals.len(), 1, "seed {seed}");
+            assert!(vals.contains(&snapshot[slot as usize]), "seed {seed}");
         }
         // And the snapshot equals the model at some legal cut.
-        let ok = legal_cuts(&stores, last_flush, u64::MAX).into_iter().any(|w| {
-            (0..SLOTS).all(|s| value_at(&stores, s, w) == snapshot[s as usize])
-        });
-        prop_assert!(ok, "snapshot {:?} not a legal cut of {:?}", snapshot, events);
+        let ok = legal_cuts(&stores, last_flush, u64::MAX)
+            .into_iter()
+            .any(|w| (0..SLOTS).all(|s| value_at(&stores, s, w) == snapshot[s as usize]));
+        assert!(
+            ok,
+            "seed {seed}: snapshot {snapshot:?} not a legal cut of {events:?}"
+        );
     }
 }

@@ -53,7 +53,12 @@ pub struct PBump {
 impl PBump {
     /// Initializes allocator state in a fresh pool: the cursor cell is
     /// set to the heap base and persisted.
-    pub fn create(env: &dyn PmEnv, cursor_cell: PmAddr, heap_base: PmAddr, fault: AllocFault) -> Self {
+    pub fn create(
+        env: &dyn PmEnv,
+        cursor_cell: PmAddr,
+        heap_base: PmAddr,
+        fault: AllocFault,
+    ) -> Self {
         env.store_u64(cursor_cell, heap_base.offset());
         if !fault.skip_cursor_flush {
             env.persist(cursor_cell, 8);
@@ -121,7 +126,12 @@ mod tests {
     fn allocations_do_not_overlap() {
         let env = NativeEnv::new(1 << 16);
         let h = Harness::new(&env);
-        let heap = PBump::create(&env, h.heap_cursor_cell(), h.heap_base(), AllocFault::default());
+        let heap = PBump::create(
+            &env,
+            h.heap_cursor_cell(),
+            h.heap_base(),
+            AllocFault::default(),
+        );
         let mut blocks = Vec::new();
         for i in 1..10u64 {
             blocks.push((heap.alloc(&env, i * 8, 8), i * 8));
@@ -137,7 +147,12 @@ mod tests {
     fn alignment_is_respected() {
         let env = NativeEnv::new(1 << 16);
         let h = Harness::new(&env);
-        let heap = PBump::create(&env, h.heap_cursor_cell(), h.heap_base(), AllocFault::default());
+        let heap = PBump::create(
+            &env,
+            h.heap_cursor_cell(),
+            h.heap_base(),
+            AllocFault::default(),
+        );
         heap.alloc(&env, 3, 1);
         let a = heap.alloc(&env, 64, 64);
         assert_eq!(a.offset() % 64, 0);
@@ -147,7 +162,12 @@ mod tests {
     fn alloc_zeroed_clears_the_block() {
         let env = NativeEnv::new(1 << 16);
         let h = Harness::new(&env);
-        let heap = PBump::create(&env, h.heap_cursor_cell(), h.heap_base(), AllocFault::default());
+        let heap = PBump::create(
+            &env,
+            h.heap_cursor_cell(),
+            h.heap_base(),
+            AllocFault::default(),
+        );
         let a = heap.alloc_zeroed(&env, 20, 8);
         for i in 0..20 {
             assert_eq!(env.load_u8(a + i), 0);
@@ -162,8 +182,12 @@ mod tests {
         let program = |env: &dyn PmEnv| {
             let h = Harness::new(env);
             if !h.is_initialized(env) {
-                let heap =
-                    PBump::create(env, h.heap_cursor_cell(), h.heap_base(), AllocFault::default());
+                let heap = PBump::create(
+                    env,
+                    h.heap_cursor_cell(),
+                    h.heap_base(),
+                    AllocFault::default(),
+                );
                 let block = heap.alloc(env, 64, 8);
                 env.store_u64(block, 0xa11c);
                 env.persist(block, 8);
@@ -191,7 +215,9 @@ mod tests {
     /// memory that a durably linked block already owns.
     #[test]
     fn missing_cursor_flush_is_detected() {
-        let fault = AllocFault { skip_cursor_flush: true };
+        let fault = AllocFault {
+            skip_cursor_flush: true,
+        };
         let program = move |env: &dyn PmEnv| {
             let h = Harness::new(env);
             if !h.is_initialized(env) {

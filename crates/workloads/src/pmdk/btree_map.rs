@@ -149,7 +149,8 @@ impl super::PmdkMap for BtreeMap {
         if leaf.is_null() {
             return None;
         }
-        self.find_item(env, leaf, key).map(|item| env.load_u64(item + 8))
+        self.find_item(env, leaf, key)
+            .map(|item| env.load_u64(item + 8))
     }
 
     /// Recovery validation: every item admitted by a leaf count must be
@@ -172,12 +173,18 @@ impl super::PmdkMap for BtreeMap {
 
 /// Fault set for Figure 12 bug #1.
 pub fn bug1_faults() -> PmdkFaults {
-    PmdkFaults { map_fault: faults::ITEM_PTR_NOT_FLUSHED, ..PmdkFaults::default() }
+    PmdkFaults {
+        map_fault: faults::ITEM_PTR_NOT_FLUSHED,
+        ..PmdkFaults::default()
+    }
 }
 
 /// Fault set for Figure 12 bug #2.
 pub fn bug2_faults() -> PmdkFaults {
-    PmdkFaults { pool: PoolFault::ChecksumNotFlushed, ..PmdkFaults::default() }
+    PmdkFaults {
+        pool: PoolFault::ChecksumNotFlushed,
+        ..PmdkFaults::default()
+    }
 }
 
 #[cfg(test)]
@@ -212,7 +219,10 @@ mod tests {
         let report = check_map::<BtreeMap>(bug2_faults(), 4);
         assert!(!report.is_clean(), "{report}");
         assert!(
-            report.bugs.iter().any(|b| b.message.contains("Failed to open pool")),
+            report
+                .bugs
+                .iter()
+                .any(|b| b.message.contains("Failed to open pool")),
             "Btree bug 2 symptom is a failed pool open: {report}"
         );
     }

@@ -168,7 +168,10 @@ impl super::PmdkMap for CtreeMap {
 
 /// Fault set for Figure 12 bug #4.
 pub fn bug4_faults() -> PmdkFaults {
-    PmdkFaults { map_fault: faults::PUBLISH_BEFORE_PERSIST, ..PmdkFaults::default() }
+    PmdkFaults {
+        map_fault: faults::PUBLISH_BEFORE_PERSIST,
+        ..PmdkFaults::default()
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +193,9 @@ mod tests {
     #[test]
     fn publish_before_persist_violates_invariant() {
         let report = check_map::<CtreeMap>(bug4_faults(), 5);
-        assert!(!report.is_clean(), "CTree bug 4 (atomicity violation): {report}");
+        assert!(
+            !report.is_clean(),
+            "CTree bug 4 (atomicity violation): {report}"
+        );
     }
 }

@@ -104,7 +104,10 @@ impl super::PmdkMap for HashmapAtomic {
 /// Fault set for Figure 12 bug #3 (heap.c:533).
 pub fn bug3_faults() -> PmdkFaults {
     PmdkFaults {
-        pmalloc: PmallocFault { skip_header_flush: true, skip_cursor_flush: false },
+        pmalloc: PmallocFault {
+            skip_header_flush: true,
+            skip_cursor_flush: false,
+        },
         ..PmdkFaults::default()
     }
 }
@@ -112,7 +115,10 @@ pub fn bug3_faults() -> PmdkFaults {
 /// Fault set for Figure 12 bug #5 (pmalloc.c:270).
 pub fn bug5_faults() -> PmdkFaults {
     PmdkFaults {
-        pmalloc: PmallocFault { skip_header_flush: false, skip_cursor_flush: true },
+        pmalloc: PmallocFault {
+            skip_header_flush: false,
+            skip_cursor_flush: true,
+        },
         ..PmdkFaults::default()
     }
 }
@@ -148,7 +154,10 @@ mod tests {
         let report = check_map::<HashmapAtomic>(bug5_faults(), 4);
         assert!(!report.is_clean(), "{report}");
         assert!(
-            report.bugs.iter().any(|b| b.message.contains("pmalloc.c:270")),
+            report
+                .bugs
+                .iter()
+                .any(|b| b.message.contains("pmalloc.c:270")),
             "Hashmap_atomic bug 5 symptom: {report}"
         );
     }

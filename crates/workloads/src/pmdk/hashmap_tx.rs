@@ -114,7 +114,10 @@ impl super::PmdkMap for HashmapTx {
 
 /// Fault set for Figure 12 bug #6.
 pub fn bug6_faults() -> PmdkFaults {
-    PmdkFaults { tx: TxFault::LogEntryNotFlushed, ..PmdkFaults::default() }
+    PmdkFaults {
+        tx: TxFault::LogEntryNotFlushed,
+        ..PmdkFaults::default()
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +139,9 @@ mod tests {
     #[test]
     fn unflushed_log_entry_corrupts_rollback() {
         let report = check_map::<HashmapTx>(bug6_faults(), 4);
-        assert!(!report.is_clean(), "Hashmap_tx bug 6 (torn undo log): {report}");
+        assert!(
+            !report.is_clean(),
+            "Hashmap_tx bug 6 (torn undo log): {report}"
+        );
     }
 }

@@ -25,8 +25,8 @@ pub mod ctree_map;
 pub mod hashmap_atomic;
 pub mod hashmap_tx;
 pub mod pmalloc;
-pub mod rbtree_map;
 pub mod pool;
+pub mod rbtree_map;
 pub mod tx;
 
 use jaaru::{PmAddr, PmEnv, Program};
@@ -127,7 +127,10 @@ impl<M: PmdkMap> Program for MapWorkload<M> {
         map.validate(env, &pool);
 
         let committed = pool.committed(env);
-        env.pm_assert(committed <= self.keys.len() as u64, "commit counter corrupt");
+        env.pm_assert(
+            committed <= self.keys.len() as u64,
+            "commit counter corrupt",
+        );
         for &key in &self.keys[..committed as usize] {
             match map.get(env, &pool, key) {
                 Some(v) => env.pm_assert(v == value_of(key), "committed key has wrong value"),
@@ -142,7 +145,10 @@ impl<M: PmdkMap> Program for MapWorkload<M> {
             pool.set_committed(env, i as u64 + 1);
         }
         for &key in &self.keys {
-            env.pm_assert(map.get(env, &pool, key) == Some(value_of(key)), "key lost at end");
+            env.pm_assert(
+                map.get(env, &pool, key) == Some(value_of(key)),
+                "key lost at end",
+            );
         }
     }
 
@@ -167,7 +173,11 @@ pub(crate) mod test_support {
         for &k in &keys {
             assert_eq!(map.get(&env, &pool, k), None);
             map.insert(&env, &pool, k, value_of(k));
-            assert_eq!(map.get(&env, &pool, k), Some(value_of(k)), "insert-then-get");
+            assert_eq!(
+                map.get(&env, &pool, k),
+                Some(value_of(k)),
+                "insert-then-get"
+            );
         }
         for &k in &keys {
             assert_eq!(map.get(&env, &pool, k), Some(value_of(k)));
@@ -179,7 +189,10 @@ pub(crate) mod test_support {
     /// Model checks a map workload and returns the report.
     pub fn check_map<M: PmdkMap>(faults: PmdkFaults, n: usize) -> CheckReport {
         let mut config = Config::new();
-        config.pool_size(1 << 18).max_scenarios(2_000).max_ops_per_execution(20_000);
+        config
+            .pool_size(1 << 18)
+            .max_scenarios(2_000)
+            .max_ops_per_execution(20_000);
         ModelChecker::new(config).check(&MapWorkload::<M>::new(faults, n))
     }
 }

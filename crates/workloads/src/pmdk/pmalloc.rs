@@ -77,7 +77,10 @@ pub fn alloc(env: &dyn PmEnv, pool: &ObjPool, size: u64) -> PmAddr {
         env.persist(block, HEADER_SIZE as usize);
     }
     let next = block + HEADER_SIZE + size;
-    env.pm_assert(next.offset() <= env.pool_size(), "persistent heap exhausted");
+    env.pm_assert(
+        next.offset() <= env.pool_size(),
+        "persistent heap exhausted",
+    );
     env.store_u64(cursor_cell, next.offset());
     if !fault.skip_cursor_flush {
         env.persist(cursor_cell, 8);
@@ -107,10 +110,13 @@ pub fn heap_check(env: &dyn PmEnv, pool: &ObjPool) {
         let size = env.load_u64(block);
         let state = env.load_u64(block + 8);
         env.pm_assert(
-            size > 0 && size % 16 == 0 && at + HEADER_SIZE + size <= env.pool_size(),
+            size > 0 && size.is_multiple_of(16) && at + HEADER_SIZE + size <= env.pool_size(),
             "heap walk: corrupt block size (heap.c:533)",
         );
-        env.pm_assert(state == STATE_ALLOCATED, "heap walk: block below cursor not allocated");
+        env.pm_assert(
+            state == STATE_ALLOCATED,
+            "heap walk: block below cursor not allocated",
+        );
         at += HEADER_SIZE + size;
     }
 }
@@ -190,7 +196,10 @@ mod tests {
     #[test]
     fn unflushed_block_header_trips_heap_walk() {
         let faults = PmdkFaults {
-            pmalloc: PmallocFault { skip_header_flush: true, skip_cursor_flush: false },
+            pmalloc: PmallocFault {
+                skip_header_flush: true,
+                skip_cursor_flush: false,
+            },
             ..PmdkFaults::default()
         };
         let report = check(faults);
@@ -204,13 +213,19 @@ mod tests {
     #[test]
     fn unflushed_cursor_trips_pmalloc_assert() {
         let faults = PmdkFaults {
-            pmalloc: PmallocFault { skip_header_flush: false, skip_cursor_flush: true },
+            pmalloc: PmallocFault {
+                skip_header_flush: false,
+                skip_cursor_flush: true,
+            },
             ..PmdkFaults::default()
         };
         let report = check(faults);
         assert!(!report.is_clean(), "{report}");
         assert!(
-            report.bugs.iter().any(|b| b.message.contains("pmalloc.c:270")),
+            report
+                .bugs
+                .iter()
+                .any(|b| b.message.contains("pmalloc.c:270")),
             "bug 5 symptom: {report}"
         );
     }

@@ -174,33 +174,32 @@ mod tests {
             pool: PoolFault::ChecksumNotFlushed,
             ..PmdkFaults::default()
         };
-        let program = move |env: &dyn jaaru::PmEnv| {
-            match ObjPool::open(env, faults) {
-                Some(_) => {}
-                None => {
-                    let pool = ObjPool::create(env, faults);
-                    pool.set_root_object(env, PmAddr::new(0x1000));
-                    pool.seal(env);
-                }
+        let program = move |env: &dyn jaaru::PmEnv| match ObjPool::open(env, faults) {
+            Some(_) => {}
+            None => {
+                let pool = ObjPool::create(env, faults);
+                pool.set_root_object(env, PmAddr::new(0x1000));
+                pool.seal(env);
             }
         };
         let mut config = Config::new();
         config.pool_size(1 << 16);
         let report = ModelChecker::new(config).check(&program);
         assert!(!report.is_clean(), "{report}");
-        assert!(report.bugs[0].message.contains("Failed to open pool"), "{report}");
+        assert!(
+            report.bugs[0].message.contains("Failed to open pool"),
+            "{report}"
+        );
     }
 
     #[test]
     fn fixed_seal_is_crash_consistent() {
-        let program = |env: &dyn jaaru::PmEnv| {
-            match ObjPool::open(env, PmdkFaults::default()) {
-                Some(_) => {}
-                None => {
-                    let pool = ObjPool::create(env, PmdkFaults::default());
-                    pool.set_root_object(env, PmAddr::new(0x1000));
-                    pool.seal(env);
-                }
+        let program = |env: &dyn jaaru::PmEnv| match ObjPool::open(env, PmdkFaults::default()) {
+            Some(_) => {}
+            None => {
+                let pool = ObjPool::create(env, PmdkFaults::default());
+                pool.set_root_object(env, PmAddr::new(0x1000));
+                pool.seal(env);
             }
         };
         let mut config = Config::new();

@@ -131,7 +131,10 @@ impl super::PmdkMap for RbtreeMap {
     fn validate(&self, env: &dyn PmEnv, _pool: &ObjPool) {
         let size = Self::subtree_size(env, env.load_addr(self.root));
         let count = env.load_u64(self.count_cell());
-        env.pm_assert(size == count, "node counter disagrees with tree (tx.c:1678)");
+        env.pm_assert(
+            size == count,
+            "node counter disagrees with tree (tx.c:1678)",
+        );
 
         fn check_order(env: &dyn PmEnv, node: PmAddr, lo: u64, hi: u64) {
             if node.is_null() {
@@ -148,7 +151,10 @@ impl super::PmdkMap for RbtreeMap {
 
 /// Fault set for Figure 12 bug #7.
 pub fn bug7_faults() -> PmdkFaults {
-    PmdkFaults { map_fault: faults::COUNTER_OUTSIDE_TX, ..PmdkFaults::default() }
+    PmdkFaults {
+        map_fault: faults::COUNTER_OUTSIDE_TX,
+        ..PmdkFaults::default()
+    }
 }
 
 #[cfg(test)]

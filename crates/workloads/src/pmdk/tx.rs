@@ -189,7 +189,9 @@ mod tests {
         let tx = Tx::begin(&env, &pool);
         tx.add_range(&env, cell, 8);
         env.store_u64(cell, 2);
-        drop(tx); // no commit: simulate reaching recovery in WORK stage
+        // tx is abandoned without commit: simulate reaching recovery in
+        // the WORK stage.
+        let _ = tx;
         recover(&env, &pool);
         assert_eq!(env.load_u64(cell), 1, "rollback restores the snapshot");
         assert_eq!(env.load_u64(stage_cell(&pool)), STAGE_NONE);
@@ -246,7 +248,10 @@ mod tests {
 
     #[test]
     fn unflushed_log_entry_breaks_recovery() {
-        let faults = PmdkFaults { tx: TxFault::LogEntryNotFlushed, ..PmdkFaults::default() };
+        let faults = PmdkFaults {
+            tx: TxFault::LogEntryNotFlushed,
+            ..PmdkFaults::default()
+        };
         let mut config = Config::new();
         config.pool_size(1 << 16);
         let report = ModelChecker::new(config).check(&tx_counter_program(faults));

@@ -387,7 +387,6 @@ mod tests {
         assert!(report.is_clean(), "{report}");
     }
 
-    
     #[test]
     fn functional_roundtrip() {
         native_roundtrip::<Cceh>(64);

@@ -144,9 +144,15 @@ impl<I: PmIndex> Program for IndexWorkload<I> {
         // legal).
         let committed = h.committed(env);
         let deleted = h.deleted(env);
-        env.pm_assert(committed <= self.keys.len() as u64, "commit counter corrupt");
+        env.pm_assert(
+            committed <= self.keys.len() as u64,
+            "commit counter corrupt",
+        );
         env.pm_assert(deleted <= self.deletes as u64, "delete counter corrupt");
-        env.pm_assert(deleted == 0 || committed == self.keys.len() as u64, "deletes before inserts finished");
+        env.pm_assert(
+            deleted == 0 || committed == self.keys.len() as u64,
+            "deletes before inserts finished",
+        );
         for (i, &key) in self.keys.iter().enumerate().take(committed as usize) {
             let got = index.get(env, key);
             if (i as u64) < deleted {
@@ -173,7 +179,13 @@ impl<I: PmIndex> Program for IndexWorkload<I> {
             }
             h.set_committed(env, i as u64 + 1);
         }
-        for (i, &key) in self.keys.iter().enumerate().take(self.deletes).skip(deleted as usize) {
+        for (i, &key) in self
+            .keys
+            .iter()
+            .enumerate()
+            .take(self.deletes)
+            .skip(deleted as usize)
+        {
             if index.get(env, key).is_some() {
                 index.remove(env, &heap, key);
             }
@@ -186,7 +198,10 @@ impl<I: PmIndex> Program for IndexWorkload<I> {
             if i < self.deletes {
                 env.pm_assert(index.get(env, key).is_none(), "deleted key resurrected");
             } else {
-                env.pm_assert(index.get(env, key) == Some(value_of(key)), "key lost at end");
+                env.pm_assert(
+                    index.get(env, key) == Some(value_of(key)),
+                    "key lost at end",
+                );
             }
         }
     }
@@ -206,7 +221,12 @@ pub(crate) mod test_support {
     pub fn native_roundtrip<I: PmIndex>(n: usize) {
         let env = NativeEnv::new(1 << 20);
         let h = Harness::new(&env);
-        let heap = PBump::create(&env, h.heap_cursor_cell(), h.heap_base(), AllocFault::default());
+        let heap = PBump::create(
+            &env,
+            h.heap_cursor_cell(),
+            h.heap_base(),
+            AllocFault::default(),
+        );
         let index = I::create(&env, &heap, I::Fault::default());
         let keys = gen_keys(42, n);
         for &k in &keys {
@@ -215,7 +235,11 @@ pub(crate) mod test_support {
             assert_eq!(index.get(&env, k), Some(value_of(k)), "insert-then-get");
         }
         for &k in &keys {
-            assert_eq!(index.get(&env, k), Some(value_of(k)), "all keys found at end");
+            assert_eq!(
+                index.get(&env, k),
+                Some(value_of(k)),
+                "all keys found at end"
+            );
         }
         // Updates overwrite.
         index.insert(&env, &heap, keys[0], 7777);
@@ -226,7 +250,12 @@ pub(crate) mod test_support {
     pub fn native_remove_roundtrip<I: PmIndex>(n: usize) {
         let env = NativeEnv::new(1 << 20);
         let h = Harness::new(&env);
-        let heap = PBump::create(&env, h.heap_cursor_cell(), h.heap_base(), AllocFault::default());
+        let heap = PBump::create(
+            &env,
+            h.heap_cursor_cell(),
+            h.heap_base(),
+            AllocFault::default(),
+        );
         let index = I::create(&env, &heap, I::Fault::default());
         let keys = gen_keys(43, n);
         for &k in &keys {
@@ -249,7 +278,10 @@ pub(crate) mod test_support {
     /// Model checks an insert+delete workload and returns the report.
     pub fn check_delete_workload<I: PmIndex>(n: usize, deletes: usize) -> CheckReport {
         let mut config = Config::new();
-        config.pool_size(1 << 18).max_scenarios(2_000).max_ops_per_execution(20_000);
+        config
+            .pool_size(1 << 18)
+            .max_scenarios(2_000)
+            .max_ops_per_execution(20_000);
         ModelChecker::new(config)
             .check(&IndexWorkload::<I>::new(I::Fault::default(), n).with_deletes(deletes))
     }
@@ -261,7 +293,10 @@ pub(crate) mod test_support {
         // across the many scenarios that reach them; the scenario cap
         // bounds unit-test time on heavily faulted configurations whose
         // unconstrained reads branch widely.
-        config.pool_size(1 << 18).max_scenarios(2_000).max_ops_per_execution(20_000);
+        config
+            .pool_size(1 << 18)
+            .max_scenarios(2_000)
+            .max_ops_per_execution(20_000);
         ModelChecker::new(config).check(&IndexWorkload::<I>::new(fault, n))
     }
 }

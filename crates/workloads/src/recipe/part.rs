@@ -25,7 +25,7 @@
 //! leaf        : { key: u64, value: u64 }
 //! ```
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 use jaaru::{PmAddr, PmEnv};
 
@@ -61,7 +61,7 @@ pub enum PartFault {
 pub struct Part {
     root: PmAddr,
     fault: PartFault,
-    locked_nodes: RefCell<Vec<PmAddr>>,
+    locked_nodes: Mutex<Vec<PmAddr>>,
 }
 
 impl Part {
@@ -110,12 +110,12 @@ impl Part {
             // after a failure; the checker's budget reports it.
         }
         env.store_u64(node, 1);
-        self.locked_nodes.borrow_mut().push(node);
+        self.locked_nodes.lock().unwrap().push(node);
     }
 
     fn unlock(&self, env: &dyn PmEnv, node: PmAddr) {
         env.store_u64(node, 0);
-        self.locked_nodes.borrow_mut().pop();
+        self.locked_nodes.lock().unwrap().pop();
     }
 
     /// Bump the global epoch (reclamation bookkeeping on every update).
@@ -129,6 +129,7 @@ impl Part {
     /// new key: nodes for the shared nibbles, then the divergence node
     /// holding both leaves. Entirely private until the returned pointer
     /// is committed.
+    #[allow(clippy::too_many_arguments)]
     fn build_chain(
         &self,
         env: &dyn PmEnv,
@@ -140,14 +141,21 @@ impl Part {
         old_key: u64,
     ) -> u64 {
         let mut diverge = depth;
-        while diverge < MAX_DEPTH && Self::nibble(new_key, diverge) == Self::nibble(old_key, diverge)
+        while diverge < MAX_DEPTH
+            && Self::nibble(new_key, diverge) == Self::nibble(old_key, diverge)
         {
             diverge += 1;
         }
         env.pm_assert(diverge < MAX_DEPTH, "duplicate key reached chain builder");
         let bottom = Self::alloc_node(env, heap);
-        env.store_u64(Self::child_cell(bottom, Self::nibble(new_key, diverge)), new_tagged);
-        env.store_u64(Self::child_cell(bottom, Self::nibble(old_key, diverge)), old_tagged);
+        env.store_u64(
+            Self::child_cell(bottom, Self::nibble(new_key, diverge)),
+            new_tagged,
+        );
+        env.store_u64(
+            Self::child_cell(bottom, Self::nibble(old_key, diverge)),
+            old_tagged,
+        );
         env.clflush(bottom, NODE_SIZE as usize);
         let mut top = bottom;
         let mut d = diverge;
@@ -179,7 +187,11 @@ impl PmIndex for Part {
 
     fn create(env: &dyn PmEnv, heap: &PBump, fault: PartFault) -> Self {
         let root = heap.alloc_zeroed(env, 128, 64);
-        let tree = Part { root, fault, locked_nodes: RefCell::new(Vec::new()) };
+        let tree = Part {
+            root,
+            fault,
+            locked_nodes: Mutex::new(Vec::new()),
+        };
 
         let node = Self::alloc_node(env, heap);
         env.clflush(node, NODE_SIZE as usize);
@@ -200,7 +212,11 @@ impl PmIndex for Part {
     }
 
     fn open(_env: &dyn PmEnv, root: PmAddr, fault: PartFault) -> Self {
-        Part { root, fault, locked_nodes: RefCell::new(Vec::new()) }
+        Part {
+            root,
+            fault,
+            locked_nodes: Mutex::new(Vec::new()),
+        }
     }
 
     fn root(&self) -> PmAddr {
@@ -233,8 +249,7 @@ impl PmIndex for Part {
                 }
                 self.lock(env, node);
                 let new_leaf = Self::alloc_leaf(env, heap, key, value);
-                let chain =
-                    self.build_chain(env, heap, depth + 1, new_leaf, key, ptr, existing);
+                let chain = self.build_chain(env, heap, depth + 1, new_leaf, key, ptr, existing);
                 env.store_u64(cell, chain);
                 env.persist(cell, 8);
                 self.unlock(env, node);
@@ -307,7 +322,7 @@ impl PmIndex for Part {
         if self.fault == PartFault::VolatileRecoverySet {
             // BUG: the original used a volatile tbb vector here; after a
             // failure it is empty, so persisted locks are never released.
-            for node in self.locked_nodes.borrow().iter() {
+            for node in self.locked_nodes.lock().unwrap().iter() {
                 env.store_u64(*node, 0);
             }
         } else {
@@ -333,7 +348,6 @@ mod tests {
         assert!(report.is_clean(), "{report}");
     }
 
-    
     #[test]
     fn functional_roundtrip() {
         native_roundtrip::<Part>(64);

@@ -309,7 +309,6 @@ mod tests {
         assert!(report.is_clean(), "{report}");
     }
 
-    
     #[test]
     fn functional_roundtrip() {
         native_roundtrip::<Pbwtree>(64);
@@ -330,7 +329,10 @@ mod tests {
     #[test]
     fn gc_retire_before_commit_corrupts_chains() {
         let report = check_workload::<Pbwtree>(PbwtreeFault::GcRetireBeforeCommit, 8);
-        assert!(!report.is_clean(), "P-BwTree bug 10 (GC atomicity): {report}");
+        assert!(
+            !report.is_clean(),
+            "P-BwTree bug 10 (GC atomicity): {report}"
+        );
     }
 
     #[test]
@@ -346,19 +348,30 @@ mod tests {
     #[test]
     fn gc_metadata_not_flushed_aliases_records() {
         let report = check_workload::<Pbwtree>(PbwtreeFault::GcMetadataNotFlushed, 8);
-        assert!(!report.is_clean(), "P-BwTree bug 12 (stale GC head): {report}");
+        assert!(
+            !report.is_clean(),
+            "P-BwTree bug 12 (stale GC head): {report}"
+        );
     }
 
     #[test]
     fn allocation_meta_ctor_not_flushed_faults() {
         // Bug 13: the allocation metadata (persistent heap cursor) is not
         // flushed by its constructor.
-        let workload = IndexWorkload::<Pbwtree>::new(PbwtreeFault::None, 4)
-            .with_alloc_fault(AllocFault { skip_cursor_flush: true });
+        let workload =
+            IndexWorkload::<Pbwtree>::new(PbwtreeFault::None, 4).with_alloc_fault(AllocFault {
+                skip_cursor_flush: true,
+            });
         let mut config = Config::new();
-        config.pool_size(1 << 18).max_scenarios(2_000).max_ops_per_execution(20_000);
+        config
+            .pool_size(1 << 18)
+            .max_scenarios(2_000)
+            .max_ops_per_execution(20_000);
         let report = ModelChecker::new(config).check(&workload);
-        assert!(!report.is_clean(), "P-BwTree bug 13 (allocator ctor): {report}");
+        assert!(
+            !report.is_clean(),
+            "P-BwTree bug 13 (allocator ctor): {report}"
+        );
     }
 
     #[test]

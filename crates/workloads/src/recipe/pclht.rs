@@ -317,7 +317,6 @@ mod tests {
         assert!(report.is_clean(), "{report}");
     }
 
-    
     #[test]
     fn functional_roundtrip() {
         native_roundtrip::<Pclht>(64);

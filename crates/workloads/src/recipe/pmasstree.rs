@@ -218,8 +218,7 @@ mod tests {
 
     #[test]
     fn wrong_flush_target_faults() {
-        let report =
-            check_workload::<Pmasstree>(PmasstreeFault::FlushedObjectInsteadOfPointer, 5);
+        let report = check_workload::<Pmasstree>(PmasstreeFault::FlushedObjectInsteadOfPointer, 5);
         assert!(!report.is_clean(), "{report}");
         assert!(
             report.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),

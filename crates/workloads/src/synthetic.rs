@@ -16,15 +16,7 @@ pub fn figure2_program() -> impl Program {
             let ry = env.load_u64(y);
             // Every (x, y) pair must be a prefix-consistent snapshot of
             // the store sequence: enumerate the legal pairs.
-            let legal = [
-                (0, 0),
-                (0, 1),
-                (2, 1),
-                (2, 3),
-                (4, 3),
-                (4, 5),
-                (6, 5),
-            ];
+            let legal = [(0, 0), (0, 1), (2, 1), (2, 3), (4, 3), (4, 5), (6, 5)];
             env.pm_assert(
                 legal.contains(&(rx, ry)),
                 &format!("inconsistent snapshot x={rx} y={ry}"),
@@ -77,10 +69,14 @@ pub fn figure4_program() -> impl Program {
 /// reads the whole array unconditionally (the worst case for any
 /// checker, still sound for Jaaru, just slower).
 pub fn array_init_program(n: usize, with_commit_store: bool) -> impl Program {
-    assert!(n % 8 == 0, "n must fill whole cache lines");
+    assert!(n.is_multiple_of(8), "n must fill whole cache lines");
     let name = format!(
         "array-init-{n}-{}",
-        if with_commit_store { "commit" } else { "nocommit" }
+        if with_commit_store {
+            "commit"
+        } else {
+            "nocommit"
+        }
     );
     Named::new(name, move |env: &dyn PmEnv| {
         let commit = env.root();

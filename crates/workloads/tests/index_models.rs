@@ -1,21 +1,25 @@
 //! Property tests: every RECIPE index and PMDK map behaves like
 //! `std::collections::BTreeMap` under randomized insert/update/get
 //! sequences (functional correctness, independent of crash consistency).
+//!
+//! Sequences come from the workspace's own seeded [`SplitMix64`] (the
+//! build is offline, so no proptest); a failing case prints the seed.
 
 use std::collections::BTreeMap;
 
-use jaaru::{NativeEnv, PmEnv};
+use jaaru::NativeEnv;
 use jaaru_workloads::alloc::{AllocFault, PBump};
 use jaaru_workloads::pmdk::{
-    btree_map::BtreeMap, ctree_map::CtreeMap, hashmap_atomic::HashmapAtomic,
-    hashmap_tx::HashmapTx, rbtree_map::RbtreeMap, ObjPool, PmdkFaults, PmdkMap,
+    btree_map::BtreeMap, ctree_map::CtreeMap, hashmap_atomic::HashmapAtomic, hashmap_tx::HashmapTx,
+    rbtree_map::RbtreeMap, ObjPool, PmdkFaults, PmdkMap,
 };
 use jaaru_workloads::recipe::{
     cceh::Cceh, fast_fair::FastFair, part::Part, pbwtree::Pbwtree, pclht::Pclht,
     pmasstree::Pmasstree, PmIndex,
 };
-use jaaru_workloads::util::Harness;
-use proptest::prelude::*;
+use jaaru_workloads::util::{Harness, SplitMix64};
+
+const CASES: u64 = 64;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -23,19 +27,44 @@ enum Op {
     Get(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    // A small key universe forces updates and collisions.
-    let key = prop_oneof![1u64..40, any::<u64>().prop_filter("nonzero", |&k| k != 0)];
-    prop_oneof![
-        3 => (key.clone(), 1u64..u64::MAX).prop_map(|(k, v)| Op::Insert(k, v)),
-        2 => key.prop_map(Op::Get),
-    ]
+/// A small key universe (1..40) mixed with arbitrary u64 keys forces
+/// updates and collisions; inserts outnumber gets 3:2.
+fn random_ops(rng: &mut SplitMix64) -> Vec<Op> {
+    let len = 1 + rng.next_u64() % 79;
+    let key = |rng: &mut SplitMix64| {
+        if rng.next_u64().is_multiple_of(2) {
+            1 + rng.next_u64() % 39
+        } else {
+            loop {
+                let k = rng.next_u64();
+                if k != 0 {
+                    break k;
+                }
+            }
+        }
+    };
+    (0..len)
+        .map(|_| {
+            if rng.next_u64() % 5 < 3 {
+                let k = key(rng);
+                let v = 1 + rng.next_u64() % (u64::MAX - 1);
+                Op::Insert(k, v)
+            } else {
+                Op::Get(key(rng))
+            }
+        })
+        .collect()
 }
 
-fn run_recipe_model<I: PmIndex>(ops: &[Op]) -> Result<(), TestCaseError> {
+fn run_recipe_model<I: PmIndex>(ops: &[Op], seed: u64) {
     let env = NativeEnv::new(1 << 20);
     let h = Harness::new(&env);
-    let heap = PBump::create(&env, h.heap_cursor_cell(), h.heap_base(), AllocFault::default());
+    let heap = PBump::create(
+        &env,
+        h.heap_cursor_cell(),
+        h.heap_base(),
+        AllocFault::default(),
+    );
     let index = I::create(&env, &heap, I::Fault::default());
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
     for op in ops {
@@ -45,17 +74,26 @@ fn run_recipe_model<I: PmIndex>(ops: &[Op]) -> Result<(), TestCaseError> {
                 model.insert(k, v);
             }
             Op::Get(k) => {
-                prop_assert_eq!(index.get(&env, k), model.get(&k).copied(), "{}: get {}", I::NAME, k);
+                assert_eq!(
+                    index.get(&env, k),
+                    model.get(&k).copied(),
+                    "{}: seed {seed} get {k}",
+                    I::NAME
+                );
             }
         }
     }
     for (&k, &v) in &model {
-        prop_assert_eq!(index.get(&env, k), Some(v), "{}: final {}", I::NAME, k);
+        assert_eq!(
+            index.get(&env, k),
+            Some(v),
+            "{}: seed {seed} final {k}",
+            I::NAME
+        );
     }
-    Ok(())
 }
 
-fn run_pmdk_model<M: PmdkMap>(ops: &[Op]) -> Result<(), TestCaseError> {
+fn run_pmdk_model<M: PmdkMap>(ops: &[Op], seed: u64) {
     let env = NativeEnv::new(1 << 20);
     let pool = ObjPool::create(&env, PmdkFaults::default());
     let map = M::create(&env, &pool, PmdkFaults::default());
@@ -69,32 +107,43 @@ fn run_pmdk_model<M: PmdkMap>(ops: &[Op]) -> Result<(), TestCaseError> {
                 model.insert(k, v);
             }
             Op::Get(k) => {
-                prop_assert_eq!(map.get(&env, &pool, k), model.get(&k).copied(), "{}: get {}", M::NAME, k);
+                assert_eq!(
+                    map.get(&env, &pool, k),
+                    model.get(&k).copied(),
+                    "{}: seed {seed} get {k}",
+                    M::NAME
+                );
             }
         }
     }
     for (&k, &v) in &model {
-        prop_assert_eq!(map.get(&env, &pool, k), Some(v), "{}: final {}", M::NAME, k);
+        assert_eq!(
+            map.get(&env, &pool, k),
+            Some(v),
+            "{}: seed {seed} final {k}",
+            M::NAME
+        );
     }
-    Ok(())
 }
 
 macro_rules! model_test {
     (recipe $name:ident, $ty:ty) => {
-        proptest! {
-            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-            #[test]
-            fn $name(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-                run_recipe_model::<$ty>(&ops)?;
+        #[test]
+        fn $name() {
+            for seed in 0..CASES {
+                let mut rng = SplitMix64::new(seed);
+                let ops = random_ops(&mut rng);
+                run_recipe_model::<$ty>(&ops, seed);
             }
         }
     };
     (pmdk $name:ident, $ty:ty) => {
-        proptest! {
-            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-            #[test]
-            fn $name(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-                run_pmdk_model::<$ty>(&ops)?;
+        #[test]
+        fn $name() {
+            for seed in 0..CASES {
+                let mut rng = SplitMix64::new(seed);
+                let ops = random_ops(&mut rng);
+                run_pmdk_model::<$ty>(&ops, seed);
             }
         }
     };

@@ -31,7 +31,10 @@ pub struct YatConfig {
 impl YatConfig {
     /// Defaults: 1 MiB pool, 1,000,000-state exploration cap.
     pub fn new() -> Self {
-        YatConfig { pool_size: 1 << 20, max_states: 1_000_000 }
+        YatConfig {
+            pool_size: 1 << 20,
+            max_states: 1_000_000,
+        }
     }
 }
 
@@ -102,7 +105,10 @@ fn run_pre_failure(
 fn line_choices(storage: &ExecutionStorage) -> Vec<(CacheLineId, Vec<Seq>)> {
     let mut lines: Vec<CacheLineId> = storage.touched_lines().collect();
     lines.sort();
-    lines.into_iter().map(|l| (l, storage.writeback_points(l))).collect()
+    lines
+        .into_iter()
+        .map(|l| (l, storage.writeback_points(l)))
+        .collect()
 }
 
 /// Number of distinct post-failure states of a crashed execution.
@@ -126,7 +132,8 @@ fn materialize(
         let w = points[idx];
         for addr in line.bytes() {
             if let Some(v) = storage.snapshot_value(addr, w) {
-                pool.write_u8(addr, v).expect("touched addresses are in bounds");
+                pool.write_u8(addr, v)
+                    .expect("touched addresses are in bounds");
             }
         }
     }
@@ -178,7 +185,10 @@ pub fn eager_check(program: &dyn Program, config: &YatConfig) -> YatReport {
     let probe = match run_pre_failure(program, config.pool_size, None) {
         Ok(env) => env,
         Err(message) => {
-            report.bugs.push(YatBug { message, failure_point: usize::MAX });
+            report.bugs.push(YatBug {
+                message,
+                failure_point: usize::MAX,
+            });
             report.duration = start.elapsed();
             return report;
         }
@@ -226,7 +236,10 @@ pub fn eager_check(program: &dyn Program, config: &YatConfig) -> YatReport {
 
 fn push_bug(bugs: &mut Vec<YatBug>, message: String, failure_point: usize) {
     if !bugs.iter().any(|b| b.message == message) {
-        bugs.push(YatBug { message, failure_point });
+        bugs.push(YatBug {
+            message,
+            failure_point,
+        });
     }
 }
 
@@ -257,7 +270,10 @@ mod tests {
     use jaaru::PmEnv;
 
     fn config() -> YatConfig {
-        YatConfig { pool_size: 4096, max_states: 100_000 }
+        YatConfig {
+            pool_size: 4096,
+            max_states: 100_000,
+        }
     }
 
     #[test]

@@ -33,14 +33,18 @@ impl StateCount {
     pub const ONE: StateCount = StateCount { log10: 0.0 };
 
     /// The count 0 (the additive identity).
-    pub const ZERO: StateCount = StateCount { log10: f64::NEG_INFINITY };
+    pub const ZERO: StateCount = StateCount {
+        log10: f64::NEG_INFINITY,
+    };
 
     /// Creates a count from an exact integer.
     pub fn from_u64(n: u64) -> Self {
         if n == 0 {
             Self::ZERO
         } else {
-            StateCount { log10: (n as f64).log10() }
+            StateCount {
+                log10: (n as f64).log10(),
+            }
         }
     }
 
@@ -51,7 +55,9 @@ impl StateCount {
 
     /// Raises the count to an integer power (independent lines multiply).
     pub fn pow(self, exp: u32) -> Self {
-        StateCount { log10: self.log10 * f64::from(exp) }
+        StateCount {
+            log10: self.log10 * f64::from(exp),
+        }
     }
 
     /// The count as a `u64` if it fits exactly enough to be meaningful.
@@ -75,8 +81,14 @@ impl Add for StateCount {
         if rhs == Self::ZERO {
             return self;
         }
-        let (hi, lo) = if self.log10 >= rhs.log10 { (self, rhs) } else { (rhs, self) };
-        StateCount { log10: hi.log10 + (1.0 + 10f64.powf(lo.log10 - hi.log10)).log10() }
+        let (hi, lo) = if self.log10 >= rhs.log10 {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        StateCount {
+            log10: hi.log10 + (1.0 + 10f64.powf(lo.log10 - hi.log10)).log10(),
+        }
     }
 }
 
@@ -88,7 +100,9 @@ impl Mul for StateCount {
         if self == Self::ZERO || rhs == Self::ZERO {
             return Self::ZERO;
         }
-        StateCount { log10: self.log10 + rhs.log10 }
+        StateCount {
+            log10: self.log10 + rhs.log10,
+        }
     }
 }
 

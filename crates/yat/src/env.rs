@@ -102,14 +102,18 @@ impl PreFailureEnv {
         inner.ops += 1;
         if inner.ops > MAX_OPS {
             drop(inner);
-            panic_any(YatBugSignal("infinite loop in pre-failure execution".into()));
+            panic_any(YatBugSignal(
+                "infinite loop in pre-failure execution".into(),
+            ));
         }
     }
 
     fn check_range(&self, addr: PmAddr, len: usize) {
         let end = addr.offset().checked_add(len as u64);
         if addr.offset() < NULL_PAGE_SIZE || !matches!(end, Some(e) if e <= self.pool_size) {
-            panic_any(YatBugSignal(format!("illegal access: {len} bytes at {addr}")));
+            panic_any(YatBugSignal(format!(
+                "illegal access: {len} bytes at {addr}"
+            )));
         }
     }
 
@@ -136,7 +140,10 @@ impl PmEnv for PreFailureEnv {
         self.check_range(addr, buf.len());
         let inner = self.inner.borrow();
         for (i, slot) in buf.iter_mut().enumerate() {
-            *slot = match inner.machine.read_current(inner.current_tid, addr + i as u64) {
+            *slot = match inner
+                .machine
+                .read_current(inner.current_tid, addr + i as u64)
+            {
                 CurrentRead::Buffered(v) | CurrentRead::Cached(v) => v,
                 CurrentRead::Miss => 0,
             };

@@ -15,9 +15,12 @@ use jaaru_workloads::pmdk::{hashmap_atomic, hashmap_tx, MapWorkload, PmdkFaults}
 use jaaru_workloads::recipe::cceh::{Cceh, CcehFault};
 use jaaru_workloads::recipe::IndexWorkload;
 
-fn audit(name: &str, program: &dyn Program) -> CheckReport {
+fn audit(name: &str, program: &(dyn Program + Sync)) -> CheckReport {
     let mut config = Config::new();
-    config.pool_size(1 << 18).max_ops_per_execution(20_000).max_scenarios(5_000);
+    config
+        .pool_size(1 << 18)
+        .max_ops_per_execution(20_000)
+        .max_scenarios(5_000);
     let report = ModelChecker::new(config).check(program);
     let verdict = if report.is_clean() { "clean" } else { "BUGGY" };
     println!("{name:<44} {verdict:>6}  ({})", report.summary());
@@ -32,9 +35,18 @@ fn main() {
     let clean = audit("CCEH (fixed)", &IndexWorkload::<Cceh>::fixed(6));
     assert!(clean.is_clean());
     for (label, fault) in [
-        ("CCEH (directory header not flushed)", CcehFault::CtorDirectoryHeaderNotFlushed),
-        ("CCEH (directory entries not flushed)", CcehFault::CtorDirectoryEntriesNotFlushed),
-        ("CCEH (root pointer not flushed)", CcehFault::CtorRootNotFlushed),
+        (
+            "CCEH (directory header not flushed)",
+            CcehFault::CtorDirectoryHeaderNotFlushed,
+        ),
+        (
+            "CCEH (directory entries not flushed)",
+            CcehFault::CtorDirectoryEntriesNotFlushed,
+        ),
+        (
+            "CCEH (root pointer not flushed)",
+            CcehFault::CtorRootNotFlushed,
+        ),
     ] {
         let report = audit(label, &IndexWorkload::<Cceh>::new(fault, 4));
         assert!(!report.is_clean());

@@ -35,7 +35,10 @@ fn committed_length_log(env: &dyn PmEnv) {
 
     // Recovery contract: every admitted record is intact.
     for i in 0..committed {
-        env.pm_assert(env.load_u64(records + i * 16) == payload(i), "committed record lost");
+        env.pm_assert(
+            env.load_u64(records + i * 16) == payload(i),
+            "committed record lost",
+        );
     }
     // Continue appending.
     for i in committed..RECORDS {

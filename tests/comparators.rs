@@ -13,7 +13,9 @@ const POOL: usize = 1 << 18;
 
 fn jaaru_config() -> Config {
     let mut c = Config::new();
-    c.pool_size(POOL).max_ops_per_execution(20_000).max_scenarios(2_000);
+    c.pool_size(POOL)
+        .max_ops_per_execution(20_000)
+        .max_scenarios(2_000);
     c
 }
 
@@ -26,7 +28,10 @@ fn gc_atomicity_bug_needs_exhaustive_exploration() {
     let workload = IndexWorkload::<Pbwtree>::new(PbwtreeFault::GcRetireBeforeCommit, 8);
 
     let jaaru = ModelChecker::new(jaaru_config()).check(&workload);
-    assert!(!jaaru.is_clean(), "Jaaru finds the atomicity violation: {jaaru}");
+    assert!(
+        !jaaru.is_clean(),
+        "Jaaru finds the atomicity violation: {jaaru}"
+    );
 
     let xf = xfdetector_check(&workload, POOL);
     assert!(
@@ -36,7 +41,10 @@ fn gc_atomicity_bug_needs_exhaustive_exploration() {
 
     let pmtest = pmtest_check(&workload, POOL);
     assert_eq!(pmtest.correctness_violations().count(), 0);
-    assert!(pmtest.completed, "single execution never crashes: {pmtest:?}");
+    assert!(
+        pmtest.completed,
+        "single execution never crashes: {pmtest:?}"
+    );
 }
 
 /// PMTest's power is bounded by its annotations: the same missing-flush

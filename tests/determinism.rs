@@ -1,0 +1,99 @@
+//! Determinism regression tests for the exploration engine.
+//!
+//! The checker's contract is that exploration is a pure function of the
+//! program and the configuration: re-running yields the same bugs, the
+//! same traces, and the same statistics, and the parallel engine
+//! (`Config::jobs`) must be indistinguishable from the sequential walk in
+//! everything but wall-clock time. `CheckReport::digest` is the
+//! comparison surface — it covers every bug, race, performance issue,
+//! and exploration statistic, excluding only timing and per-worker
+//! scheduling stats.
+
+use jaaru::{CheckReport, Config, ModelChecker, PmEnv, Program};
+use jaaru_workloads::recipe::{
+    fast_fair::{FastFair, FastFairFault},
+    pclht::{Pclht, PclhtFault},
+    IndexWorkload,
+};
+
+fn config(jobs: usize) -> Config {
+    let mut c = Config::new();
+    c.pool_size(1 << 18)
+        .max_ops_per_execution(20_000)
+        .max_scenarios(2_000)
+        .jobs(jobs);
+    c
+}
+
+fn run(program: &(dyn Program + Sync), jobs: usize) -> CheckReport {
+    ModelChecker::new(config(jobs)).check(program)
+}
+
+/// A small closure program with several independent flushed lines, so
+/// the decision tree fans out enough to exercise work stealing.
+fn fan_out(env: &dyn PmEnv) {
+    let root = env.root();
+    if env.is_recovery() {
+        for i in 0..5 {
+            let _ = env.load_u64(root + i * 64);
+        }
+        return;
+    }
+    for i in 0..5 {
+        env.store_u64(root + i * 64, i + 1);
+        env.clflush(root + i * 64, 8);
+    }
+    env.sfence();
+}
+
+#[test]
+fn repeated_sequential_runs_are_byte_identical() {
+    let a = run(&fan_out, 1);
+    let b = run(&fan_out, 1);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(
+        a.summary().rsplit_once(',').unwrap().0,
+        b.summary().rsplit_once(',').unwrap().0
+    );
+}
+
+#[test]
+fn repeated_parallel_runs_are_byte_identical() {
+    let a = run(&fan_out, 4);
+    let b = run(&fan_out, 4);
+    assert_eq!(a.digest(), b.digest());
+}
+
+#[test]
+fn parallel_matches_sequential_on_a_clean_workload() {
+    let program = IndexWorkload::<FastFair>::new(FastFairFault::None, 6);
+    let sequential = run(&program, 1);
+    assert!(sequential.is_clean());
+    for jobs in [2usize, 4] {
+        assert_eq!(
+            sequential.digest(),
+            run(&program, jobs).digest(),
+            "jobs={jobs} diverged on clean FAST_FAIR"
+        );
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_on_a_buggy_workload() {
+    let program = IndexWorkload::<Pclht>::new(PclhtFault::CtorNotFlushed, 4);
+    let sequential = run(&program, 1);
+    assert!(!sequential.is_clean());
+    let parallel = run(&program, 4);
+    assert_eq!(sequential.digest(), parallel.digest());
+    // The first reported bug carries the same reproduction trace.
+    assert_eq!(sequential.bugs[0].trace, parallel.bugs[0].trace);
+}
+
+#[test]
+fn worker_count_does_not_leak_into_the_digest() {
+    // digest() must ignore the parallel block entirely, or any two
+    // worker counts would trivially differ.
+    let report = run(&fan_out, 3);
+    assert!(report.parallel.is_some());
+    assert!(!report.digest().contains("worker"));
+}

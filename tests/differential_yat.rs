@@ -12,17 +12,42 @@
 //! materialized). This test generates random pre-failure programs —
 //! stores of mixed sizes, `clflush`, `clflushopt`, `sfence`, `mfence` —
 //! and compares the observation sets exactly.
+//!
+//! Programs are generated with a seeded SplitMix64 generator (the
+//! workspace builds offline, so no proptest); a failing case prints the
+//! seed and op list that reproduce it.
 
-use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::sync::Mutex;
 
 use jaaru::{Config, ModelChecker, PmEnv};
 use jaaru_yat::{eager_check, YatConfig};
-use proptest::prelude::*;
 
 const POOL: usize = 4096;
 /// Eight observed byte slots spread over three cache lines.
 const SLOTS: [u64; 8] = [64, 72, 80, 120, 128, 136, 184, 191];
+
+struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -35,16 +60,17 @@ enum Op {
     Mfence,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..SLOTS.len(), 1u8..=255).prop_map(|(s, v)| Op::Store8(s, v)),
-        (0..SLOTS.len(), 1u16..=9999).prop_map(|(s, v)| Op::Store16(s, v)),
-        (0..SLOTS.len(), 1u64..=u64::MAX).prop_map(|(s, v)| Op::Store64(s, v)),
-        (0..SLOTS.len()).prop_map(Op::Clflush),
-        (0..SLOTS.len()).prop_map(Op::Clflushopt),
-        Just(Op::Sfence),
-        Just(Op::Mfence),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    let slot = rng.below(SLOTS.len() as u64) as usize;
+    match rng.below(7) {
+        0 => Op::Store8(slot, (1 + rng.below(255)) as u8),
+        1 => Op::Store16(slot, (1 + rng.below(9999)) as u16),
+        2 => Op::Store64(slot, 1 + rng.below(u64::MAX - 1)),
+        3 => Op::Clflush(slot),
+        4 => Op::Clflushopt(slot),
+        5 => Op::Sfence,
+        _ => Op::Mfence,
+    }
 }
 
 fn replay(env: &dyn PmEnv, ops: &[Op]) {
@@ -63,15 +89,18 @@ fn replay(env: &dyn PmEnv, ops: &[Op]) {
 }
 
 fn observe(env: &dyn PmEnv) -> Vec<u8> {
-    SLOTS.iter().map(|&a| env.load_u8(jaaru::PmAddr::new(a))).collect()
+    SLOTS
+        .iter()
+        .map(|&a| env.load_u8(jaaru::PmAddr::new(a)))
+        .collect()
 }
 
 /// All recovery observation vectors under Jaaru's lazy exploration.
 fn jaaru_observations(ops: &[Op]) -> BTreeSet<Vec<u8>> {
-    let observed = RefCell::new(BTreeSet::new());
+    let observed = Mutex::new(BTreeSet::new());
     let program = |env: &dyn PmEnv| {
         if env.is_recovery() {
-            observed.borrow_mut().insert(observe(env));
+            observed.lock().unwrap().insert(observe(env));
         } else {
             replay(env, ops);
         }
@@ -79,16 +108,19 @@ fn jaaru_observations(ops: &[Op]) -> BTreeSet<Vec<u8>> {
     let mut config = Config::new();
     config.pool_size(POOL).flag_races(false);
     let report = ModelChecker::new(config).check(&program);
-    assert!(report.is_clean(), "observation program has no assertions: {report}");
-    observed.into_inner()
+    assert!(
+        report.is_clean(),
+        "observation program has no assertions: {report}"
+    );
+    observed.into_inner().unwrap()
 }
 
 /// All recovery observation vectors under eager state enumeration.
 fn yat_observations(ops: &[Op]) -> BTreeSet<Vec<u8>> {
-    let observed = RefCell::new(BTreeSet::new());
+    let observed = Mutex::new(BTreeSet::new());
     let program = |env: &dyn PmEnv| {
         if env.is_recovery() {
-            observed.borrow_mut().insert(observe(env));
+            observed.lock().unwrap().insert(observe(env));
         } else {
             replay(env, ops);
         }
@@ -96,26 +128,32 @@ fn yat_observations(ops: &[Op]) -> BTreeSet<Vec<u8>> {
     let mut config = YatConfig::new();
     config.pool_size = POOL;
     let report = eager_check(&program, &config);
-    assert!(report.is_clean(), "observation program has no assertions: {report:?}");
-    assert!(!report.truncated, "eager run must be exhaustive for the comparison");
-    observed.into_inner()
+    assert!(
+        report.is_clean(),
+        "observation program has no assertions: {report:?}"
+    );
+    assert!(
+        !report.truncated,
+        "eager run must be exhaustive for the comparison"
+    );
+    observed.into_inner().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    /// The paper's no-false-positives/negatives claim, checked
-    /// differentially: lazy and eager exploration observe identical
-    /// post-failure value sets.
-    #[test]
-    fn lazy_and_eager_observe_identical_crash_states(
-        ops in proptest::collection::vec(op_strategy(), 1..14)
-    ) {
+/// The paper's no-false-positives/negatives claim, checked
+/// differentially: lazy and eager exploration observe identical
+/// post-failure value sets.
+#[test]
+fn lazy_and_eager_observe_identical_crash_states() {
+    for seed in 0..96u64 {
+        let mut rng = Rng::new(seed);
+        let len = 1 + rng.below(13);
+        let ops: Vec<Op> = (0..len).map(|_| random_op(&mut rng)).collect();
         let lazy = jaaru_observations(&ops);
         let eager = yat_observations(&ops);
-        prop_assert_eq!(
-            &lazy, &eager,
-            "observation sets diverge for {:?}\n lazy-only: {:?}\n eager-only: {:?}",
+        assert_eq!(
+            &lazy,
+            &eager,
+            "seed {seed}: observation sets diverge for {:?}\n lazy-only: {:?}\n eager-only: {:?}",
             ops,
             lazy.difference(&eager).collect::<Vec<_>>(),
             eager.difference(&lazy).collect::<Vec<_>>()
@@ -140,14 +178,32 @@ fn fixed_program_shapes_agree() {
         // Unfenced clflushopt must not constrain anything.
         vec![Op::Store8(0, 7), Op::Clflushopt(0), Op::Store8(0, 8)],
         // Fenced clflushopt pins the first store.
-        vec![Op::Store8(0, 7), Op::Clflushopt(0), Op::Sfence, Op::Store8(0, 8)],
+        vec![
+            Op::Store8(0, 7),
+            Op::Clflushopt(0),
+            Op::Sfence,
+            Op::Store8(0, 8),
+        ],
         // Cross-line ordering with a straddling store.
-        vec![Op::Store64(3, 0xa5a5_a5a5_a5a5_a5a5), Op::Clflush(3), Op::Store16(3, 9)],
+        vec![
+            Op::Store64(3, 0xa5a5_a5a5_a5a5_a5a5),
+            Op::Clflush(3),
+            Op::Store16(3, 9),
+        ],
         // mfence applies deferred flushes.
-        vec![Op::Store8(4, 1), Op::Clflushopt(4), Op::Mfence, Op::Store8(4, 2)],
+        vec![
+            Op::Store8(4, 1),
+            Op::Clflushopt(4),
+            Op::Mfence,
+            Op::Store8(4, 2),
+        ],
     ];
     for ops in programs {
-        assert_eq!(jaaru_observations(&ops), yat_observations(&ops), "shape: {ops:?}");
+        assert_eq!(
+            jaaru_observations(&ops),
+            yat_observations(&ops),
+            "shape: {ops:?}"
+        );
     }
 }
 
@@ -160,10 +216,10 @@ fn race_flagging_does_not_change_exploration() {
         Op::Clflush(0),
         Op::Store8(0, 3),
     ];
-    let observed = RefCell::new(BTreeSet::new());
+    let observed = Mutex::new(BTreeSet::new());
     let program = |env: &dyn PmEnv| {
         if env.is_recovery() {
-            observed.borrow_mut().insert(observe(env));
+            observed.lock().unwrap().insert(observe(env));
         } else {
             replay(env, &ops);
         }
@@ -171,11 +227,11 @@ fn race_flagging_does_not_change_exploration() {
     let mut with_races = Config::new();
     with_races.pool_size(POOL).flag_races(true);
     let a = ModelChecker::new(with_races).check(&program);
-    let first = observed.borrow().clone();
-    observed.borrow_mut().clear();
+    let first = observed.lock().unwrap().clone();
+    observed.lock().unwrap().clear();
     let mut without = Config::new();
     without.pool_size(POOL).flag_races(false);
     let b = ModelChecker::new(without).check(&program);
-    assert_eq!(first, *observed.borrow());
+    assert_eq!(first, *observed.lock().unwrap());
     assert_eq!(a.stats.scenarios, b.stats.scenarios);
 }

@@ -7,8 +7,8 @@
 //! `clflush`, and reading `x = 4` refines the writeback interval so `y`
 //! can only be `3` or `5`.
 
-use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::sync::Mutex;
 
 use jaaru::{Config, ModelChecker, PmEnv};
 use jaaru_workloads::synthetic::figure2_program;
@@ -29,12 +29,12 @@ fn figure2_program_is_consistent_under_exploration() {
 /// (never 0: the clflush pinned x=2 as the oldest possibility).
 #[test]
 fn x_values_match_figure2() {
-    let observed = RefCell::new(BTreeSet::new());
+    let observed = Mutex::new(BTreeSet::new());
     let program = |env: &dyn PmEnv| {
         let y = env.root();
         let x = y + 8;
         if env.is_recovery() {
-            observed.borrow_mut().insert(env.load_u64(x));
+            observed.lock().unwrap().insert(env.load_u64(x));
             return;
         }
         env.store_u64(y, 1);
@@ -50,7 +50,7 @@ fn x_values_match_figure2() {
     };
     let report = checker().check(&program);
     assert!(report.is_clean(), "{report}");
-    let observed = observed.into_inner();
+    let observed = observed.into_inner().unwrap();
     // Failures are also injected before the clflush itself, where x may
     // still be 0; at every later point the clflush pins x ∈ {2, 4, 6}.
     assert!(observed.contains(&2) && observed.contains(&4) && observed.contains(&6));
@@ -61,14 +61,14 @@ fn x_values_match_figure2() {
 /// never 1 (the writeback interval refined to [x=4, x=6)).
 #[test]
 fn y_refinement_matches_figure3() {
-    let pairs = RefCell::new(BTreeSet::new());
+    let pairs = Mutex::new(BTreeSet::new());
     let program = |env: &dyn PmEnv| {
         let y = env.root();
         let x = y + 8;
         if env.is_recovery() {
             let rx = env.load_u64(x);
             let ry = env.load_u64(y);
-            pairs.borrow_mut().insert((rx, ry));
+            pairs.lock().unwrap().insert((rx, ry));
             return;
         }
         env.store_u64(y, 1);
@@ -83,38 +83,37 @@ fn y_refinement_matches_figure3() {
     };
     let report = checker().check(&program);
     assert!(report.is_clean(), "{report}");
-    let pairs = pairs.into_inner();
+    let pairs = pairs.into_inner().unwrap();
 
-    let y_given_x4: BTreeSet<u64> =
-        pairs.iter().filter(|&&(x, _)| x == 4).map(|&(_, y)| y).collect();
-    assert_eq!(y_given_x4, BTreeSet::from([3, 5]), "Figure 3: y ∈ {{3, 5}} when x = 4");
+    let y_given_x4: BTreeSet<u64> = pairs
+        .iter()
+        .filter(|&&(x, _)| x == 4)
+        .map(|&(_, y)| y)
+        .collect();
+    assert_eq!(
+        y_given_x4,
+        BTreeSet::from([3, 5]),
+        "Figure 3: y ∈ {{3, 5}} when x = 4"
+    );
 
     // Every observed pair is a consistent snapshot of the store order;
     // the pre-clflush failure point contributes the first three, the
     // post-clflush points the rest (the red line of Figure 2).
-    let legal = BTreeSet::from([
-        (0u64, 0u64),
-        (0, 1),
-        (2, 1),
-        (2, 3),
-        (4, 3),
-        (4, 5),
-        (6, 5),
-    ]);
+    let legal = BTreeSet::from([(0u64, 0u64), (0, 1), (2, 1), (2, 3), (4, 3), (4, 5), (6, 5)]);
     assert_eq!(pairs, legal);
 }
 
 /// The refinement works symmetrically: committing y first constrains x.
 #[test]
 fn reading_y_first_constrains_x() {
-    let pairs = RefCell::new(BTreeSet::new());
+    let pairs = Mutex::new(BTreeSet::new());
     let program = |env: &dyn PmEnv| {
         let y = env.root();
         let x = y + 8;
         if env.is_recovery() {
             let ry = env.load_u64(y); // y first this time
             let rx = env.load_u64(x);
-            pairs.borrow_mut().insert((rx, ry));
+            pairs.lock().unwrap().insert((rx, ry));
             return;
         }
         env.store_u64(y, 1);
@@ -129,15 +128,10 @@ fn reading_y_first_constrains_x() {
     };
     let report = checker().check(&program);
     assert!(report.is_clean(), "{report}");
-    let pairs = pairs.into_inner();
-    let legal = BTreeSet::from([
-        (0u64, 0u64),
-        (0, 1),
-        (2, 1),
-        (2, 3),
-        (4, 3),
-        (4, 5),
-        (6, 5),
-    ]);
-    assert_eq!(pairs, legal, "read order must not change the reachable snapshots");
+    let pairs = pairs.into_inner().unwrap();
+    let legal = BTreeSet::from([(0u64, 0u64), (0, 1), (2, 1), (2, 3), (4, 3), (4, 5), (6, 5)]);
+    assert_eq!(
+        pairs, legal,
+        "read order must not change the reachable snapshots"
+    );
 }

@@ -2,8 +2,8 @@
 //! commit-store pattern and the execution counts Jaaru's lazy
 //! exploration achieves on it.
 
-use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::sync::Mutex;
 
 use jaaru::{Config, ModelChecker, PmEnv};
 use jaaru_workloads::synthetic::{figure4_no_commit_check_program, figure4_program};
@@ -32,7 +32,10 @@ fn walkthrough_execution_counts() {
 fn no_commit_check_explores_more_and_fails() {
     let with_commit = checker().check(&figure4_program());
     let without = checker().check(&figure4_no_commit_check_program());
-    assert!(!without.is_clean(), "reading uncommitted data is a bug: {without}");
+    assert!(
+        !without.is_clean(),
+        "reading uncommitted data is a bug: {without}"
+    );
     assert!(
         without.stats.executions >= with_commit.stats.executions,
         "skipping the commit check cannot shrink the exploration: {} vs {}",
@@ -99,18 +102,18 @@ fn commit_store_keeps_exploration_flat() {
 /// observable recovery behaviours.
 #[test]
 fn observable_outcomes_match_walkthrough() {
-    let outcomes = RefCell::new(BTreeSet::new());
+    let outcomes = Mutex::new(BTreeSet::new());
     let program = |env: &dyn PmEnv| {
         let child_ptr = env.root();
         let child = child_ptr + 64;
         if env.is_recovery() {
             let p = env.load_addr(child_ptr);
             if p.is_null() {
-                outcomes.borrow_mut().insert("null");
+                outcomes.lock().unwrap().insert("null");
             } else {
                 let data = env.load_u64(p);
                 assert_eq!(data, 42, "committed data must be intact");
-                outcomes.borrow_mut().insert("data");
+                outcomes.lock().unwrap().insert("data");
             }
             return;
         }
@@ -122,5 +125,8 @@ fn observable_outcomes_match_walkthrough() {
     };
     let report = checker().check(&program);
     assert!(report.is_clean(), "{report}");
-    assert_eq!(outcomes.into_inner(), BTreeSet::from(["null", "data"]));
+    assert_eq!(
+        outcomes.into_inner().unwrap(),
+        BTreeSet::from(["null", "data"])
+    );
 }

@@ -2,8 +2,8 @@
 //! failures hit post-failure (recovery) executions too, bounding the
 //! depth of the `exec` stack.
 
-use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::sync::Mutex;
 
 use jaaru::{Config, ModelChecker, PmEnv};
 
@@ -38,17 +38,23 @@ fn generations_observed_grow_with_depth() {
     // to k (each crashed execution may or may not have persisted its
     // bump).
     for depth in 1..=3usize {
-        let observed = RefCell::new(BTreeSet::new());
+        let observed = Mutex::new(BTreeSet::new());
         let program = |env: &dyn PmEnv| {
             let cell = env.root();
             let g = env.load_u64(cell);
-            observed.borrow_mut().insert((env.execution_index(), g));
+            observed.lock().unwrap().insert((env.execution_index(), g));
             env.store_u64(cell, g + 1);
             env.persist(cell, 8);
         };
         let report = ModelChecker::new(config(depth)).check(&program);
         assert!(report.is_clean());
-        let max_gen = observed.into_inner().into_iter().map(|(_, g)| g).max().unwrap();
+        let max_gen = observed
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|(_, g)| g)
+            .max()
+            .unwrap();
         assert_eq!(
             max_gen, depth as u64,
             "an execution after {depth} failures can see {depth} persisted bumps"
@@ -82,7 +88,10 @@ fn guarded_update_program(flush_backup: bool) -> impl jaaru::Program {
         let v = env.load_u64(data);
         let g = env.load_u64(gen);
         env.pm_assert(v == g * 10, "data does not match its generation");
-        env.pm_assert(g >= env.load_u64(committed), "a committed update was rolled back");
+        env.pm_assert(
+            g >= env.load_u64(committed),
+            "a committed update was rolled back",
+        );
         if g >= 2 {
             return;
         }
@@ -124,12 +133,14 @@ fn reentrant_recovery_is_checked() {
 fn broken_reentrant_recovery_is_caught() {
     let report = ModelChecker::new(config(2)).check(&guarded_update_program(false));
     assert!(!report.is_clean(), "lost backup must surface: {report}");
-    assert!(report
-        .bugs
-        .iter()
-        .any(|b| b.message.contains("committed update was rolled back")
-            || b.message.contains("generation")),
-        "{report}");
+    assert!(
+        report
+            .bugs
+            .iter()
+            .any(|b| b.message.contains("committed update was rolled back")
+                || b.message.contains("generation")),
+        "{report}"
+    );
 }
 
 #[test]
@@ -144,6 +155,10 @@ fn crash_points_are_recorded_per_failure() {
     let report = ModelChecker::new(config(2)).check(&program);
     assert!(!report.is_clean());
     let bug = &report.bugs[0];
-    assert_eq!(bug.crash_points.len(), 2, "two failures preceded the symptom: {bug}");
+    assert_eq!(
+        bug.crash_points.len(),
+        2,
+        "two failures preceded the symptom: {bug}"
+    );
     assert_eq!(bug.execution_index, 2);
 }

@@ -14,7 +14,9 @@ use jaaru_workloads::pmdk::{
 
 fn config() -> Config {
     let mut c = Config::new();
-    c.pool_size(1 << 18).max_ops_per_execution(20_000).max_scenarios(2_000);
+    c.pool_size(1 << 18)
+        .max_ops_per_execution(20_000)
+        .max_scenarios(2_000);
     c
 }
 
@@ -34,13 +36,34 @@ fn all_fixed_pmdk_maps_are_clean() {
 #[test]
 fn all_7_seeded_pmdk_bugs_are_found() {
     let cases: Vec<(&str, jaaru::CheckReport)> = vec![
-        ("bug1 btree item ptr", check::<BtreeMap>(btree_map::bug1_faults(), 4)),
-        ("bug2 pool checksum", check::<BtreeMap>(btree_map::bug2_faults(), 4)),
-        ("bug3 heap block header", check::<HashmapAtomic>(hashmap_atomic::bug3_faults(), 4)),
-        ("bug4 ctree atomicity", check::<CtreeMap>(ctree_map::bug4_faults(), 5)),
-        ("bug5 pmalloc cursor", check::<HashmapAtomic>(hashmap_atomic::bug5_faults(), 4)),
-        ("bug6 tx log entry", check::<HashmapTx>(hashmap_tx::bug6_faults(), 4)),
-        ("bug7 rbtree counter", check::<RbtreeMap>(rbtree_map::bug7_faults(), 4)),
+        (
+            "bug1 btree item ptr",
+            check::<BtreeMap>(btree_map::bug1_faults(), 4),
+        ),
+        (
+            "bug2 pool checksum",
+            check::<BtreeMap>(btree_map::bug2_faults(), 4),
+        ),
+        (
+            "bug3 heap block header",
+            check::<HashmapAtomic>(hashmap_atomic::bug3_faults(), 4),
+        ),
+        (
+            "bug4 ctree atomicity",
+            check::<CtreeMap>(ctree_map::bug4_faults(), 5),
+        ),
+        (
+            "bug5 pmalloc cursor",
+            check::<HashmapAtomic>(hashmap_atomic::bug5_faults(), 4),
+        ),
+        (
+            "bug6 tx log entry",
+            check::<HashmapTx>(hashmap_tx::bug6_faults(), 4),
+        ),
+        (
+            "bug7 rbtree counter",
+            check::<RbtreeMap>(rbtree_map::bug7_faults(), 4),
+        ),
     ];
     for (name, report) in &cases {
         assert!(!report.is_clean(), "{name} not found");
@@ -51,19 +74,36 @@ fn all_7_seeded_pmdk_bugs_are_found() {
 fn figure16_symptom_classes() {
     // Illegal memory access (bugs 1, 6-adjacent).
     let r = check::<BtreeMap>(btree_map::bug1_faults(), 4);
-    assert!(r.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess), "{r}");
+    assert!(
+        r.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess),
+        "{r}"
+    );
 
     // Failed to open pool (bug 2).
     let r = check::<BtreeMap>(btree_map::bug2_faults(), 4);
-    assert!(r.bugs.iter().any(|b| b.message.contains("Failed to open pool")), "{r}");
+    assert!(
+        r.bugs
+            .iter()
+            .any(|b| b.message.contains("Failed to open pool")),
+        "{r}"
+    );
 
     // heap.c / pmalloc.c / tx.c assertion sites (bugs 3, 5, 7).
     let r = check::<HashmapAtomic>(hashmap_atomic::bug3_faults(), 4);
-    assert!(r.bugs.iter().any(|b| b.message.contains("heap.c:533")), "{r}");
+    assert!(
+        r.bugs.iter().any(|b| b.message.contains("heap.c:533")),
+        "{r}"
+    );
     let r = check::<HashmapAtomic>(hashmap_atomic::bug5_faults(), 4);
-    assert!(r.bugs.iter().any(|b| b.message.contains("pmalloc.c:270")), "{r}");
+    assert!(
+        r.bugs.iter().any(|b| b.message.contains("pmalloc.c:270")),
+        "{r}"
+    );
     let r = check::<RbtreeMap>(rbtree_map::bug7_faults(), 4);
-    assert!(r.bugs.iter().any(|b| b.message.contains("tx.c:1678")), "{r}");
+    assert!(
+        r.bugs.iter().any(|b| b.message.contains("tx.c:1678")),
+        "{r}"
+    );
 }
 
 #[test]
@@ -82,7 +122,10 @@ fn bugs_live_in_the_library_not_the_examples() {
         check::<BtreeMap>(faults, 4)
     };
     assert!(
-        via_btree.bugs.iter().any(|b| b.message.contains("heap.c:533")),
+        via_btree
+            .bugs
+            .iter()
+            .any(|b| b.message.contains("heap.c:533")),
         "the heap-walk bug reproduces through btree too: {via_btree}"
     );
 }

@@ -17,7 +17,9 @@ use jaaru_workloads::recipe::{
 
 fn config() -> Config {
     let mut c = Config::new();
-    c.pool_size(1 << 18).max_ops_per_execution(20_000).max_scenarios(2_000);
+    c.pool_size(1 << 18)
+        .max_ops_per_execution(20_000)
+        .max_scenarios(2_000);
     c
 }
 
@@ -63,8 +65,11 @@ fn all_18_seeded_bugs_are_found() {
     }
 
     // Bug 13: allocator metadata constructor (shared PBump fault).
-    let workload = IndexWorkload::<Pbwtree>::new(PbwtreeFault::None, 4)
-        .with_alloc_fault(jaaru_workloads::alloc::AllocFault { skip_cursor_flush: true });
+    let workload = IndexWorkload::<Pbwtree>::new(PbwtreeFault::None, 4).with_alloc_fault(
+        jaaru_workloads::alloc::AllocFault {
+            skip_cursor_flush: true,
+        },
+    );
     let report = ModelChecker::new(config()).check(&workload);
     assert!(!report.is_clean(), "allocator-metadata bug not found");
 }
@@ -74,10 +79,16 @@ fn symptom_classes_cover_the_paper_matrix() {
     // Figure 15 has three manifestation classes; each must be produced
     // by at least one seeded RECIPE bug.
     let loop_bug = check::<Cceh>(CcehFault::CtorDirectoryHeaderNotFlushed, 4);
-    assert!(loop_bug.bugs.iter().any(|b| b.kind == BugKind::InfiniteLoop));
+    assert!(loop_bug
+        .bugs
+        .iter()
+        .any(|b| b.kind == BugKind::InfiniteLoop));
 
     let segv_bug = check::<FastFair>(FastFairFault::BtreeCtorNotFlushed, 4);
-    assert!(segv_bug.bugs.iter().any(|b| b.kind == BugKind::IllegalAccess));
+    assert!(segv_bug
+        .bugs
+        .iter()
+        .any(|b| b.kind == BugKind::IllegalAccess));
 
     let assert_bug = check::<Pclht>(PclhtFault::ArrayNotFlushed, 13);
     assert!(assert_bug

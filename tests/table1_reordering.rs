@@ -50,7 +50,11 @@ fn read_read_preserved() {
     // Table 1 [Read, Re] = ✓ under TSO: combined with W→W order, a
     // reader never sees the second write without the first.
     let p = LitmusProgram::new(vec![
-        vec![LitmusOp::Store(X, 1), LitmusOp::Mfence, LitmusOp::Store(Y, 1)],
+        vec![
+            LitmusOp::Store(X, 1),
+            LitmusOp::Mfence,
+            LitmusOp::Store(Y, 1),
+        ],
         vec![LitmusOp::Load(Y), LitmusOp::Load(X)],
     ]);
     assert!(!reg_outcomes(&p).contains(&vec![vec![], vec![1, 0]]));
