@@ -1,0 +1,267 @@
+//! The unified diagnostic framework.
+//!
+//! Every non-bug finding the checker produces — robustness violations
+//! from the lint engine and wasted persistency operations from the
+//! performance pass — is a [`Diagnostic`]: a kind, a severity, the
+//! source site it anchors to, a concrete fix suggestion, and an
+//! occurrence count. [`DiagnosticSet`] is the single accumulation path
+//! shared by the per-scenario environment, the sequential explorer and
+//! the parallel merge: diagnostics dedup by `(kind, site)` and their
+//! occurrence counts add, so folding the same scenarios in the same
+//! order always yields the same list.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use jaaru_pmem::PmAddr;
+
+/// What a diagnostic is about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiagnosticKind {
+    /// A store can reach a commit store with no flush of its cache line
+    /// in between: recovery may observe the commit while the store's
+    /// line still holds stale data.
+    MissingFlush,
+    /// A store's line is `clflushopt`ed but the issuing thread never
+    /// fences, so the flush never takes effect.
+    MissingFence,
+    /// A store's line is `clflushopt`ed before the commit store, but the
+    /// ordering fence lands only after it — the flush is still pending
+    /// when the commit becomes observable.
+    FlushNotFenced,
+    /// A `clflush` of a cache line with no unflushed stores (the §5.1
+    /// performance-bug extension).
+    RedundantFlush,
+    /// A `clflushopt`/`clwb` of a cache line with no unflushed stores.
+    RedundantFlushOpt,
+    /// An `sfence` with no buffered flushes or stores to order.
+    RedundantFence,
+}
+
+impl DiagnosticKind {
+    /// The kebab-case tag used in JSON output and digests.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagnosticKind::MissingFlush => "missing-flush",
+            DiagnosticKind::MissingFence => "missing-fence",
+            DiagnosticKind::FlushNotFenced => "flush-not-fenced",
+            DiagnosticKind::RedundantFlush => "redundant-flush",
+            DiagnosticKind::RedundantFlushOpt => "redundant-flushopt",
+            DiagnosticKind::RedundantFence => "redundant-fence",
+        }
+    }
+
+    /// The default severity of this kind: ordering violations are
+    /// errors (crash-consistency is at stake), wasted operations are
+    /// warnings (a cost, not a correctness bug).
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagnosticKind::MissingFlush
+            | DiagnosticKind::MissingFence
+            | DiagnosticKind::FlushNotFenced => Severity::Error,
+            DiagnosticKind::RedundantFlush
+            | DiagnosticKind::RedundantFlushOpt
+            | DiagnosticKind::RedundantFence => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// A crash-consistency hazard; `jaaru_cli` exits nonzero on these.
+    Error,
+    /// A performance or hygiene finding.
+    Warning,
+}
+
+impl Severity {
+    /// Lower-case tag (`error` / `warning`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the analysis passes.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Finding class.
+    pub kind: DiagnosticKind,
+    /// The source site (`file:line:column`) the finding anchors to —
+    /// the unordered store for `MissingFlush`, the unfenced flush for
+    /// `MissingFence`/`FlushNotFenced`, the wasted op for the redundant
+    /// kinds.
+    pub site: String,
+    /// A concrete, actionable fix ("insert clflush + sfence after the
+    /// store at …, before the commit store at …").
+    pub suggestion: String,
+    /// A representative persistent address involved, when meaningful.
+    pub addr: Option<PmAddr>,
+    /// How many scenarios (or sites-executions, for warnings)
+    /// exhibited the finding.
+    pub occurrences: u64,
+}
+
+impl Diagnostic {
+    /// The diagnostic's severity (derived from its kind).
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+
+    /// `true` for error-severity diagnostics.
+    pub fn is_error(&self) -> bool {
+        self.severity() == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity(),
+            self.kind,
+            self.site,
+            self.suggestion
+        )?;
+        if let Some(addr) = self.addr {
+            write!(f, " (addr {addr})")?;
+        }
+        write!(f, " ({} occurrence(s))", self.occurrences)
+    }
+}
+
+/// An order-preserving, deduplicating collection of diagnostics.
+///
+/// Insertion order is kept for the first occurrence of each
+/// `(kind, site)` pair; later insertions of the same pair only add
+/// their occurrence counts. This is the one accumulation path used by
+/// the checker environment (within a scenario), the sequential
+/// explorer and the parallel merge (across scenarios), so a given
+/// scenario sequence always folds to the same list.
+#[derive(Clone, Debug, Default)]
+pub struct DiagnosticSet {
+    items: Vec<Diagnostic>,
+    index: HashMap<(DiagnosticKind, String), usize>,
+}
+
+impl DiagnosticSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in one diagnostic: a new `(kind, site)` appends, a known
+    /// one adds its occurrences to the existing entry.
+    pub fn insert(&mut self, d: Diagnostic) {
+        match self.index.get(&(d.kind, d.site.clone())) {
+            Some(&i) => self.items[i].occurrences += d.occurrences,
+            None => {
+                self.index
+                    .insert((d.kind, d.site.clone()), self.items.len());
+                self.items.push(d);
+            }
+        }
+    }
+
+    /// Folds in every diagnostic of an iterator, in order.
+    pub fn extend<I: IntoIterator<Item = Diagnostic>>(&mut self, iter: I) {
+        for d in iter {
+            self.insert(d);
+        }
+    }
+
+    /// The accumulated diagnostics, in first-insertion order.
+    pub fn items(&self) -> &[Diagnostic] {
+        &self.items
+    }
+
+    /// Consumes the set, yielding the ordered diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+
+    /// Number of distinct `(kind, site)` entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(kind: DiagnosticKind, site: &str) -> Diagnostic {
+        Diagnostic {
+            kind,
+            site: site.into(),
+            suggestion: "do the thing".into(),
+            addr: None,
+            occurrences: 1,
+        }
+    }
+
+    #[test]
+    fn severity_follows_kind() {
+        assert_eq!(DiagnosticKind::MissingFlush.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::MissingFence.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::FlushNotFenced.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::RedundantFlush.severity(), Severity::Warning);
+        assert_eq!(DiagnosticKind::RedundantFence.severity(), Severity::Warning);
+        assert!(diag(DiagnosticKind::MissingFlush, "a.rs:1:1").is_error());
+        assert!(!diag(DiagnosticKind::RedundantFlush, "a.rs:1:1").is_error());
+    }
+
+    #[test]
+    fn set_dedups_by_kind_and_site() {
+        let mut set = DiagnosticSet::new();
+        set.insert(diag(DiagnosticKind::MissingFlush, "a.rs:1:1"));
+        set.insert(diag(DiagnosticKind::MissingFlush, "b.rs:2:2"));
+        set.insert(diag(DiagnosticKind::MissingFlush, "a.rs:1:1"));
+        set.insert(diag(DiagnosticKind::RedundantFlush, "a.rs:1:1"));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.items()[0].occurrences, 2);
+        assert_eq!(set.items()[0].site, "a.rs:1:1");
+        assert_eq!(set.items()[1].site, "b.rs:2:2");
+    }
+
+    #[test]
+    fn occurrence_counts_add() {
+        let mut set = DiagnosticSet::new();
+        let mut d = diag(DiagnosticKind::RedundantFence, "x.rs:9:9");
+        d.occurrences = 3;
+        set.insert(d.clone());
+        d.occurrences = 4;
+        set.insert(d);
+        assert_eq!(set.items()[0].occurrences, 7);
+    }
+
+    #[test]
+    fn display_mentions_severity_kind_and_site() {
+        let d = diag(DiagnosticKind::FlushNotFenced, "tree.rs:7:3");
+        let s = d.to_string();
+        assert!(s.contains("error[flush-not-fenced]"), "{s}");
+        assert!(s.contains("tree.rs:7:3"), "{s}");
+        assert!(s.contains("1 occurrence(s)"), "{s}");
+    }
+}

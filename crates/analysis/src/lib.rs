@@ -1,0 +1,39 @@
+//! # jaaru-analysis: the persistency lint engine
+//!
+//! A constraint-based analysis layer over the Jaaru model checker's
+//! recorded operation traces, in the spirit of *Automated Insertion of
+//! Flushes and Fences for Persistency* (Guo, Luo, Demsky): instead of
+//! only reporting crash *symptoms*, the checker can pinpoint the exact
+//! store missing a flush or fence and propose the fix site.
+//!
+//! The engine has three layers:
+//!
+//! 1. **Commit-store inference + robustness checking**
+//!    ([`analyze_trace`]): replays the Figure 7/8 buffer rules over a
+//!    recorded [`OpTrace`](jaaru_tso::OpTrace), identifies the
+//!    flushed-and-fenced guard-store idiom (commit stores), and emits a
+//!    [`Candidate`] for every store that can reach a commit store
+//!    unpersisted — classified as `MissingFlush`, `MissingFence` or
+//!    `FlushNotFenced`, each with a concrete fix suggestion.
+//! 2. **Bug localization** ([`localize`]): when exploration finds a
+//!    bug, candidates are confirmed against the failing scenario's
+//!    read-from evidence — the racy loads and the stores they could
+//!    have read. A confirmed candidate is the root cause of the
+//!    observed symptom.
+//! 3. **The diagnostic framework** ([`Diagnostic`], [`DiagnosticSet`]):
+//!    the unified finding type (kind, severity, site, suggestion,
+//!    occurrences) shared with the checker's performance pass, and the
+//!    single deduplicating accumulation path used by both the
+//!    sequential explorer and the parallel merge.
+//!
+//! This crate is deliberately independent of the checker core: it
+//! depends only on the trace and address types, so the same analysis
+//! can run over traces from any producer.
+
+mod diagnostic;
+mod localize;
+mod robust;
+
+pub use diagnostic::{Diagnostic, DiagnosticKind, DiagnosticSet, Severity};
+pub use localize::{localize, RfEvidence};
+pub use robust::{analyze_trace, Candidate};

@@ -1,0 +1,526 @@
+//! The constraint-based robustness checker.
+//!
+//! Rebuilds the persist-ordering facts of one execution from its
+//! recorded [`OpTrace`] and checks the *commit-store discipline* the
+//! paper's Figure 4 idiom relies on: once a guard store `C` is itself
+//! flushed and fenced (a **commit store**), every program-order-earlier
+//! store to a different cache line must already be persist-ordered
+//! before `C` executes — otherwise recovery may observe `C` while the
+//! earlier store's line still holds stale data.
+//!
+//! The check mirrors the Figure 7/8 buffer rules:
+//!
+//! * a `clflush` of a line persist-orders every earlier store to it at
+//!   the flush itself (the simulator's eager writeback),
+//! * a `clflushopt` only moves the line into the issuing thread's flush
+//!   buffer; the stores persist at that thread's next `sfence`/`mfence`/
+//!   locked RMW,
+//! * stores to the *same* line as the commit store are exempt: a line's
+//!   writeback is atomic, so observing the commit pins them too.
+//!
+//! Each violated store yields a [`Candidate`] classified as
+//! `MissingFlush` (no flush of the line before the commit),
+//! `MissingFence` (flushed with `clflushopt` but never fenced) or
+//! `FlushNotFenced` (fenced only after the commit), with a concrete fix
+//! suggestion naming both the store and the commit store it races with.
+
+use std::collections::HashMap;
+
+use jaaru_pmem::PmAddr;
+use jaaru_tso::{OpTrace, SourceLoc, ThreadId, TraceOpKind};
+
+use crate::diagnostic::{Diagnostic, DiagnosticKind};
+
+/// A flush that covered a store's cache line.
+#[derive(Clone, Copy, Debug)]
+struct FlushInfo {
+    op_idx: usize,
+    loc: SourceLoc,
+    opt: bool,
+}
+
+/// Per-store persist-ordering facts reconstructed from the trace.
+#[derive(Clone, Copy, Debug)]
+struct StoreInfo {
+    op_idx: usize,
+    addr: PmAddr,
+    first_line: u64,
+    last_line: u64,
+    loc: SourceLoc,
+    /// Trace index at which the store became persist-ordered (all its
+    /// lines flushed and, for `clflushopt`, fenced); `None` if it never
+    /// was.
+    persist_point: Option<usize>,
+    /// First flush instruction that covered any of the store's lines.
+    flush: Option<FlushInfo>,
+    /// Lines not yet persist-ordered (straddling stores persist when
+    /// the last of their lines does).
+    lines_pending: u32,
+}
+
+/// A robustness violation: `store` can reach `commit` unpersisted.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Violation class (`MissingFlush`, `MissingFence` or
+    /// `FlushNotFenced`).
+    pub kind: DiagnosticKind,
+    /// Site the fix anchors to: the store for `MissingFlush`, the
+    /// unfenced flush otherwise.
+    pub site: String,
+    /// Source site (`file:line:column`) of the unordered store — the
+    /// key the bug-localization pass correlates with read-from
+    /// evidence.
+    pub store_loc: String,
+    /// First byte of the unordered store.
+    pub addr: PmAddr,
+    /// Source site of the commit store the violation races with.
+    pub commit_loc: String,
+    /// The concrete fix.
+    pub suggestion: String,
+    /// Whether the store does persist later in the trace (a late flush
+    /// or late fence), just not before the commit store. Late-ordered
+    /// stores are only wrong if recovery actually observes the window,
+    /// so static reporting restricts itself to never-persisted stores
+    /// and leaves this class to dynamic (race-confirmed) localization.
+    pub persists_eventually: bool,
+}
+
+impl Candidate {
+    /// Renders the candidate as a reportable [`Diagnostic`] (one
+    /// occurrence).
+    pub fn into_diagnostic(self) -> Diagnostic {
+        Diagnostic {
+            kind: self.kind,
+            site: self.site,
+            suggestion: self.suggestion,
+            addr: Some(self.addr),
+            occurrences: 1,
+        }
+    }
+}
+
+fn site_of(loc: SourceLoc) -> String {
+    format!("{}:{}:{}", loc.file(), loc.line(), loc.column())
+}
+
+/// Replays the buffer rules over `trace` and returns every store that
+/// violates the commit-store discipline, in program order.
+pub fn analyze_trace(trace: &OpTrace) -> Vec<Candidate> {
+    let ops = trace.ops();
+    let mut stores: Vec<StoreInfo> = Vec::new();
+    // line -> indices into `stores` with that line still unflushed.
+    let mut dirty: HashMap<u64, Vec<usize>> = HashMap::new();
+    // thread -> opt-flushed (line, stores) entries awaiting a fence.
+    let mut waiting: HashMap<ThreadId, Vec<(u64, Vec<usize>)>> = HashMap::new();
+
+    let persist = |stores: &mut Vec<StoreInfo>, idxs: &[usize], at: usize| {
+        for &s in idxs {
+            let info = &mut stores[s];
+            info.lines_pending = info.lines_pending.saturating_sub(1);
+            if info.lines_pending == 0 && info.persist_point.is_none() {
+                info.persist_point = Some(at);
+            }
+        }
+    };
+
+    for (i, op) in ops.iter().enumerate() {
+        match op.kind {
+            TraceOpKind::Store { addr, len } => {
+                let (first_line, last_line) = op.kind.line_range().unwrap();
+                let idx = stores.len();
+                stores.push(StoreInfo {
+                    op_idx: i,
+                    addr,
+                    first_line,
+                    last_line,
+                    loc: op.loc,
+                    persist_point: None,
+                    flush: None,
+                    lines_pending: (last_line - first_line + 1) as u32,
+                });
+                let _ = len;
+                for l in first_line..=last_line {
+                    dirty.entry(l).or_default().push(idx);
+                }
+            }
+            TraceOpKind::Clflush {
+                first_line,
+                last_line,
+            } => {
+                for l in first_line..=last_line {
+                    if let Some(idxs) = dirty.remove(&l) {
+                        for &s in &idxs {
+                            stores[s].flush.get_or_insert(FlushInfo {
+                                op_idx: i,
+                                loc: op.loc,
+                                opt: false,
+                            });
+                        }
+                        persist(&mut stores, &idxs, i);
+                    }
+                    // A clflush also forces lines parked in any thread's
+                    // flush buffer: the eager writeback covers them.
+                    for entries in waiting.values_mut() {
+                        let mut k = 0;
+                        while k < entries.len() {
+                            if entries[k].0 == l {
+                                let (_, idxs) = entries.swap_remove(k);
+                                persist(&mut stores, &idxs, i);
+                            } else {
+                                k += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            TraceOpKind::Clflushopt {
+                first_line,
+                last_line,
+            } => {
+                for l in first_line..=last_line {
+                    if let Some(idxs) = dirty.remove(&l) {
+                        for &s in &idxs {
+                            stores[s].flush.get_or_insert(FlushInfo {
+                                op_idx: i,
+                                loc: op.loc,
+                                opt: true,
+                            });
+                        }
+                        waiting.entry(op.thread).or_default().push((l, idxs));
+                    }
+                }
+            }
+            TraceOpKind::Sfence | TraceOpKind::Mfence | TraceOpKind::Rmw { .. } => {
+                if let Some(entries) = waiting.remove(&op.thread) {
+                    for (_, idxs) in entries {
+                        persist(&mut stores, &idxs, i);
+                    }
+                }
+            }
+        }
+    }
+
+    // Commit stores: stores that are themselves flushed and fenced.
+    // Their trace indices, ascending (stores are already in program
+    // order), plus a parallel index into `stores`.
+    let commits: Vec<usize> = (0..stores.len())
+        .filter(|&s| stores[s].persist_point.is_some())
+        .collect();
+    let commit_ops: Vec<usize> = commits.iter().map(|&s| stores[s].op_idx).collect();
+
+    let mut out = Vec::new();
+    for s in &stores {
+        let horizon = s.persist_point.unwrap_or(usize::MAX);
+        // First commit store strictly after the store and strictly
+        // before its persist point whose lines are disjoint from the
+        // store's.
+        let start = commit_ops.partition_point(|&c| c <= s.op_idx);
+        let violating = commits[start..]
+            .iter()
+            .take_while(|&&c| stores[c].op_idx < horizon)
+            .find(|&&c| {
+                let commit = &stores[c];
+                commit.last_line < s.first_line || commit.first_line > s.last_line
+            });
+        let Some(&c) = violating else { continue };
+        let commit = &stores[c];
+        let commit_loc = site_of(commit.loc);
+        let store_loc = site_of(s.loc);
+        let candidate = match s.flush {
+            Some(f) if f.op_idx < commit.op_idx && f.opt => match s.persist_point {
+                None => Candidate {
+                    kind: DiagnosticKind::MissingFence,
+                    site: site_of(f.loc),
+                    suggestion: format!(
+                        "the clflushopt at {} is never fenced, so the store at \
+                         {store_loc} may not persist; insert an sfence after the \
+                         flush, before the commit store at {commit_loc}",
+                        site_of(f.loc)
+                    ),
+                    store_loc,
+                    addr: s.addr,
+                    commit_loc,
+                    persists_eventually: false,
+                },
+                Some(p) => Candidate {
+                    kind: DiagnosticKind::FlushNotFenced,
+                    site: site_of(f.loc),
+                    suggestion: format!(
+                        "the clflushopt at {} takes effect only at {} — after the \
+                         commit store at {commit_loc}; insert an sfence between the \
+                         flush and the commit store",
+                        site_of(f.loc),
+                        site_of(ops[p].loc)
+                    ),
+                    store_loc,
+                    addr: s.addr,
+                    commit_loc,
+                    persists_eventually: true,
+                },
+            },
+            Some(f) if f.op_idx > commit.op_idx => Candidate {
+                kind: DiagnosticKind::MissingFlush,
+                site: store_loc.clone(),
+                suggestion: format!(
+                    "the store at {store_loc} is flushed only at {} — after the \
+                     commit store at {commit_loc}; move the flush (plus its fence) \
+                     before the commit store",
+                    site_of(f.loc)
+                ),
+                store_loc,
+                addr: s.addr,
+                commit_loc,
+                persists_eventually: true,
+            },
+            _ => Candidate {
+                kind: DiagnosticKind::MissingFlush,
+                site: store_loc.clone(),
+                suggestion: format!(
+                    "insert clflush + sfence (or clflushopt + sfence) after the \
+                     store at {store_loc}, before the commit store at {commit_loc}"
+                ),
+                store_loc,
+                addr: s.addr,
+                commit_loc,
+                persists_eventually: s.persist_point.is_some(),
+            },
+        };
+        out.push(candidate);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaaru_tso::OpTrace;
+    use std::panic::Location;
+
+    const LINE: u64 = 64;
+
+    fn store(t: &mut OpTrace, addr: u64, len: u32) {
+        t.record(
+            ThreadId(0),
+            Location::caller(),
+            TraceOpKind::Store {
+                addr: PmAddr::new(addr),
+                len,
+            },
+        );
+    }
+
+    #[track_caller]
+    fn flush(t: &mut OpTrace, line: u64) {
+        t.record(
+            ThreadId(0),
+            Location::caller(),
+            TraceOpKind::Clflush {
+                first_line: line,
+                last_line: line,
+            },
+        );
+    }
+
+    #[track_caller]
+    fn flushopt(t: &mut OpTrace, line: u64, tid: u32) {
+        t.record(
+            ThreadId(tid),
+            Location::caller(),
+            TraceOpKind::Clflushopt {
+                first_line: line,
+                last_line: line,
+            },
+        );
+    }
+
+    #[track_caller]
+    fn sfence(t: &mut OpTrace, tid: u32) {
+        t.record(ThreadId(tid), Location::caller(), TraceOpKind::Sfence);
+    }
+
+    #[test]
+    fn figure4_discipline_is_clean() {
+        // store data; flush; fence; store commit; flush; fence.
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE, 8);
+        flush(&mut t, 2);
+        sfence(&mut t, 0);
+        store(&mut t, 3 * LINE, 8);
+        flush(&mut t, 3);
+        sfence(&mut t, 0);
+        assert!(analyze_trace(&t).is_empty());
+    }
+
+    #[test]
+    fn missing_flush_before_commit_is_flagged() {
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE, 8); // data, never flushed
+        store(&mut t, 3 * LINE, 8); // commit
+        flush(&mut t, 3);
+        sfence(&mut t, 0);
+        let cands = analyze_trace(&t);
+        assert_eq!(cands.len(), 1, "{cands:?}");
+        assert_eq!(cands[0].kind, DiagnosticKind::MissingFlush);
+        assert_eq!(cands[0].addr, PmAddr::new(2 * LINE));
+        assert!(cands[0].suggestion.contains("insert clflush + sfence"));
+        assert!(cands[0].site.contains("robust.rs"));
+    }
+
+    #[test]
+    fn late_flush_is_still_missing_at_the_commit() {
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE, 8); // data
+        store(&mut t, 3 * LINE, 8); // commit
+        flush(&mut t, 3);
+        sfence(&mut t, 0);
+        flush(&mut t, 2); // data flushed only after the commit
+        sfence(&mut t, 0);
+        let cands = analyze_trace(&t);
+        assert_eq!(cands.len(), 1, "{cands:?}");
+        assert_eq!(cands[0].kind, DiagnosticKind::MissingFlush);
+        assert!(cands[0].suggestion.contains("move the flush"), "{cands:?}");
+    }
+
+    #[test]
+    fn unfenced_clflushopt_is_missing_fence() {
+        // Same-thread flushopt + sfence before the commit: clean.
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE, 8);
+        flushopt(&mut t, 2, 0);
+        sfence(&mut t, 0);
+        store(&mut t, 3 * LINE, 8); // commit
+        flush(&mut t, 3);
+        sfence(&mut t, 0);
+        let cands = analyze_trace(&t);
+        assert!(cands.is_empty(), "fenced flushopt is ordered: {cands:?}");
+
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE, 8);
+        flushopt(&mut t, 2, 1); // thread 1 flushes, never fences
+        store(&mut t, 3 * LINE, 8);
+        flush(&mut t, 3);
+        sfence(&mut t, 0);
+        let cands = analyze_trace(&t);
+        assert_eq!(cands.len(), 1, "{cands:?}");
+        assert_eq!(cands[0].kind, DiagnosticKind::MissingFence);
+        assert!(cands[0].suggestion.contains("never fenced"));
+    }
+
+    #[test]
+    fn fence_after_commit_is_flush_not_fenced() {
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE, 8);
+        flushopt(&mut t, 2, 0);
+        store(&mut t, 3 * LINE, 8); // commit, before the fence
+        flush(&mut t, 3);
+        sfence(&mut t, 0); // orders the flushopt — but too late
+        let cands = analyze_trace(&t);
+        assert_eq!(cands.len(), 1, "{cands:?}");
+        assert_eq!(cands[0].kind, DiagnosticKind::FlushNotFenced);
+        assert!(cands[0].suggestion.contains("takes effect only at"));
+    }
+
+    #[test]
+    fn same_line_stores_are_exempt() {
+        // Store and commit share a cache line: line writeback is atomic,
+        // observing the commit pins the earlier store.
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE, 8);
+        store(&mut t, 2 * LINE + 8, 8); // commit on the same line
+        flush(&mut t, 2);
+        sfence(&mut t, 0);
+        assert!(analyze_trace(&t).is_empty());
+    }
+
+    #[test]
+    fn no_commit_store_means_no_constraints() {
+        // Checksum-style code with no flushes at all: nothing commits,
+        // nothing is violated.
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE, 8);
+        store(&mut t, 3 * LINE, 8);
+        store(&mut t, 4 * LINE, 8);
+        assert!(analyze_trace(&t).is_empty());
+    }
+
+    #[test]
+    fn stores_after_the_commit_are_unconstrained() {
+        let mut t = OpTrace::new();
+        store(&mut t, 3 * LINE, 8); // commit
+        flush(&mut t, 3);
+        sfence(&mut t, 0);
+        store(&mut t, 2 * LINE, 8); // after every commit: fine
+        assert!(analyze_trace(&t).is_empty());
+    }
+
+    #[test]
+    fn straddling_store_needs_both_lines_flushed() {
+        let mut t = OpTrace::new();
+        store(&mut t, 3 * LINE - 4, 8); // straddles lines 2 and 3
+        flush(&mut t, 2); // only half flushed
+        sfence(&mut t, 0);
+        store(&mut t, 5 * LINE, 8); // commit
+        flush(&mut t, 5);
+        sfence(&mut t, 0);
+        let cands = analyze_trace(&t);
+        assert_eq!(cands.len(), 1, "{cands:?}");
+        assert_eq!(cands[0].kind, DiagnosticKind::MissingFlush);
+
+        // Flushing both lines clears it.
+        let mut t = OpTrace::new();
+        store(&mut t, 3 * LINE - 4, 8);
+        flush(&mut t, 2);
+        flush(&mut t, 3);
+        sfence(&mut t, 0);
+        store(&mut t, 5 * LINE, 8);
+        flush(&mut t, 5);
+        sfence(&mut t, 0);
+        assert!(analyze_trace(&t).is_empty());
+    }
+
+    #[test]
+    fn rmw_orders_the_flush_buffer() {
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE, 8);
+        flushopt(&mut t, 2, 0);
+        t.record(
+            ThreadId(0),
+            Location::caller(),
+            TraceOpKind::Rmw {
+                addr: PmAddr::new(6 * LINE),
+            },
+        );
+        store(&mut t, 3 * LINE, 8); // commit
+        flush(&mut t, 3);
+        sfence(&mut t, 0);
+        assert!(analyze_trace(&t).is_empty());
+    }
+
+    #[test]
+    fn commit_stores_themselves_can_be_violated() {
+        // C1 is flushed+fenced late; C2 commits first.
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE, 8); // C1-to-be
+        store(&mut t, 3 * LINE, 8); // C2
+        flush(&mut t, 3);
+        sfence(&mut t, 0);
+        flush(&mut t, 2); // C1 persists only here
+        sfence(&mut t, 0);
+        let cands = analyze_trace(&t);
+        assert_eq!(cands.len(), 1, "{cands:?}");
+        assert_eq!(cands[0].addr, PmAddr::new(2 * LINE));
+    }
+
+    #[test]
+    fn candidates_convert_to_error_diagnostics() {
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE, 8);
+        store(&mut t, 3 * LINE, 8);
+        flush(&mut t, 3);
+        sfence(&mut t, 0);
+        let d = analyze_trace(&t).remove(0).into_diagnostic();
+        assert!(d.is_error());
+        assert_eq!(d.occurrences, 1);
+        assert_eq!(d.addr, Some(PmAddr::new(2 * LINE)));
+    }
+}

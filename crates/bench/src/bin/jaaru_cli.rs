@@ -4,48 +4,102 @@
 //! report.
 //!
 //! ```text
-//! jaaru_cli [--jobs N] list
-//! jaaru_cli [--jobs N] check <benchmark> [keys]          # fixed configuration
-//! jaaru_cli [--jobs N] bug (recipe|pmdk) <row#> [keys]   # one bug-table row
-//! jaaru_cli [--jobs N] perf [keys]                       # Figure 14 run
+//! jaaru_cli [--jobs N] [--format F] list
+//! jaaru_cli [--jobs N] [--format F] check <benchmark> [keys]          # fixed configuration
+//! jaaru_cli [--jobs N] [--format F] bug (recipe|pmdk) <row#> [keys]   # one bug-table row
+//! jaaru_cli [--jobs N] [--format F] lint <benchmark> [keys]           # lint a fixed benchmark
+//! jaaru_cli [--jobs N] [--format F] lint (recipe|pmdk) <row#> [keys]  # lint one bug row
+//! jaaru_cli [--jobs N] perf [keys]                                    # Figure 14 run
 //! ```
 //!
 //! `--jobs N` explores on N worker threads (0 = all cores; default 1).
+//! `--format json` prints the machine-readable report instead of text.
 //! e.g. `cargo run --release -p jaaru-bench --bin jaaru_cli -- bug recipe 10`
+//!
+//! Exit status: 0 when the run is clean, 1 when bugs or error-severity
+//! diagnostics were found, 2 on usage errors.
 
-use jaaru::{Config, ModelChecker, Program};
-use jaaru_bench::registry::{pmdk_bug_cases, recipe_bug_cases, recipe_fixed_cases};
+use jaaru::{CheckReport, Config, ModelChecker, Program};
+use jaaru_bench::registry::{
+    pmdk_bug_cases, pmdk_fixed_cases, recipe_bug_cases, recipe_fixed_cases,
+};
 
-fn config(jobs: usize) -> Config {
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn config(jobs: usize, lint: bool) -> Config {
     let mut c = Config::new();
     c.pool_size(1 << 18)
         .max_ops_per_execution(40_000)
         .max_scenarios(20_000)
         .jobs(jobs);
+    if lint {
+        c.lints(true).flag_perf_issues(true);
+    }
     c
 }
 
-fn run(program: &(dyn Program + Sync), jobs: usize) {
-    let report = ModelChecker::new(config(jobs)).check(program);
-    println!("== {} ==", program.name());
-    println!("{report}");
-    for race in &report.races {
-        println!("{race}");
+/// Prints the report in the selected format and returns the process
+/// exit code: 1 when bugs or error-severity diagnostics were found.
+fn emit(name: &str, report: &CheckReport, format: Format) -> i32 {
+    match format {
+        Format::Json => print!("{}", report.to_json()),
+        Format::Text => {
+            println!("== {name} ==");
+            println!("{report}");
+            for race in &report.races {
+                println!("{race}");
+            }
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            if report.has_errors() {
+                println!(
+                    "VERDICT: {} robustness diagnostic(s); fixes suggested above",
+                    report.diagnostics.iter().filter(|d| d.is_error()).count()
+                );
+            } else if report.is_clean() {
+                println!("VERDICT: crash consistent under exhaustive exploration");
+            } else {
+                println!(
+                    "VERDICT: {} bug(s) found; traces above reproduce them",
+                    report.bugs.len()
+                );
+            }
+        }
     }
-    if report.is_clean() {
-        println!("VERDICT: crash consistent under exhaustive exploration");
+    if report.is_clean() && !report.has_errors() {
+        0
     } else {
-        println!(
-            "VERDICT: {} bug(s) found; traces above reproduce them",
-            report.bugs.len()
-        );
+        1
     }
+}
+
+fn run(name: &str, program: &(dyn Program + Sync), jobs: usize, format: Format, lint: bool) -> i32 {
+    let report = ModelChecker::new(config(jobs, lint)).check(program);
+    emit(name, &report, format)
+}
+
+/// Looks a fixed benchmark up by name across both fixed registries.
+fn find_fixed(name: &str, keys: usize) -> Option<(String, Box<dyn Program + Sync>)> {
+    recipe_fixed_cases(keys)
+        .into_iter()
+        .chain(pmdk_fixed_cases(keys))
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(n, p)| (n.to_string(), p))
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jaaru_cli [--jobs N] list\n  jaaru_cli [--jobs N] check <benchmark> [keys]\n  \
-         jaaru_cli [--jobs N] bug (recipe|pmdk) <row#> [keys]\n  jaaru_cli [--jobs N] perf [keys]"
+        "usage:\n  jaaru_cli [--jobs N] [--format text|json] list\n  \
+         jaaru_cli [--jobs N] [--format text|json] check <benchmark> [keys]\n  \
+         jaaru_cli [--jobs N] [--format text|json] bug (recipe|pmdk) <row#> [keys]\n  \
+         jaaru_cli [--jobs N] [--format text|json] lint <benchmark> [keys]\n  \
+         jaaru_cli [--jobs N] [--format text|json] lint (recipe|pmdk) <row#> [keys]\n  \
+         jaaru_cli [--jobs N] perf [keys]"
     );
     std::process::exit(2);
 }
@@ -60,68 +114,97 @@ fn main() {
         jobs = n;
         args.drain(pos..=pos + 1);
     }
-    match args.first().map(String::as_str) {
+    let mut format = Format::Text;
+    if let Some(pos) = args.iter().position(|a| a == "--format" || a == "-f") {
+        format = match args.get(pos + 1).map(String::as_str) {
+            Some("text") => Format::Text,
+            Some("json") => Format::Json,
+            _ => usage(),
+        };
+        args.drain(pos..=pos + 1);
+    }
+    let code = match args.first().map(String::as_str) {
         Some("list") => {
-            println!("fixed benchmarks (check):");
-            for (name, _) in recipe_fixed_cases(4) {
+            println!("fixed benchmarks (check / lint):");
+            for (name, _) in recipe_fixed_cases(4).into_iter().chain(pmdk_fixed_cases(4)) {
                 println!("  {name}");
             }
-            println!("recipe bug rows (bug recipe N):");
+            println!("recipe bug rows (bug recipe N / lint recipe N):");
             for case in recipe_bug_cases(4) {
                 println!("  {:2}  {:<11} {}", case.id, case.benchmark, case.cause);
             }
-            println!("pmdk bug rows (bug pmdk N):");
+            println!("pmdk bug rows (bug pmdk N / lint pmdk N):");
             for case in pmdk_bug_cases(4) {
                 println!("  {:2}  {:<15} {}", case.id, case.benchmark, case.cause);
             }
+            0
         }
         Some("check") => {
             let name = args.get(1).unwrap_or_else(|| usage());
             let keys = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(6);
-            let case = recipe_fixed_cases(keys)
-                .into_iter()
-                .find(|(n, _)| n.eq_ignore_ascii_case(name));
-            match case {
-                Some((_, program)) => run(&*program, jobs),
+            match find_fixed(name, keys) {
+                Some((name, program)) => run(&name, &*program, jobs, format, false),
                 None => {
                     eprintln!("unknown benchmark {name:?}; try `jaaru_cli list`");
-                    std::process::exit(2);
+                    2
                 }
             }
         }
-        Some("bug") => {
+        Some(cmd @ ("bug" | "lint")) => {
+            let lint = cmd == "lint";
             let suite = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-            let id: usize = args
-                .get(2)
-                .and_then(|a| a.parse().ok())
-                .unwrap_or_else(|| usage());
-            let keys = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(5);
-            let cases = match suite {
-                "recipe" => recipe_bug_cases(keys),
-                "pmdk" => pmdk_bug_cases(keys),
+            match suite {
+                "recipe" | "pmdk" => {
+                    let id: usize = args
+                        .get(2)
+                        .and_then(|a| a.parse().ok())
+                        .unwrap_or_else(|| usage());
+                    let keys = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(5);
+                    let cases = if suite == "recipe" {
+                        recipe_bug_cases(keys)
+                    } else {
+                        pmdk_bug_cases(keys)
+                    };
+                    match cases.into_iter().find(|c| c.id == id) {
+                        Some(case) => {
+                            if format == Format::Text {
+                                println!(
+                                    "cause: {}\npaper symptom: {}",
+                                    case.cause, case.paper_symptom
+                                );
+                            }
+                            let name = format!("{suite} row {id}: {}", case.benchmark);
+                            run(&name, &*case.program, jobs, format, lint)
+                        }
+                        None => {
+                            eprintln!("no row {id} in {suite}; try `jaaru_cli list`");
+                            2
+                        }
+                    }
+                }
+                // `lint <benchmark>`: a fixed configuration by name.
+                name if lint => {
+                    let keys = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(6);
+                    match find_fixed(name, keys) {
+                        Some((name, program)) => run(&name, &*program, jobs, format, true),
+                        None => {
+                            eprintln!("unknown benchmark {name:?}; try `jaaru_cli list`");
+                            2
+                        }
+                    }
+                }
                 _ => usage(),
-            };
-            match cases.into_iter().find(|c| c.id == id) {
-                Some(case) => {
-                    println!(
-                        "cause: {}\npaper symptom: {}",
-                        case.cause, case.paper_symptom
-                    );
-                    run(&*case.program, jobs);
-                }
-                None => {
-                    eprintln!("no row {id} in {suite}; try `jaaru_cli list`");
-                    std::process::exit(2);
-                }
             }
         }
         Some("perf") => {
             let keys = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
             for (name, program) in recipe_fixed_cases(keys) {
-                let report = ModelChecker::new(config(jobs)).check(&*program);
+                let report = ModelChecker::new(config(jobs, false)).check(&*program);
                 println!("{name:<11} {}", report.summary());
             }
+            0
         }
         _ => usage(),
-    }
+    };
+    std::process::exit(code);
 }

@@ -7,19 +7,20 @@
 //! unwinds the execution with a typed panic on simulated power failures
 //! and on detected bugs.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::panic::{panic_any, Location};
 
+use jaaru_analysis::{Diagnostic, DiagnosticKind, DiagnosticSet};
 use jaaru_pmem::{PmAddr, CACHE_LINE_SIZE, NULL_PAGE_SIZE};
 use jaaru_tso::{
-    do_read, read_pre_failure, CurrentRead, ExecutionStorage, RfCandidate, RfSource, ThreadId,
-    TsoMachine,
+    do_read, read_pre_failure, CurrentRead, ExecutionStorage, OpTrace, RfCandidate, RfSource,
+    SourceLoc, ThreadId, TraceOpKind, TsoMachine,
 };
 
 use crate::config::Config;
 use crate::decision::{ChoiceKind, DecisionLog};
-use crate::report::{BugKind, PerfIssue, PerfIssueKind, RaceCandidate, RaceReport};
+use crate::report::{BugKind, RaceCandidate, RaceReport};
 use crate::signal::{AbortSignal, CrashSignal};
 use crate::PmEnv;
 
@@ -52,10 +53,14 @@ struct Inner {
     load_choice_points: u64,
     max_rf_set: usize,
 
-    perf_issues: Vec<PerfIssue>,
-    perf_index: std::collections::HashMap<(PerfIssueKind, String), usize>,
+    /// Perf-warning diagnostics (redundant flushes/fences), deduplicated
+    /// by site through the shared [`DiagnosticSet`] fold.
+    diagnostics: DiagnosticSet,
     /// Stores and flushes since the last fence (redundant-fence check).
     work_since_fence: u64,
+    /// Per-execution operation traces for the lint engine (empty unless
+    /// [`Config::lints`] is on); the last entry is the running execution.
+    op_traces: Vec<OpTrace>,
 }
 
 /// Per-scenario results harvested by the explorer after a run.
@@ -64,7 +69,8 @@ pub(crate) struct ScenarioRecord {
     pub crash_points: Vec<usize>,
     pub points_per_exec: Vec<usize>,
     pub races: Vec<RaceReport>,
-    pub perf_issues: Vec<PerfIssue>,
+    pub diagnostics: Vec<Diagnostic>,
+    pub op_traces: Vec<OpTrace>,
     pub load_choice_points: u64,
     pub max_rf_set: usize,
 }
@@ -79,6 +85,11 @@ pub(crate) struct CheckerEnv {
     max_ops: u64,
     flag_races: bool,
     flag_perf: bool,
+    flag_lints: bool,
+    /// Override for recorded trace sites while executing a composite
+    /// primitive (locked RMW): the constituent ops carry the guest call
+    /// site of the RMW, not the environment-internal one.
+    lint_loc: Cell<Option<SourceLoc>>,
 }
 
 impl CheckerEnv {
@@ -102,17 +113,25 @@ impl CheckerEnv {
                 race_keys: HashSet::new(),
                 load_choice_points: 0,
                 max_rf_set: 1,
-                perf_issues: Vec::new(),
-                perf_index: std::collections::HashMap::new(),
+                diagnostics: DiagnosticSet::new(),
                 work_since_fence: 0,
+                op_traces: if config.lints_value() {
+                    vec![OpTrace::new()]
+                } else {
+                    Vec::new()
+                },
             }),
             pool_size: config.pool_size_value() as u64,
             max_failures: config.failure_limit(),
             inject_at_end: config.inject_at_end_value(),
             skip_unchanged: config.skip_unchanged_value(),
             max_ops: config.op_limit(),
-            flag_races: config.flag_races_value(),
+            // The localization pass correlates lint candidates with
+            // read-from evidence, so lints imply race flagging.
+            flag_races: config.flag_races_value() || config.lints_value(),
             flag_perf: config.flag_perf_issues_value(),
+            flag_lints: config.lints_value(),
+            lint_loc: Cell::new(None),
         }
     }
 
@@ -135,6 +154,9 @@ impl CheckerEnv {
         inner.points_this_exec = 0;
         inner.current_tid = ThreadId(0);
         inner.next_tid = 1;
+        if self.flag_lints {
+            inner.op_traces.push(OpTrace::new());
+        }
     }
 
     /// The end-of-execution injection point (the paper's third point in
@@ -155,7 +177,8 @@ impl CheckerEnv {
             crash_points: inner.crash_points,
             points_per_exec: inner.points_per_exec,
             races: inner.races,
-            perf_issues: inner.perf_issues,
+            diagnostics: inner.diagnostics.into_vec(),
+            op_traces: inner.op_traces,
             load_choice_points: inner.load_choice_points,
             max_rf_set: inner.max_rf_set,
         }
@@ -289,6 +312,19 @@ impl CheckerEnv {
         }
     }
 
+    /// Appends an op to the running execution's lint trace (callers
+    /// check `flag_lints`). The RMW site override substitutes the guest
+    /// call site for environment-internal constituent ops.
+    fn record_trace(&self, inner: &mut Inner, loc: SourceLoc, kind: TraceOpKind) {
+        let tid = inner.current_tid;
+        let loc = self.lint_loc.get().unwrap_or(loc);
+        inner
+            .op_traces
+            .last_mut()
+            .expect("lint trace present")
+            .record(tid, loc, kind);
+    }
+
     fn flush_lines(&self, addr: PmAddr, len: usize, opt: bool, loc: &'static Location<'static>) {
         // The failure injection point sits immediately *before* the flush
         // instruction (paper §4, "Injecting failures").
@@ -298,6 +334,20 @@ impl CheckerEnv {
         inner.work_since_fence += 1;
         let first = addr.cache_line().index();
         let last = (addr + (len.max(1) as u64 - 1)).cache_line().index();
+        if self.flag_lints {
+            let kind = if opt {
+                TraceOpKind::Clflushopt {
+                    first_line: first,
+                    last_line: last,
+                }
+            } else {
+                TraceOpKind::Clflush {
+                    first_line: first,
+                    last_line: last,
+                }
+            };
+            self.record_trace(inner, loc, kind);
+        }
         if self.flag_perf {
             // The §5.1 extension: a flush of a range with no unflushed
             // stores wastes a persistency operation (the bug class PMTest
@@ -309,12 +359,12 @@ impl CheckerEnv {
                     .has_unflushed_stores(jaaru_pmem::CacheLineId::new(l))
             });
             if redundant {
-                let kind = if opt {
-                    PerfIssueKind::RedundantFlushOpt
+                let (kind, what) = if opt {
+                    (DiagnosticKind::RedundantFlushOpt, "clflushopt/clwb")
                 } else {
-                    PerfIssueKind::RedundantFlush
+                    (DiagnosticKind::RedundantFlush, "clflush")
                 };
-                record_perf(inner, kind, addr, loc);
+                record_perf(inner, kind, Some(addr), loc, what);
             }
         }
         for l in first..=last {
@@ -374,25 +424,25 @@ fn record_race(
 
 fn record_perf(
     inner: &mut Inner,
-    kind: PerfIssueKind,
-    addr: PmAddr,
+    kind: DiagnosticKind,
+    addr: Option<PmAddr>,
     loc: &'static Location<'static>,
+    what: &str,
 ) {
-    let location = format!("{}:{}:{}", loc.file(), loc.line(), loc.column());
-    match inner.perf_index.get(&(kind, location.clone())) {
-        Some(&i) => inner.perf_issues[i].occurrences += 1,
-        None => {
-            inner
-                .perf_index
-                .insert((kind, location.clone()), inner.perf_issues.len());
-            inner.perf_issues.push(PerfIssue {
-                kind,
-                location,
-                addr,
-                occurrences: 1,
-            });
+    let site = format!("{}:{}:{}", loc.file(), loc.line(), loc.column());
+    let suggestion = match kind {
+        DiagnosticKind::RedundantFence => {
+            format!("the {what} has no buffered stores or flushes to order; remove it")
         }
-    }
+        _ => format!("the {what} covers no unflushed stores; remove it"),
+    };
+    inner.diagnostics.insert(Diagnostic {
+        kind,
+        site,
+        suggestion,
+        addr,
+        occurrences: 1,
+    });
 }
 
 impl PmEnv for CheckerEnv {
@@ -420,6 +470,16 @@ impl PmEnv for CheckerEnv {
         inner.writes_since_point = true;
         inner.any_writes_this_exec = true;
         inner.work_since_fence += 1;
+        if self.flag_lints {
+            self.record_trace(
+                inner,
+                loc,
+                TraceOpKind::Store {
+                    addr,
+                    len: bytes.len() as u32,
+                },
+            );
+        }
     }
 
     #[track_caller]
@@ -452,9 +512,12 @@ impl PmEnv for CheckerEnv {
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
         if self.flag_perf && inner.work_since_fence == 0 {
-            record_perf(inner, PerfIssueKind::RedundantFence, PmAddr::NULL, loc);
+            record_perf(inner, DiagnosticKind::RedundantFence, None, loc, "sfence");
         }
         inner.work_since_fence = 0;
+        if self.flag_lints {
+            self.record_trace(inner, loc, TraceOpKind::Sfence);
+        }
         inner.machine.sfence(inner.current_tid);
         // Under OnFence eviction the fence is also the drain point.
         inner.machine.drain_store_buffer(inner.current_tid);
@@ -470,22 +533,36 @@ impl PmEnv for CheckerEnv {
         if pending {
             self.injection_point();
         }
+        let loc = Location::caller();
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
         inner.work_since_fence = 0;
+        if self.flag_lints {
+            self.record_trace(inner, loc, TraceOpKind::Mfence);
+        }
         inner.machine.mfence(inner.current_tid);
     }
 
     #[track_caller]
     fn compare_exchange_u64(&self, addr: PmAddr, current: u64, new: u64) -> u64 {
         // Locked RMW ≡ atomic { mfence; load; store; mfence } (paper §4).
+        // Constituent ops recorded in the lint trace carry the guest call
+        // site; the trailing machine-level mfence is recorded as the RMW
+        // marker itself (fence semantics for the persist analysis).
+        let loc = Location::caller();
+        let prev = self.lint_loc.replace(Some(loc));
         self.mfence();
         let observed = self.load_u64(addr);
         if observed == current {
             self.store_bytes(addr, &new.to_le_bytes());
         }
+        self.lint_loc.set(prev);
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
+        inner.work_since_fence = 0;
+        if self.flag_lints {
+            self.record_trace(inner, loc, TraceOpKind::Rmw { addr });
+        }
         inner.machine.mfence(inner.current_tid);
         observed
     }

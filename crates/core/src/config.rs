@@ -26,6 +26,7 @@ pub struct Config {
     stop_on_first_bug: bool,
     flag_races: bool,
     flag_perf_issues: bool,
+    lints: bool,
     jobs: usize,
 }
 
@@ -47,6 +48,7 @@ impl Config {
             stop_on_first_bug: false,
             flag_races: true,
             flag_perf_issues: false,
+            lints: false,
             jobs: 1,
         }
     }
@@ -197,6 +199,27 @@ impl Config {
     /// Whether wasted persistency operations are flagged.
     pub fn flag_perf_issues_value(&self) -> bool {
         self.flag_perf_issues
+    }
+
+    /// Enable the persistency lint engine (default `false`).
+    ///
+    /// With lints on, the checker records the full per-thread operation
+    /// stream of every execution, runs the `jaaru-analysis` robustness
+    /// checker over it (commit-store inference + persist-ordering
+    /// constraints), and — when exploration finds a bug — localizes the
+    /// symptom back to the unordered store that allowed it. Findings
+    /// surface as error-severity [`Diagnostic`](crate::Diagnostic)s in
+    /// [`CheckReport::diagnostics`](crate::CheckReport). Lints imply
+    /// race flagging (the localization pass consumes read-from
+    /// evidence).
+    pub fn lints(&mut self, yes: bool) -> &mut Self {
+        self.lints = yes;
+        self
+    }
+
+    /// Whether the persistency lint engine is enabled.
+    pub fn lints_value(&self) -> bool {
+        self.lints
     }
 
     /// The configured worker count, as set (`0` = auto).

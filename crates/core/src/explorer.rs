@@ -13,11 +13,14 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+use jaaru_analysis::Diagnostic;
+
 use crate::checker_env::CheckerEnv;
 use crate::config::Config;
 use crate::decision::DecisionLog;
+use crate::lint::lint_scenario;
 use crate::parallel::merge::ReportAccumulator;
-use crate::report::{BugKind, BugReport, CheckReport, CheckStats, PerfIssue, RaceReport};
+use crate::report::{BugKind, BugReport, CheckReport, CheckStats, RaceReport};
 use crate::signal::{
     install_panic_hook, panic_message, take_last_panic_location, with_quiet_panics, AbortSignal,
     CrashSignal,
@@ -47,8 +50,9 @@ pub(crate) struct ScenarioOutcome {
     pub failure_points: u64,
     /// Racy loads observed (when race flagging is on).
     pub races: Vec<RaceReport>,
-    /// Wasted persistency operations (when perf flagging is on).
-    pub perf_issues: Vec<PerfIssue>,
+    /// Diagnostics this scenario contributes: perf warnings (when perf
+    /// flagging is on) and lint findings (when lints are on).
+    pub diagnostics: Vec<Diagnostic>,
     /// The bug this scenario hit, if any, with crash points and trace
     /// filled in.
     pub bug: Option<BugReport>,
@@ -116,6 +120,9 @@ pub(crate) fn run_scenario(
         b.crash_points = record.crash_points.clone();
         b.trace = record.decisions.trace();
     }
+    let lints = lint_scenario(&record, bug.is_some());
+    let mut diagnostics = record.diagnostics;
+    diagnostics.extend(lints);
     let outcome = ScenarioOutcome {
         trace: record.decisions.trace(),
         executions_with_replay: executions_this_scenario,
@@ -124,7 +131,7 @@ pub(crate) fn run_scenario(
         max_rf_set: record.max_rf_set,
         failure_points: record.points_per_exec.first().copied().unwrap_or(0) as u64,
         races: record.races,
-        perf_issues: record.perf_issues,
+        diagnostics,
         bug,
     };
     (outcome, record.decisions)
@@ -292,6 +299,9 @@ impl ModelChecker {
             }
         }
         let record = env.finish();
+        let lints = lint_scenario(&record, !bugs.is_empty());
+        let mut diagnostics = record.diagnostics;
+        diagnostics.extend(lints);
         if let Some(bug) = bugs.first_mut() {
             bug.crash_points = record.crash_points;
         }
@@ -300,7 +310,7 @@ impl ModelChecker {
         CheckReport {
             bugs,
             races: record.races,
-            perf_issues: record.perf_issues,
+            diagnostics,
             stats,
             truncated: false,
             parallel: None,
@@ -666,7 +676,7 @@ mod tests {
 
     #[test]
     fn redundant_flushes_are_flagged_when_enabled() {
-        use crate::report::PerfIssueKind;
+        use jaaru_analysis::DiagnosticKind;
         let program = |env: &dyn PmEnv| {
             let root = env.root();
             env.store_u64(root, 1);
@@ -680,15 +690,16 @@ mod tests {
         config.flag_perf_issues(true);
         let report = ModelChecker::new(config).check(&program);
         assert!(report.is_clean(), "perf issues are not bugs: {report}");
-        let kinds: Vec<PerfIssueKind> = report.perf_issues.iter().map(|p| p.kind).collect();
-        assert!(kinds.contains(&PerfIssueKind::RedundantFlush), "{kinds:?}");
+        assert!(!report.has_errors(), "perf warnings are not errors");
+        let kinds: Vec<DiagnosticKind> = report.diagnostics.iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&DiagnosticKind::RedundantFlush), "{kinds:?}");
         assert!(
-            kinds.contains(&PerfIssueKind::RedundantFlushOpt),
+            kinds.contains(&DiagnosticKind::RedundantFlushOpt),
             "{kinds:?}"
         );
-        assert!(kinds.contains(&PerfIssueKind::RedundantFence), "{kinds:?}");
-        for issue in &report.perf_issues {
-            assert!(issue.location.contains("explorer.rs"), "{issue}");
+        assert!(kinds.contains(&DiagnosticKind::RedundantFence), "{kinds:?}");
+        for d in &report.diagnostics {
+            assert!(d.site.contains("explorer.rs"), "{d}");
         }
     }
 
@@ -701,12 +712,12 @@ mod tests {
             env.clflush(root, 8);
         };
         let off = ModelChecker::new(small_config()).check(&program);
-        assert!(off.perf_issues.is_empty());
+        assert!(off.diagnostics.is_empty());
         let mut config = small_config();
         config.flag_perf_issues(true);
         let on = ModelChecker::new(config).check(&program);
         assert_eq!(off.stats.scenarios, on.stats.scenarios, "diagnostics only");
-        assert!(!on.perf_issues.is_empty());
+        assert!(!on.diagnostics.is_empty());
     }
 
     #[test]
@@ -722,7 +733,74 @@ mod tests {
         let mut config = small_config();
         config.flag_perf_issues(true);
         let report = ModelChecker::new(config).check(&program);
-        assert!(report.perf_issues.is_empty(), "{:?}", report.perf_issues);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn lints_localize_a_missing_flush_to_the_store() {
+        use jaaru_analysis::DiagnosticKind;
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            let data = root + 64;
+            if env.load_u64(root) != 0 {
+                env.pm_assert(env.load_u64(data) == 42, "lost committed data");
+                return;
+            }
+            env.store_u64(data, 42); // BUG: never flushed before the commit
+            env.store_u64(root, 1);
+            env.clflush(root, 8);
+            env.sfence();
+        };
+        let mut config = small_config();
+        config.lints(true);
+        let report = ModelChecker::new(config).check(&program);
+        assert!(!report.is_clean(), "the bug is still found: {report}");
+        assert!(report.has_errors(), "{report}");
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.kind == DiagnosticKind::MissingFlush)
+            .expect("missing-flush diagnostic");
+        assert!(d.site.contains("explorer.rs"), "{d}");
+        assert!(d.suggestion.contains("commit store"), "{d}");
+    }
+
+    #[test]
+    fn lints_are_quiet_on_the_fixed_program() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            let data = root + 64;
+            if env.load_u64(root) != 0 {
+                env.pm_assert(env.load_u64(data) == 42, "lost committed data");
+                return;
+            }
+            env.store_u64(data, 42);
+            env.persist(data, 8); // the fix
+            env.store_u64(root, 1);
+            env.persist(root, 8);
+        };
+        let mut config = small_config();
+        config.lints(true);
+        let report = ModelChecker::new(config).check(&program);
+        assert!(report.is_clean(), "{report}");
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn lints_off_by_default_and_do_not_change_exploration() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            env.store_u64(root, 5);
+            env.persist(root, 8);
+        };
+        let off = ModelChecker::new(small_config()).check(&program);
+        assert!(off.diagnostics.is_empty());
+        let mut config = small_config();
+        config.lints(true);
+        let on = ModelChecker::new(config).check(&program);
+        assert_eq!(off.stats.scenarios, on.stats.scenarios, "analysis only");
+        assert_eq!(off.digest(), on.digest(), "clean program: same digest");
     }
 
     #[test]

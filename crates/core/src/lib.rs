@@ -69,6 +69,7 @@ mod config;
 mod decision;
 mod env;
 mod explorer;
+mod lint;
 pub mod litmus;
 mod native;
 mod parallel;
@@ -82,10 +83,13 @@ pub use explorer::{check, ModelChecker};
 pub use native::NativeEnv;
 pub use program::{Named, Program};
 pub use report::{
-    BugKind, BugReport, CheckReport, CheckStats, ParallelStats, PerfIssue, PerfIssueKind,
-    RaceCandidate, RaceReport, WorkerStats,
+    BugKind, BugReport, CheckReport, CheckStats, ParallelStats, RaceCandidate, RaceReport,
+    WorkerStats,
 };
 pub use signal::with_quiet_panics;
+
+// The unified diagnostic framework (lint findings + perf warnings).
+pub use jaaru_analysis::{Diagnostic, DiagnosticKind, DiagnosticSet, Severity};
 
 // Re-exports for downstream crates (baselines, workloads, benches).
 pub use jaaru_pmem::{CacheLineId, PmAddr, PmError, PmPool, CACHE_LINE_SIZE};

@@ -1,0 +1,88 @@
+//! The per-scenario lint pass: robustness analysis plus localization.
+//!
+//! With [`Config::lints`](crate::Config::lints) on, every execution's
+//! operation stream is recorded and handed to the `jaaru-analysis`
+//! robustness checker, which infers commit stores (the flushed-and-fenced
+//! guard-store idiom of the paper's Figure 4) and flags stores that can
+//! reach a commit store without being persist-ordered before it.
+//!
+//! Candidates are emitted as diagnostics through two complementary
+//! routes, chosen per scenario:
+//!
+//! * **Static route** — the *clean* scenario (no injected failure, no
+//!   bug) covers the program's full pre-failure operation stream, so its
+//!   candidates are robustness violations of the program text itself.
+//!   They are reported directly; a correctly ordered program yields
+//!   none.
+//! * **Dynamic route** — a *buggy* scenario additionally proves which
+//!   violations matter: the failing execution's racy loads name the
+//!   stores they could have read from, and a candidate whose unordered
+//!   store appears among them is the root cause of an observed symptom.
+//!   Only race-confirmed candidates are reported, which localizes the
+//!   symptom to the seeded fault site without re-flagging incidental
+//!   candidates from unrelated scenarios.
+
+use std::collections::HashSet;
+
+use jaaru_analysis::{analyze_trace, localize, Candidate, Diagnostic, DiagnosticKind, RfEvidence};
+
+use crate::checker_env::ScenarioRecord;
+
+/// Runs the robustness analysis over one scenario's recorded traces and
+/// returns the diagnostics it contributes. Empty when lints are off
+/// (no traces were recorded).
+pub(crate) fn lint_scenario(record: &ScenarioRecord, had_bug: bool) -> Vec<Diagnostic> {
+    if record.op_traces.is_empty() {
+        return Vec::new();
+    }
+    let crash_free = record.crash_points.is_empty();
+    if !crash_free && !had_bug {
+        // Crashed-but-clean scenarios prove nothing the clean scenario
+        // does not already cover; skip the analysis cost.
+        return Vec::new();
+    }
+
+    // Analyze every execution's trace; candidates carry the index of the
+    // execution whose stores they constrain (localization matches racy
+    // loads against stores of that same execution).
+    let mut candidates: Vec<(usize, Candidate)> = Vec::new();
+    for (exec, trace) in record.op_traces.iter().enumerate() {
+        for c in analyze_trace(trace) {
+            candidates.push((exec, c));
+        }
+    }
+
+    if crash_free && !had_bug {
+        // Static route: of the clean scenario's candidates, only the
+        // `MissingFence` class is reported unconditionally — the
+        // `clflushopt` proves the program *meant* to persist the store,
+        // so a missing ordering fence is a genuine mistake even before
+        // any failure demonstrates it. `MissingFlush` candidates are a
+        // different matter: never-flushed stores are routinely benign
+        // (node locks, epoch counters, allocator bookkeeping), and
+        // late-flushed stores (ordered after an unrelated commit such
+        // as an allocator's cursor persist) are a common idiom. Those
+        // are reported only when a failing scenario proves recovery can
+        // observe the window — the dynamic route below. Dedup by
+        // (kind, site) — the same flush can precede many commit stores.
+        let mut seen = HashSet::new();
+        candidates
+            .into_iter()
+            .filter(|(_, c)| c.kind == DiagnosticKind::MissingFence && !c.persists_eventually)
+            .filter(|(_, c)| seen.insert((c.kind, c.site.clone())))
+            .map(|(_, c)| c.into_diagnostic())
+            .collect()
+    } else {
+        // Dynamic route: keep only candidates whose unordered store is
+        // named by a racy load of this failing scenario.
+        let mut evidence = RfEvidence::new();
+        for race in &record.races {
+            for cand in &race.candidates {
+                if let (Some(exec), Some(loc)) = (cand.exec_index, &cand.location) {
+                    evidence.insert((exec, loc.clone()));
+                }
+            }
+        }
+        localize(candidates, &evidence)
+    }
+}

@@ -14,18 +14,20 @@
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
+use jaaru_analysis::DiagnosticSet;
+
 use crate::explorer::{bug_dedup_key, ScenarioOutcome};
-use crate::report::{
-    BugKind, BugReport, CheckReport, CheckStats, ParallelStats, PerfIssue, PerfIssueKind,
-    RaceReport,
-};
+use crate::report::{BugKind, BugReport, CheckReport, CheckStats, ParallelStats, RaceReport};
 
 use super::worker::WorkerPartial;
 
 /// Folds [`ScenarioOutcome`]s into the deduplicated, ordered contents of
 /// a [`CheckReport`]. Feeding outcomes in canonical (sequential
 /// discovery) order makes the result independent of how they were
-/// produced.
+/// produced. Diagnostics fold through [`DiagnosticSet`] — the same
+/// `(kind, site)` dedup the per-scenario environment uses, so the
+/// sequential explorer and the parallel merge share one accumulation
+/// path.
 #[derive(Debug, Default)]
 pub(crate) struct ReportAccumulator {
     stats: CheckStats,
@@ -33,8 +35,7 @@ pub(crate) struct ReportAccumulator {
     bug_index: HashMap<(BugKind, String), usize>,
     races: Vec<RaceReport>,
     race_keys: HashSet<String>,
-    perf_issues: Vec<PerfIssue>,
-    perf_index: HashMap<(PerfIssueKind, String), usize>,
+    diagnostics: DiagnosticSet,
 }
 
 impl ReportAccumulator {
@@ -60,16 +61,7 @@ impl ReportAccumulator {
                 self.races.push(race);
             }
         }
-        for issue in outcome.perf_issues {
-            match self.perf_index.get(&(issue.kind, issue.location.clone())) {
-                Some(&i) => self.perf_issues[i].occurrences += issue.occurrences,
-                None => {
-                    self.perf_index
-                        .insert((issue.kind, issue.location.clone()), self.perf_issues.len());
-                    self.perf_issues.push(issue);
-                }
-            }
-        }
+        self.diagnostics.extend(outcome.diagnostics);
         if let Some(bug) = outcome.bug {
             let key = (bug.kind, bug_dedup_key(&bug));
             match self.bug_index.get(&key) {
@@ -103,7 +95,7 @@ impl ReportAccumulator {
         CheckReport {
             bugs: self.bugs,
             races: self.races,
-            perf_issues: self.perf_issues,
+            diagnostics: self.diagnostics.into_vec(),
             stats: self.stats,
             truncated,
             parallel,

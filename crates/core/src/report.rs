@@ -3,6 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use jaaru_analysis::Diagnostic;
 use jaaru_pmem::PmAddr;
 
 /// The symptom class of a detected bug, mirroring the paper's bug tables
@@ -124,55 +125,6 @@ impl fmt::Display for RaceReport {
     }
 }
 
-/// A performance issue: an operation with persistency cost but no
-/// persistency effect. This implements the extension the paper sketches
-/// in §5.1 ("Jaaru could be extended to find performance bugs such as
-/// redundant cache flushes and fences") — the bug class PMTest and
-/// pmemcheck report.
-#[derive(Clone, Debug)]
-pub struct PerfIssue {
-    /// What was wasted.
-    pub kind: PerfIssueKind,
-    /// Source location of the operation (`file:line:column`).
-    pub location: String,
-    /// First byte of the flushed range.
-    pub addr: PmAddr,
-    /// How many times the site executed redundantly.
-    pub occurrences: u64,
-}
-
-/// Classes of wasted persistency operations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum PerfIssueKind {
-    /// A `clflush` of a cache line with no unflushed stores.
-    RedundantFlush,
-    /// A `clflushopt`/`clwb` of a cache line with no unflushed stores.
-    RedundantFlushOpt,
-    /// An `sfence` with no buffered flushes or stores to order.
-    RedundantFence,
-}
-
-impl fmt::Display for PerfIssueKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            PerfIssueKind::RedundantFlush => "redundant clflush",
-            PerfIssueKind::RedundantFlushOpt => "redundant clflushopt/clwb",
-            PerfIssueKind::RedundantFence => "redundant sfence",
-        };
-        f.write_str(s)
-    }
-}
-
-impl fmt::Display for PerfIssue {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} of clean line at {} ({}; {} occurrence(s))",
-            self.kind, self.addr, self.location, self.occurrences
-        )
-    }
-}
-
 /// Exploration statistics (the quantities reported in Figure 14).
 #[derive(Clone, Debug, Default)]
 pub struct CheckStats {
@@ -251,10 +203,12 @@ pub struct CheckReport {
     /// Loads flagged as able to read multiple stores (missing-flush
     /// debugging aid), deduplicated by load location.
     pub races: Vec<RaceReport>,
-    /// Wasted persistency operations (the performance-bug extension),
-    /// deduplicated by site; empty unless
-    /// [`Config::flag_perf_issues`](crate::Config::flag_perf_issues) is on.
-    pub perf_issues: Vec<PerfIssue>,
+    /// Findings of the analysis passes, deduplicated by `(kind, site)`:
+    /// error-severity robustness violations from the lint engine (with
+    /// [`Config::lints`](crate::Config::lints) on) and warning-severity
+    /// wasted persistency operations (with
+    /// [`Config::flag_perf_issues`](crate::Config::flag_perf_issues) on).
+    pub diagnostics: Vec<Diagnostic>,
     /// Exploration statistics.
     pub stats: CheckStats,
     /// Whether exploration stopped early (scenario/bug caps).
@@ -271,13 +225,22 @@ impl CheckReport {
         self.bugs.is_empty()
     }
 
+    /// `true` when any diagnostic is error-severity (a robustness
+    /// violation from the lint engine); `jaaru_cli lint` exits nonzero
+    /// on these.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.is_error())
+    }
+
     /// A one-paragraph summary suitable for logs.
     pub fn summary(&self) -> String {
         format!(
-            "{} bug(s), {} race-flagged load(s); {} scenarios, {} executions \
+            "{} bug(s), {} race-flagged load(s), {} diagnostic(s); \
+             {} scenarios, {} executions \
              ({} incl. replays), {} failure points, {:.3}s{}",
             self.bugs.len(),
             self.races.len(),
+            self.diagnostics.len(),
             self.stats.scenarios,
             self.stats.executions,
             self.stats.executions_with_replay,
@@ -288,7 +251,7 @@ impl CheckReport {
     }
 
     /// A deterministic fingerprint of the check's *outcome*: every bug,
-    /// race, performance issue, and exploration statistic — excluding
+    /// race, diagnostic, and exploration statistic — excluding
     /// wall-clock time and worker-level scheduling stats, which
     /// legitimately vary between runs. Two runs of the same program and
     /// configuration (at any worker count, absent truncation) must
@@ -315,10 +278,140 @@ impl CheckReport {
         for r in &self.races {
             let _ = write!(out, "race: {r}");
         }
-        for p in &self.perf_issues {
-            let _ = writeln!(out, "perf: {p}");
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "lint: {d}");
         }
         out
+    }
+
+    /// The report as a JSON object (machine-readable `--format json`
+    /// output of `jaaru_cli`). Hand-rolled — the checker has no
+    /// serialization dependency — but proper JSON: strings are escaped,
+    /// optional fields are `null`.
+    pub fn to_json(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        let _ = writeln!(out, "  \"has_errors\": {},", self.has_errors());
+        let _ = writeln!(out, "  \"truncated\": {},", self.truncated);
+        let _ = writeln!(
+            out,
+            "  \"stats\": {{\"scenarios\": {}, \"executions\": {}, \
+             \"executions_with_replay\": {}, \"failure_points\": {}, \
+             \"load_choice_points\": {}, \"max_rf_set\": {}, \
+             \"duration_secs\": {:.6}}},",
+            self.stats.scenarios,
+            self.stats.executions,
+            self.stats.executions_with_replay,
+            self.stats.failure_points,
+            self.stats.load_choice_points,
+            self.stats.max_rf_set,
+            self.stats.duration.as_secs_f64(),
+        );
+        out.push_str("  \"bugs\": [");
+        for (i, b) in self.bugs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"kind\": {}, \"message\": {}, \"location\": {}, \
+                 \"execution_index\": {}, \"crash_points\": {:?}, \
+                 \"trace\": {:?}, \"occurrences\": {}}}",
+                json_string(&b.kind.to_string()),
+                json_string(&b.message),
+                json_opt_string(b.location.as_deref()),
+                b.execution_index,
+                b.crash_points,
+                b.trace,
+                b.occurrences,
+            );
+        }
+        out.push_str("],\n");
+        out.push_str("  \"races\": [");
+        for (i, r) in self.races.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"addr\": {}, \"load_location\": {}, \"execution_index\": {}, \
+                 \"candidates\": [",
+                r.addr.offset(),
+                json_string(&r.load_location),
+                r.execution_index,
+            );
+            for (j, c) in r.candidates.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let exec = match c.exec_index {
+                    Some(e) => e.to_string(),
+                    None => "null".into(),
+                };
+                let _ = write!(
+                    out,
+                    "{{\"exec_index\": {}, \"value\": {}, \"location\": {}}}",
+                    exec,
+                    c.value,
+                    json_opt_string(c.location.as_deref()),
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let addr = match d.addr {
+                Some(a) => a.offset().to_string(),
+                None => "null".into(),
+            };
+            let _ = write!(
+                out,
+                "{{\"kind\": {}, \"severity\": {}, \"site\": {}, \
+                 \"suggestion\": {}, \"addr\": {}, \"occurrences\": {}}}",
+                json_string(d.kind.as_str()),
+                json_string(d.severity().as_str()),
+                json_string(&d.site),
+                json_string(&d.suggestion),
+                addr,
+                d.occurrences,
+            );
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal, double quotes included.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt_string(s: Option<&str>) -> String {
+    match s {
+        Some(s) => json_string(s),
+        None => "null".into(),
     }
 }
 
@@ -392,6 +485,64 @@ mod tests {
     fn clean_report() {
         let r = CheckReport::default();
         assert!(r.is_clean());
+        assert!(!r.has_errors());
         assert!(r.summary().contains("0 bug(s)"));
+    }
+
+    #[test]
+    fn error_diagnostics_flip_has_errors() {
+        use jaaru_analysis::DiagnosticKind;
+        let mut r = CheckReport::default();
+        r.diagnostics.push(Diagnostic {
+            kind: DiagnosticKind::RedundantFlush,
+            site: "a.rs:1:1".into(),
+            suggestion: "remove it".into(),
+            addr: None,
+            occurrences: 1,
+        });
+        assert!(!r.has_errors(), "warnings are not errors");
+        r.diagnostics.push(Diagnostic {
+            kind: DiagnosticKind::MissingFlush,
+            site: "b.rs:2:2".into(),
+            suggestion: "insert a flush".into(),
+            addr: Some(PmAddr::new(64)),
+            occurrences: 1,
+        });
+        assert!(r.has_errors());
+        assert!(r.digest().contains("lint: error[missing-flush]"));
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        use jaaru_analysis::DiagnosticKind;
+        let mut r = CheckReport::default();
+        r.bugs.push(BugReport {
+            kind: BugKind::GuestPanic,
+            message: "saw \"quoted\" value".into(),
+            location: None,
+            execution_index: 1,
+            crash_points: vec![0],
+            trace: vec![1, 0],
+            occurrences: 3,
+        });
+        r.diagnostics.push(Diagnostic {
+            kind: DiagnosticKind::MissingFence,
+            site: "lib.rs:10:5".into(),
+            suggestion: "insert an sfence".into(),
+            addr: Some(PmAddr::new(128)),
+            occurrences: 2,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"clean\": false"), "{json}");
+        assert!(json.contains("\"has_errors\": true"), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "escaped quotes: {json}");
+        assert!(json.contains("\"location\": null"), "{json}");
+        assert!(json.contains("\"kind\": \"missing-fence\""), "{json}");
+        assert!(json.contains("\"severity\": \"error\""), "{json}");
+        assert!(json.contains("\"addr\": 128"), "{json}");
+        // Balanced braces/brackets (cheap well-formedness check).
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes, "{json}");
     }
 }

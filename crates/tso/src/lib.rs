@@ -59,6 +59,7 @@ mod machine;
 mod rf;
 mod seq;
 mod storage;
+mod trace;
 
 pub use buffers::{FbEntry, SbEntry, ThreadBuffers};
 pub use event::{SourceLoc, StoreEvent, StoreId, ThreadId};
@@ -67,3 +68,4 @@ pub use machine::{CurrentRead, EvictionPolicy, TsoMachine};
 pub use rf::{do_read, read_pre_failure, RfCandidate, RfSource};
 pub use seq::Seq;
 pub use storage::{ExecutionStorage, QueueEntry};
+pub use trace::{OpTrace, TraceOp, TraceOpKind, TRACE_LINE_SIZE};

@@ -89,6 +89,82 @@ fn parallel_matches_sequential_on_a_buggy_workload() {
     assert_eq!(sequential.bugs[0].trace, parallel.bugs[0].trace);
 }
 
+fn lint_config(jobs: usize) -> Config {
+    let mut c = config(jobs);
+    c.lints(true).flag_perf_issues(true);
+    c
+}
+
+/// Diagnostics flow through the same sequential accumulator and
+/// parallel merge as bugs and races, so a lint-enabled run must be just
+/// as deterministic — and the digest must actually cover the
+/// diagnostics, or a lint regression could hide from these tests.
+#[test]
+fn diagnostics_are_deterministic_across_worker_counts() {
+    let buggy = IndexWorkload::<Pclht>::new(PclhtFault::CtorNotFlushed, 4);
+    let fixed = IndexWorkload::<FastFair>::new(FastFairFault::None, 6);
+    for program in [&buggy as &(dyn Program + Sync), &fixed] {
+        let sequential = ModelChecker::new(lint_config(1)).check(program);
+        let parallel = ModelChecker::new(lint_config(4)).check(program);
+        assert_eq!(sequential.digest(), parallel.digest());
+    }
+    let report = ModelChecker::new(lint_config(1)).check(&buggy);
+    assert!(!report.diagnostics.is_empty());
+    assert!(report.digest().contains("lint:"));
+}
+
+/// A tiny deterministic PRNG (SplitMix64) so the property test below
+/// can sweep many generated programs without an external crate.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Property: for randomly generated store/flush/fence programs, every
+/// exploration — sequential, parallel, repeated — produces the same
+/// digest. Programs are derived purely from the seed, so a failure
+/// reproduces by its seed alone.
+#[test]
+fn seeded_random_programs_replay_stably() {
+    for seed in 0..8u64 {
+        let program = move |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                for i in 0..4 {
+                    let _ = env.load_u64(root + i * 64);
+                }
+                return;
+            }
+            let mut rng = SplitMix64(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) + 1);
+            for _ in 0..12 {
+                let line = rng.next() % 4;
+                match rng.next() % 4 {
+                    0 | 1 => env.store_u64(root + line * 64, rng.next()),
+                    2 => env.clflushopt(root + line * 64, 8),
+                    _ => env.sfence(),
+                }
+            }
+            env.sfence();
+        };
+        let baseline = ModelChecker::new(lint_config(1)).check(&program);
+        let again = ModelChecker::new(lint_config(1)).check(&program);
+        assert_eq!(baseline.digest(), again.digest(), "seed {seed} unstable");
+        let parallel = ModelChecker::new(lint_config(4)).check(&program);
+        assert_eq!(
+            baseline.digest(),
+            parallel.digest(),
+            "seed {seed} diverged under jobs=4"
+        );
+    }
+}
+
 #[test]
 fn worker_count_does_not_leak_into_the_digest() {
     // digest() must ignore the parallel block entirely, or any two
