@@ -49,7 +49,7 @@ fn main() {
         let mut config = Config::new();
         config.pool_size(POOL).max_scenarios(1);
         let report = ModelChecker::new(config).check(&w);
-        black_box(report.stats.executions_with_replay);
+        black_box(report.stats.executions_replayed);
     });
 
     let w = workload();

@@ -72,8 +72,12 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     println!(
-        "workload: {} scenarios, {} executions (incl. replays); {} core(s) available",
-        baseline.stats.scenarios, baseline.stats.executions_with_replay, cores
+        "workload: {} scenarios, {} executions ({} replayed + {} restored); {} core(s) available",
+        baseline.stats.scenarios,
+        baseline.stats.executions_replayed + baseline.stats.executions_restored,
+        baseline.stats.executions_replayed,
+        baseline.stats.executions_restored,
+        cores
     );
     if cores < 2 {
         println!("note: single-core machine — expect ~1.0x; speedup needs >= 2 cores");

@@ -1,0 +1,173 @@
+//! Crash-point snapshot ablation: the fixed benchmark registry checked
+//! with snapshots on (default) vs. off (`Config::snapshots(false)`),
+//! comparing actual guest `Program::run` counts and wall-clock time.
+//!
+//! Multiple failure levels are used because depth is where restoration
+//! pays: with a single failure each post-failure scenario costs 2 runs
+//! replayed vs. 1 restored (the ratio only approaches 2x), while a
+//! depth-k scenario replays k prefix executions but restores in one run.
+//!
+//! Emits a machine-readable summary to `BENCH_snapshot.json` in the
+//! working directory and asserts the subsystem's acceptance bar: >= 2x
+//! fewer guest runs in total, with byte-identical digests per benchmark.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use jaaru::{CheckReport, Config, ModelChecker, Program};
+use jaaru_bench::registry::{pmdk_fixed_cases, recipe_fixed_cases};
+use jaaru_bench::timing::{bench, ratio};
+
+const KEYS: usize = 3;
+const MAX_FAILURES: usize = 3;
+const SAMPLES: usize = 3;
+const WARMUP: usize = 1;
+
+fn config(snapshots: bool) -> Config {
+    let mut c = Config::new();
+    c.pool_size(1 << 18)
+        .max_ops_per_execution(40_000)
+        .max_scenarios(20_000)
+        .max_failures(MAX_FAILURES)
+        .snapshots(snapshots);
+    c
+}
+
+struct CaseResult {
+    name: &'static str,
+    scenarios: u64,
+    runs_on: u64,
+    runs_off: u64,
+    restored: u64,
+    on: Duration,
+    off: Duration,
+}
+
+fn run_case(name: &'static str, program: &(dyn Program + Sync)) -> CaseResult {
+    let mut report_on: Option<CheckReport> = None;
+    let on = bench(
+        "snapshot_speedup",
+        &format!("{name}/on"),
+        SAMPLES,
+        WARMUP,
+        || {
+            report_on = Some(ModelChecker::new(config(true)).check(program));
+        },
+    );
+    let mut report_off: Option<CheckReport> = None;
+    let off = bench(
+        "snapshot_speedup",
+        &format!("{name}/off"),
+        SAMPLES,
+        WARMUP,
+        || {
+            report_off = Some(ModelChecker::new(config(false)).check(program));
+        },
+    );
+    let report_on = report_on.unwrap();
+    let report_off = report_off.unwrap();
+    assert_eq!(
+        report_on.digest(),
+        report_off.digest(),
+        "{name}: snapshots changed the explored outcome"
+    );
+    assert_eq!(report_off.stats.executions_restored, 0);
+    assert_eq!(
+        report_on.stats.executions_replayed + report_on.stats.executions_restored,
+        report_off.stats.executions_replayed,
+        "{name}: restored executions must account for the skipped replays"
+    );
+    CaseResult {
+        name,
+        scenarios: report_on.stats.scenarios,
+        runs_on: report_on.stats.executions_replayed,
+        runs_off: report_off.stats.executions_replayed,
+        restored: report_on.stats.executions_restored,
+        on,
+        off,
+    }
+}
+
+fn main() {
+    let cases: Vec<(&'static str, Box<dyn Program + Sync>)> = recipe_fixed_cases(KEYS)
+        .into_iter()
+        .chain(pmdk_fixed_cases(KEYS))
+        .collect();
+
+    let results: Vec<CaseResult> = cases
+        .iter()
+        .map(|(name, program)| run_case(name, &**program))
+        .collect();
+
+    let total_on: u64 = results.iter().map(|r| r.runs_on).sum();
+    let total_off: u64 = results.iter().map(|r| r.runs_off).sum();
+    let time_on: Duration = results.iter().map(|r| r.on).sum();
+    let time_off: Duration = results.iter().map(|r| r.off).sum();
+
+    println!();
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "benchmark", "scenarios", "runs(snap)", "runs(replay)", "restored", "runs x"
+    );
+    for r in &results {
+        println!(
+            "{:<12} {:>10} {:>12} {:>12} {:>12} {:>7.2}x",
+            r.name,
+            r.scenarios,
+            r.runs_on,
+            r.runs_off,
+            r.restored,
+            r.runs_off as f64 / r.runs_on as f64
+        );
+    }
+    println!(
+        "total guest runs: {total_on} with snapshots vs {total_off} replaying ({:.2}x fewer)",
+        total_off as f64 / total_on as f64
+    );
+    ratio("wall-clock speedup (sum of medians)", time_off, time_on);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"snapshot_speedup\",");
+    let _ = writeln!(json, "  \"keys\": {KEYS},");
+    let _ = writeln!(json, "  \"max_failures\": {MAX_FAILURES},");
+    json.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"scenarios\": {}, \"runs_with_snapshots\": {}, \
+             \"runs_without\": {}, \"restored\": {}, \"digest_match\": true, \
+             \"median_secs_on\": {:.6}, \"median_secs_off\": {:.6}}}",
+            r.name,
+            r.scenarios,
+            r.runs_on,
+            r.runs_off,
+            r.restored,
+            r.on.as_secs_f64(),
+            r.off.as_secs_f64(),
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"total_runs_with_snapshots\": {total_on},");
+    let _ = writeln!(json, "  \"total_runs_without\": {total_off},");
+    let _ = writeln!(
+        json,
+        "  \"run_reduction\": {:.4},",
+        total_off as f64 / total_on as f64
+    );
+    let _ = writeln!(
+        json,
+        "  \"wall_clock_speedup\": {:.4}",
+        time_off.as_secs_f64() / time_on.as_secs_f64()
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_snapshot.json", &json).expect("write BENCH_snapshot.json");
+    println!("wrote BENCH_snapshot.json");
+
+    assert!(
+        total_off >= 2 * total_on,
+        "acceptance: expected >= 2x fewer guest runs with snapshots \
+         ({total_on} with vs {total_off} without)"
+    );
+}

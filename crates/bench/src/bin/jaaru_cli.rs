@@ -4,16 +4,18 @@
 //! report.
 //!
 //! ```text
-//! jaaru_cli [--jobs N] [--format F] list
-//! jaaru_cli [--jobs N] [--format F] check <benchmark> [keys]          # fixed configuration
-//! jaaru_cli [--jobs N] [--format F] bug (recipe|pmdk) <row#> [keys]   # one bug-table row
-//! jaaru_cli [--jobs N] [--format F] lint <benchmark> [keys]           # lint a fixed benchmark
-//! jaaru_cli [--jobs N] [--format F] lint (recipe|pmdk) <row#> [keys]  # lint one bug row
-//! jaaru_cli [--jobs N] perf [keys]                                    # Figure 14 run
+//! jaaru_cli [options] list
+//! jaaru_cli [options] check <benchmark> [keys]          # fixed configuration
+//! jaaru_cli [options] bug (recipe|pmdk) <row#> [keys]   # one bug-table row
+//! jaaru_cli [options] lint <benchmark> [keys]           # lint a fixed benchmark
+//! jaaru_cli [options] lint (recipe|pmdk) <row#> [keys]  # lint one bug row
+//! jaaru_cli [options] perf [keys]                       # Figure 14 run
 //! ```
 //!
 //! `--jobs N` explores on N worker threads (0 = all cores; default 1).
 //! `--format json` prints the machine-readable report instead of text.
+//! `--no-snapshot` disables crash-point snapshots (replay every prefix);
+//! `--snapshot-cap <bytes>` bounds the per-cache snapshot footprint.
 //! e.g. `cargo run --release -p jaaru-bench --bin jaaru_cli -- bug recipe 10`
 //!
 //! Exit status: 0 when the run is clean, 1 when bugs or error-severity
@@ -30,12 +32,23 @@ enum Format {
     Json,
 }
 
-fn config(jobs: usize, lint: bool) -> Config {
+/// Snapshot settings drained from the command line.
+#[derive(Clone, Copy)]
+struct SnapshotOpts {
+    enabled: bool,
+    cap: Option<usize>,
+}
+
+fn config(jobs: usize, lint: bool, snapshots: SnapshotOpts) -> Config {
     let mut c = Config::new();
     c.pool_size(1 << 18)
         .max_ops_per_execution(40_000)
         .max_scenarios(20_000)
-        .jobs(jobs);
+        .jobs(jobs)
+        .snapshots(snapshots.enabled);
+    if let Some(cap) = snapshots.cap {
+        c.snapshot_cap(cap);
+    }
     if lint {
         c.lints(true).flag_perf_issues(true);
     }
@@ -78,8 +91,15 @@ fn emit(name: &str, report: &CheckReport, format: Format) -> i32 {
     }
 }
 
-fn run(name: &str, program: &(dyn Program + Sync), jobs: usize, format: Format, lint: bool) -> i32 {
-    let report = ModelChecker::new(config(jobs, lint)).check(program);
+fn run(
+    name: &str,
+    program: &(dyn Program + Sync),
+    jobs: usize,
+    format: Format,
+    lint: bool,
+    snapshots: SnapshotOpts,
+) -> i32 {
+    let report = ModelChecker::new(config(jobs, lint, snapshots)).check(program);
     emit(name, &report, format)
 }
 
@@ -94,12 +114,17 @@ fn find_fixed(name: &str, keys: usize) -> Option<(String, Box<dyn Program + Sync
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jaaru_cli [--jobs N] [--format text|json] list\n  \
-         jaaru_cli [--jobs N] [--format text|json] check <benchmark> [keys]\n  \
-         jaaru_cli [--jobs N] [--format text|json] bug (recipe|pmdk) <row#> [keys]\n  \
-         jaaru_cli [--jobs N] [--format text|json] lint <benchmark> [keys]\n  \
-         jaaru_cli [--jobs N] [--format text|json] lint (recipe|pmdk) <row#> [keys]\n  \
-         jaaru_cli [--jobs N] perf [keys]"
+        "usage:\n  jaaru_cli [options] list\n  \
+         jaaru_cli [options] check <benchmark> [keys]\n  \
+         jaaru_cli [options] bug (recipe|pmdk) <row#> [keys]\n  \
+         jaaru_cli [options] lint <benchmark> [keys]\n  \
+         jaaru_cli [options] lint (recipe|pmdk) <row#> [keys]\n  \
+         jaaru_cli [options] perf [keys]\n\
+         options:\n  \
+         --jobs N (-j)          worker threads (0 = all cores; default 1)\n  \
+         --format text|json (-f) output format\n  \
+         --no-snapshot          replay every prefix instead of restoring snapshots\n  \
+         --snapshot-cap BYTES   per-cache snapshot byte budget (default 64 MiB)"
     );
     std::process::exit(2);
 }
@@ -123,6 +148,21 @@ fn main() {
         };
         args.drain(pos..=pos + 1);
     }
+    let mut snapshots = SnapshotOpts {
+        enabled: true,
+        cap: None,
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--no-snapshot") {
+        snapshots.enabled = false;
+        args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--snapshot-cap") {
+        let Some(cap) = args.get(pos + 1).and_then(|a| a.parse().ok()) else {
+            usage()
+        };
+        snapshots.cap = Some(cap);
+        args.drain(pos..=pos + 1);
+    }
     let code = match args.first().map(String::as_str) {
         Some("list") => {
             println!("fixed benchmarks (check / lint):");
@@ -143,7 +183,7 @@ fn main() {
             let name = args.get(1).unwrap_or_else(|| usage());
             let keys = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(6);
             match find_fixed(name, keys) {
-                Some((name, program)) => run(&name, &*program, jobs, format, false),
+                Some((name, program)) => run(&name, &*program, jobs, format, false, snapshots),
                 None => {
                     eprintln!("unknown benchmark {name:?}; try `jaaru_cli list`");
                     2
@@ -174,7 +214,7 @@ fn main() {
                                 );
                             }
                             let name = format!("{suite} row {id}: {}", case.benchmark);
-                            run(&name, &*case.program, jobs, format, lint)
+                            run(&name, &*case.program, jobs, format, lint, snapshots)
                         }
                         None => {
                             eprintln!("no row {id} in {suite}; try `jaaru_cli list`");
@@ -186,7 +226,9 @@ fn main() {
                 name if lint => {
                     let keys = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(6);
                     match find_fixed(name, keys) {
-                        Some((name, program)) => run(&name, &*program, jobs, format, true),
+                        Some((name, program)) => {
+                            run(&name, &*program, jobs, format, true, snapshots)
+                        }
                         None => {
                             eprintln!("unknown benchmark {name:?}; try `jaaru_cli list`");
                             2
@@ -199,7 +241,7 @@ fn main() {
         Some("perf") => {
             let keys = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
             for (name, program) in recipe_fixed_cases(keys) {
-                let report = ModelChecker::new(config(jobs, false)).check(&*program);
+                let report = ModelChecker::new(config(jobs, false, snapshots)).check(&*program);
                 println!("{name:<11} {}", report.summary());
             }
             0

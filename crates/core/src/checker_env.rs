@@ -22,6 +22,7 @@ use crate::config::Config;
 use crate::decision::{ChoiceKind, DecisionLog};
 use crate::report::{BugKind, RaceCandidate, RaceReport};
 use crate::signal::{AbortSignal, CrashSignal};
+use crate::snapshot::{estimate_bytes, CheckerSnapshot};
 use crate::PmEnv;
 
 /// Cap on remembered race reports (debugging aid, not a bug list).
@@ -157,6 +158,69 @@ impl CheckerEnv {
         if self.flag_lints {
             inner.op_traces.push(OpTrace::new());
         }
+    }
+
+    /// Builds an environment that resumes from a crash-point snapshot:
+    /// accumulated checker state is cloned from the capture
+    /// (copy-on-restore — post-failure reads refine intervals in place),
+    /// per-execution volatile state starts fresh exactly as
+    /// [`advance_execution`](Self::advance_execution) would leave it, and
+    /// the decision log adopts the snapshot's consumed prefix. Running
+    /// `Program::run` against the result is equivalent to replaying the
+    /// prefix executions, minus the replay.
+    pub(crate) fn from_snapshot(
+        config: &Config,
+        mut decisions: DecisionLog,
+        snap: &CheckerSnapshot,
+    ) -> Self {
+        decisions.adopt_prefix(&snap.prefix);
+        let fresh = CheckerEnv::new(config, decisions);
+        {
+            let mut inner = fresh.inner.borrow_mut();
+            inner.stack = snap.stack.clone();
+            inner.exec_index = snap.exec_index;
+            inner.points_per_exec = snap.points_per_exec.clone();
+            inner.crash_points = snap.crash_points.clone();
+            inner.races = snap.races.clone();
+            inner.race_keys = snap.race_keys.clone();
+            inner.load_choice_points = snap.load_choice_points;
+            inner.max_rf_set = snap.max_rf_set;
+            inner.diagnostics = snap.diagnostics.clone();
+            inner.work_since_fence = snap.work_since_fence;
+            inner.op_traces = snap.op_traces.clone();
+        }
+        fresh
+    }
+
+    /// Captures the environment as a [`CheckerSnapshot`]. Must be called
+    /// right after [`advance_execution`](Self::advance_execution), so the
+    /// crashed execution's storage is on the stack and the consumed
+    /// decision prefix ends in the crash decision that got us here.
+    pub(crate) fn snapshot(&self) -> CheckerSnapshot {
+        let inner = self.inner.borrow();
+        let prefix = inner.decisions.prefix_decisions(inner.decisions.consumed());
+        let bytes = estimate_bytes(&inner.stack, &inner.op_traces, &inner.races, &prefix);
+        CheckerSnapshot {
+            stack: inner.stack.clone(),
+            exec_index: inner.exec_index,
+            points_per_exec: inner.points_per_exec.clone(),
+            crash_points: inner.crash_points.clone(),
+            races: inner.races.clone(),
+            race_keys: inner.race_keys.clone(),
+            load_choice_points: inner.load_choice_points,
+            max_rf_set: inner.max_rf_set,
+            diagnostics: inner.diagnostics.clone(),
+            work_since_fence: inner.work_since_fence,
+            op_traces: inner.op_traces.clone(),
+            prefix,
+            bytes,
+        }
+    }
+
+    /// The decision-trace prefix consumed so far — the snapshot key of
+    /// the current crash point.
+    pub(crate) fn consumed_trace(&self) -> Vec<usize> {
+        self.inner.borrow().decisions.consumed_trace()
     }
 
     /// The end-of-execution injection point (the paper's third point in

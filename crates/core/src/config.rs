@@ -28,6 +28,8 @@ pub struct Config {
     flag_perf_issues: bool,
     lints: bool,
     jobs: usize,
+    snapshots: bool,
+    snapshot_cap: usize,
 }
 
 impl Config {
@@ -50,6 +52,8 @@ impl Config {
             flag_perf_issues: false,
             lints: false,
             jobs: 1,
+            snapshots: true,
+            snapshot_cap: 64 << 20,
         }
     }
 
@@ -222,6 +226,38 @@ impl Config {
         self.lints
     }
 
+    /// Enable crash-point snapshots (default `true`): checkpoint checker
+    /// state at every injected failure and restore it to start later
+    /// scenarios directly at recovery, instead of replaying their
+    /// pre-failure prefix from scratch. Purely a performance setting —
+    /// [`CheckReport::digest`](crate::CheckReport::digest) is
+    /// byte-identical either way. Disable to measure the re-execution
+    /// baseline or to shed the cache's memory footprint.
+    pub fn snapshots(&mut self, yes: bool) -> &mut Self {
+        self.snapshots = yes;
+        self
+    }
+
+    /// Whether crash-point snapshots are enabled.
+    pub fn snapshots_value(&self) -> bool {
+        self.snapshots
+    }
+
+    /// Byte budget for the snapshot cache (default 64 MiB), enforced per
+    /// cache — sequential runs own one, parallel runs one per worker.
+    /// Least-recently-used snapshots are evicted once the estimated
+    /// resident footprint exceeds the cap; eviction only costs replays,
+    /// never correctness.
+    pub fn snapshot_cap(&mut self, bytes: usize) -> &mut Self {
+        self.snapshot_cap = bytes;
+        self
+    }
+
+    /// The snapshot-cache byte budget.
+    pub fn snapshot_cap_value(&self) -> usize {
+        self.snapshot_cap
+    }
+
     /// The configured worker count, as set (`0` = auto).
     pub fn jobs_value(&self) -> usize {
         self.jobs
@@ -259,6 +295,8 @@ mod tests {
         assert!(!c.stop_on_first_bug_value());
         assert_eq!(c.eviction_value(), EvictionPolicy::Eager);
         assert_eq!(c.jobs_value(), 1, "sequential by default");
+        assert!(c.snapshots_value(), "snapshots on by default");
+        assert_eq!(c.snapshot_cap_value(), 64 << 20);
     }
 
     #[test]
@@ -288,6 +326,14 @@ mod tests {
     #[should_panic(expected = "at least")]
     fn tiny_pool_rejected() {
         Config::new().pool_size(64);
+    }
+
+    #[test]
+    fn snapshot_builders_chain() {
+        let mut c = Config::new();
+        c.snapshots(false).snapshot_cap(1 << 10);
+        assert!(!c.snapshots_value());
+        assert_eq!(c.snapshot_cap_value(), 1 << 10);
     }
 
     #[test]

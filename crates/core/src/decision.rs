@@ -153,6 +153,80 @@ impl DecisionLog {
         self.decisions.iter().map(|d| d.chosen).collect()
     }
 
+    /// The alternatives prescribed for the upcoming run — the replayed
+    /// prefix, before any fresh decision is appended. This is the plan a
+    /// snapshot lookup matches cached crash-point keys against.
+    pub fn planned_prefix(&self) -> Vec<usize> {
+        self.decisions[..self.prefix_len.min(self.decisions.len())]
+            .iter()
+            .map(|d| d.chosen)
+            .collect()
+    }
+
+    /// Number of decisions consumed so far in the current run.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+
+    /// The alternatives chosen by the decisions consumed so far — the
+    /// snapshot key of the current crash point (its last element is the
+    /// crash decision itself).
+    pub fn consumed_trace(&self) -> Vec<usize> {
+        self.decisions[..self.cursor]
+            .iter()
+            .map(|d| d.chosen)
+            .collect()
+    }
+
+    /// Copies of the first `len` decisions, with full metadata. Stored
+    /// alongside a snapshot so [`adopt_prefix`](Self::adopt_prefix) can
+    /// rehydrate placeholder logs built by [`from_trace`](Self::from_trace).
+    pub fn prefix_decisions(&self, len: usize) -> Vec<Decision> {
+        self.decisions[..len].to_vec()
+    }
+
+    /// Adopts snapshot-recorded metadata for the first `prefix.len()`
+    /// decisions and marks them consumed, as if the prefix executions
+    /// had replayed them. `from_trace` placeholders (unknown alternative
+    /// counts) take the snapshot's metadata; already-known decisions are
+    /// cross-checked instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix disagrees with the planned trace in chosen
+    /// alternatives (the snapshot key did not actually prefix the plan)
+    /// or in metadata (a nondeterministic guest program).
+    pub fn adopt_prefix(&mut self, prefix: &[Decision]) {
+        assert_eq!(self.cursor, 0, "adopt_prefix requires an unconsumed log");
+        assert!(
+            prefix.len() <= self.decisions.len(),
+            "snapshot prefix longer than the planned trace"
+        );
+        for (i, snap) in prefix.iter().enumerate() {
+            let d = &mut self.decisions[i];
+            assert_eq!(
+                d.chosen, snap.chosen,
+                "snapshot key does not prefix the planned trace at decision {i}"
+            );
+            if d.total == usize::MAX {
+                d.total = snap.total;
+                d.kind = snap.kind;
+                d.exec_index = snap.exec_index;
+            } else {
+                assert!(
+                    d.total == snap.total && d.kind == snap.kind,
+                    "nondeterministic guest program: snapshot recorded {:?} with {} \
+                     alternatives at decision {i}, plan has {:?} with {}",
+                    snap.kind,
+                    snap.total,
+                    d.kind,
+                    d.total,
+                );
+            }
+        }
+        self.cursor = prefix.len();
+    }
+
     /// Length of the prescribed prefix of the most recent run (decisions
     /// replayed rather than made fresh).
     pub fn prefix_len(&self) -> usize {
@@ -309,6 +383,50 @@ mod tests {
         assert_eq!(log.sibling_prefixes(0), vec![vec![1]]);
         // Prefixes starting past every decision are empty.
         assert_eq!(log.sibling_prefixes(1), Vec::<Vec<usize>>::new());
+    }
+
+    #[test]
+    fn adopt_prefix_rehydrates_from_trace_placeholders() {
+        // Record a real run to harvest decision metadata.
+        let mut recorded = DecisionLog::new();
+        run(&mut recorded);
+        assert!(recorded.backtrack());
+        run(&mut recorded); // (1, Some(0)): two decisions with metadata
+        let prefix = recorded.prefix_decisions(1);
+
+        // A worker log for the same subtree starts as placeholders.
+        let mut log = DecisionLog::from_trace(&[1, 2]);
+        log.adopt_prefix(&prefix);
+        assert_eq!(log.consumed(), 1);
+        assert_eq!(log.consumed_trace(), vec![1]);
+        assert_eq!(log.planned_prefix(), vec![1, 2]);
+        // The run continues from the adopted point: the next decision is
+        // the ReadFrom one, replaying alternative 2.
+        assert_eq!(log.next(3, ChoiceKind::ReadFrom, 1), 2);
+        assert_eq!(log.divergence_exec_index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not prefix")]
+    fn adopt_prefix_rejects_mismatched_keys() {
+        let mut recorded = DecisionLog::new();
+        run(&mut recorded);
+        assert!(recorded.backtrack());
+        run(&mut recorded);
+        let prefix = recorded.prefix_decisions(1); // chose 1
+        let mut log = DecisionLog::from_trace(&[0]);
+        log.adopt_prefix(&prefix);
+    }
+
+    #[test]
+    fn consumed_trace_tracks_the_cursor() {
+        let mut log = DecisionLog::new();
+        assert!(log.consumed_trace().is_empty());
+        log.next(2, ChoiceKind::Crash, 0);
+        assert_eq!(log.consumed_trace(), vec![0]);
+        assert_eq!(log.consumed(), 1);
+        log.next(3, ChoiceKind::ReadFrom, 1);
+        assert_eq!(log.consumed_trace(), vec![0, 0]);
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! decision can be advanced, at which point every equivalence class of
 //! post-failure executions (defined by which pre-failure stores the
 //! post-failure loads read) has been explored exactly once.
+//!
+//! Re-execution normally replays a scenario's pre-failure prefix from
+//! scratch. With snapshots enabled (the default), the driver instead
+//! checkpoints checker state at each crash point and restores the longest
+//! cached prefix of the next scenario's decision trace, starting it
+//! directly at recovery — the original system's fork-based rollback,
+//! without a guest process to fork (see `crate::snapshot`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -25,6 +32,7 @@ use crate::signal::{
     install_panic_hook, panic_message, take_last_panic_location, with_quiet_panics, AbortSignal,
     CrashSignal,
 };
+use crate::snapshot::CheckerSnapshotCache;
 use crate::Program;
 
 /// Everything one completed failure scenario contributes to the final
@@ -36,9 +44,14 @@ pub(crate) struct ScenarioOutcome {
     /// The scenario's complete decision trace (its identity, and the
     /// canonical sort key for deterministic merging).
     pub trace: Vec<usize>,
-    /// `Program::run` invocations in this scenario, including replayed
-    /// prefixes.
-    pub executions_with_replay: usize,
+    /// `Program::run` invocations this scenario actually performed
+    /// (replayed prefix executions included, restored ones not).
+    pub executions_replayed: usize,
+    /// Prefix executions skipped by restoring a crash-point snapshot
+    /// instead of replaying them. `executions_replayed +
+    /// executions_restored` is the scenario's logical execution count —
+    /// invariant across snapshot settings.
+    pub executions_restored: usize,
     /// Execution index from which this scenario diverged from its
     /// predecessor (fork-equivalent accounting).
     pub divergence: usize,
@@ -62,12 +75,29 @@ pub(crate) struct ScenarioOutcome {
 /// its outcome plus the decision log (with alternative counts filled in),
 /// ready for [`DecisionLog::backtrack`] or
 /// [`DecisionLog::sibling_prefixes`].
+///
+/// When `snapshots` is provided, the scenario first probes the cache for
+/// the longest snapshot matching its planned decision prefix; a hit skips
+/// replaying that prefix's executions entirely (counted in
+/// `executions_restored`). Every crash point the scenario does execute
+/// through is checkpointed into the cache for later scenarios.
 pub(crate) fn run_scenario(
     config: &Config,
     program: &dyn Program,
     decisions: DecisionLog,
+    mut snapshots: Option<&mut CheckerSnapshotCache>,
 ) -> (ScenarioOutcome, DecisionLog) {
-    let env = CheckerEnv::new(config, decisions);
+    let mut executions_restored = 0usize;
+    let env = match snapshots
+        .as_deref_mut()
+        .and_then(|cache| cache.lookup(&decisions.planned_prefix()))
+    {
+        Some(snap) => {
+            executions_restored = snap.executions_saved();
+            CheckerEnv::from_snapshot(config, decisions, snap)
+        }
+        None => CheckerEnv::new(config, decisions),
+    };
     let mut executions_this_scenario = 0usize;
     let mut scenario_bug: Option<BugReport> = None;
 
@@ -85,6 +115,12 @@ pub(crate) fn run_scenario(
             Err(payload) => {
                 if payload.is::<CrashSignal>() {
                     env.advance_execution();
+                    if let Some(cache) = snapshots.as_deref_mut() {
+                        let key = env.consumed_trace();
+                        if !cache.contains(&key) {
+                            cache.insert(key, env.snapshot());
+                        }
+                    }
                     continue;
                 }
                 let (kind, message, location) = match payload.downcast::<AbortSignal>() {
@@ -125,7 +161,8 @@ pub(crate) fn run_scenario(
     diagnostics.extend(lints);
     let outcome = ScenarioOutcome {
         trace: record.decisions.trace(),
-        executions_with_replay: executions_this_scenario,
+        executions_replayed: executions_this_scenario,
+        executions_restored,
         divergence: record.decisions.divergence_exec_index(),
         load_choice_points: record.load_choice_points,
         max_rf_set: record.max_rf_set,
@@ -207,9 +244,13 @@ impl ModelChecker {
         let mut decisions = DecisionLog::new();
         let mut acc = ReportAccumulator::new();
         let mut truncated = false;
+        let mut cache = self
+            .config
+            .snapshots_value()
+            .then(|| CheckerSnapshotCache::new(self.config.snapshot_cap_value()));
 
         loop {
-            let (outcome, log) = run_scenario(&self.config, program, decisions);
+            let (outcome, log) = run_scenario(&self.config, program, decisions, cache.as_mut());
             decisions = log;
             let had_bug = outcome.bug.is_some();
             acc.add(outcome);
@@ -230,7 +271,7 @@ impl ModelChecker {
             }
         }
 
-        acc.into_report(truncated, start.elapsed(), None)
+        acc.into_report(truncated, start.elapsed(), None, cache.map(|c| c.stats()))
     }
 }
 
@@ -255,7 +296,7 @@ impl ModelChecker {
         let mut bugs = Vec::new();
         loop {
             stats.executions += 1;
-            stats.executions_with_replay += 1;
+            stats.executions_replayed += 1;
             let exec_index = env.current_execution();
             let result = with_quiet_panics(|| {
                 catch_unwind(AssertUnwindSafe(|| {
@@ -314,6 +355,7 @@ impl ModelChecker {
             stats,
             truncated: false,
             parallel: None,
+            snapshots: None,
         }
     }
 }
@@ -543,8 +585,93 @@ mod tests {
             }
         };
         let report = ModelChecker::new(small_config()).check(&program);
-        assert!(report.stats.executions <= report.stats.executions_with_replay);
+        let logical = report.stats.executions_replayed + report.stats.executions_restored;
+        assert!(report.stats.executions <= logical);
         assert!(report.stats.executions >= report.stats.scenarios);
+    }
+
+    #[test]
+    fn snapshots_halve_guest_runs_on_deep_scenarios() {
+        // The acceptance bar from the snapshot subsystem: with two
+        // injected failures per scenario, restoring crash-point snapshots
+        // must cut actual `Program::run` invocations by at least 2x while
+        // leaving the digest byte-identical. (With a single failure each
+        // post-failure scenario costs 2 runs replayed vs 1 restored, so
+        // the ratio only approaches 2x; the second failure level is what
+        // pushes it past.)
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let runs = AtomicUsize::new(0);
+        let program = |env: &dyn PmEnv| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            let root = env.root();
+            let generation = env.load_u64(root);
+            // Unflushed lines read back every execution: each read has
+            // several candidate stores, so many scenarios share each
+            // crash prefix and the restored snapshot is reused often.
+            for i in 0..3u64 {
+                let _ = env.load_u64(root + 8 + i * 64);
+            }
+            for i in 0..3u64 {
+                env.store_u64(root + 8 + i * 64, generation + i);
+            }
+            env.store_u64(root, generation + 1);
+            env.clflush(root, 8);
+            env.sfence();
+        };
+        let mut config = small_config();
+        config.max_failures(2);
+
+        let on = ModelChecker::new(config.clone()).check(&program);
+        let on_runs = runs.swap(0, Ordering::Relaxed);
+
+        config.snapshots(false);
+        let off = ModelChecker::new(config).check(&program);
+        let off_runs = runs.load(Ordering::Relaxed);
+
+        assert_eq!(
+            on.digest(),
+            off.digest(),
+            "snapshots must not change results"
+        );
+        assert_eq!(
+            on_runs, on.stats.executions_replayed as usize,
+            "every guest run is counted as replayed"
+        );
+        assert_eq!(
+            on.stats.executions_replayed + on.stats.executions_restored,
+            off.stats.executions_replayed,
+            "restored executions account for exactly the skipped replays"
+        );
+        assert!(
+            off_runs >= 2 * on_runs,
+            "expected >= 2x fewer guest runs with snapshots: {on_runs} on vs {off_runs} off"
+        );
+        let stats = on.snapshots.expect("snapshot stats are reported");
+        assert!(stats.hits > 0, "{stats}");
+        assert!(off.snapshots.is_none(), "disabled runs report no cache");
+    }
+
+    #[test]
+    fn bugs_found_via_restored_prefixes_match_replayed_ones() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.load_u64(root) != 0 {
+                env.pm_assert(env.load_u64(root + 64) == 42, "lost committed data");
+                return;
+            }
+            env.store_u64(root + 64, 42);
+            env.store_u64(root, 1);
+            env.clflush(root, 8);
+            env.sfence();
+        };
+        let on = ModelChecker::new(small_config()).check(&program);
+        let mut config = small_config();
+        config.snapshots(false);
+        let off = ModelChecker::new(config).check(&program);
+        assert_eq!(on.digest(), off.digest());
+        assert_eq!(on.bugs.len(), 1);
+        assert_eq!(on.bugs[0].trace, off.bugs[0].trace);
+        assert_eq!(on.bugs[0].crash_points, off.bugs[0].crash_points);
     }
 
     #[test]

@@ -76,6 +76,7 @@ mod parallel;
 mod program;
 mod report;
 mod signal;
+mod snapshot;
 
 pub use config::Config;
 pub use env::PmEnv;
@@ -90,6 +91,9 @@ pub use signal::with_quiet_panics;
 
 // The unified diagnostic framework (lint findings + perf warnings).
 pub use jaaru_analysis::{Diagnostic, DiagnosticKind, DiagnosticSet, Severity};
+
+// Snapshot-cache counters, surfaced through `CheckReport::snapshots`.
+pub use jaaru_snapshot::SnapshotStats;
 
 // Re-exports for downstream crates (baselines, workloads, benches).
 pub use jaaru_pmem::{CacheLineId, PmAddr, PmError, PmPool, CACHE_LINE_SIZE};

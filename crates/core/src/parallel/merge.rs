@@ -15,6 +15,7 @@ use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 use jaaru_analysis::DiagnosticSet;
+use jaaru_snapshot::SnapshotStats;
 
 use crate::explorer::{bug_dedup_key, ScenarioOutcome};
 use crate::report::{BugKind, BugReport, CheckReport, CheckStats, ParallelStats, RaceReport};
@@ -47,11 +48,14 @@ impl ReportAccumulator {
     pub fn add(&mut self, outcome: ScenarioOutcome) {
         self.stats.scenarios += 1;
         // Fork-equivalent execution accounting: executions up to the
-        // divergence point were replays a fork-based checker would not
-        // have re-run.
-        let execs = outcome.executions_with_replay;
+        // divergence point are ones a fork-based checker would not have
+        // re-run — whether this run replayed them or restored them from a
+        // snapshot, so the count uses the logical (replayed + restored)
+        // total and stays invariant across snapshot settings.
+        let execs = outcome.executions_replayed + outcome.executions_restored;
         self.stats.executions += (execs - outcome.divergence.min(execs - 1)) as u64;
-        self.stats.executions_with_replay += execs as u64;
+        self.stats.executions_replayed += outcome.executions_replayed as u64;
+        self.stats.executions_restored += outcome.executions_restored as u64;
         self.stats.load_choice_points += outcome.load_choice_points;
         self.stats.max_rf_set = self.stats.max_rf_set.max(outcome.max_rf_set);
         self.stats.failure_points = self.stats.failure_points.max(outcome.failure_points);
@@ -90,6 +94,7 @@ impl ReportAccumulator {
         truncated: bool,
         duration: Duration,
         parallel: Option<ParallelStats>,
+        snapshots: Option<SnapshotStats>,
     ) -> CheckReport {
         self.stats.duration = duration;
         CheckReport {
@@ -99,6 +104,7 @@ impl ReportAccumulator {
             stats: self.stats,
             truncated,
             parallel,
+            snapshots,
         }
     }
 }
@@ -114,9 +120,15 @@ pub(crate) fn merge_partials(
 ) -> CheckReport {
     let mut workers = Vec::with_capacity(jobs);
     let mut outcomes = Vec::new();
+    let mut snapshots: Option<SnapshotStats> = None;
     for partial in partials {
         workers.push(partial.stats);
         outcomes.extend(partial.outcomes);
+        if let Some(s) = partial.snapshots {
+            snapshots
+                .get_or_insert_with(SnapshotStats::default)
+                .merge(&s);
+        }
     }
     workers.sort_by_key(|w| w.worker);
     outcomes.sort_by(|a, b| a.trace.cmp(&b.trace));
@@ -134,5 +146,6 @@ pub(crate) fn merge_partials(
             steals,
             workers,
         }),
+        snapshots,
     )
 }

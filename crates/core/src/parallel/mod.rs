@@ -12,7 +12,9 @@
 //! * [`worker`] — each worker replays its prefixes through the same
 //!   [`run_scenario`](crate::explorer::run_scenario) machinery the
 //!   sequential walk uses, with a private `PmPool`/TSO machine per
-//!   scenario;
+//!   scenario and a private crash-point snapshot cache (restores are
+//!   outcome-equivalent to replays, so no cross-worker sharing is
+//!   needed for determinism);
 //! * [`merge`] — orders every outcome by canonical trace order and folds
 //!   them through the sequential path's accumulator, making the final
 //!   report byte-identical (per [`CheckReport::digest`]) to the
@@ -117,6 +119,28 @@ mod tests {
         );
         let exec_sum: u64 = parallel.workers.iter().map(|w| w.executions).sum();
         assert_eq!(exec_sum, report.stats.executions);
+        let replayed_sum: u64 = parallel.workers.iter().map(|w| w.executions_replayed).sum();
+        let restored_sum: u64 = parallel.workers.iter().map(|w| w.executions_restored).sum();
+        assert_eq!(replayed_sum, report.stats.executions_replayed);
+        assert_eq!(restored_sum, report.stats.executions_restored);
+    }
+
+    #[test]
+    fn parallel_run_sums_worker_snapshot_stats() {
+        let report = ModelChecker::new(config_with_jobs(2)).check(&fan_out_program);
+        let stats = report.snapshots.expect("snapshots on by default");
+        assert!(stats.inserts > 0, "{stats}");
+
+        let mut config = config_with_jobs(2);
+        config.snapshots(false);
+        let off = ModelChecker::new(config).check(&fan_out_program);
+        assert!(off.snapshots.is_none());
+        assert_eq!(off.stats.executions_restored, 0);
+        assert_eq!(
+            report.digest(),
+            off.digest(),
+            "snapshots are invisible to results"
+        );
     }
 
     #[test]

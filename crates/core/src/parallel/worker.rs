@@ -12,7 +12,10 @@ use crate::config::Config;
 use crate::decision::DecisionLog;
 use crate::explorer::{bug_dedup_key, run_scenario, ScenarioOutcome};
 use crate::report::WorkerStats;
+use crate::snapshot::CheckerSnapshotCache;
 use crate::Program;
+
+use jaaru_snapshot::SnapshotStats;
 
 use super::scheduler::{Scheduler, WorkItem};
 
@@ -20,6 +23,10 @@ use super::scheduler::{Scheduler, WorkItem};
 pub(crate) struct WorkerPartial {
     pub stats: WorkerStats,
     pub outcomes: Vec<ScenarioOutcome>,
+    /// This worker's snapshot-cache counters (`None` with snapshots
+    /// disabled); the merge sums them into
+    /// [`CheckReport::snapshots`](crate::CheckReport).
+    pub snapshots: Option<SnapshotStats>,
 }
 
 /// Runs scenarios until the frontier drains or the scheduler stops.
@@ -35,6 +42,13 @@ pub(crate) fn worker_loop(
         ..WorkerStats::default()
     };
     let mut outcomes = Vec::new();
+    // Each worker owns a private cache: outcomes are identical no matter
+    // what the cache holds (restore ≡ replay), so per-worker caches keep
+    // the merged report independent of cross-worker timing. The byte cap
+    // applies per cache.
+    let mut cache = config
+        .snapshots_value()
+        .then(|| CheckerSnapshotCache::new(config.snapshot_cap_value()));
 
     loop {
         if scheduler.stopped() {
@@ -57,7 +71,12 @@ pub(crate) fn worker_loop(
             break;
         }
 
-        let (outcome, log) = run_scenario(config, program, DecisionLog::from_trace(&item.trace));
+        let (outcome, log) = run_scenario(
+            config,
+            program,
+            DecisionLog::from_trace(&item.trace),
+            cache.as_mut(),
+        );
         let children = log
             .sibling_prefixes(log.prefix_len())
             .into_iter()
@@ -67,9 +86,12 @@ pub(crate) fn worker_loop(
         scheduler.complete();
 
         stats.scenarios += 1;
-        let execs = outcome.executions_with_replay;
+        // Same fork-equivalent formula as ReportAccumulator::add, over the
+        // scenario's logical execution count.
+        let execs = outcome.executions_replayed + outcome.executions_restored;
         stats.executions += (execs - outcome.divergence.min(execs - 1)) as u64;
-        stats.executions_with_replay += execs as u64;
+        stats.executions_replayed += outcome.executions_replayed as u64;
+        stats.executions_restored += outcome.executions_restored as u64;
         if let Some(bug) = &outcome.bug {
             scheduler.record_bug((bug.kind, bug_dedup_key(bug)));
         }
@@ -77,5 +99,9 @@ pub(crate) fn worker_loop(
     }
 
     stats.busy = start.elapsed();
-    WorkerPartial { stats, outcomes }
+    WorkerPartial {
+        stats,
+        outcomes,
+        snapshots: cache.map(|c| c.stats()),
+    }
 }

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use jaaru_analysis::Diagnostic;
 use jaaru_pmem::PmAddr;
+use jaaru_snapshot::SnapshotStats;
 
 /// The symptom class of a detected bug, mirroring the paper's bug tables
 /// (Figures 12/13/15/16).
@@ -132,11 +133,22 @@ pub struct CheckStats {
     pub scenarios: u64,
     /// Program executions a fork-based implementation would perform (the
     /// paper's `#JExec.`): executions from each scenario's divergence
-    /// point onward.
+    /// point onward. Fork-equivalent accounting: per scenario this counts
+    /// `total - divergence` executions, where `total` is the scenario's
+    /// logical execution count (`executions_replayed +
+    /// executions_restored` for that scenario) and `divergence` is the
+    /// execution index it shares with its predecessor — so the figure is
+    /// invariant across snapshot settings and worker counts.
     pub executions: u64,
-    /// Total `Program::run` invocations including replayed prefixes (the
-    /// extra cost of re-execution over fork-based rollback).
-    pub executions_with_replay: u64,
+    /// `Program::run` invocations actually performed, replayed prefixes
+    /// included (the residual cost of re-execution over fork-based
+    /// rollback).
+    pub executions_replayed: u64,
+    /// Prefix executions skipped by restoring crash-point snapshots
+    /// instead of replaying. `executions_replayed + executions_restored`
+    /// is the logical execution count — what a pure re-execution run
+    /// reports as `executions_replayed` — and is what the digest pins.
+    pub executions_restored: u64,
     /// Failure injection points in the initial pre-failure execution (the
     /// paper's `#FPoints`).
     pub failure_points: u64,
@@ -157,8 +169,10 @@ pub struct WorkerStats {
     pub scenarios: u64,
     /// Fork-equivalent executions this worker performed.
     pub executions: u64,
-    /// Total `Program::run` invocations including replayed prefixes.
-    pub executions_with_replay: u64,
+    /// `Program::run` invocations this worker actually performed.
+    pub executions_replayed: u64,
+    /// Prefix executions this worker skipped via its snapshot cache.
+    pub executions_restored: u64,
     /// Work items this worker stole from another worker's queue.
     pub steals: u64,
     /// Wall-clock time the worker spent between start and exit.
@@ -217,6 +231,12 @@ pub struct CheckReport {
     /// [`Config::jobs`](crate::Config::jobs) > 1; `None` for sequential
     /// runs.
     pub parallel: Option<ParallelStats>,
+    /// Snapshot-cache counters (summed across workers in parallel runs);
+    /// `None` when snapshots were disabled. Excluded from
+    /// [`digest`](Self::digest): per-worker caches make hit/eviction
+    /// counts scheduling-dependent, while the explored scenario set is
+    /// not.
+    pub snapshots: Option<SnapshotStats>,
 }
 
 impl CheckReport {
@@ -237,13 +257,14 @@ impl CheckReport {
         format!(
             "{} bug(s), {} race-flagged load(s), {} diagnostic(s); \
              {} scenarios, {} executions \
-             ({} incl. replays), {} failure points, {:.3}s{}",
+             ({} replayed + {} restored), {} failure points, {:.3}s{}",
             self.bugs.len(),
             self.races.len(),
             self.diagnostics.len(),
             self.stats.scenarios,
             self.stats.executions,
-            self.stats.executions_with_replay,
+            self.stats.executions_replayed,
+            self.stats.executions_restored,
             self.stats.failure_points,
             self.stats.duration.as_secs_f64(),
             if self.truncated { " [truncated]" } else { "" },
@@ -260,13 +281,17 @@ impl CheckReport {
     pub fn digest(&self) -> String {
         use fmt::Write;
         let mut out = String::new();
+        // `executions_replayed + executions_restored` is printed in the
+        // historical "with replay" slot: it is the snapshot-invariant
+        // logical execution count, so digests stay byte-identical whether
+        // prefixes were replayed or restored.
         let _ = writeln!(
             out,
             "stats: {} scenarios, {} executions, {} with replay, {} failure points, \
              {} load choice points, max rf set {}, truncated {}",
             self.stats.scenarios,
             self.stats.executions,
-            self.stats.executions_with_replay,
+            self.stats.executions_replayed + self.stats.executions_restored,
             self.stats.failure_points,
             self.stats.load_choice_points,
             self.stats.max_rf_set,
@@ -298,17 +323,33 @@ impl CheckReport {
         let _ = writeln!(
             out,
             "  \"stats\": {{\"scenarios\": {}, \"executions\": {}, \
-             \"executions_with_replay\": {}, \"failure_points\": {}, \
+             \"executions_replayed\": {}, \"executions_restored\": {}, \
+             \"failure_points\": {}, \
              \"load_choice_points\": {}, \"max_rf_set\": {}, \
              \"duration_secs\": {:.6}}},",
             self.stats.scenarios,
             self.stats.executions,
-            self.stats.executions_with_replay,
+            self.stats.executions_replayed,
+            self.stats.executions_restored,
             self.stats.failure_points,
             self.stats.load_choice_points,
             self.stats.max_rf_set,
             self.stats.duration.as_secs_f64(),
         );
+        match &self.snapshots {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "  \"snapshots\": {{\"hits\": {}, \"misses\": {}, \
+                     \"inserts\": {}, \"evictions\": {}, \"bytes\": {}, \
+                     \"peak_bytes\": {}}},",
+                    s.hits, s.misses, s.inserts, s.evictions, s.bytes, s.peak_bytes,
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  \"snapshots\": null,");
+            }
+        }
         out.push_str("  \"bugs\": [");
         for (i, b) in self.bugs.iter().enumerate() {
             if i > 0 {
@@ -420,6 +461,9 @@ impl fmt::Display for CheckReport {
         writeln!(f, "{}", self.summary())?;
         if let Some(p) = &self.parallel {
             writeln!(f, "  parallel: {p}")?;
+        }
+        if let Some(s) = &self.snapshots {
+            writeln!(f, "  snapshots: {s}")?;
         }
         for b in &self.bugs {
             writeln!(f, "  {b}")?;
@@ -534,6 +578,18 @@ mod tests {
         });
         let json = r.to_json();
         assert!(json.contains("\"clean\": false"), "{json}");
+        assert!(json.contains("\"snapshots\": null"), "{json}");
+        r.snapshots = Some(SnapshotStats {
+            hits: 4,
+            misses: 2,
+            inserts: 6,
+            evictions: 1,
+            bytes: 512,
+            peak_bytes: 1024,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"hits\": 4"), "{json}");
+        assert!(json.contains("\"peak_bytes\": 1024"), "{json}");
         assert!(json.contains("\"has_errors\": true"), "{json}");
         assert!(json.contains("\\\"quoted\\\""), "escaped quotes: {json}");
         assert!(json.contains("\"location\": null"), "{json}");

@@ -1,0 +1,100 @@
+//! Crash-point checkpoints of checker state.
+//!
+//! This is the checker half of the snapshot subsystem (the generic LRU
+//! cache lives in the `jaaru-snapshot` crate): what exactly gets
+//! captured when a scenario reaches a crash point, and how the explorer
+//! keys and reuses those captures.
+//!
+//! A power failure discards the guest's volatile state by definition, so
+//! the guest closure never needs to be resumed mid-flight — recovery
+//! always runs `Program::run` fresh. The only state that must round-trip
+//! is the *checker's*: the stack of crashed executions' storage (store
+//! queues and writeback intervals, which post-failure reads refine
+//! in-place — hence copy-on-restore), crash bookkeeping, race/diagnostic
+//! accumulators, lint traces, and the decision-log position. A snapshot
+//! is taken immediately after
+//! [`advance_execution`](crate::checker_env::CheckerEnv::advance_execution)
+//! and keyed by the decision-trace prefix consumed so far; since that
+//! prefix ends in a crash decision (alternative `1`) and fresh decisions
+//! always choose `0`, a cached key can only match inside a later
+//! scenario's *prescribed* prefix — restoring is always equivalent to
+//! replaying those executions.
+
+use std::collections::HashSet;
+
+use jaaru_analysis::DiagnosticSet;
+use jaaru_snapshot::{SnapshotCache, SnapshotPayload};
+use jaaru_tso::{ExecutionStorage, OpTrace};
+
+use crate::decision::Decision;
+use crate::report::RaceReport;
+
+/// The explorer's cache of crash-point checkpoints, keyed by consumed
+/// decision-trace prefix. Sequential runs own one; parallel runs keep
+/// one per worker (no sharing — cache contents affect only performance,
+/// so per-worker caches preserve determinism by construction).
+pub(crate) type CheckerSnapshotCache = SnapshotCache<CheckerSnapshot>;
+
+/// Everything a post-failure execution needs from the checker's past:
+/// the frozen state of a [`CheckerEnv`](crate::checker_env::CheckerEnv)
+/// right after a power failure was injected, minus the per-execution
+/// volatile state that `advance_execution` resets anyway (op budget,
+/// bump cursor, thread ids — re-initialized fresh on restore).
+pub(crate) struct CheckerSnapshot {
+    /// Storage of every crashed execution, oldest first. Post-failure
+    /// reads *mutate* these (interval refinement), so restoring clones.
+    pub(crate) stack: Vec<ExecutionStorage>,
+    /// Executions completed so far — exactly the `Program::run`
+    /// invocations a restore saves over full replay.
+    pub(crate) exec_index: usize,
+    pub(crate) points_per_exec: Vec<usize>,
+    pub(crate) crash_points: Vec<usize>,
+    pub(crate) races: Vec<RaceReport>,
+    pub(crate) race_keys: HashSet<String>,
+    pub(crate) load_choice_points: u64,
+    pub(crate) max_rf_set: usize,
+    pub(crate) diagnostics: DiagnosticSet,
+    pub(crate) work_since_fence: u64,
+    pub(crate) op_traces: Vec<OpTrace>,
+    /// Full metadata of the consumed decision prefix, so a restore into
+    /// a `DecisionLog::from_trace` placeholder log can rehydrate the
+    /// alternative counts and execution indices replay would have
+    /// derived (divergence accounting and sibling expansion depend on
+    /// them).
+    pub(crate) prefix: Vec<Decision>,
+    /// Estimated footprint, computed once at capture time.
+    pub(crate) bytes: usize,
+}
+
+impl CheckerSnapshot {
+    /// `Program::run` invocations restoring this snapshot skips.
+    pub(crate) fn executions_saved(&self) -> usize {
+        self.exec_index
+    }
+}
+
+impl SnapshotPayload for CheckerSnapshot {
+    fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Estimates a snapshot's heap footprint. Called once at capture; the
+/// cache uses the result for LRU byte accounting.
+pub(crate) fn estimate_bytes(
+    stack: &[ExecutionStorage],
+    op_traces: &[OpTrace],
+    races: &[RaceReport],
+    prefix: &[Decision],
+) -> usize {
+    let storage: usize = stack.iter().map(ExecutionStorage::approx_bytes).sum();
+    let traces: usize = op_traces.iter().map(OpTrace::approx_bytes).sum();
+    // Races carry strings; a flat per-entry estimate is plenty for
+    // eviction purposes.
+    let races: usize = races
+        .iter()
+        .map(|r| 96 + r.load_location.len() + r.candidates.len() * 64)
+        .sum();
+    let prefix = std::mem::size_of_val(prefix);
+    256 + storage + traces + races + prefix
+}

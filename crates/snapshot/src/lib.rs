@@ -1,0 +1,386 @@
+//! Crash-point snapshot cache: the checkpoint/restore substrate behind
+//! the checker's prefix sharing.
+//!
+//! The original Jaaru `fork()`s at each injected power failure so every
+//! post-failure execution restarts from the failure point rather than
+//! from `main()`. This reproduction replaces the fork with an explicit
+//! checkpoint of checker-side state (the guest's volatile state is
+//! discarded by the failure anyway, so it never needs to round-trip):
+//! when a scenario reaches a crash point for the first time, the checker
+//! snapshots its state and caches it under the decision-trace prefix
+//! consumed so far; every later scenario whose planned trace starts with
+//! that prefix restores the snapshot instead of replaying the prefix.
+//!
+//! This crate holds the generic, dependency-free part of that subsystem:
+//! [`SnapshotCache`], an LRU cache keyed by decision-trace prefixes with
+//! a configurable byte/entry budget, and [`SnapshotStats`], the counters
+//! it surfaces. The checker-specific payload (what exactly a checkpoint
+//! captures) lives in `jaaru`'s `snapshot` module and only needs to
+//! implement [`SnapshotPayload`].
+//!
+//! # Keying discipline
+//!
+//! Keys are the *chosen alternatives* of the decisions a scenario had
+//! consumed when it crashed — so every key ends in a crash decision
+//! (`1`). Fresh decisions default to alternative `0`, which means a
+//! cached key can only match inside the *prescribed* prefix of a later
+//! scenario, never inside its fresh tail; a longest-prefix
+//! [`lookup`](SnapshotCache::lookup) over the planned trace is therefore
+//! always sound. Lookups never mutate payloads: restoring clones
+//! (copy-on-restore), so one snapshot serves arbitrarily many scenarios.
+//!
+//! # Example
+//!
+//! ```
+//! use jaaru_snapshot::{SnapshotCache, SnapshotPayload};
+//!
+//! struct State(Vec<u8>);
+//! impl SnapshotPayload for State {
+//!     fn approx_bytes(&self) -> usize {
+//!         self.0.len()
+//!     }
+//! }
+//!
+//! let mut cache = SnapshotCache::new(1 << 20);
+//! cache.insert(vec![0, 1], State(vec![7; 100]));
+//! // A scenario planning [0, 1, 0, 2] restores from the [0, 1] snapshot.
+//! assert!(cache.lookup(&[0, 1, 0, 2]).is_some());
+//! // One planning [0, 0, ...] shares no prefix and replays from scratch.
+//! assert!(cache.lookup(&[0, 0, 1]).is_none());
+//! assert_eq!(cache.stats().hits, 1);
+//! assert_eq!(cache.stats().misses, 1);
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Default cap on cached snapshots per cache, independent of the byte
+/// budget (a backstop against pathologically many tiny snapshots).
+pub const DEFAULT_ENTRY_CAP: usize = 4096;
+
+/// A cacheable checkpoint: anything that can report its approximate
+/// heap footprint so the cache can enforce its byte budget.
+pub trait SnapshotPayload {
+    /// Approximate size of this payload in bytes. An estimate is fine —
+    /// it only drives LRU eviction, not correctness.
+    fn approx_bytes(&self) -> usize;
+}
+
+/// Counters a [`SnapshotCache`] accumulates over its lifetime.
+///
+/// `hits`/`misses` count [`lookup`](SnapshotCache::lookup) outcomes;
+/// `bytes` is the resident payload footprint at the time the stats were
+/// read and `peak_bytes` its lifetime maximum. These are *performance*
+/// counters: with per-worker caches they vary with scheduling, so they
+/// are deliberately excluded from `CheckReport::digest`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Lookups that found a usable snapshot prefix.
+    pub hits: u64,
+    /// Lookups that found none (the scenario replays from scratch).
+    pub misses: u64,
+    /// Snapshots stored.
+    pub inserts: u64,
+    /// Snapshots evicted to respect the byte/entry budget.
+    pub evictions: u64,
+    /// Resident payload bytes when the stats were read.
+    pub bytes: usize,
+    /// Largest resident payload footprint ever reached.
+    pub peak_bytes: usize,
+}
+
+impl SnapshotStats {
+    /// Folds another cache's counters into this one (parallel runs sum
+    /// their per-worker caches; `bytes`/`peak_bytes` become totals
+    /// across workers).
+    pub fn merge(&mut self, other: &SnapshotStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+        self.bytes += other.bytes;
+        self.peak_bytes += other.peak_bytes;
+    }
+}
+
+impl fmt::Display for SnapshotStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hit(s), {} miss(es), {} insert(s), {} eviction(s), {} byte(s) resident (peak {})",
+            self.hits, self.misses, self.inserts, self.evictions, self.bytes, self.peak_bytes
+        )
+    }
+}
+
+struct Entry<S> {
+    payload: S,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// An LRU-bounded snapshot cache keyed by decision-trace prefix.
+///
+/// Lookups are longest-prefix: [`lookup`](Self::lookup) finds the
+/// deepest cached checkpoint along the planned trace, so a scenario
+/// resumes as close to its divergence point as the cache allows. The
+/// cache never affects *what* is explored — a miss (including one caused
+/// by eviction) simply falls back to full replay.
+pub struct SnapshotCache<S> {
+    entries: HashMap<Vec<usize>, Entry<S>>,
+    /// Key length → number of cached keys of that length; lets a lookup
+    /// probe only lengths that actually occur instead of every prefix.
+    lengths: BTreeMap<usize, usize>,
+    cap_bytes: usize,
+    cap_entries: usize,
+    bytes: usize,
+    tick: u64,
+    stats: SnapshotStats,
+}
+
+impl<S: SnapshotPayload> SnapshotCache<S> {
+    /// A cache holding at most `cap_bytes` of payload (estimated via
+    /// [`SnapshotPayload::approx_bytes`]) and [`DEFAULT_ENTRY_CAP`]
+    /// entries.
+    pub fn new(cap_bytes: usize) -> Self {
+        Self::with_entry_cap(cap_bytes, DEFAULT_ENTRY_CAP)
+    }
+
+    /// A cache with explicit byte and entry budgets.
+    pub fn with_entry_cap(cap_bytes: usize, cap_entries: usize) -> Self {
+        SnapshotCache {
+            entries: HashMap::new(),
+            lengths: BTreeMap::new(),
+            cap_bytes,
+            cap_entries: cap_entries.max(1),
+            bytes: 0,
+            tick: 0,
+            stats: SnapshotStats::default(),
+        }
+    }
+
+    /// The byte budget.
+    pub fn cap_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
+    /// Cached snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finds the snapshot with the longest key that is a prefix of
+    /// `plan`, touches its LRU position, and returns it. Counts one hit
+    /// or one miss.
+    pub fn lookup(&mut self, plan: &[usize]) -> Option<&S> {
+        let found = self
+            .lengths
+            .range(1..=plan.len())
+            .rev()
+            .map(|(&len, _)| len)
+            .find(|&len| self.entries.contains_key(&plan[..len]));
+        match found {
+            Some(len) => {
+                self.tick += 1;
+                self.stats.hits += 1;
+                let entry = self
+                    .entries
+                    .get_mut(&plan[..len])
+                    .expect("entry checked above");
+                entry.last_used = self.tick;
+                Some(&entry.payload)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether a snapshot is cached under exactly `key`.
+    pub fn contains(&self, key: &[usize]) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Caches `payload` under `key`, then evicts least-recently-used
+    /// entries until the byte and entry budgets hold again (possibly
+    /// evicting the new entry itself, if it alone exceeds the budget).
+    /// A key that is already cached is left untouched — the first
+    /// snapshot through a crash point is as good as any later one.
+    pub fn insert(&mut self, key: Vec<usize>, payload: S) {
+        debug_assert!(!key.is_empty(), "snapshot keys end in a crash decision");
+        if key.is_empty() || self.entries.contains_key(&key) {
+            return;
+        }
+        let bytes = payload.approx_bytes().max(1);
+        self.tick += 1;
+        *self.lengths.entry(key.len()).or_insert(0) += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                payload,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        self.bytes += bytes;
+        self.stats.inserts += 1;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.bytes);
+        while !self.entries.is_empty()
+            && (self.bytes > self.cap_bytes || self.entries.len() > self.cap_entries)
+        {
+            self.evict_lru();
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        // Ticks are unique, so the minimum is unique and the victim is
+        // deterministic regardless of hash-map iteration order.
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone());
+        if let Some(key) = victim {
+            let entry = self.entries.remove(&key).expect("victim present");
+            self.bytes -= entry.bytes;
+            if let Some(count) = self.lengths.get_mut(&key.len()) {
+                *count -= 1;
+                if *count == 0 {
+                    self.lengths.remove(&key.len());
+                }
+            }
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// The cache's counters, with `bytes` reflecting the current
+    /// resident footprint.
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            bytes: self.bytes,
+            ..self.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Blob(usize);
+    impl SnapshotPayload for Blob {
+        fn approx_bytes(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut c = SnapshotCache::new(1 << 20);
+        c.insert(vec![0, 1], Blob(10));
+        c.insert(vec![0, 1, 0, 1], Blob(10));
+        // Both keys prefix the plan; the deeper one is returned.
+        let plan = [0, 1, 0, 1, 2];
+        assert!(c.lookup(&plan).is_some());
+        assert_eq!(c.stats().hits, 1);
+        // Verify it was the length-4 key: remove it and the shallow one
+        // still serves the same plan.
+        assert!(c.contains(&[0, 1, 0, 1]));
+        let mut shallow_only = SnapshotCache::new(1 << 20);
+        shallow_only.insert(vec![0, 1], Blob(10));
+        assert!(shallow_only.lookup(&plan).is_some());
+    }
+
+    #[test]
+    fn unrelated_plans_miss() {
+        let mut c = SnapshotCache::new(1 << 20);
+        c.insert(vec![0, 1], Blob(10));
+        assert!(c.lookup(&[1]).is_none());
+        assert!(c.lookup(&[0]).is_none(), "shorter than any key");
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let mut c = SnapshotCache::new(25);
+        c.insert(vec![1], Blob(10));
+        c.insert(vec![2], Blob(10));
+        assert!(c.lookup(&[1]).is_some(), "touch [1]");
+        c.insert(vec![3], Blob(10)); // 30 bytes > 25: evict LRU = [2]
+        assert!(!c.contains(&[2]));
+        assert!(c.contains(&[1]) && c.contains(&[3]));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.stats().bytes <= 25);
+    }
+
+    #[test]
+    fn oversized_payload_is_evicted_immediately() {
+        let mut c = SnapshotCache::new(5);
+        c.insert(vec![1], Blob(100));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().inserts, 1);
+        assert_eq!(c.stats().evictions, 1);
+        // The cache stays usable: misses fall back to replay upstream.
+        assert!(c.lookup(&[1, 0]).is_none());
+    }
+
+    #[test]
+    fn entry_cap_is_enforced() {
+        let mut c = SnapshotCache::with_entry_cap(1 << 20, 2);
+        c.insert(vec![1], Blob(1));
+        c.insert(vec![2], Blob(1));
+        c.insert(vec![3], Blob(1));
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(&[1]), "oldest entry evicted");
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_first_snapshot() {
+        let mut c = SnapshotCache::new(1 << 20);
+        c.insert(vec![1], Blob(10));
+        c.insert(vec![1], Blob(99));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().inserts, 1, "second insert is a no-op");
+        assert_eq!(c.stats().bytes, 10);
+    }
+
+    #[test]
+    fn peak_bytes_tracks_high_water_mark() {
+        let mut c = SnapshotCache::new(30);
+        c.insert(vec![1], Blob(20));
+        c.insert(vec![2], Blob(20)); // 40 > 30: evict [1]
+        let s = c.stats();
+        assert_eq!(s.peak_bytes, 40);
+        assert_eq!(s.bytes, 20);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = SnapshotStats {
+            hits: 1,
+            misses: 2,
+            inserts: 3,
+            evictions: 4,
+            bytes: 5,
+            peak_bytes: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.hits, 2);
+        assert_eq!(a.peak_bytes, 12);
+    }
+
+    #[test]
+    fn display_mentions_every_counter() {
+        let s = SnapshotStats {
+            hits: 7,
+            ..SnapshotStats::default()
+        };
+        assert!(s.to_string().contains("7 hit(s)"));
+    }
+}

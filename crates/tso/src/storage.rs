@@ -216,6 +216,37 @@ impl ExecutionStorage {
         points
     }
 
+    /// Approximate heap footprint of this storage in bytes, for snapshot
+    /// cache accounting (an estimate over map entries, queue entries,
+    /// per-line bookkeeping and store events — not an exact measurement).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let queue_bytes: usize = self
+            .queues
+            .values()
+            .map(|q| {
+                size_of::<PmAddr>()
+                    + size_of::<Vec<QueueEntry>>()
+                    + q.len() * size_of::<QueueEntry>()
+            })
+            .sum();
+        let line_bytes: usize = self
+            .lines
+            .values()
+            .map(|l| {
+                size_of::<CacheLineId>()
+                    + size_of::<LineState>()
+                    + l.store_seqs.len() * size_of::<Seq>()
+            })
+            .sum();
+        let event_bytes: usize = self
+            .events
+            .iter()
+            .map(|e| size_of::<StoreEvent>() + e.bytes.len())
+            .sum();
+        size_of::<Self>() + queue_bytes + line_bytes + event_bytes
+    }
+
     /// The value of `addr` in a persistent snapshot whose last writeback of
     /// the address's line happened at `w`: the newest store with `σ ≤ w`,
     /// or `None` if the byte still holds its pre-execution value.

@@ -134,6 +134,12 @@ impl OpTrace {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// Approximate heap footprint of this trace in bytes, for snapshot
+    /// cache accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.ops.len() * std::mem::size_of::<TraceOp>()
+    }
 }
 
 /// The number of bytes per simulated cache line (re-exported for

@@ -6,8 +6,9 @@
 //! (`Config::jobs`) must be indistinguishable from the sequential walk in
 //! everything but wall-clock time. `CheckReport::digest` is the
 //! comparison surface — it covers every bug, race, performance issue,
-//! and exploration statistic, excluding only timing and per-worker
-//! scheduling stats.
+//! and exploration statistic, excluding only timing, per-worker
+//! scheduling stats, and snapshot-cache counters (crash-point snapshots
+//! are required to be invisible to results; the tests below enforce it).
 
 use jaaru::{CheckReport, Config, ModelChecker, PmEnv, Program};
 use jaaru_workloads::recipe::{
@@ -172,4 +173,77 @@ fn worker_count_does_not_leak_into_the_digest() {
     let report = run(&fan_out, 3);
     assert!(report.parallel.is_some());
     assert!(!report.digest().contains("worker"));
+}
+
+/// Crash-point snapshots are a pure performance substitution: every
+/// combination of snapshot setting and worker count must land on the
+/// same digest. This is the subsystem's determinism contract — restore
+/// must be observably equivalent to replay.
+#[test]
+fn snapshots_do_not_change_the_digest_at_any_worker_count() {
+    let mut deep = config(1);
+    deep.max_failures(2);
+    let baseline = ModelChecker::new(deep).check(&fan_out);
+    for jobs in [1usize, 2, 4] {
+        for snapshots in [true, false] {
+            let mut c = config(jobs);
+            c.max_failures(2).snapshots(snapshots);
+            let report = ModelChecker::new(c).check(&fan_out);
+            assert_eq!(
+                baseline.digest(),
+                report.digest(),
+                "jobs={jobs} snapshots={snapshots} diverged"
+            );
+            if snapshots {
+                assert!(report.snapshots.is_some());
+            } else {
+                assert!(report.snapshots.is_none());
+                assert_eq!(report.stats.executions_restored, 0);
+            }
+        }
+    }
+}
+
+/// Same contract on a real workload with bugs and lints in play.
+#[test]
+fn snapshots_do_not_change_bug_or_lint_results() {
+    let program = IndexWorkload::<Pclht>::new(PclhtFault::CtorNotFlushed, 4);
+    let mut on = lint_config(1);
+    let baseline = ModelChecker::new(on.clone()).check(&program);
+    assert!(!baseline.is_clean());
+    on.snapshots(false);
+    let replayed = ModelChecker::new(on).check(&program);
+    assert_eq!(baseline.digest(), replayed.digest());
+    for jobs in [2usize, 4] {
+        let mut c = lint_config(jobs);
+        c.snapshots(false);
+        assert_eq!(
+            baseline.digest(),
+            ModelChecker::new(c).check(&program).digest(),
+            "jobs={jobs} without snapshots diverged"
+        );
+    }
+}
+
+/// A snapshot cache too small to hold anything still explores the
+/// identical scenario set: eviction may cost replays, never coverage.
+#[test]
+fn tiny_snapshot_cap_only_costs_replays() {
+    let mut c = config(1);
+    c.max_failures(2);
+    let roomy = ModelChecker::new(c.clone()).check(&fan_out);
+    c.snapshot_cap(1);
+    let starved = ModelChecker::new(c).check(&fan_out);
+    assert_eq!(roomy.digest(), starved.digest());
+    let stats = starved.snapshots.expect("cache still reports stats");
+    assert!(stats.evictions > 0, "a 1-byte cap must evict: {stats}");
+    assert_eq!(
+        starved.stats.executions_restored, 0,
+        "nothing survives in a 1-byte cache to restore from"
+    );
+    assert!(
+        roomy.stats.executions_restored > 0,
+        "the roomy cache actually restores"
+    );
+    assert!(roomy.stats.executions_replayed < starved.stats.executions_replayed);
 }
