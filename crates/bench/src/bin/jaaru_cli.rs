@@ -10,6 +10,7 @@
 //! jaaru_cli [options] lint <benchmark> [keys]           # lint a fixed benchmark
 //! jaaru_cli [options] lint (recipe|pmdk) <row#> [keys]  # lint one bug row
 //! jaaru_cli [options] perf [keys]                       # Figure 14 run
+//! jaaru_cli [options] fuzz [fuzz options]               # differential fuzzing
 //! ```
 //!
 //! `--jobs N` explores on N worker threads (0 = all cores; default 1).
@@ -21,10 +22,13 @@
 //! Exit status: 0 when the run is clean, 1 when bugs or error-severity
 //! diagnostics were found, 2 on usage errors.
 
+use std::path::PathBuf;
+
 use jaaru::{CheckReport, Config, ModelChecker, Program};
 use jaaru_bench::registry::{
     pmdk_bug_cases, pmdk_fixed_cases, recipe_bug_cases, recipe_fixed_cases,
 };
+use jaaru_fuzz::{harvest, minimize_divergence, run_campaign, Oracle};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -119,14 +123,173 @@ fn usage() -> ! {
          jaaru_cli [options] bug (recipe|pmdk) <row#> [keys]\n  \
          jaaru_cli [options] lint <benchmark> [keys]\n  \
          jaaru_cli [options] lint (recipe|pmdk) <row#> [keys]\n  \
-         jaaru_cli [options] perf [keys]\n\
+         jaaru_cli [options] perf [keys]\n  \
+         jaaru_cli [options] fuzz [fuzz options]\n\
          options:\n  \
          --jobs N (-j)          worker threads (0 = all cores; default 1)\n  \
          --format text|json (-f) output format\n  \
          --no-snapshot          replay every prefix instead of restoring snapshots\n  \
-         --snapshot-cap BYTES   per-cache snapshot byte budget (default 64 MiB)"
+         --snapshot-cap BYTES   per-cache snapshot byte budget (default 64 MiB)\n\
+         fuzz options:\n  \
+         --seeds N              programs to generate (default 200)\n  \
+         --seed-start S         first seed (default 0)\n  \
+         --ops-max M            max body operations per program (default 14)\n  \
+         --differential         also compare config axes and the eager baseline\n  \
+         --minimize             shrink any divergence to a minimal reproducer\n  \
+         --corpus DIR           read/write reproducers under DIR\n  \
+         --harvest              minimize seeded-fault programs into the corpus"
     );
     std::process::exit(2);
+}
+
+/// Fuzz-subcommand options drained from the remaining arguments.
+struct FuzzOpts {
+    seeds: u64,
+    seed_start: u64,
+    ops_max: usize,
+    differential: bool,
+    minimize: bool,
+    corpus: Option<PathBuf>,
+    harvest: bool,
+}
+
+fn parse_fuzz_opts(args: &[String]) -> FuzzOpts {
+    let mut opts = FuzzOpts {
+        seeds: 200,
+        seed_start: 0,
+        ops_max: 14,
+        differential: false,
+        minimize: false,
+        corpus: None,
+        harvest: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(n) => opts.seeds = n,
+                None => usage(),
+            },
+            "--seed-start" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(n) => opts.seed_start = n,
+                None => usage(),
+            },
+            "--ops-max" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(n) => opts.ops_max = n,
+                None => usage(),
+            },
+            "--differential" => opts.differential = true,
+            "--minimize" => opts.minimize = true,
+            "--corpus" => match it.next() {
+                Some(dir) => opts.corpus = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--harvest" => opts.harvest = true,
+            _ => usage(),
+        }
+    }
+    if opts.harvest && opts.corpus.is_none() {
+        eprintln!("--harvest requires --corpus DIR");
+        std::process::exit(2);
+    }
+    opts
+}
+
+/// The `fuzz` subcommand: run a campaign, optionally minimize
+/// divergences and harvest seeded-fault reproducers into the corpus.
+fn fuzz(opts: FuzzOpts, jobs: usize, format: Format) -> i32 {
+    let oracle = Oracle {
+        jobs,
+        differential: opts.differential,
+        ..Oracle::default()
+    };
+    let mut harvested = Vec::new();
+    let report = run_campaign(
+        &oracle,
+        opts.seed_start,
+        opts.seeds,
+        opts.ops_max,
+        |program, outcome| {
+            if opts.harvest && outcome.buggy && outcome.divergences.is_empty() {
+                if let Some(repro) = harvest(program) {
+                    harvested.push(repro);
+                }
+            }
+        },
+    );
+
+    // Shrink each diverging seed to a minimal reproducer; persist them
+    // when a corpus directory was given.
+    let mut minimized = Vec::new();
+    if opts.minimize {
+        let mut seeds: Vec<u64> = report.divergences.iter().map(|d| d.seed).collect();
+        seeds.dedup();
+        for seed in seeds {
+            let program = jaaru_fuzz::generate(seed, opts.ops_max, jaaru_fuzz::FaultMode::Auto);
+            if let Some(repro) = minimize_divergence(&oracle, &program, program.expect_buggy()) {
+                minimized.push(repro);
+            }
+        }
+    }
+    if let Some(dir) = &opts.corpus {
+        for repro in harvested.iter().chain(&minimized) {
+            if let Err(e) = repro.write_to(dir) {
+                eprintln!("cannot write {}: {e}", dir.display());
+                return 2;
+            }
+        }
+    }
+
+    match format {
+        Format::Json => print!("{}", report.to_json()),
+        Format::Text => {
+            println!("== fuzz ==");
+            let rows = vec![
+                vec!["seeds".to_string(), report.seeds.to_string()],
+                vec!["buggy".to_string(), report.buggy.to_string()],
+                vec!["clean".to_string(), report.clean.to_string()],
+                vec!["scenarios".to_string(), report.scenarios.to_string()],
+                vec!["executions".to_string(), report.executions.to_string()],
+                vec!["yat states".to_string(), report.yat_states.to_string()],
+                vec!["yat skipped".to_string(), report.yat_skipped.to_string()],
+                vec![
+                    "fingerprint".to_string(),
+                    format!("{:016x}", report.fingerprint),
+                ],
+                vec![
+                    "divergences".to_string(),
+                    report.divergences.len().to_string(),
+                ],
+            ];
+            print!(
+                "{}",
+                jaaru_bench::table::render(&["metric", "value"], &rows)
+            );
+            for d in &report.divergences {
+                println!("DIVERGENCE: {d}");
+            }
+            for repro in &minimized {
+                println!(
+                    "minimized {}: {} op(s), axis {}",
+                    repro.name,
+                    repro.program.ops.len(),
+                    repro.axis
+                );
+            }
+            if opts.harvest {
+                println!("harvested {} reproducer(s)", harvested.len());
+            }
+            if report.is_clean() {
+                println!("VERDICT: all oracles agree on every seed");
+            } else {
+                println!(
+                    "VERDICT: {} divergence(s); reproducers above",
+                    report.divergences.len()
+                );
+            }
+        }
+    }
+    i32::from(!report.is_clean())
 }
 
 fn main() {
@@ -238,6 +401,7 @@ fn main() {
                 _ => usage(),
             }
         }
+        Some("fuzz") => fuzz(parse_fuzz_opts(&args[1..]), jobs, format),
         Some("perf") => {
             let keys = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
             for (name, program) in recipe_fixed_cases(keys) {

@@ -279,6 +279,20 @@ impl CheckReport {
     /// produce byte-identical digests; the determinism regression tests
     /// compare exactly this string.
     pub fn digest(&self) -> String {
+        self.digest_impl(true)
+    }
+
+    /// [`digest`](Self::digest) minus the analysis-pass diagnostics: the
+    /// fingerprint of the *exploration* outcome only (stats, bugs,
+    /// races). The fuzzing oracle compares configurations that disagree
+    /// on which analyses run — lints on vs off — on exactly this view:
+    /// turning an analysis on may add diagnostics, but must never change
+    /// what exploration finds.
+    pub fn exploration_digest(&self) -> String {
+        self.digest_impl(false)
+    }
+
+    fn digest_impl(&self, include_diagnostics: bool) -> String {
         use fmt::Write;
         let mut out = String::new();
         // `executions_replayed + executions_restored` is printed in the
@@ -303,8 +317,10 @@ impl CheckReport {
         for r in &self.races {
             let _ = write!(out, "race: {r}");
         }
-        for d in &self.diagnostics {
-            let _ = writeln!(out, "lint: {d}");
+        if include_diagnostics {
+            for d in &self.diagnostics {
+                let _ = writeln!(out, "lint: {d}");
+            }
         }
         out
     }
@@ -554,6 +570,11 @@ mod tests {
         });
         assert!(r.has_errors());
         assert!(r.digest().contains("lint: error[missing-flush]"));
+        assert!(
+            !r.exploration_digest().contains("lint:"),
+            "exploration digest excludes diagnostics"
+        );
+        assert!(r.digest().starts_with(&r.exploration_digest()));
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! # jaaru-fuzz: randomized differential testing of the Jaaru checker
+//!
+//! The model checker's correctness argument rests on equivalences the
+//! paper asserts but hand-written tests only spot-check: the lazy
+//! constraint-refinement explorer must agree with a Yat-style eager
+//! enumeration, and the checker's verdicts must be invariant across
+//! snapshots on/off, worker counts, and diagnostic passes. This crate
+//! stress-tests those equivalences with generated programs:
+//!
+//! * [`gen`] — a seeded ([`SplitMix64`](jaaru_workloads::util::SplitMix64))
+//!   generator of self-oracling guest programs over the full nine-op
+//!   [`PmEnv`](jaaru::PmEnv) vocabulary, with optional ground-truth
+//!   persistency faults.
+//! * [`oracle`] — the differential harness: runs each program through
+//!   the lazy checker, the configuration axes, and the bounded eager
+//!   baseline, and reports any divergence.
+//! * [`mod@minimize`] — a delta-debugging minimizer shrinking a diverging
+//!   program (drop ops, merge cache lines, strip the commit idiom) while
+//!   the divergence persists.
+//! * [`corpus`] — persistent minimized reproducers (seed + program +
+//!   decision trace + expected digest) replayed byte-for-byte in CI.
+//!
+//! Everything is deterministic: same seeds → same programs → same
+//! verdicts → same corpus, across runs and `--jobs` settings.
+
+pub mod corpus;
+pub mod gen;
+pub mod minimize;
+pub mod oracle;
+
+pub use corpus::{load_dir, Reproducer};
+pub use gen::{generate, FaultMode, GenProgram, Op, MAX_LINES, SLOTS_PER_LINE};
+pub use minimize::{harvest, minimize, minimize_divergence, seeded_fault_manifests, shrink_trace};
+pub use oracle::{run_campaign, CampaignReport, Divergence, Oracle, SeedOutcome};

@@ -298,6 +298,10 @@ impl PmIndex for Cceh {
 
     /// Durable removal: clearing the slot's key word is the atomic
     /// commit; the stale value is unreachable once the key reads 0.
+    fn supports_removal() -> bool {
+        true
+    }
+
     fn remove(&self, env: &dyn PmEnv, _heap: &PBump, key: u64) {
         let dir = self.dir(env);
         let gd = Self::global_depth(env, dir);

@@ -57,12 +57,24 @@ pub trait PmIndex: Sized {
     /// Point lookup.
     fn get(&self, env: &dyn PmEnv, key: u64) -> Option<u64>;
 
-    /// Durable removal. Structures without delete support keep the
-    /// default and are exercised insert/get-only, like the paper's
-    /// driver inputs.
+    /// Whether this structure implements durable removal. Structures
+    /// without delete support keep the default `false` and are exercised
+    /// insert/get-only, like the paper's driver inputs: drivers (and
+    /// generated workloads) consult this before scheduling a removal
+    /// phase instead of discovering the gap by aborting mid-run.
+    fn supports_removal() -> bool {
+        false
+    }
+
+    /// Durable removal. Only called when
+    /// [`supports_removal`](Self::supports_removal) returns `true`;
+    /// implementations that override one must override both.
     fn remove(&self, env: &dyn PmEnv, heap: &PBump, key: u64) {
         let _ = (env, heap, key);
-        unimplemented!("{} does not implement removal", Self::NAME);
+        unreachable!(
+            "{} does not support removal; gate on supports_removal()",
+            Self::NAME
+        );
     }
 
     /// Structure-specific recovery validation (the structure's own
@@ -94,9 +106,16 @@ impl<I: PmIndex> IndexWorkload<I> {
     }
 
     /// Adds a delete phase: after every key is inserted, the first `d`
-    /// keys are durably removed (requires [`PmIndex::remove`] support).
+    /// keys are durably removed. Structures without removal support
+    /// ([`PmIndex::supports_removal`] is `false`) skip the phase entirely
+    /// — the workload stays runnable instead of aborting, so generated
+    /// and registry-driven workloads can request deletes uniformly.
     pub fn with_deletes(mut self, d: usize) -> Self {
-        self.deletes = d.min(self.keys.len());
+        self.deletes = if I::supports_removal() {
+            d.min(self.keys.len())
+        } else {
+            0
+        };
         self
     }
 

@@ -286,6 +286,10 @@ impl PmIndex for Part {
 
     /// Durable removal: clearing the tagged child slot is the atomic
     /// commit (the leaf is leaked, as in the original's epoch scheme).
+    fn supports_removal() -> bool {
+        true
+    }
+
     fn remove(&self, env: &dyn PmEnv, _heap: &PBump, key: u64) {
         self.bump_epoch(env);
         let mut node = self.root_node(env);

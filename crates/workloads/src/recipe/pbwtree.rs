@@ -272,6 +272,10 @@ impl PmIndex for Pbwtree {
 
     /// Durable removal: prepend a delete delta (tombstone value); the
     /// mapping-entry store commits it, exactly like an insert delta.
+    fn supports_removal() -> bool {
+        true
+    }
+
     fn remove(&self, env: &dyn PmEnv, heap: &PBump, key: u64) {
         self.insert(env, heap, key, TOMBSTONE);
     }

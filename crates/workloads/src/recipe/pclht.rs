@@ -267,6 +267,10 @@ impl PmIndex for Pclht {
 
     /// Durable removal: clearing the slot's key word is the atomic
     /// commit (the CLHT deletion protocol).
+    fn supports_removal() -> bool {
+        true
+    }
+
     fn remove(&self, env: &dyn PmEnv, _heap: &PBump, key: u64) {
         let ht = self.ht(env);
         let (array, n) = Self::descriptor(env, ht);

@@ -160,3 +160,29 @@ model_test!(pmdk ctree_map_matches_btreemap, CtreeMap);
 model_test!(pmdk rbtree_map_matches_btreemap, RbtreeMap);
 model_test!(pmdk hashmap_atomic_matches_btreemap, HashmapAtomic);
 model_test!(pmdk hashmap_tx_matches_btreemap, HashmapTx);
+
+#[test]
+fn removal_capability_matches_implementations() {
+    assert!(Cceh::supports_removal());
+    assert!(Part::supports_removal());
+    assert!(Pbwtree::supports_removal());
+    assert!(Pclht::supports_removal());
+    assert!(!FastFair::supports_removal());
+    assert!(!Pmasstree::supports_removal());
+}
+
+/// Requesting deletes on a structure without removal support skips the
+/// phase instead of aborting mid-run (the registry and generated
+/// workloads request deletes uniformly).
+#[test]
+fn with_deletes_skips_phase_on_non_removal_indexes() {
+    use jaaru::Program;
+    use jaaru_workloads::recipe::IndexWorkload;
+    let env = NativeEnv::new(1 << 20);
+    IndexWorkload::<FastFair>::fixed(4)
+        .with_deletes(2)
+        .run(&env);
+    // A removal-capable structure still runs its delete phase.
+    let env = NativeEnv::new(1 << 20);
+    IndexWorkload::<Pclht>::fixed(4).with_deletes(2).run(&env);
+}

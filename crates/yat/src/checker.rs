@@ -7,6 +7,7 @@
 //! of unflushed stores; the paper uses it as the baseline that Jaaru's
 //! constraint refinement beats by orders of magnitude (Figure 14).
 
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -43,6 +44,40 @@ impl Default for YatConfig {
         Self::new()
     }
 }
+
+/// Errors from bounded eager exploration.
+///
+/// Eager enumeration is exponential by design; callers that need a
+/// *complete* eager answer (the differential fuzzing oracle, for one)
+/// must know when the budget cut exploration short rather than silently
+/// comparing against a truncated state set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum YatError {
+    /// The configured [`YatConfig::max_states`] budget was reached before
+    /// the state space was exhausted.
+    StateBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: u64,
+        /// The failure point whose state space blew the budget.
+        failure_point: usize,
+    },
+}
+
+impl fmt::Display for YatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YatError::StateBudgetExceeded {
+                budget,
+                failure_point,
+            } => write!(
+                f,
+                "eager state budget of {budget} states exceeded at failure point {failure_point}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for YatError {}
 
 /// A bug found by eager exploration.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -178,6 +213,58 @@ fn advance(odometer: &mut [usize], choices: &[(CacheLineId, Vec<Seq>)]) -> bool 
 /// assert!(report.states_explored >= 2);
 /// ```
 pub fn eager_check(program: &dyn Program, config: &YatConfig) -> YatReport {
+    match eager_check_impl(program, config, false) {
+        Ok(report) => report,
+        Err(e) => unreachable!("unbounded eager check cannot fail: {e}"),
+    }
+}
+
+/// Like [`eager_check`], but treats the state budget as a hard error:
+/// exceeding [`YatConfig::max_states`] returns
+/// [`YatError::StateBudgetExceeded`] instead of a truncated report.
+///
+/// This is the guard rail the differential fuzzing oracle relies on —
+/// an eager run is only comparable to the lazy checker when it actually
+/// enumerated *every* post-failure state, so partial enumerations must
+/// be unmistakable, not a flag callers can forget to check.
+///
+/// # Example
+///
+/// ```
+/// use jaaru::PmEnv;
+/// use jaaru_yat::{eager_check_bounded, YatConfig, YatError};
+///
+/// let program = |env: &dyn PmEnv| {
+///     if env.is_recovery() {
+///         return;
+///     }
+///     let base = env.root();
+///     for line in 0..8u64 {
+///         for slot in 0..8u64 {
+///             env.store_u64(base + line * 64 + slot * 8, slot + 1);
+///         }
+///     }
+///     env.clflush(base, 512);
+///     env.sfence();
+/// };
+/// let mut config = YatConfig::new();
+/// config.pool_size = 4096;
+/// config.max_states = 1000; // far below the 9^8 states required
+/// let err = eager_check_bounded(&program, &config).unwrap_err();
+/// assert!(matches!(err, YatError::StateBudgetExceeded { budget: 1000, .. }));
+/// ```
+pub fn eager_check_bounded(
+    program: &dyn Program,
+    config: &YatConfig,
+) -> Result<YatReport, YatError> {
+    eager_check_impl(program, config, true)
+}
+
+fn eager_check_impl(
+    program: &dyn Program,
+    config: &YatConfig,
+    budget_is_error: bool,
+) -> Result<YatReport, YatError> {
     let start = Instant::now();
     let mut report = YatReport::default();
 
@@ -190,7 +277,7 @@ pub fn eager_check(program: &dyn Program, config: &YatConfig) -> YatReport {
                 failure_point: usize::MAX,
             });
             report.duration = start.elapsed();
-            return report;
+            return Ok(report);
         }
     };
     report.failure_points = probe.points_seen();
@@ -208,6 +295,12 @@ pub fn eager_check(program: &dyn Program, config: &YatConfig) -> YatReport {
         let mut odometer = vec![0usize; choices.len()];
         loop {
             if report.states_explored >= config.max_states {
+                if budget_is_error {
+                    return Err(YatError::StateBudgetExceeded {
+                        budget: config.max_states,
+                        failure_point: point,
+                    });
+                }
                 report.truncated = true;
                 break 'points;
             }
@@ -231,7 +324,7 @@ pub fn eager_check(program: &dyn Program, config: &YatConfig) -> YatReport {
     }
 
     report.duration = start.elapsed();
-    report
+    Ok(report)
 }
 
 fn push_bug(bugs: &mut Vec<YatBug>, message: String, failure_point: usize) {
@@ -360,6 +453,53 @@ mod tests {
         let report = eager_check(&program, &cfg);
         assert!(report.truncated);
         assert_eq!(report.states_explored, 1000);
+    }
+
+    #[test]
+    fn bounded_check_errors_instead_of_truncating() {
+        let program = |env: &dyn PmEnv| {
+            if env.is_recovery() {
+                return;
+            }
+            let base = env.root();
+            for line in 0..8u64 {
+                for slot in 0..8u64 {
+                    env.store_u64(base + line * 64 + slot * 8, slot + 1);
+                }
+            }
+            env.clflush(base, 512);
+            env.sfence();
+        };
+        let mut cfg = config();
+        cfg.max_states = 1000;
+        let err = eager_check_bounded(&program, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            YatError::StateBudgetExceeded {
+                budget: 1000,
+                failure_point: 0
+            }
+        );
+        assert!(err.to_string().contains("budget of 1000"));
+    }
+
+    #[test]
+    fn bounded_check_matches_unbounded_within_budget() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            if env.is_recovery() {
+                let v = env.load_u64(root);
+                env.pm_assert(v == 0 || v == 5, "corrupt");
+                return;
+            }
+            env.store_u64(root, 5);
+            env.persist(root, 8);
+        };
+        let bounded = eager_check_bounded(&program, &config()).expect("within budget");
+        let unbounded = eager_check(&program, &config());
+        assert_eq!(bounded.states_explored, unbounded.states_explored);
+        assert_eq!(bounded.bugs, unbounded.bugs);
+        assert!(!bounded.truncated);
     }
 
     #[test]

@@ -46,7 +46,9 @@ mod checker;
 mod count;
 mod env;
 
-pub use checker::{count_states, eager_check, YatBug, YatConfig, YatReport};
+pub use checker::{
+    count_states, eager_check, eager_check_bounded, YatBug, YatConfig, YatError, YatReport,
+};
 pub use count::StateCount;
 
 /// Extracts readable text from a panic payload (shared helper).
