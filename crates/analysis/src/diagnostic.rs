@@ -29,6 +29,14 @@ pub enum DiagnosticKind {
     /// ordering fence lands only after it — the flush is still pending
     /// when the commit becomes observable.
     FlushNotFenced,
+    /// A store whose flush/fence chain spans threads without a
+    /// synchronizing edge: the persist may be reordered against the
+    /// store (or never happen) depending on the interleaving.
+    CrossThreadRace,
+    /// A store straddling a cache-line boundary whose line halves
+    /// persist at different points: a crash between them leaves the
+    /// value torn.
+    TornStore,
     /// A `clflush` of a cache line with no unflushed stores (the §5.1
     /// performance-bug extension).
     RedundantFlush,
@@ -36,6 +44,9 @@ pub enum DiagnosticKind {
     RedundantFlushOpt,
     /// An `sfence` with no buffered flushes or stores to order.
     RedundantFence,
+    /// A flush of a cache line that is only stored to later: the flush
+    /// does nothing and the store it was meant to persist stays dirty.
+    FlushBeforeStore,
 }
 
 impl DiagnosticKind {
@@ -45,9 +56,55 @@ impl DiagnosticKind {
             DiagnosticKind::MissingFlush => "missing-flush",
             DiagnosticKind::MissingFence => "missing-fence",
             DiagnosticKind::FlushNotFenced => "flush-not-fenced",
+            DiagnosticKind::CrossThreadRace => "cross-thread-race",
+            DiagnosticKind::TornStore => "torn-store",
             DiagnosticKind::RedundantFlush => "redundant-flush",
             DiagnosticKind::RedundantFlushOpt => "redundant-flushopt",
             DiagnosticKind::RedundantFence => "redundant-fence",
+            DiagnosticKind::FlushBeforeStore => "flush-before-store",
+        }
+    }
+
+    /// Every kind, in declaration order — the canonical rule order for
+    /// SARIF output.
+    pub const ALL: [DiagnosticKind; 9] = [
+        DiagnosticKind::MissingFlush,
+        DiagnosticKind::MissingFence,
+        DiagnosticKind::FlushNotFenced,
+        DiagnosticKind::CrossThreadRace,
+        DiagnosticKind::TornStore,
+        DiagnosticKind::RedundantFlush,
+        DiagnosticKind::RedundantFlushOpt,
+        DiagnosticKind::RedundantFence,
+        DiagnosticKind::FlushBeforeStore,
+    ];
+
+    /// One-line description of the rule, for SARIF rule metadata.
+    pub fn describe(self) -> &'static str {
+        match self {
+            DiagnosticKind::MissingFlush => {
+                "a store can reach a commit store with no flush of its cache line in between"
+            }
+            DiagnosticKind::MissingFence => {
+                "a clflushopt is never fenced, so the flushed store may not persist"
+            }
+            DiagnosticKind::FlushNotFenced => {
+                "the fence ordering a clflushopt lands only after the commit store"
+            }
+            DiagnosticKind::CrossThreadRace => {
+                "a store's flush/fence chain spans threads without a synchronizing edge"
+            }
+            DiagnosticKind::TornStore => {
+                "a store straddling cache lines whose halves persist independently"
+            }
+            DiagnosticKind::RedundantFlush => "a clflush of a cache line with no unflushed stores",
+            DiagnosticKind::RedundantFlushOpt => {
+                "a clflushopt/clwb of a cache line with no unflushed stores"
+            }
+            DiagnosticKind::RedundantFence => "a fence with no buffered flushes or stores to order",
+            DiagnosticKind::FlushBeforeStore => {
+                "a flush of a cache line that is only stored to later"
+            }
         }
     }
 
@@ -58,10 +115,13 @@ impl DiagnosticKind {
         match self {
             DiagnosticKind::MissingFlush
             | DiagnosticKind::MissingFence
-            | DiagnosticKind::FlushNotFenced => Severity::Error,
+            | DiagnosticKind::FlushNotFenced
+            | DiagnosticKind::CrossThreadRace
+            | DiagnosticKind::TornStore => Severity::Error,
             DiagnosticKind::RedundantFlush
             | DiagnosticKind::RedundantFlushOpt
-            | DiagnosticKind::RedundantFence => Severity::Warning,
+            | DiagnosticKind::RedundantFence
+            | DiagnosticKind::FlushBeforeStore => Severity::Warning,
         }
     }
 }
@@ -226,10 +286,38 @@ mod tests {
         assert_eq!(DiagnosticKind::MissingFlush.severity(), Severity::Error);
         assert_eq!(DiagnosticKind::MissingFence.severity(), Severity::Error);
         assert_eq!(DiagnosticKind::FlushNotFenced.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::CrossThreadRace.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::TornStore.severity(), Severity::Error);
         assert_eq!(DiagnosticKind::RedundantFlush.severity(), Severity::Warning);
         assert_eq!(DiagnosticKind::RedundantFence.severity(), Severity::Warning);
+        assert_eq!(
+            DiagnosticKind::FlushBeforeStore.severity(),
+            Severity::Warning
+        );
         assert!(diag(DiagnosticKind::MissingFlush, "a.rs:1:1").is_error());
         assert!(!diag(DiagnosticKind::RedundantFlush, "a.rs:1:1").is_error());
+    }
+
+    #[test]
+    fn rule_ids_are_stable_and_cover_all_kinds() {
+        let ids: Vec<&str> = DiagnosticKind::ALL.iter().map(|k| k.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "missing-flush",
+                "missing-fence",
+                "flush-not-fenced",
+                "cross-thread-race",
+                "torn-store",
+                "redundant-flush",
+                "redundant-flushopt",
+                "redundant-fence",
+                "flush-before-store",
+            ]
+        );
+        for k in DiagnosticKind::ALL {
+            assert!(!k.describe().is_empty());
+        }
     }
 
     #[test]

@@ -6,34 +6,59 @@
 //! only reporting crash *symptoms*, the checker can pinpoint the exact
 //! store missing a flush or fence and propose the fix site.
 //!
-//! The engine has three layers:
+//! The engine is layered on one shared substrate:
 //!
-//! 1. **Commit-store inference + robustness checking**
-//!    ([`analyze_trace`]): replays the Figure 7/8 buffer rules over a
-//!    recorded [`OpTrace`](jaaru_tso::OpTrace), identifies the
-//!    flushed-and-fenced guard-store idiom (commit stores), and emits a
+//! 1. **The persist-order constraint graph** ([`PersistGraph`]): one
+//!    replay of the Figure 7/8 buffer rules lifts a recorded
+//!    [`OpTrace`](jaaru_tso::OpTrace) into an explicit DAG of
+//!    persist-before edges (store → flush coverage, flush → fence
+//!    ordering, eager cross-thread drains) with per-store, per-line
+//!    persist facts, interned sites, and vector-clock happens-before
+//!    reachability ([`VClock`]). Every pass below queries the graph
+//!    instead of re-walking the trace.
+//! 2. **Commit-store inference + robustness checking**
+//!    ([`analyze_trace`], [`robustness_candidates`]): identifies the
+//!    flushed-and-fenced guard-store idiom (commit stores) and emits a
 //!    [`Candidate`] for every store that can reach a commit store
 //!    unpersisted — classified as `MissingFlush`, `MissingFence` or
 //!    `FlushNotFenced`, each with a concrete fix suggestion.
-//! 2. **Bug localization** ([`localize`]): when exploration finds a
+//! 3. **Cross-thread and torn-store passes** ([`cross_thread_races`],
+//!    [`torn_candidates`]): stores whose flush/fence chain spans
+//!    threads without a synchronizing edge, and straddling stores
+//!    whose line halves persist independently across a crash point.
+//! 4. **The flush-redundancy performance pass**
+//!    ([`flush_redundancy`]): same-line re-flushes with no intervening
+//!    store, fences over empty buffers, and flushes before any store.
+//! 5. **Bug localization** ([`localize`]): when exploration finds a
 //!    bug, candidates are confirmed against the failing scenario's
 //!    read-from evidence — the racy loads and the stores they could
 //!    have read. A confirmed candidate is the root cause of the
 //!    observed symptom.
-//! 3. **The diagnostic framework** ([`Diagnostic`], [`DiagnosticSet`]):
-//!    the unified finding type (kind, severity, site, suggestion,
-//!    occurrences) shared with the checker's performance pass, and the
-//!    single deduplicating accumulation path used by both the
-//!    sequential explorer and the parallel merge.
+//! 6. **The diagnostic framework** ([`Diagnostic`], [`DiagnosticSet`])
+//!    and its renderings: the unified finding type (kind, severity,
+//!    site, suggestion, occurrences), the single deduplicating
+//!    accumulation path used by both the sequential explorer and the
+//!    parallel merge, and SARIF 2.1.0 output ([`to_sarif`]) for CI
+//!    consumption.
 //!
 //! This crate is deliberately independent of the checker core: it
 //! depends only on the trace and address types, so the same analysis
 //! can run over traces from any producer.
 
 mod diagnostic;
+mod graph;
 mod localize;
+mod perf;
+mod races;
 mod robust;
+mod sarif;
+mod vclock;
 
 pub use diagnostic::{Diagnostic, DiagnosticKind, DiagnosticSet, Severity};
+pub use graph::{Edge, EdgeKind, FlushRef, LinePersist, PersistGraph, SiteTable, StoreNode};
 pub use localize::{localize, RfEvidence};
-pub use robust::{analyze_trace, Candidate};
+pub use perf::flush_redundancy;
+pub use races::{cross_thread_races, recovery_read_lines, torn_candidates};
+pub use robust::{analyze_trace, robustness_candidates, Candidate};
+pub use sarif::to_sarif;
+pub use vclock::VClock;

@@ -8,15 +8,12 @@
 //! before `C` executes — otherwise recovery may observe `C` while the
 //! earlier store's line still holds stale data.
 //!
-//! The check mirrors the Figure 7/8 buffer rules:
-//!
-//! * a `clflush` of a line persist-orders every earlier store to it at
-//!   the flush itself (the simulator's eager writeback),
-//! * a `clflushopt` only moves the line into the issuing thread's flush
-//!   buffer; the stores persist at that thread's next `sfence`/`mfence`/
-//!   locked RMW,
-//! * stores to the *same* line as the commit store are exempt: a line's
-//!   writeback is atomic, so observing the commit pins them too.
+//! The persist-ordering facts come from the
+//! [`PersistGraph`](crate::PersistGraph) — one replay of the Figure 7/8
+//! buffer rules shared by every analysis pass. This pass queries the
+//! graph's per-store facts; stores to the *same* line as the commit
+//! store are exempt (a line's writeback is atomic, so observing the
+//! commit pins them too).
 //!
 //! Each violated store yields a [`Candidate`] classified as
 //! `MissingFlush` (no flush of the line before the commit),
@@ -24,39 +21,11 @@
 //! `FlushNotFenced` (fenced only after the commit), with a concrete fix
 //! suggestion naming both the store and the commit store it races with.
 
-use std::collections::HashMap;
-
 use jaaru_pmem::PmAddr;
-use jaaru_tso::{OpTrace, SourceLoc, ThreadId, TraceOpKind};
+use jaaru_tso::OpTrace;
 
 use crate::diagnostic::{Diagnostic, DiagnosticKind};
-
-/// A flush that covered a store's cache line.
-#[derive(Clone, Copy, Debug)]
-struct FlushInfo {
-    op_idx: usize,
-    loc: SourceLoc,
-    opt: bool,
-}
-
-/// Per-store persist-ordering facts reconstructed from the trace.
-#[derive(Clone, Copy, Debug)]
-struct StoreInfo {
-    op_idx: usize,
-    addr: PmAddr,
-    first_line: u64,
-    last_line: u64,
-    loc: SourceLoc,
-    /// Trace index at which the store became persist-ordered (all its
-    /// lines flushed and, for `clflushopt`, fenced); `None` if it never
-    /// was.
-    persist_point: Option<usize>,
-    /// First flush instruction that covered any of the store's lines.
-    flush: Option<FlushInfo>,
-    /// Lines not yet persist-ordered (straddling stores persist when
-    /// the last of their lines does).
-    lines_pending: u32,
-}
+use crate::graph::PersistGraph;
 
 /// A robustness violation: `store` can reach `commit` unpersisted.
 #[derive(Clone, Debug)]
@@ -99,106 +68,16 @@ impl Candidate {
     }
 }
 
-fn site_of(loc: SourceLoc) -> String {
-    format!("{}:{}:{}", loc.file(), loc.line(), loc.column())
+/// Builds the persist-order graph for `trace` and returns every store
+/// that violates the commit-store discipline, in program order.
+pub fn analyze_trace(trace: &OpTrace) -> Vec<Candidate> {
+    robustness_candidates(&PersistGraph::build(trace))
 }
 
-/// Replays the buffer rules over `trace` and returns every store that
-/// violates the commit-store discipline, in program order.
-pub fn analyze_trace(trace: &OpTrace) -> Vec<Candidate> {
-    let ops = trace.ops();
-    let mut stores: Vec<StoreInfo> = Vec::new();
-    // line -> indices into `stores` with that line still unflushed.
-    let mut dirty: HashMap<u64, Vec<usize>> = HashMap::new();
-    // thread -> opt-flushed (line, stores) entries awaiting a fence.
-    let mut waiting: HashMap<ThreadId, Vec<(u64, Vec<usize>)>> = HashMap::new();
-
-    let persist = |stores: &mut Vec<StoreInfo>, idxs: &[usize], at: usize| {
-        for &s in idxs {
-            let info = &mut stores[s];
-            info.lines_pending = info.lines_pending.saturating_sub(1);
-            if info.lines_pending == 0 && info.persist_point.is_none() {
-                info.persist_point = Some(at);
-            }
-        }
-    };
-
-    for (i, op) in ops.iter().enumerate() {
-        match op.kind {
-            TraceOpKind::Store { addr, len } => {
-                let (first_line, last_line) = op.kind.line_range().unwrap();
-                let idx = stores.len();
-                stores.push(StoreInfo {
-                    op_idx: i,
-                    addr,
-                    first_line,
-                    last_line,
-                    loc: op.loc,
-                    persist_point: None,
-                    flush: None,
-                    lines_pending: (last_line - first_line + 1) as u32,
-                });
-                let _ = len;
-                for l in first_line..=last_line {
-                    dirty.entry(l).or_default().push(idx);
-                }
-            }
-            TraceOpKind::Clflush {
-                first_line,
-                last_line,
-            } => {
-                for l in first_line..=last_line {
-                    if let Some(idxs) = dirty.remove(&l) {
-                        for &s in &idxs {
-                            stores[s].flush.get_or_insert(FlushInfo {
-                                op_idx: i,
-                                loc: op.loc,
-                                opt: false,
-                            });
-                        }
-                        persist(&mut stores, &idxs, i);
-                    }
-                    // A clflush also forces lines parked in any thread's
-                    // flush buffer: the eager writeback covers them.
-                    for entries in waiting.values_mut() {
-                        let mut k = 0;
-                        while k < entries.len() {
-                            if entries[k].0 == l {
-                                let (_, idxs) = entries.swap_remove(k);
-                                persist(&mut stores, &idxs, i);
-                            } else {
-                                k += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            TraceOpKind::Clflushopt {
-                first_line,
-                last_line,
-            } => {
-                for l in first_line..=last_line {
-                    if let Some(idxs) = dirty.remove(&l) {
-                        for &s in &idxs {
-                            stores[s].flush.get_or_insert(FlushInfo {
-                                op_idx: i,
-                                loc: op.loc,
-                                opt: true,
-                            });
-                        }
-                        waiting.entry(op.thread).or_default().push((l, idxs));
-                    }
-                }
-            }
-            TraceOpKind::Sfence | TraceOpKind::Mfence | TraceOpKind::Rmw { .. } => {
-                if let Some(entries) = waiting.remove(&op.thread) {
-                    for (_, idxs) in entries {
-                        persist(&mut stores, &idxs, i);
-                    }
-                }
-            }
-        }
-    }
+/// The commit-store discipline check, querying an already-built
+/// persist-order graph.
+pub fn robustness_candidates(graph: &PersistGraph<'_>) -> Vec<Candidate> {
+    let stores = graph.stores();
 
     // Commit stores: stores that are themselves flushed and fenced.
     // Their trace indices, ascending (stores are already in program
@@ -209,7 +88,7 @@ pub fn analyze_trace(trace: &OpTrace) -> Vec<Candidate> {
     let commit_ops: Vec<usize> = commits.iter().map(|&s| stores[s].op_idx).collect();
 
     let mut out = Vec::new();
-    for s in &stores {
+    for s in stores {
         let horizon = s.persist_point.unwrap_or(usize::MAX);
         // First commit store strictly after the store and strictly
         // before its persist point whose lines are disjoint from the
@@ -224,18 +103,18 @@ pub fn analyze_trace(trace: &OpTrace) -> Vec<Candidate> {
             });
         let Some(&c) = violating else { continue };
         let commit = &stores[c];
-        let commit_loc = site_of(commit.loc);
-        let store_loc = site_of(s.loc);
+        let commit_loc = graph.site(commit.op_idx).to_string();
+        let store_loc = graph.site(s.op_idx).to_string();
         let candidate = match s.flush {
             Some(f) if f.op_idx < commit.op_idx && f.opt => match s.persist_point {
                 None => Candidate {
                     kind: DiagnosticKind::MissingFence,
-                    site: site_of(f.loc),
+                    site: graph.site(f.op_idx).to_string(),
                     suggestion: format!(
                         "the clflushopt at {} is never fenced, so the store at \
                          {store_loc} may not persist; insert an sfence after the \
                          flush, before the commit store at {commit_loc}",
-                        site_of(f.loc)
+                        graph.site(f.op_idx)
                     ),
                     store_loc,
                     addr: s.addr,
@@ -244,13 +123,13 @@ pub fn analyze_trace(trace: &OpTrace) -> Vec<Candidate> {
                 },
                 Some(p) => Candidate {
                     kind: DiagnosticKind::FlushNotFenced,
-                    site: site_of(f.loc),
+                    site: graph.site(f.op_idx).to_string(),
                     suggestion: format!(
                         "the clflushopt at {} takes effect only at {} — after the \
                          commit store at {commit_loc}; insert an sfence between the \
                          flush and the commit store",
-                        site_of(f.loc),
-                        site_of(ops[p].loc)
+                        graph.site(f.op_idx),
+                        graph.site(p)
                     ),
                     store_loc,
                     addr: s.addr,
@@ -265,7 +144,7 @@ pub fn analyze_trace(trace: &OpTrace) -> Vec<Candidate> {
                     "the store at {store_loc} is flushed only at {} — after the \
                      commit store at {commit_loc}; move the flush (plus its fence) \
                      before the commit store",
-                    site_of(f.loc)
+                    graph.site(f.op_idx)
                 ),
                 store_loc,
                 addr: s.addr,
@@ -293,7 +172,7 @@ pub fn analyze_trace(trace: &OpTrace) -> Vec<Candidate> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jaaru_tso::OpTrace;
+    use jaaru_tso::{OpTrace, ThreadId, TraceOpKind};
     use std::panic::Location;
 
     const LINE: u64 = 64;

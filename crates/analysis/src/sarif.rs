@@ -1,0 +1,245 @@
+//! SARIF 2.1.0 rendering of diagnostics.
+//!
+//! The Static Analysis Results Interchange Format is what CI systems
+//! (GitHub code scanning, Azure DevOps, sarif-tools) ingest natively;
+//! emitting it makes the checker's findings consumable without any
+//! Jaaru-specific tooling. The workspace builds fully offline, so the
+//! document is rendered by hand like the rest of the JSON output.
+//!
+//! Layout decisions, all in service of byte-stable output:
+//!
+//! * rule ids are [`DiagnosticKind::as_str`] — the same stable
+//!   kebab-case tags used in JSON reports and digests;
+//! * the `rules` array lists exactly the kinds present in the input,
+//!   in [`DiagnosticKind::ALL`] declaration order;
+//! * results appear in input order, which is [`DiagnosticSet`]
+//!   first-insertion order — deterministic across worker counts;
+//! * each result carries the source site parsed into a
+//!   `physicalLocation` and the fix suggestion as its message.
+//!
+//! [`DiagnosticSet`]: crate::DiagnosticSet
+
+use std::fmt::Write as _;
+
+use crate::diagnostic::{Diagnostic, DiagnosticKind, Severity};
+
+/// Escapes `s` as JSON string contents (without the quotes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits a `file:line:column` site into its parts; `None` when the
+/// site is not in that shape.
+fn parse_site(site: &str) -> Option<(&str, u32, u32)> {
+    let (rest, column) = site.rsplit_once(':')?;
+    let (file, line) = rest.rsplit_once(':')?;
+    Some((file, line.parse().ok()?, column.parse().ok()?))
+}
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    }
+}
+
+/// Renders `diagnostics` as a complete SARIF 2.1.0 document. Output is
+/// a deterministic function of the input list: same diagnostics in the
+/// same order produce identical bytes.
+pub fn to_sarif(diagnostics: &[Diagnostic], tool_version: &str) -> String {
+    let kinds_present: Vec<DiagnosticKind> = DiagnosticKind::ALL
+        .into_iter()
+        .filter(|k| diagnostics.iter().any(|d| d.kind == *k))
+        .collect();
+    let rule_index = |kind: DiagnosticKind| {
+        kinds_present
+            .iter()
+            .position(|k| *k == kind)
+            .expect("every result's kind is in the rules array")
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"jaaru\",\n");
+    let _ = writeln!(out, "          \"version\": \"{}\",", escape(tool_version));
+    out.push_str("          \"informationUri\": \"https://github.com/uci-plrg/jaaru\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, kind) in kinds_present.iter().enumerate() {
+        out.push_str("            {\n");
+        let _ = writeln!(out, "              \"id\": \"{}\",", kind.as_str());
+        let _ = writeln!(
+            out,
+            "              \"shortDescription\": {{ \"text\": \"{}\" }},",
+            escape(kind.describe())
+        );
+        let _ = writeln!(
+            out,
+            "              \"defaultConfiguration\": {{ \"level\": \"{}\" }}",
+            level(kind.severity())
+        );
+        out.push_str("            }");
+        out.push_str(if i + 1 < kinds_present.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diagnostics.iter().enumerate() {
+        out.push_str("        {\n");
+        let _ = writeln!(out, "          \"ruleId\": \"{}\",", d.kind.as_str());
+        let _ = writeln!(out, "          \"ruleIndex\": {},", rule_index(d.kind));
+        let _ = writeln!(out, "          \"level\": \"{}\",", level(d.severity()));
+        let _ = writeln!(
+            out,
+            "          \"message\": {{ \"text\": \"{}\" }},",
+            escape(&d.suggestion)
+        );
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        match parse_site(&d.site) {
+            Some((file, line, column)) => {
+                let _ = writeln!(
+                    out,
+                    "                \"artifactLocation\": {{ \"uri\": \"{}\" }},",
+                    escape(file)
+                );
+                let _ = writeln!(
+                    out,
+                    "                \"region\": {{ \"startLine\": {line}, \"startColumn\": {column} }}"
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "                \"artifactLocation\": {{ \"uri\": \"{}\" }}",
+                    escape(&d.site)
+                );
+            }
+        }
+        out.push_str("              }\n            }\n          ],\n");
+        out.push_str("          \"properties\": {\n");
+        match d.addr {
+            Some(addr) => {
+                let _ = writeln!(out, "            \"occurrences\": {},", d.occurrences);
+                let _ = writeln!(
+                    out,
+                    "            \"addr\": \"{}\"",
+                    escape(&addr.to_string())
+                );
+            }
+            None => {
+                let _ = writeln!(out, "            \"occurrences\": {}", d.occurrences);
+            }
+        }
+        out.push_str("          }\n        }");
+        out.push_str(if i + 1 < diagnostics.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaaru_pmem::PmAddr;
+
+    fn diag(kind: DiagnosticKind, site: &str, suggestion: &str) -> Diagnostic {
+        Diagnostic {
+            kind,
+            site: site.into(),
+            suggestion: suggestion.into(),
+            addr: Some(PmAddr::new(128)),
+            occurrences: 2,
+        }
+    }
+
+    #[test]
+    fn document_has_required_structure() {
+        let diags = vec![
+            diag(
+                DiagnosticKind::MissingFlush,
+                "src/a.rs:10:5",
+                "insert clflush",
+            ),
+            diag(DiagnosticKind::RedundantFence, "src/b.rs:20:9", "remove it"),
+        ];
+        let doc = to_sarif(&diags, "1.2.3");
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("\"name\": \"jaaru\""));
+        assert!(doc.contains("\"version\": \"1.2.3\""));
+        assert!(doc.contains("\"id\": \"missing-flush\""));
+        assert!(doc.contains("\"id\": \"redundant-fence\""));
+        assert!(doc.contains("\"ruleId\": \"missing-flush\""));
+        assert!(doc.contains("\"uri\": \"src/a.rs\""));
+        assert!(doc.contains("\"startLine\": 10, \"startColumn\": 5"));
+        assert!(doc.contains("\"level\": \"error\""));
+        assert!(doc.contains("\"level\": \"warning\""));
+        assert!(doc.contains("\"occurrences\": 2"));
+    }
+
+    #[test]
+    fn rules_follow_declaration_order_and_results_index_them() {
+        // Insert results out of declaration order; rules must still be
+        // listed in DiagnosticKind::ALL order with matching ruleIndex.
+        let diags = vec![
+            diag(DiagnosticKind::RedundantFlush, "a.rs:1:1", "x"),
+            diag(DiagnosticKind::MissingFlush, "b.rs:2:2", "y"),
+        ];
+        let doc = to_sarif(&diags, "0");
+        let missing = doc.find("\"id\": \"missing-flush\"").unwrap();
+        let redundant = doc.find("\"id\": \"redundant-flush\"").unwrap();
+        assert!(missing < redundant, "rules in declaration order");
+        // missing-flush is rules[0], redundant-flush rules[1]; results
+        // keep input order, so the ruleIndex sequence is 1 then 0.
+        let first = doc.find("\"ruleId\": \"redundant-flush\"").unwrap();
+        let second = doc.find("\"ruleId\": \"missing-flush\"").unwrap();
+        assert!(first < second, "results in input order");
+        assert!(doc[first..second].contains("\"ruleIndex\": 1"));
+        assert!(doc[second..].contains("\"ruleIndex\": 0"));
+    }
+
+    #[test]
+    fn output_is_deterministic_and_escaped() {
+        let diags = vec![diag(
+            DiagnosticKind::MissingFence,
+            "weird\"file.rs:3:4",
+            "fix \"this\"\nnow",
+        )];
+        let a = to_sarif(&diags, "0");
+        let b = to_sarif(&diags, "0");
+        assert_eq!(a, b);
+        assert!(a.contains("fix \\\"this\\\"\\nnow"));
+        assert!(a.contains("weird\\\"file.rs"));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_rules_and_results() {
+        let doc = to_sarif(&[], "0");
+        assert!(doc.contains("\"rules\": [\n          ]"));
+        assert!(doc.contains("\"results\": [\n      ]"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Vector clocks over recorded guest threads.
+//!
+//! The persist-order graph assigns every trace op a vector clock so
+//! passes can ask "does this store happen-before that flush?" without
+//! re-walking the trace. Clocks are tiny (one `u32` per guest thread,
+//! and guests rarely exceed a handful of threads), so they are stored
+//! per op and grown on demand.
+
+/// A vector clock: component `t` is the number of events of thread `t`
+/// known to happen-before (or be) the clock's owner.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    ticks: Vec<u32>,
+}
+
+impl VClock {
+    /// The zero clock (knows of no events).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for thread `t` (0 when never advanced).
+    pub fn get(&self, t: usize) -> u32 {
+        self.ticks.get(t).copied().unwrap_or(0)
+    }
+
+    /// Increments thread `t`'s component and returns the new tick.
+    pub fn advance(&mut self, t: usize) -> u32 {
+        if self.ticks.len() <= t {
+            self.ticks.resize(t + 1, 0);
+        }
+        self.ticks[t] += 1;
+        self.ticks[t]
+    }
+
+    /// Componentwise maximum with `other` (the receive half of a
+    /// release/acquire edge).
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (i, &tick) in other.ticks.iter().enumerate() {
+            if self.ticks[i] < tick {
+                self.ticks[i] = tick;
+            }
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the matching component of
+    /// `other` — i.e. everything `self` knows, `other` knows too.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.ticks
+            .iter()
+            .enumerate()
+            .all(|(i, &tick)| tick <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_counts_per_thread() {
+        let mut c = VClock::new();
+        assert_eq!(c.advance(0), 1);
+        assert_eq!(c.advance(0), 2);
+        assert_eq!(c.advance(2), 1);
+        assert_eq!(c.get(0), 2);
+        assert_eq!(c.get(1), 0);
+        assert_eq!(c.get(2), 1);
+    }
+
+    #[test]
+    fn join_takes_componentwise_max() {
+        let mut a = VClock::new();
+        a.advance(0);
+        a.advance(0);
+        let mut b = VClock::new();
+        b.advance(1);
+        b.advance(1);
+        b.advance(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 3);
+    }
+
+    #[test]
+    fn le_orders_clocks() {
+        let mut a = VClock::new();
+        a.advance(0);
+        let mut b = a.clone();
+        b.advance(1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(a.le(&a));
+    }
+}

@@ -14,7 +14,9 @@
 //! ```
 //!
 //! `--jobs N` explores on N worker threads (0 = all cores; default 1).
-//! `--format json` prints the machine-readable report instead of text.
+//! `--format json` prints the machine-readable report instead of text;
+//! `--format sarif` prints the run's diagnostics as a SARIF 2.1.0
+//! document for CI ingestion.
 //! `--no-snapshot` disables crash-point snapshots (replay every prefix);
 //! `--snapshot-cap <bytes>` bounds the per-cache snapshot footprint.
 //! e.g. `cargo run --release -p jaaru-bench --bin jaaru_cli -- bug recipe 10`
@@ -34,6 +36,7 @@ use jaaru_fuzz::{harvest, minimize_divergence, run_campaign, Oracle};
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 /// Snapshot settings drained from the command line.
@@ -54,7 +57,13 @@ fn config(jobs: usize, lint: bool, snapshots: SnapshotOpts) -> Config {
         c.snapshot_cap(cap);
     }
     if lint {
-        c.lints(true).flag_perf_issues(true);
+        // All graph passes on. The graph-based flush-redundancy pass
+        // replaces the inline `flag_perf_issues` machinery here —
+        // enabling both would double-count redundant flushes.
+        c.lints(true)
+            .lint_cross_thread(true)
+            .lint_torn_stores(true)
+            .lint_flush_redundancy(true);
     }
     c
 }
@@ -64,6 +73,10 @@ fn config(jobs: usize, lint: bool, snapshots: SnapshotOpts) -> Config {
 fn emit(name: &str, report: &CheckReport, format: Format) -> i32 {
     match format {
         Format::Json => print!("{}", report.to_json()),
+        Format::Sarif => print!(
+            "{}",
+            jaaru::to_sarif(&report.diagnostics, env!("CARGO_PKG_VERSION"))
+        ),
         Format::Text => {
             println!("== {name} ==");
             println!("{report}");
@@ -127,7 +140,7 @@ fn usage() -> ! {
          jaaru_cli [options] fuzz [fuzz options]\n\
          options:\n  \
          --jobs N (-j)          worker threads (0 = all cores; default 1)\n  \
-         --format text|json (-f) output format\n  \
+         --format text|json|sarif (-f) output format (sarif: lint diagnostics as SARIF 2.1.0)\n  \
          --no-snapshot          replay every prefix instead of restoring snapshots\n  \
          --snapshot-cap BYTES   per-cache snapshot byte budget (default 64 MiB)\n\
          fuzz options:\n  \
@@ -242,7 +255,7 @@ fn fuzz(opts: FuzzOpts, jobs: usize, format: Format) -> i32 {
 
     match format {
         Format::Json => print!("{}", report.to_json()),
-        Format::Text => {
+        Format::Text | Format::Sarif => {
             println!("== fuzz ==");
             let rows = vec![
                 vec!["seeds".to_string(), report.seeds.to_string()],
@@ -307,6 +320,7 @@ fn main() {
         format = match args.get(pos + 1).map(String::as_str) {
             Some("text") => Format::Text,
             Some("json") => Format::Json,
+            Some("sarif") => Format::Sarif,
             _ => usage(),
         };
         args.drain(pos..=pos + 1);

@@ -116,7 +116,7 @@ impl CheckerEnv {
                 max_rf_set: 1,
                 diagnostics: DiagnosticSet::new(),
                 work_since_fence: 0,
-                op_traces: if config.lints_value() {
+                op_traces: if config.trace_ops_value() {
                     vec![OpTrace::new()]
                 } else {
                     Vec::new()
@@ -128,10 +128,10 @@ impl CheckerEnv {
             skip_unchanged: config.skip_unchanged_value(),
             max_ops: config.op_limit(),
             // The localization pass correlates lint candidates with
-            // read-from evidence, so lints imply race flagging.
-            flag_races: config.flag_races_value() || config.lints_value(),
+            // read-from evidence, so analysis passes imply race flagging.
+            flag_races: config.flag_races_value() || config.trace_ops_value(),
             flag_perf: config.flag_perf_issues_value(),
-            flag_lints: config.lints_value(),
+            flag_lints: config.trace_ops_value(),
             lint_loc: Cell::new(None),
         }
     }
@@ -515,6 +515,21 @@ impl PmEnv for CheckerEnv {
         self.tick();
         self.check_range(addr, buf.len());
         let loc = Location::caller();
+        if self.flag_lints {
+            // The cross-thread race pass keys buggy-scenario reports to
+            // the lines recovery actually reads; loads are inert in the
+            // persist-order replay itself.
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            self.record_trace(
+                inner,
+                loc,
+                TraceOpKind::Load {
+                    addr,
+                    len: buf.len() as u32,
+                },
+            );
+        }
         // Byte accesses performed atomically, low address first (paper §4,
         // "Mixed size accesses"). Each byte's committed choice refines the
         // line interval before the next byte's candidates are computed.

@@ -27,6 +27,9 @@ pub struct Config {
     flag_races: bool,
     flag_perf_issues: bool,
     lints: bool,
+    lint_cross_thread: bool,
+    lint_torn_stores: bool,
+    lint_flush_redundancy: bool,
     jobs: usize,
     snapshots: bool,
     snapshot_cap: usize,
@@ -51,6 +54,9 @@ impl Config {
             flag_races: true,
             flag_perf_issues: false,
             lints: false,
+            lint_cross_thread: false,
+            lint_torn_stores: false,
+            lint_flush_redundancy: false,
             jobs: 1,
             snapshots: true,
             snapshot_cap: 64 << 20,
@@ -226,6 +232,58 @@ impl Config {
         self.lints
     }
 
+    /// Enable the cross-thread persistency race pass (default `false`):
+    /// report stores whose flush/fence chain runs on another thread
+    /// with no synchronizing edge (flush-on-the-wrong-thread,
+    /// fence-on-the-wrong-thread). Queries the persist-order constraint
+    /// graph built from the same recorded traces as [`Config::lints`],
+    /// which this knob implies recording.
+    pub fn lint_cross_thread(&mut self, yes: bool) -> &mut Self {
+        self.lint_cross_thread = yes;
+        self
+    }
+
+    /// Whether the cross-thread persistency race pass is enabled.
+    pub fn lint_cross_thread_value(&self) -> bool {
+        self.lint_cross_thread
+    }
+
+    /// Enable the torn-store pass (default `false`): report stores
+    /// straddling a cache-line boundary whose halves persist at
+    /// different points, confirmed against a failing scenario's
+    /// read-from evidence like the robustness candidates.
+    pub fn lint_torn_stores(&mut self, yes: bool) -> &mut Self {
+        self.lint_torn_stores = yes;
+        self
+    }
+
+    /// Whether the torn-store pass is enabled.
+    pub fn lint_torn_stores_value(&self) -> bool {
+        self.lint_torn_stores
+    }
+
+    /// Enable the flush-redundancy performance pass (default `false`):
+    /// report same-line re-flushes with no intervening store, fences
+    /// over empty flush buffers, and flushes before any store, as
+    /// warning-severity diagnostics with occurrence counts. This is the
+    /// graph-based successor of [`Config::flag_perf_issues`]; enabling
+    /// both double-counts redundant flushes.
+    pub fn lint_flush_redundancy(&mut self, yes: bool) -> &mut Self {
+        self.lint_flush_redundancy = yes;
+        self
+    }
+
+    /// Whether the flush-redundancy pass is enabled.
+    pub fn lint_flush_redundancy_value(&self) -> bool {
+        self.lint_flush_redundancy
+    }
+
+    /// Whether any analysis pass needs per-execution op traces
+    /// recorded: the lint engine proper or any of the graph passes.
+    pub fn trace_ops_value(&self) -> bool {
+        self.lints || self.lint_cross_thread || self.lint_torn_stores || self.lint_flush_redundancy
+    }
+
     /// Enable crash-point snapshots (default `true`): checkpoint checker
     /// state at every injected failure and restore it to start later
     /// scenarios directly at recovery, instead of replaying their
@@ -334,6 +392,28 @@ mod tests {
         c.snapshots(false).snapshot_cap(1 << 10);
         assert!(!c.snapshots_value());
         assert_eq!(c.snapshot_cap_value(), 1 << 10);
+    }
+
+    #[test]
+    fn graph_passes_default_off_and_imply_trace_recording() {
+        let c = Config::new();
+        assert!(!c.lint_cross_thread_value());
+        assert!(!c.lint_torn_stores_value());
+        assert!(!c.lint_flush_redundancy_value());
+        assert!(!c.trace_ops_value());
+
+        let mut c = Config::new();
+        c.lint_cross_thread(true);
+        assert!(c.trace_ops_value());
+        let mut c = Config::new();
+        c.lint_torn_stores(true);
+        assert!(c.trace_ops_value());
+        let mut c = Config::new();
+        c.lint_flush_redundancy(true);
+        assert!(c.trace_ops_value());
+        let mut c = Config::new();
+        c.lints(true);
+        assert!(c.trace_ops_value());
     }
 
     #[test]

@@ -156,7 +156,7 @@ pub(crate) fn run_scenario(
         b.crash_points = record.crash_points.clone();
         b.trace = record.decisions.trace();
     }
-    let lints = lint_scenario(&record, bug.is_some());
+    let lints = lint_scenario(&record, bug.is_some(), config);
     let mut diagnostics = record.diagnostics;
     diagnostics.extend(lints);
     let outcome = ScenarioOutcome {
@@ -340,7 +340,7 @@ impl ModelChecker {
             }
         }
         let record = env.finish();
-        let lints = lint_scenario(&record, !bugs.is_empty());
+        let lints = lint_scenario(&record, !bugs.is_empty(), &self.config);
         let mut diagnostics = record.diagnostics;
         diagnostics.extend(lints);
         if let Some(bug) = bugs.first_mut() {

@@ -89,12 +89,13 @@ pub use report::{
 };
 pub use signal::with_quiet_panics;
 
-// The unified diagnostic framework (lint findings + perf warnings).
-pub use jaaru_analysis::{Diagnostic, DiagnosticKind, DiagnosticSet, Severity};
+// The unified diagnostic framework (lint findings + perf warnings)
+// and its SARIF 2.1.0 rendering.
+pub use jaaru_analysis::{to_sarif, Diagnostic, DiagnosticKind, DiagnosticSet, Severity};
 
 // Snapshot-cache counters, surfaced through `CheckReport::snapshots`.
 pub use jaaru_snapshot::SnapshotStats;
 
 // Re-exports for downstream crates (baselines, workloads, benches).
-pub use jaaru_pmem::{CacheLineId, PmAddr, PmError, PmPool, CACHE_LINE_SIZE};
+pub use jaaru_pmem::{CacheLineId, PmAddr, PmError, PmPool, CACHE_LINE_SIZE, NULL_PAGE_SIZE};
 pub use jaaru_tso::EvictionPolicy;

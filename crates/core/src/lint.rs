@@ -1,37 +1,56 @@
-//! The per-scenario lint pass: robustness analysis plus localization.
+//! The per-scenario lint pass: graph-based analysis plus localization.
 //!
-//! With [`Config::lints`](crate::Config::lints) on, every execution's
-//! operation stream is recorded and handed to the `jaaru-analysis`
-//! robustness checker, which infers commit stores (the flushed-and-fenced
-//! guard-store idiom of the paper's Figure 4) and flags stores that can
-//! reach a commit store without being persist-ordered before it.
+//! With any analysis knob on ([`Config::lints`](crate::Config::lints),
+//! [`Config::lint_cross_thread`](crate::Config::lint_cross_thread),
+//! [`Config::lint_torn_stores`](crate::Config::lint_torn_stores),
+//! [`Config::lint_flush_redundancy`](crate::Config::lint_flush_redundancy)),
+//! every execution's operation stream is recorded, lifted into a
+//! [`PersistGraph`] — one replay of the Figure 7/8 buffer rules shared
+//! by all passes — and queried:
 //!
-//! Candidates are emitted as diagnostics through two complementary
-//! routes, chosen per scenario:
+//! * the **robustness pass** infers commit stores (the
+//!   flushed-and-fenced guard-store idiom of the paper's Figure 4) and
+//!   flags stores that can reach a commit store without being
+//!   persist-ordered before it;
+//! * the **torn-store pass** flags straddling stores whose line halves
+//!   persist at different points;
+//! * the **cross-thread race pass** flags stores whose flush/fence
+//!   chain spans threads without a synchronizing edge;
+//! * the **flush-redundancy pass** flags wasted persistency ops.
+//!
+//! Findings are emitted through two complementary routes, chosen per
+//! scenario:
 //!
 //! * **Static route** — the *clean* scenario (no injected failure, no
-//!   bug) covers the program's full pre-failure operation stream, so its
-//!   candidates are robustness violations of the program text itself.
-//!   They are reported directly; a correctly ordered program yields
-//!   none.
+//!   bug) covers the program's full pre-failure operation stream, so
+//!   its findings describe the program text itself. Reported directly:
+//!   never-fenced `clflushopt`s, cross-thread races, and redundancy
+//!   warnings need no failure to be wrong (or wasteful).
 //! * **Dynamic route** — a *buggy* scenario additionally proves which
 //!   violations matter: the failing execution's racy loads name the
-//!   stores they could have read from, and a candidate whose unordered
-//!   store appears among them is the root cause of an observed symptom.
-//!   Only race-confirmed candidates are reported, which localizes the
-//!   symptom to the seeded fault site without re-flagging incidental
-//!   candidates from unrelated scenarios.
+//!   stores they could have read from, and a robustness or torn-store
+//!   candidate whose unordered store appears among them is the root
+//!   cause of an observed symptom. Cross-thread reports are kept only
+//!   when the failing recovery actually read the store's cache lines.
 
 use std::collections::HashSet;
 
-use jaaru_analysis::{analyze_trace, localize, Candidate, Diagnostic, DiagnosticKind, RfEvidence};
+use jaaru_analysis::{
+    cross_thread_races, flush_redundancy, localize, recovery_read_lines, robustness_candidates,
+    torn_candidates, Candidate, Diagnostic, DiagnosticKind, PersistGraph, RfEvidence,
+};
 
 use crate::checker_env::ScenarioRecord;
+use crate::config::Config;
 
-/// Runs the robustness analysis over one scenario's recorded traces and
-/// returns the diagnostics it contributes. Empty when lints are off
-/// (no traces were recorded).
-pub(crate) fn lint_scenario(record: &ScenarioRecord, had_bug: bool) -> Vec<Diagnostic> {
+/// Runs the enabled analysis passes over one scenario's recorded traces
+/// and returns the diagnostics they contribute. Empty when no pass is
+/// enabled (no traces were recorded).
+pub(crate) fn lint_scenario(
+    record: &ScenarioRecord,
+    had_bug: bool,
+    config: &Config,
+) -> Vec<Diagnostic> {
     if record.op_traces.is_empty() {
         return Vec::new();
     }
@@ -41,18 +60,40 @@ pub(crate) fn lint_scenario(record: &ScenarioRecord, had_bug: bool) -> Vec<Diagn
         // does not already cover; skip the analysis cost.
         return Vec::new();
     }
+    let static_route = crash_free && !had_bug;
 
-    // Analyze every execution's trace; candidates carry the index of the
-    // execution whose stores they constrain (localization matches racy
-    // loads against stores of that same execution).
+    // One graph per execution trace; every enabled pass queries it.
+    // Robustness and torn candidates carry the index of the execution
+    // whose stores they constrain (localization matches racy loads
+    // against stores of that same execution). Cross-thread and
+    // redundancy findings describe the pre-failure program stream, so
+    // only execution 0's graph feeds them.
     let mut candidates: Vec<(usize, Candidate)> = Vec::new();
+    let mut cross: Vec<Diagnostic> = Vec::new();
+    let mut redundancy: Vec<Diagnostic> = Vec::new();
     for (exec, trace) in record.op_traces.iter().enumerate() {
-        for c in analyze_trace(trace) {
-            candidates.push((exec, c));
+        let graph = PersistGraph::build(trace);
+        if config.lints_value() {
+            for c in robustness_candidates(&graph) {
+                candidates.push((exec, c));
+            }
+        }
+        if config.lint_torn_stores_value() {
+            for c in torn_candidates(&graph) {
+                candidates.push((exec, c));
+            }
+        }
+        if exec == 0 {
+            if config.lint_cross_thread_value() {
+                cross = cross_thread_races(&graph);
+            }
+            if config.lint_flush_redundancy_value() && static_route {
+                redundancy = flush_redundancy(&graph);
+            }
         }
     }
 
-    if crash_free && !had_bug {
+    let mut out: Vec<Diagnostic> = if static_route {
         // Static route: of the clean scenario's candidates, only the
         // `MissingFence` class is reported unconditionally — the
         // `clflushopt` proves the program *meant* to persist the store,
@@ -61,10 +102,11 @@ pub(crate) fn lint_scenario(record: &ScenarioRecord, had_bug: bool) -> Vec<Diagn
         // different matter: never-flushed stores are routinely benign
         // (node locks, epoch counters, allocator bookkeeping), and
         // late-flushed stores (ordered after an unrelated commit such
-        // as an allocator's cursor persist) are a common idiom. Those
-        // are reported only when a failing scenario proves recovery can
-        // observe the window — the dynamic route below. Dedup by
-        // (kind, site) — the same flush can precede many commit stores.
+        // as an allocator's cursor persist) are a common idiom. Those —
+        // and torn-store candidates — are reported only when a failing
+        // scenario proves recovery can observe the window, in the
+        // dynamic route below. Dedup by (kind, site) — the same flush
+        // can precede many commit stores.
         let mut seen = HashSet::new();
         candidates
             .into_iter()
@@ -84,5 +126,22 @@ pub(crate) fn lint_scenario(record: &ScenarioRecord, had_bug: bool) -> Vec<Diagn
             }
         }
         localize(candidates, &evidence)
+    };
+
+    if !cross.is_empty() {
+        if static_route {
+            out.extend(cross);
+        } else {
+            // A buggy scenario ties cross-thread reports to state the
+            // failing recovery observed: keep a report only when some
+            // recovery execution read the store's cache line.
+            let read = recovery_read_lines(&record.op_traces);
+            out.extend(cross.into_iter().filter(|d| {
+                d.addr
+                    .is_some_and(|addr| read.contains(&addr.cache_line().index()))
+            }));
+        }
     }
+    out.extend(redundancy);
+    out
 }

@@ -33,7 +33,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::gen::{GenProgram, Op};
+use crate::gen::{FaultClass, GenProgram, Op};
 
 /// Magic first line of the reproducer format.
 const MAGIC: &str = "jaaru-fuzz-repro v1";
@@ -69,6 +69,12 @@ impl Reproducer {
         if let Some(f) = self.program.fault {
             let _ = writeln!(out, "fault: {f}");
         }
+        // Written only for non-default classes, so pre-fault-class
+        // corpus files and newly-written missing-flush ones stay
+        // byte-identical.
+        if self.program.fault_class != FaultClass::MissingFlush {
+            let _ = writeln!(out, "class: {}", self.program.fault_class.as_str());
+        }
         for op in &self.program.ops {
             let _ = writeln!(out, "op: {op}");
         }
@@ -98,6 +104,7 @@ impl Reproducer {
         let mut layout_lines = None;
         let mut commit = None;
         let mut fault = None;
+        let mut class = FaultClass::MissingFlush;
         let mut ops = Vec::new();
         let mut trace = Vec::new();
         let mut digest = String::new();
@@ -119,6 +126,7 @@ impl Reproducer {
                 "lines" => layout_lines = Some(value.parse::<usize>().map_err(|e| e.to_string())?),
                 "commit" => commit = Some(value.parse::<bool>().map_err(|e| e.to_string())?),
                 "fault" => fault = Some(value.parse::<u8>().map_err(|e| e.to_string())?),
+                "class" => class = FaultClass::parse(value)?,
                 "op" => ops.push(Op::parse(value)?),
                 "trace" => {
                     for tok in value.split_whitespace() {
@@ -135,7 +143,8 @@ impl Reproducer {
             ops,
             commit.ok_or("missing commit")?,
             fault,
-        );
+        )
+        .with_class(class);
         Ok(Reproducer {
             name: name.ok_or("missing name")?,
             axis: axis.ok_or("missing axis")?,
@@ -194,6 +203,9 @@ mod tests {
     fn text_roundtrip_is_exact() {
         let r = sample();
         assert_eq!(Reproducer::parse(&r.to_text()).unwrap(), r);
+        // Default class is omitted from the text, so legacy files and
+        // fresh missing-flush files share the format.
+        assert!(!r.to_text().contains("class:"));
         // Clean program, no fault, empty trace.
         let r = Reproducer {
             name: "clean".into(),
@@ -203,6 +215,18 @@ mod tests {
             digest: "stats: x\n".into(),
         };
         assert_eq!(Reproducer::parse(&r.to_text()).unwrap(), r);
+        // Non-default classes roundtrip through the `class:` key.
+        let r = Reproducer {
+            name: "torn".into(),
+            axis: "seeded-fault".into(),
+            program: GenProgram::from_parts(3, 1, vec![], true, Some(0))
+                .with_class(crate::gen::FaultClass::Torn),
+            trace: vec![0],
+            digest: "stats: y\n".into(),
+        };
+        let text = r.to_text();
+        assert!(text.contains("class: torn"), "{text}");
+        assert_eq!(Reproducer::parse(&text).unwrap(), r);
     }
 
     #[test]

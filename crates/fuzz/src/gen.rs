@@ -15,9 +15,12 @@
 //!   publish a commit flag — the idiom Jaaru's constraint refinement
 //!   exploits),
 //! * an optional *seeded persistency fault* with a known ground-truth
-//!   label: the epilogue omits one data line's flush after a trailing
-//!   store, so recovery observing the commit flag can read stale data —
-//!   a guaranteed-manifestable missing-flush bug.
+//!   label, drawn from four [`FaultClass`]es: the canonical
+//!   missing-flush bug (the epilogue omits one line's flush after a
+//!   trailing store), a cross-thread persistency race (the line's flush
+//!   runs on a spawned thread with no synchronization back), a torn
+//!   store (an 8-byte store straddling into an unflushed line), and a
+//!   redundant flush (the same clean line flushed twice back-to-back).
 //!
 //! The generated recovery procedure asserts exactly the legal states:
 //! committed slots must hold their final values; uncommitted slots may
@@ -166,6 +169,65 @@ impl Op {
     }
 }
 
+/// Which planted persistency construct a seeded fault is.
+///
+/// Buggy classes ([`MissingFlush`](FaultClass::MissingFlush),
+/// [`Torn`](FaultClass::Torn)) must manifest a recovery assertion
+/// naming the faulted line; clean classes
+/// ([`CrossThread`](FaultClass::CrossThread),
+/// [`RedundantFlush`](FaultClass::RedundantFlush)) must check clean
+/// while the matching static analysis pass flags the planted construct
+/// — they are ground truth for the lint engine, not the explorer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The commit epilogue omits the faulted line's flush after a
+    /// trailing store — the paper's canonical missing-flush bug.
+    #[default]
+    MissingFlush,
+    /// The faulted line is persisted only by a spawned thread
+    /// (`clflushopt` + `sfence`) with no synchronizing edge back to the
+    /// storing thread. Crash-consistent under the deterministic
+    /// run-to-completion schedule, but a persistency race in the
+    /// program text.
+    CrossThread,
+    /// An 8-byte store straddling the last data line into its never-
+    /// flushed neighbor: the halves persist independently, so a
+    /// committed recovery can observe a torn value.
+    Torn,
+    /// The faulted line is flushed twice back-to-back with no
+    /// intervening store; the second flush is pure overhead.
+    RedundantFlush,
+}
+
+impl FaultClass {
+    /// Stable kebab-case name — the corpus `class:` key and log label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::MissingFlush => "missing-flush",
+            FaultClass::CrossThread => "cross-thread",
+            FaultClass::Torn => "torn",
+            FaultClass::RedundantFlush => "redundant-flush",
+        }
+    }
+
+    /// Parses the [`as_str`](Self::as_str) form back.
+    pub fn parse(text: &str) -> Result<FaultClass, String> {
+        match text {
+            "missing-flush" => Ok(FaultClass::MissingFlush),
+            "cross-thread" => Ok(FaultClass::CrossThread),
+            "torn" => Ok(FaultClass::Torn),
+            "redundant-flush" => Ok(FaultClass::RedundantFlush),
+            other => Err(format!("unknown fault class {other:?}")),
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// How seeded persistency faults are assigned during generation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultMode {
@@ -194,12 +256,19 @@ pub struct GenProgram {
     pub ops: Vec<Op>,
     /// Whether the commit-store epilogue runs after the body.
     pub commit: bool,
-    /// Seeded missing-flush fault: the epilogue skips this data line's
-    /// flush. `None` = correct by construction. Only meaningful with
-    /// [`commit`](Self::commit) set.
+    /// The faulted data line. `None` = correct by construction. Only
+    /// meaningful with [`commit`](Self::commit) set; what is planted on
+    /// the line depends on [`fault_class`](Self::fault_class).
     pub fault: Option<u8>,
+    /// Which construct the fault plants (ignored when
+    /// [`fault`](Self::fault) is `None`).
+    pub fault_class: FaultClass,
     name: String,
 }
+
+/// Value of the planted straddling store: distinct nonzero halves, so a
+/// torn observation identifies which half persisted.
+const TORN_MARK: u64 = 0xAAAA_BBBB_CCCC_DDDD;
 
 /// The per-slot value histories implied by a body: `[line][slot]` → every
 /// value the slot holds over the pre-failure execution, initial 0 first.
@@ -240,19 +309,56 @@ impl GenProgram {
             ops,
             commit,
             fault,
+            fault_class: FaultClass::MissingFlush,
             name: format!("fuzz-{seed:#x}"),
         }
     }
 
-    /// Whether the seeded ground truth says this program must report a
-    /// bug (`true`) or check clean (`false`).
-    pub fn expect_buggy(&self) -> bool {
-        self.fault.is_some()
+    /// Sets the fault class (builder-style; generation and corpus
+    /// deserialization). A torn fault must sit on the last data line —
+    /// its straddling store targets the line past the layout.
+    pub fn with_class(mut self, class: FaultClass) -> GenProgram {
+        if class == FaultClass::Torn {
+            if let Some(f) = self.fault {
+                assert_eq!(
+                    f as usize,
+                    self.lines - 1,
+                    "a torn fault must be on the last data line"
+                );
+            }
+        }
+        self.fault_class = class;
+        self
     }
 
-    /// Address of a data slot: data lines start one line past the root.
+    /// Whether the seeded ground truth says this program must report a
+    /// bug (`true`) or check clean (`false`). Cross-thread and
+    /// redundant-flush constructs are crash-consistent by construction;
+    /// their ground truth is a *diagnostic*, not a bug.
+    pub fn expect_buggy(&self) -> bool {
+        self.fault.is_some()
+            && matches!(
+                self.fault_class,
+                FaultClass::MissingFlush | FaultClass::Torn
+            )
+    }
+
+    /// Base address of a data line: data lines start one line past the
+    /// root.
+    fn line_base(root: PmAddr, line: u8) -> PmAddr {
+        root + 64 * (line as u64 + 1)
+    }
+
+    /// Address of a data slot.
     fn slot_addr(root: PmAddr, line: u8, slot: u8) -> PmAddr {
-        root + 64 * (line as u64 + 1) + 8 * slot as u64
+        Self::line_base(root, line) + 8 * slot as u64
+    }
+
+    /// Address of the planted torn store: the last 4 bytes of the
+    /// faulted (last) data line, straddling into the never-flushed line
+    /// past the layout.
+    fn straddle_addr(root: PmAddr, line: u8) -> PmAddr {
+        Self::line_base(root, line) + 60
     }
 
     /// Replays the body against a value simulator, returning per-slot
@@ -299,14 +405,51 @@ impl GenProgram {
                 }
             }
         }
+        match (self.fault, self.fault_class) {
+            (Some(line), FaultClass::CrossThread) => {
+                // The planted race: dirty the faulted line past the
+                // recovery-checked slots, then persist it from a
+                // spawned thread with no synchronization back to the
+                // storing thread. Run-to-completion scheduling keeps
+                // the program crash-consistent — the race is a
+                // program-text hazard only the static pass sees.
+                env.store_u64(Self::line_base(root, line) + 32, 0x0ff1_0ad5);
+                env.spawn(&mut |t| {
+                    t.clflushopt(Self::line_base(root, line), 64);
+                    t.sfence();
+                });
+            }
+            (Some(line), FaultClass::Torn) => {
+                // The planted torn store: straddles the last data line
+                // into its neighbor. The epilogue flushes the low half
+                // with the rest of the line; the high half has no flush
+                // anywhere.
+                env.store_u64(Self::straddle_addr(root, line), TORN_MARK);
+            }
+            (Some(line), FaultClass::RedundantFlush) => {
+                // The planted redundancy: dirty the line (again past
+                // the slots), flush it, flush it again — the second
+                // flush covers an all-clean line.
+                env.store_u64(Self::line_base(root, line) + 32, 0x0ff1_0ad5);
+                env.clflush(Self::line_base(root, line), 64);
+                env.clflush(Self::line_base(root, line), 64);
+            }
+            _ => {}
+        }
         if self.commit {
             // The commit-store idiom: persist every data line, then
-            // publish. A seeded fault omits exactly one line's flush —
-            // the paper's canonical missing-flush bug, with the label
-            // carried in the program.
+            // publish. A missing-flush fault omits exactly one line's
+            // flush — the paper's canonical bug, with the label carried
+            // in the program; a cross-thread fault delegates that flush
+            // to the spawned thread above.
             for line in 0..self.lines as u8 {
-                if self.fault != Some(line) {
-                    env.clflush(root + 64 * (line as u64 + 1), 64);
+                let delegated = self.fault == Some(line)
+                    && matches!(
+                        self.fault_class,
+                        FaultClass::MissingFlush | FaultClass::CrossThread
+                    );
+                if !delegated {
+                    env.clflush(Self::line_base(root, line), 64);
                 }
             }
             env.sfence();
@@ -343,6 +486,28 @@ impl GenProgram {
                         &format!("impossible slot value (line {line})"),
                     );
                 }
+            }
+        }
+        if let (Some(line), FaultClass::Torn) = (self.fault, self.fault_class) {
+            let v = env.load_u64(Self::straddle_addr(root, line));
+            let lo = TORN_MARK & 0xFFFF_FFFF;
+            let hi = TORN_MARK & !0xFFFF_FFFF;
+            if committed {
+                // The low half was flushed and fenced with its line
+                // before the commit store; the high half has no flush
+                // at all, so a committed recovery can observe it torn —
+                // the seeded bug.
+                env.pm_assert(
+                    v == TORN_MARK,
+                    &format!("torn straddling store (line {line})"),
+                );
+            } else {
+                // Uncommitted: each half independently holds 0 or its
+                // new bytes; anything else is a checker defect.
+                env.pm_assert(
+                    v == 0 || v == lo || v == hi || v == TORN_MARK,
+                    "impossible straddling value",
+                );
             }
         }
     }
@@ -393,6 +558,20 @@ pub fn generate(seed: u64, ops_max: usize, mode: FaultMode) -> GenProgram {
         FaultMode::Force => true,
         FaultMode::Auto => rng.next_u64().is_multiple_of(5),
     };
+    // The class is drawn only for auto-faulted seeds, after the faulted
+    // decision: fault-free seed streams are byte-identical to earlier
+    // generator versions, and forced-fault callers (minimizer drills,
+    // corpus harvesting) keep the canonical missing-flush class.
+    let class = if faulted && mode == FaultMode::Auto {
+        match rng.next_u64() % 4 {
+            0 => FaultClass::CrossThread,
+            1 => FaultClass::Torn,
+            2 => FaultClass::RedundantFlush,
+            _ => FaultClass::MissingFlush,
+        }
+    } else {
+        FaultClass::MissingFlush
+    };
     // A fault needs the commit idiom to manifest; otherwise flip a coin —
     // commit-mode programs exercise constraint refinement's fast path,
     // free-mode programs its unconstrained read-from enumeration.
@@ -441,24 +620,34 @@ pub fn generate(seed: u64, ops_max: usize, mode: FaultMode) -> GenProgram {
     }
 
     let fault = if faulted {
-        let line = (rng.next_u64() % lines as u64) as u8;
-        let slot = (rng.next_u64() % SLOTS_PER_LINE as u64) as u8;
-        // A trailing store to the faulted line after any body flush of
-        // it: its value reaches the cache but — with the epilogue flush
-        // omitted — persists only by luck, so a committed recovery can
-        // observe the older value. This makes the seeded bug reachable
-        // by construction.
-        ops.push(Op::Store {
-            line,
-            slot,
-            value: next_value,
-        });
-        Some(line)
+        match class {
+            FaultClass::MissingFlush => {
+                let line = (rng.next_u64() % lines as u64) as u8;
+                let slot = (rng.next_u64() % SLOTS_PER_LINE as u64) as u8;
+                // A trailing store to the faulted line after any body
+                // flush of it: its value reaches the cache but — with
+                // the epilogue flush omitted — persists only by luck,
+                // so a committed recovery can observe the older value.
+                // This makes the seeded bug reachable by construction.
+                ops.push(Op::Store {
+                    line,
+                    slot,
+                    value: next_value,
+                });
+                Some(line)
+            }
+            // The straddle targets the line past the layout, so the
+            // torn fault is pinned to the last data line.
+            FaultClass::Torn => Some((lines - 1) as u8),
+            FaultClass::CrossThread | FaultClass::RedundantFlush => {
+                Some((rng.next_u64() % lines as u64) as u8)
+            }
+        }
     } else {
         None
     };
 
-    GenProgram::from_parts(seed, lines, ops, commit, fault)
+    GenProgram::from_parts(seed, lines, ops, commit, fault).with_class(class)
 }
 
 #[cfg(test)]
@@ -534,5 +723,91 @@ mod tests {
     #[should_panic(expected = "requires the commit epilogue")]
     fn fault_without_commit_is_rejected() {
         GenProgram::from_parts(0, 1, vec![], false, Some(0));
+    }
+
+    #[test]
+    fn all_fault_classes_are_reachable() {
+        use std::collections::HashMap;
+        let mut by_class: HashMap<&'static str, u64> = HashMap::new();
+        for seed in 0..400 {
+            let p = generate(seed, 12, FaultMode::Auto);
+            if p.fault.is_some() {
+                *by_class.entry(p.fault_class.as_str()).or_default() += 1;
+            }
+        }
+        assert_eq!(
+            by_class.len(),
+            4,
+            "all four fault classes generated: {by_class:?}"
+        );
+    }
+
+    #[test]
+    fn torn_programs_report_the_straddling_store() {
+        let mut checked = 0;
+        for seed in 0..300 {
+            let p = generate(seed, 10, FaultMode::Auto);
+            if p.fault.is_none() || p.fault_class != FaultClass::Torn {
+                continue;
+            }
+            let fault = p.fault.unwrap();
+            assert_eq!(fault as usize, p.lines - 1, "torn fault pins the last line");
+            assert!(p.expect_buggy());
+            let report = checker().check(&p);
+            assert!(!report.is_clean(), "seed {seed}: torn fault must manifest");
+            for bug in &report.bugs {
+                assert_eq!(
+                    bug.message,
+                    format!("torn straddling store (line {fault})"),
+                    "seed {seed}: only the straddle can fail"
+                );
+            }
+            checked += 1;
+            if checked == 5 {
+                break;
+            }
+        }
+        assert!(checked >= 3, "too few torn seeds in range: {checked}");
+    }
+
+    #[test]
+    fn cross_thread_and_redundant_programs_check_clean() {
+        let (mut cross, mut redundant) = (0, 0);
+        for seed in 0..400 {
+            let p = generate(seed, 10, FaultMode::Auto);
+            match (p.fault, p.fault_class) {
+                (Some(_), FaultClass::CrossThread) => cross += 1,
+                (Some(_), FaultClass::RedundantFlush) => redundant += 1,
+                _ => continue,
+            }
+            assert!(!p.expect_buggy(), "seed {seed}: clean-class ground truth");
+            if cross + redundant <= 8 {
+                let report = checker().check(&p);
+                assert!(report.is_clean(), "seed {seed}: {report}");
+            }
+        }
+        assert!(
+            cross > 0 && redundant > 0,
+            "{cross} cross, {redundant} redundant"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "last data line")]
+    fn torn_fault_off_the_last_line_is_rejected() {
+        let _ = GenProgram::from_parts(0, 2, vec![], true, Some(0)).with_class(FaultClass::Torn);
+    }
+
+    #[test]
+    fn fault_class_roundtrips_through_text() {
+        for class in [
+            FaultClass::MissingFlush,
+            FaultClass::CrossThread,
+            FaultClass::Torn,
+            FaultClass::RedundantFlush,
+        ] {
+            assert_eq!(FaultClass::parse(class.as_str()).unwrap(), class);
+        }
+        assert!(FaultClass::parse("warble").is_err());
     }
 }

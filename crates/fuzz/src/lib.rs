@@ -10,7 +10,9 @@
 //! * [`gen`] — a seeded ([`SplitMix64`](jaaru_workloads::util::SplitMix64))
 //!   generator of self-oracling guest programs over the full nine-op
 //!   [`PmEnv`](jaaru::PmEnv) vocabulary, with optional ground-truth
-//!   persistency faults.
+//!   persistency faults in four [`FaultClass`]es (missing flush,
+//!   cross-thread race, torn store, redundant flush) that double as
+//!   ground truth for the graph-based analysis passes.
 //! * [`oracle`] — the differential harness: runs each program through
 //!   the lazy checker, the configuration axes, and the bounded eager
 //!   baseline, and reports any divergence.
@@ -29,6 +31,6 @@ pub mod minimize;
 pub mod oracle;
 
 pub use corpus::{load_dir, Reproducer};
-pub use gen::{generate, FaultMode, GenProgram, Op, MAX_LINES, SLOTS_PER_LINE};
+pub use gen::{generate, FaultClass, FaultMode, GenProgram, Op, MAX_LINES, SLOTS_PER_LINE};
 pub use minimize::{harvest, minimize, minimize_divergence, seeded_fault_manifests, shrink_trace};
 pub use oracle::{run_campaign, CampaignReport, Divergence, Oracle, SeedOutcome};

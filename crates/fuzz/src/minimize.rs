@@ -23,11 +23,12 @@
 use jaaru::{Config, ModelChecker};
 
 use crate::corpus::Reproducer;
-use crate::gen::{GenProgram, Op};
+use crate::gen::{FaultClass, GenProgram, Op};
 use crate::oracle::{Oracle, POOL_SIZE};
 
 /// Rebuilds a program around an edited op list, shrinking the layout to
-/// the lines still referenced (the fault label keeps its line alive).
+/// the lines still referenced (the fault label keeps its line alive and
+/// the fault class is carried over).
 fn rebuild(base: &GenProgram, ops: Vec<Op>, fault: Option<u8>, commit: bool) -> GenProgram {
     let mut lines = 1;
     for op in &ops {
@@ -38,7 +39,7 @@ fn rebuild(base: &GenProgram, ops: Vec<Op>, fault: Option<u8>, commit: bool) -> 
     if let Some(f) = fault {
         lines = lines.max(f as usize + 1);
     }
-    GenProgram::from_parts(base.seed, lines, ops, commit, fault)
+    GenProgram::from_parts(base.seed, lines, ops, commit, fault).with_class(base.fault_class)
 }
 
 /// Minimizes `program` while `still_fails` holds, returning the
@@ -114,6 +115,12 @@ fn merge_lines(
     mut current: GenProgram,
     still_fails: &mut impl FnMut(&GenProgram) -> bool,
 ) -> GenProgram {
+    // A torn fault pins the straddle to the last data line; remapping
+    // lines would break the fault == lines - 1 invariant, so torn
+    // programs shrink through ddmin only.
+    if current.fault.is_some() && current.fault_class == FaultClass::Torn {
+        return current;
+    }
     while current.lines > 1 {
         let hi = (current.lines - 1) as u8;
         let ops: Vec<Op> = current
@@ -157,9 +164,11 @@ pub fn shrink_trace(program: &GenProgram, trace: &[usize], message: &str) -> Vec
 }
 
 /// Whether `program`'s seeded fault still manifests exactly (buggy, and
-/// every bug names the faulted line). The harvesting predicate.
+/// every bug names the faulted line). The harvesting predicate. Clean
+/// fault classes (cross-thread, redundant-flush) never manifest a bug,
+/// so they are not harvestable and return `false`.
 pub fn seeded_fault_manifests(program: &GenProgram) -> bool {
-    if program.fault.is_none() {
+    if !program.expect_buggy() {
         return false;
     }
     let oracle = Oracle {
@@ -185,10 +194,11 @@ pub fn harvest(program: &GenProgram) -> Option<Reproducer> {
         ..Oracle::default()
     };
     let outcome = oracle.check_program_expecting(&min, true);
-    let message = format!(
-        "committed slot lost (line {})",
-        min.fault.expect("minimization preserves the fault label")
-    );
+    let fault = min.fault.expect("minimization preserves the fault label");
+    let message = match min.fault_class {
+        FaultClass::Torn => format!("torn straddling store (line {fault})"),
+        _ => format!("committed slot lost (line {fault})"),
+    };
     let trace = shrink_trace(&min, &outcome.trace, &message);
     Some(Reproducer {
         name: format!("seed-{:#06x}", program.seed),
@@ -282,6 +292,46 @@ mod tests {
         assert_eq!(checker.check(&repro.program).digest(), repro.digest);
         let replayed = checker.replay(&repro.program, &repro.trace);
         assert!(!replayed.bugs.is_empty(), "stored trace reproduces the bug");
+    }
+
+    #[test]
+    fn torn_programs_harvest_with_their_class() {
+        // A torn program with body noise: minimization drops the noise
+        // (the straddle lives in the epilogue path, not the op list)
+        // and the reproducer keeps the class for exact replay.
+        let noisy = GenProgram::from_parts(
+            21,
+            2,
+            vec![
+                Op::Store {
+                    line: 0,
+                    slot: 0,
+                    value: 1,
+                },
+                Op::Clflush { line: 0 },
+                Op::Sfence,
+            ],
+            true,
+            Some(1),
+        )
+        .with_class(FaultClass::Torn);
+        let repro = harvest(&noisy).expect("torn fault must harvest");
+        assert_eq!(repro.program.fault_class, FaultClass::Torn);
+        assert!(repro.program.ops.is_empty(), "{:?}", repro.program.ops);
+        let parsed = Reproducer::parse(&repro.to_text()).unwrap();
+        assert_eq!(parsed, repro);
+        let mut config = Config::new();
+        config.pool_size(POOL_SIZE);
+        let checker = ModelChecker::new(config);
+        assert_eq!(checker.check(&parsed.program).digest(), parsed.digest);
+        let replayed = checker.replay(&parsed.program, &parsed.trace);
+        assert!(
+            replayed
+                .bugs
+                .iter()
+                .any(|b| b.message.contains("torn straddling store")),
+            "{replayed}"
+        );
     }
 
     #[test]

@@ -9,9 +9,14 @@
 //!   the faulted line (and nothing else);
 //! * **configuration axes** — snapshots off, 2 workers, 4 workers must
 //!   reproduce the base [`digest`](jaaru::CheckReport::digest)
-//!   byte-for-byte; lints on must reproduce the base
+//!   byte-for-byte; lints on (every graph-based pass enabled) must
+//!   reproduce the base
 //!   [`exploration_digest`](jaaru::CheckReport::exploration_digest)
-//!   (analyses may add diagnostics, never change exploration);
+//!   (analyses may add diagnostics, never change exploration), and its
+//!   diagnostics must match the seeded
+//!   [`FaultClass`] — planted cross-thread, torn,
+//!   and redundant-flush constructs flagged on their faulted line,
+//!   never on seeds that lack them;
 //! * **the eager baseline** — a bounded Yat-style enumeration
 //!   ([`eager_check_bounded`]) must agree on clean/buggy and on the
 //!   exact set of bug messages. Seeds whose eager state space exceeds
@@ -25,10 +30,10 @@
 
 use std::fmt;
 
-use jaaru::{CheckReport, Config, ModelChecker};
+use jaaru::{CheckReport, Config, DiagnosticKind, ModelChecker};
 use jaaru_yat::{eager_check_bounded, YatConfig, YatError};
 
-use crate::gen::{generate, FaultMode, GenProgram};
+use crate::gen::{generate, FaultClass, FaultMode, GenProgram};
 
 /// Pool size every oracle run uses: room for the commit line plus
 /// [`MAX_LINES`](crate::MAX_LINES) data lines, small enough to keep
@@ -46,7 +51,7 @@ pub struct Divergence {
     /// Generator seed of the diverging program.
     pub seed: u64,
     /// Which comparison failed (`ground-truth`, `snapshots-off`,
-    /// `jobs-2`, `jobs-4`, `lints-on`, `yat`, `guard`).
+    /// `jobs-2`, `jobs-4`, `lints-on`, `lint-truth`, `yat`, `guard`).
     pub axis: &'static str,
     /// Human-readable description of the disagreement.
     pub detail: String,
@@ -230,7 +235,10 @@ impl Oracle {
             ("jobs-4", self.base_config(4)),
             ("lints-on", {
                 let mut c = self.base_config(1);
-                c.lints(true);
+                c.lints(true)
+                    .lint_cross_thread(true)
+                    .lint_torn_stores(true)
+                    .lint_flush_redundancy(true);
                 c
             }),
         ];
@@ -249,6 +257,84 @@ impl Oracle {
                     axis,
                     detail: diff_digests(&want, &got),
                 });
+            }
+            if axis == "lints-on" {
+                self.check_lint_truth(program, &report, divergences);
+            }
+        }
+    }
+
+    /// The analysis passes held to the generator's ground truth on the
+    /// lints-on report: a seeded construct must be flagged on its
+    /// faulted line, and constructs the op vocabulary cannot express
+    /// (cross-thread races, straddling stores) must never be flagged on
+    /// other seeds. Redundancy diagnostics carry no zero-assertion —
+    /// random clean programs genuinely re-flush lines, so only the
+    /// seeded class asserts their presence.
+    fn check_lint_truth(
+        &self,
+        program: &GenProgram,
+        report: &CheckReport,
+        divergences: &mut Vec<Divergence>,
+    ) {
+        let seed = program.seed;
+        // Data line `l` sits one cache line past the root, itself one
+        // line into the pool: cache-line index l + 2.
+        let line_index = |l: u8| l as u64 + 2;
+        let mut expect = |kind: DiagnosticKind, lines: &[u64]| {
+            let found = report.diagnostics.iter().any(|d| {
+                d.kind == kind
+                    && (lines.is_empty()
+                        || d.addr
+                            .is_some_and(|a| lines.contains(&a.cache_line().index())))
+            });
+            if !found {
+                divergences.push(Divergence {
+                    seed,
+                    axis: "lint-truth",
+                    detail: format!(
+                        "seeded {} construct not flagged (line {:?}); diagnostics: [{}]",
+                        kind.as_str(),
+                        program.fault,
+                        report
+                            .diagnostics
+                            .iter()
+                            .map(|d| d.kind.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+        };
+        match (program.fault, program.fault_class) {
+            (Some(f), FaultClass::CrossThread) => {
+                expect(DiagnosticKind::CrossThreadRace, &[line_index(f)]);
+            }
+            (Some(f), FaultClass::Torn) => {
+                expect(
+                    DiagnosticKind::TornStore,
+                    &[line_index(f), line_index(f) + 1],
+                );
+            }
+            (Some(_), FaultClass::RedundantFlush) => {
+                expect(DiagnosticKind::RedundantFlush, &[]);
+            }
+            _ => {
+                // Single-threaded, slot-aligned programs can neither
+                // race across threads nor tear: any such diagnostic is
+                // a false positive.
+                for d in &report.diagnostics {
+                    if matches!(
+                        d.kind,
+                        DiagnosticKind::CrossThreadRace | DiagnosticKind::TornStore
+                    ) {
+                        divergences.push(Divergence {
+                            seed,
+                            axis: "lint-truth",
+                            detail: format!("false positive {}: {d}", d.kind.as_str()),
+                        });
+                    }
+                }
             }
         }
     }
@@ -493,6 +579,57 @@ mod tests {
         assert_eq!(a.to_json(), b.to_json());
         assert!(a.is_clean(), "{:#?}", a.divergences);
         assert_eq!(a.buggy + a.clean, 20);
+    }
+
+    #[test]
+    fn lint_truth_holds_for_every_seeded_class() {
+        let oracle = Oracle::default();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..400 {
+            let program = generate(seed, 10, FaultMode::Auto);
+            let Some(_) = program.fault else { continue };
+            if !seen.insert(program.fault_class.as_str()) {
+                continue;
+            }
+            let outcome = oracle.check_program(&program);
+            assert!(
+                outcome.divergences.is_empty(),
+                "seed {seed} ({}): {:?}",
+                program.fault_class,
+                outcome.divergences
+            );
+            if seen.len() == 4 {
+                return;
+            }
+        }
+        panic!("not all classes reached: {seen:?}");
+    }
+
+    #[test]
+    fn minimal_planted_constructs_pass_the_full_oracle() {
+        // The smallest program of each clean-or-buggy planted class
+        // (empty body; the construct lives in the epilogue path) must
+        // survive every axis including lint-truth.
+        let oracle = Oracle::default();
+        for (class, buggy) in [
+            (FaultClass::Torn, true),
+            (FaultClass::CrossThread, false),
+            (FaultClass::RedundantFlush, false),
+        ] {
+            let program = GenProgram::from_parts(7, 1, vec![], true, Some(0)).with_class(class);
+            let outcome = oracle.check_program(&program);
+            assert!(
+                outcome.divergences.is_empty(),
+                "{class}: {:?}",
+                outcome.divergences
+            );
+            assert_eq!(outcome.buggy, buggy, "{class}");
+        }
+        // A class label without a fault line plants nothing and is an
+        // ordinary clean program.
+        let unlabelled =
+            GenProgram::from_parts(5, 1, vec![], true, None).with_class(FaultClass::CrossThread);
+        assert!(oracle.check_program(&unlabelled).divergences.is_empty());
     }
 
     #[test]

@@ -22,6 +22,10 @@ use crate::event::{SourceLoc, ThreadId};
 pub enum TraceOpKind {
     /// A store of `len` bytes starting at `addr`.
     Store { addr: PmAddr, len: u32 },
+    /// A load of `len` bytes starting at `addr`. Loads never constrain
+    /// persist order; they are recorded so analysis passes can tell
+    /// which lines a recovery execution actually reads.
+    Load { addr: PmAddr, len: u32 },
     /// A `clflush` covering the inclusive cache-line range
     /// `first_line..=last_line` (takes effect immediately).
     Clflush { first_line: u64, last_line: u64 },
@@ -43,7 +47,7 @@ impl TraceOpKind {
     /// for fences and RMW markers.
     pub fn line_range(&self) -> Option<(u64, u64)> {
         match *self {
-            TraceOpKind::Store { addr, len } => {
+            TraceOpKind::Store { addr, len } | TraceOpKind::Load { addr, len } => {
                 let first = addr.cache_line().index();
                 let last = (addr + (len.max(1) as u64 - 1)).cache_line().index();
                 Some((first, last))
@@ -136,9 +140,10 @@ impl OpTrace {
     }
 
     /// Approximate heap footprint of this trace in bytes, for snapshot
-    /// cache accounting.
+    /// cache accounting. Counts the vector's capacity, not its length —
+    /// the allocation is what the cache budget pays for.
     pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.ops.len() * std::mem::size_of::<TraceOp>()
+        std::mem::size_of::<Self>() + self.ops.capacity() * std::mem::size_of::<TraceOp>()
     }
 }
 
@@ -194,7 +199,21 @@ mod tests {
             len: 1,
         };
         assert_eq!(k.line_range(), Some((1, 1)));
+        let k = TraceOpKind::Load {
+            addr: PmAddr::new(CACHE_LINE_SIZE as u64 * 3 - 1),
+            len: 2,
+        };
+        assert_eq!(k.line_range(), Some((2, 3)));
         assert_eq!(TraceOpKind::Sfence.line_range(), None);
+    }
+
+    #[test]
+    fn loads_do_not_order() {
+        assert!(!TraceOpKind::Load {
+            addr: PmAddr::new(64),
+            len: 8
+        }
+        .is_ordering());
     }
 
     #[test]

@@ -85,6 +85,30 @@ fn every_stored_trace_replays_its_bug() {
     }
 }
 
+/// Enabling every graph-based analysis pass must not perturb
+/// exploration on the committed corpus: the passes read recorded
+/// traces, they never add or reorder scenarios.
+#[test]
+fn graph_passes_do_not_perturb_corpus_exploration() {
+    let base = checker();
+    let mut config = Config::new();
+    config
+        .pool_size(POOL_SIZE)
+        .lints(true)
+        .lint_cross_thread(true)
+        .lint_torn_stores(true)
+        .lint_flush_redundancy(true);
+    let linted = ModelChecker::new(config);
+    for repro in corpus() {
+        assert_eq!(
+            base.check(&repro.program).exploration_digest(),
+            linted.check(&repro.program).exploration_digest(),
+            "{}: graph passes changed exploration",
+            repro.name
+        );
+    }
+}
+
 /// Replay twice: the trace is a strong witness, so both the replay
 /// digest and the full-check digest must be run-to-run stable.
 #[test]

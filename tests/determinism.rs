@@ -114,6 +114,61 @@ fn diagnostics_are_deterministic_across_worker_counts() {
     assert!(report.digest().contains("lint:"));
 }
 
+fn graph_lint_config(jobs: usize) -> Config {
+    let mut c = config(jobs);
+    c.lints(true)
+        .lint_cross_thread(true)
+        .lint_torn_stores(true)
+        .lint_flush_redundancy(true);
+    c
+}
+
+/// The graph-based passes (cross-thread races, torn stores, flush
+/// redundancy) feed the same accumulator as the robustness lints, so
+/// enabling every pass must leave the digest invariant across worker
+/// counts on buggy and fixed workloads alike.
+#[test]
+fn graph_pass_diagnostics_are_deterministic_across_worker_counts() {
+    let buggy = IndexWorkload::<Pclht>::new(PclhtFault::CtorNotFlushed, 4);
+    let fixed = IndexWorkload::<FastFair>::new(FastFairFault::None, 6);
+    for program in [&buggy as &(dyn Program + Sync), &fixed] {
+        let sequential = ModelChecker::new(graph_lint_config(1)).check(program);
+        for jobs in [2usize, 4] {
+            let parallel = ModelChecker::new(graph_lint_config(jobs)).check(program);
+            assert_eq!(
+                sequential.digest(),
+                parallel.digest(),
+                "jobs={jobs} diverged with every graph pass enabled"
+            );
+        }
+    }
+}
+
+/// SARIF rendering is a pure function of the diagnostic list, and the
+/// list itself is worker-count invariant — so the SARIF document must
+/// be byte-identical at every `--jobs` setting.
+#[test]
+fn sarif_output_is_byte_identical_across_worker_counts() {
+    let buggy = IndexWorkload::<Pclht>::new(PclhtFault::CtorNotFlushed, 4);
+    let baseline = jaaru::to_sarif(
+        &ModelChecker::new(graph_lint_config(1))
+            .check(&buggy)
+            .diagnostics,
+        "test",
+    );
+    assert!(baseline.contains("\"version\": \"2.1.0\""), "{baseline}");
+    assert!(!baseline.is_empty());
+    for jobs in [2usize, 4] {
+        let sarif = jaaru::to_sarif(
+            &ModelChecker::new(graph_lint_config(jobs))
+                .check(&buggy)
+                .diagnostics,
+            "test",
+        );
+        assert_eq!(baseline, sarif, "jobs={jobs} changed the SARIF bytes");
+    }
+}
+
 /// A tiny deterministic PRNG (SplitMix64) so the property test below
 /// can sweep many generated programs without an external crate.
 struct SplitMix64(u64);

@@ -12,7 +12,7 @@
 //! blamed on a store in `cceh.rs`, not on the shared allocator or a
 //! neighbouring structure.
 
-use jaaru::{Config, ModelChecker};
+use jaaru::{Config, DiagnosticKind, ModelChecker, PmEnv};
 use jaaru_bench::registry::{
     pmdk_bug_cases, pmdk_fixed_cases, recipe_bug_cases, recipe_fixed_cases,
 };
@@ -22,7 +22,12 @@ fn lint_config() -> Config {
     c.pool_size(1 << 18)
         .max_ops_per_execution(40_000)
         .max_scenarios(2_000)
-        .lints(true);
+        .lints(true)
+        // The graph-based passes ride along everywhere: the workloads
+        // are single-threaded and slot-aligned, so the sweeps double as
+        // a precision guard for cross-thread and torn-store analysis.
+        .lint_cross_thread(true)
+        .lint_torn_stores(true);
     c
 }
 
@@ -96,4 +101,122 @@ fn fixed_configurations_produce_zero_diagnostics() {
             report.diagnostics
         );
     }
+}
+
+/// The closure-program cases below pin the cross-thread and torn-store
+/// passes to source-exact sites: each planted hazard must be blamed on
+/// a line in *this* file, with the shape-specific fix suggestion.
+fn graph_lint_config() -> Config {
+    let mut c = Config::new();
+    c.pool_size(4096)
+        .lint_cross_thread(true)
+        .lint_torn_stores(true);
+    c
+}
+
+#[test]
+fn flush_on_another_thread_is_localized_here() {
+    // Crash-consistent under the deterministic run-to-completion
+    // schedule, but the flush covering the store runs on a spawned
+    // thread with no synchronizing edge: shape 1 of the race pass.
+    let program = |env: &dyn PmEnv| {
+        let root = env.root();
+        let data = root + 64;
+        if env.is_recovery() {
+            let _ = env.load_u64(data);
+            return;
+        }
+        env.store_u64(data, 7);
+        env.spawn(&mut |t| t.clflush(data, 8));
+        env.sfence();
+    };
+    let report = ModelChecker::new(graph_lint_config()).check(&program);
+    assert!(report.is_clean(), "{report}");
+    let races: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::CrossThreadRace)
+        .collect();
+    assert!(!races.is_empty(), "{:#?}", report.diagnostics);
+    assert!(
+        races
+            .iter()
+            .all(|d| d.site.contains("lint_localization.rs")),
+        "{races:#?}"
+    );
+    assert!(
+        races[0].suggestion.contains("flush on the storing thread"),
+        "{races:#?}"
+    );
+}
+
+#[test]
+fn fence_on_the_wrong_thread_is_localized_here() {
+    // A clflushopt parked in the spawned thread's flush buffer while
+    // only the main thread fences afterwards: shape 2 of the race pass,
+    // blamed on the flush.
+    let program = |env: &dyn PmEnv| {
+        let root = env.root();
+        let data = root + 64;
+        if env.is_recovery() {
+            let _ = env.load_u64(data);
+            return;
+        }
+        env.spawn(&mut |t| {
+            t.store_u64(data, 7);
+            t.clflushopt(data, 8);
+            // No fence on this thread: the flush stays parked forever.
+        });
+        env.sfence(); // drains only the main thread's (empty) buffer
+    };
+    let report = ModelChecker::new(graph_lint_config()).check(&program);
+    assert!(report.is_clean(), "{report}");
+    let races: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::CrossThreadRace)
+        .collect();
+    assert!(!races.is_empty(), "{:#?}", report.diagnostics);
+    assert!(races[0].site.contains("lint_localization.rs"), "{races:#?}");
+    assert!(
+        races[0].suggestion.contains("fence on thread 1"),
+        "{races:#?}"
+    );
+}
+
+#[test]
+fn torn_straddling_store_is_confirmed_by_the_failing_recovery() {
+    const WIDE: u64 = 0x1111_2222_3333_4444;
+    // An 8-byte store straddling two cache lines, only the low line
+    // flushed before the commit store: a committed recovery can read
+    // the value half-old, half-new. The bug manifests, and the torn
+    // pass must localize the straddling store through the read-from
+    // evidence of the failing scenario.
+    let program = |env: &dyn PmEnv| {
+        let root = env.root();
+        let commit = root;
+        let data = root + 64 + 60; // last 4 bytes of one line + 4 of the next
+        if env.is_recovery() {
+            if env.load_u64(commit) == 1 {
+                env.pm_assert(env.load_u64(data) == WIDE, "torn value observed");
+            }
+            return;
+        }
+        env.store_u64(data, WIDE);
+        env.clflush(root + 64, 64); // low half only; the next line is never flushed
+        env.sfence();
+        env.store_u64(commit, 1);
+        env.clflush(commit, 8);
+        env.sfence();
+    };
+    let report = ModelChecker::new(graph_lint_config()).check(&program);
+    assert!(!report.is_clean(), "the torn window must manifest");
+    let torn: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::TornStore)
+        .collect();
+    assert!(!torn.is_empty(), "{:#?}", report.diagnostics);
+    assert!(torn[0].site.contains("lint_localization.rs"), "{torn:#?}");
+    assert!(torn[0].suggestion.contains("never persists"), "{torn:#?}");
 }
