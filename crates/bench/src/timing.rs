@@ -35,11 +35,41 @@ pub fn bench<F: FnMut()>(
     median
 }
 
+/// Nearest-rank percentile over an unsorted sample set: `percentile(&mut
+/// times, 50.0)` is the median, `99.0` the p99. Sorts `samples` in
+/// place; an empty slice reports zero. The serving daemon's latency
+/// metrics (p50/p99 per job kind) go through this.
+pub fn percentile(samples: &mut [Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort();
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
 /// Formats a ratio between two medians (e.g. the 736× overhead claim).
 pub fn ratio(label: &str, num: Duration, den: Duration) {
     if den.as_nanos() == 0 {
         println!("{label}: n/a (zero denominator)");
     } else {
         println!("{label}: {:.1}x", num.as_secs_f64() / den.as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms = |n| Duration::from_millis(n);
+        let mut samples = vec![ms(40), ms(10), ms(20), ms(30)];
+        assert_eq!(percentile(&mut samples, 50.0), ms(20));
+        assert_eq!(percentile(&mut samples, 99.0), ms(40));
+        assert_eq!(percentile(&mut samples, 100.0), ms(40));
+        let mut one = vec![ms(7)];
+        assert_eq!(percentile(&mut one, 50.0), ms(7));
+        assert_eq!(percentile(&mut [], 99.0), Duration::ZERO);
     }
 }

@@ -1,7 +1,7 @@
 //! An artifact-style command-line runner, mirroring the paper's
 //! `recipe-bugs.sh` / `pmdk-bugs.sh` / `recipe-perf.sh` scripts: run any
 //! benchmark (fixed or with a seeded bug) by name and print the full
-//! report.
+//! report — or run the whole checker as a long-lived service.
 //!
 //! ```text
 //! jaaru_cli [options] list
@@ -11,31 +11,43 @@
 //! jaaru_cli [options] lint (recipe|pmdk) <row#> [keys]  # lint one bug row
 //! jaaru_cli [options] perf [keys]                       # Figure 14 run
 //! jaaru_cli [options] fuzz [fuzz options]               # differential fuzzing
+//! jaaru_cli [options] serve [serve options]             # checking as a service
 //! ```
 //!
 //! `--jobs N` explores on N worker threads (0 = all cores; default 1).
 //! `--format json` prints the machine-readable report instead of text;
-//! `--format sarif` prints the run's diagnostics as a SARIF 2.1.0
-//! document for CI ingestion.
+//! `--format json-canonical` prints the run-invariant view (identical
+//! bytes across worker counts and cache states — what the serve daemon
+//! replies with); `--format sarif` prints the run's diagnostics as a
+//! SARIF 2.1.0 document for CI ingestion.
 //! `--no-snapshot` disables crash-point snapshots (replay every prefix);
 //! `--snapshot-cap <bytes>` bounds the per-cache snapshot footprint.
-//! e.g. `cargo run --release -p jaaru-bench --bin jaaru_cli -- bug recipe 10`
+//! e.g. `cargo run --release -p jaaru-cli --bin jaaru_cli -- bug recipe 10`
+//!
+//! The `serve` subcommand accepts newline-delimited JSON job specs on a
+//! Unix domain socket (`--socket PATH`) or from a file (`--batch FILE`,
+//! for CI), sharing one snapshot/result cache across all jobs; see the
+//! `jaaru-serve` crate docs for the protocol.
 //!
 //! Exit status: 0 when the run is clean, 1 when bugs or error-severity
-//! diagnostics were found, 2 on usage errors.
+//! diagnostics were found, 2 on usage errors (batch mode adds 3 for
+//! failed/cancelled/deadline jobs).
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use jaaru::{CheckReport, Config, ModelChecker, Program};
 use jaaru_bench::registry::{
     pmdk_bug_cases, pmdk_fixed_cases, recipe_bug_cases, recipe_fixed_cases,
 };
 use jaaru_fuzz::{harvest, minimize_divergence, run_campaign, Oracle};
+use jaaru_serve::{daemon, Daemon, ServeOptions};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
     Text,
     Json,
+    JsonCanonical,
     Sarif,
 }
 
@@ -73,6 +85,7 @@ fn config(jobs: usize, lint: bool, snapshots: SnapshotOpts) -> Config {
 fn emit(name: &str, report: &CheckReport, format: Format) -> i32 {
     match format {
         Format::Json => print!("{}", report.to_json()),
+        Format::JsonCanonical => print!("{}", report.to_canonical_json()),
         Format::Sarif => print!(
             "{}",
             jaaru::to_sarif(&report.diagnostics, env!("CARGO_PKG_VERSION"))
@@ -137,10 +150,12 @@ fn usage() -> ! {
          jaaru_cli [options] lint <benchmark> [keys]\n  \
          jaaru_cli [options] lint (recipe|pmdk) <row#> [keys]\n  \
          jaaru_cli [options] perf [keys]\n  \
-         jaaru_cli [options] fuzz [fuzz options]\n\
+         jaaru_cli [options] fuzz [fuzz options]\n  \
+         jaaru_cli [options] serve [serve options]\n\
          options:\n  \
          --jobs N (-j)          worker threads (0 = all cores; default 1)\n  \
-         --format text|json|sarif (-f) output format (sarif: lint diagnostics as SARIF 2.1.0)\n  \
+         --format text|json|json-canonical|sarif (-f) output format\n                         \
+         (json-canonical: run-invariant bytes; sarif: lint diagnostics as SARIF 2.1.0)\n  \
          --no-snapshot          replay every prefix instead of restoring snapshots\n  \
          --snapshot-cap BYTES   per-cache snapshot byte budget (default 64 MiB)\n\
          fuzz options:\n  \
@@ -150,7 +165,13 @@ fn usage() -> ! {
          --differential         also compare config axes and the eager baseline\n  \
          --minimize             shrink any divergence to a minimal reproducer\n  \
          --corpus DIR           read/write reproducers under DIR\n  \
-         --harvest              minimize seeded-fault programs into the corpus"
+         --harvest              minimize seeded-fault programs into the corpus\n\
+         serve options:\n  \
+         --socket PATH          listen on a Unix domain socket at PATH\n  \
+         --batch FILE           run request lines from FILE and exit (CI mode)\n  \
+         --queue-cap N          bounded job-queue capacity (default 64)\n  \
+         --result-cap BYTES     cross-job result-cache budget (default 16 MiB)\n\
+         serve inherits --jobs (per-job default) and --snapshot-cap (shared cache budget)"
     );
     std::process::exit(2);
 }
@@ -254,7 +275,7 @@ fn fuzz(opts: FuzzOpts, jobs: usize, format: Format) -> i32 {
     }
 
     match format {
-        Format::Json => print!("{}", report.to_json()),
+        Format::Json | Format::JsonCanonical => print!("{}", report.to_json()),
         Format::Text | Format::Sarif => {
             println!("== fuzz ==");
             let rows = vec![
@@ -305,6 +326,90 @@ fn fuzz(opts: FuzzOpts, jobs: usize, format: Format) -> i32 {
     i32::from(!report.is_clean())
 }
 
+/// The `serve` subcommand: stand the daemon up on a socket, or run a
+/// batch file of request lines for CI.
+fn serve(args: &[String], jobs: usize, snapshots: SnapshotOpts) -> i32 {
+    let mut socket: Option<PathBuf> = None;
+    let mut batch: Option<PathBuf> = None;
+    let mut opts = ServeOptions {
+        default_jobs: jobs,
+        ..ServeOptions::default()
+    };
+    if let Some(cap) = snapshots.cap {
+        opts.snapshot_cap = cap;
+    }
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => match it.next() {
+                Some(path) => socket = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--batch" => match it.next() {
+                Some(path) => batch = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--queue-cap" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(n) => opts.queue_cap = n,
+                None => usage(),
+            },
+            "--result-cap" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(n) => opts.result_cap = n,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if !snapshots.enabled {
+        eprintln!("serve requires snapshots (drop --no-snapshot)");
+        return 2;
+    }
+    let d = Arc::new(Daemon::new(opts));
+    match (socket, batch) {
+        (None, Some(file)) => {
+            let input = match std::fs::read_to_string(&file) {
+                Ok(input) => input,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", file.display());
+                    return 2;
+                }
+            };
+            match daemon::run_batch(&d, &input, &mut std::io::stdout()) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("batch run failed: {e}");
+                    3
+                }
+            }
+        }
+        (Some(path), None) => {
+            // A stale socket file from a previous run would make bind fail.
+            let _ = std::fs::remove_file(&path);
+            let listener = match std::os::unix::net::UnixListener::bind(&path) {
+                Ok(listener) => listener,
+                Err(e) => {
+                    eprintln!("cannot bind {}: {e}", path.display());
+                    return 2;
+                }
+            };
+            eprintln!("jaaru-serve listening on {}", path.display());
+            let result = daemon::serve(d, listener);
+            let _ = std::fs::remove_file(&path);
+            match result {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("serve loop failed: {e}");
+                    3
+                }
+            }
+        }
+        _ => {
+            eprintln!("serve requires exactly one of --socket PATH or --batch FILE");
+            2
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut jobs = 1usize;
@@ -320,6 +425,7 @@ fn main() {
         format = match args.get(pos + 1).map(String::as_str) {
             Some("text") => Format::Text,
             Some("json") => Format::Json,
+            Some("json-canonical") => Format::JsonCanonical,
             Some("sarif") => Format::Sarif,
             _ => usage(),
         };
@@ -416,6 +522,7 @@ fn main() {
             }
         }
         Some("fuzz") => fuzz(parse_fuzz_opts(&args[1..]), jobs, format),
+        Some("serve") => serve(&args[1..], jobs, snapshots),
         Some("perf") => {
             let keys = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
             for (name, program) in recipe_fixed_cases(keys) {

@@ -331,6 +331,47 @@ impl Config {
             n => n,
         }
     }
+
+    /// A stable fingerprint of every *semantic* knob: two configs with
+    /// equal fingerprints explore the same scenario tree and produce
+    /// digest-identical reports for the same program. Performance-only
+    /// knobs — `jobs`, `snapshots`, `snapshot_cap` — are deliberately
+    /// excluded, so a serving daemon keying its cross-job cache on
+    /// (program hash, fingerprint) serves one cached result to
+    /// submissions that differ only in worker count or cache sizing.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        fold(self.pool_size as u64);
+        fold(match self.eviction {
+            EvictionPolicy::Eager => 0,
+            EvictionPolicy::OnFence => 1,
+        });
+        fold(self.max_failures as u64);
+        fold(self.max_ops_per_execution);
+        fold(self.max_scenarios);
+        fold(self.max_bugs as u64);
+        let flags = [
+            self.inject_at_end,
+            self.skip_unchanged,
+            self.stop_on_first_bug,
+            self.flag_races,
+            self.flag_perf_issues,
+            self.lints,
+            self.lint_cross_thread,
+            self.lint_torn_stores,
+            self.lint_flush_redundancy,
+        ]
+        .iter()
+        .fold(0u64, |acc, &b| (acc << 1) | b as u64);
+        fold(flags);
+        hash
+    }
 }
 
 impl Default for Config {
@@ -421,5 +462,36 @@ mod tests {
         let mut c = Config::new();
         c.max_bugs(0);
         assert_eq!(c.bug_limit(), 1);
+    }
+
+    #[test]
+    fn fingerprint_ignores_performance_knobs() {
+        let base = Config::new().fingerprint();
+        let mut c = Config::new();
+        c.jobs(4).snapshots(false).snapshot_cap(1 << 10);
+        assert_eq!(c.fingerprint(), base, "jobs/snapshot knobs excluded");
+    }
+
+    #[test]
+    fn fingerprint_tracks_semantic_knobs() {
+        let base = Config::new().fingerprint();
+        let mut c = Config::new();
+        c.max_failures(2);
+        assert_ne!(c.fingerprint(), base);
+        let mut c = Config::new();
+        c.lints(true);
+        assert_ne!(c.fingerprint(), base);
+        let mut c = Config::new();
+        c.eviction(EvictionPolicy::OnFence);
+        assert_ne!(c.fingerprint(), base);
+        let mut c = Config::new();
+        c.pool_size(1 << 16);
+        assert_ne!(c.fingerprint(), base);
+        // Distinct flag combinations don't collide by shifting.
+        let mut a = Config::new();
+        a.skip_unchanged(false);
+        let mut b = Config::new();
+        b.stop_on_first_bug(true);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

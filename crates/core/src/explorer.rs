@@ -18,6 +18,8 @@
 //! without a guest process to fork (see `crate::snapshot`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use jaaru_analysis::Diagnostic;
@@ -32,8 +34,13 @@ use crate::signal::{
     install_panic_hook, panic_message, take_last_panic_location, with_quiet_panics, AbortSignal,
     CrashSignal,
 };
-use crate::snapshot::CheckerSnapshotCache;
+use crate::snapshot::SharedSnapshotCache;
 use crate::Program;
+
+/// The snapshot cache a scenario consults, with the key group its
+/// entries live under: `(handle, group)`. `Copy` so the sequential loop
+/// and every parallel worker can share one resolved reference.
+pub(crate) type CacheRef<'a> = Option<(&'a SharedSnapshotCache, u64)>;
 
 /// Everything one completed failure scenario contributes to the final
 /// report. Both the sequential DFS and the parallel workers produce
@@ -85,18 +92,24 @@ pub(crate) fn run_scenario(
     config: &Config,
     program: &dyn Program,
     decisions: DecisionLog,
-    mut snapshots: Option<&mut CheckerSnapshotCache>,
+    snapshots: CacheRef<'_>,
 ) -> (ScenarioOutcome, DecisionLog) {
     let mut executions_restored = 0usize;
-    let env = match snapshots
-        .as_deref_mut()
-        .and_then(|cache| cache.lookup(&decisions.planned_prefix()))
-    {
-        Some(snap) => {
-            executions_restored = snap.executions_saved();
-            CheckerEnv::from_snapshot(config, decisions, snap)
+    // The restore clones checker state out of the cache under the shard
+    // lock; `decisions` is consumed by whichever constructor runs, so it
+    // rides in an Option the closures take from.
+    let mut log = Some(decisions);
+    let env = match snapshots {
+        Some((cache, group)) => {
+            let planned = log.as_ref().expect("log present").planned_prefix();
+            cache
+                .lookup(group, &planned, |snap| {
+                    executions_restored = snap.executions_saved();
+                    CheckerEnv::from_snapshot(config, log.take().expect("log present"), snap)
+                })
+                .unwrap_or_else(|| CheckerEnv::new(config, log.take().expect("log present")))
         }
-        None => CheckerEnv::new(config, decisions),
+        None => CheckerEnv::new(config, log.take().expect("log present")),
     };
     let mut executions_this_scenario = 0usize;
     let mut scenario_bug: Option<BugReport> = None;
@@ -115,10 +128,14 @@ pub(crate) fn run_scenario(
             Err(payload) => {
                 if payload.is::<CrashSignal>() {
                     env.advance_execution();
-                    if let Some(cache) = snapshots.as_deref_mut() {
+                    if let Some((cache, group)) = snapshots {
                         let key = env.consumed_trace();
-                        if !cache.contains(&key) {
-                            cache.insert(key, env.snapshot());
+                        // The contains probe keeps the expensive
+                        // `env.snapshot()` capture off the warm path; a
+                        // concurrent insert between probe and insert is
+                        // benign (duplicate inserts are no-ops).
+                        if !cache.contains(group, &key) {
+                            cache.insert(group, key, env.snapshot());
                         }
                     }
                     continue;
@@ -203,24 +220,61 @@ pub(crate) fn run_scenario(
 #[derive(Debug)]
 pub struct ModelChecker {
     config: Config,
+    shared_cache: Option<SharedSnapshotCache>,
+    cache_group: u64,
+    abort: Option<Arc<AtomicBool>>,
 }
 
 impl ModelChecker {
     /// Creates a checker with the given configuration.
     pub fn new(config: Config) -> Self {
-        ModelChecker { config }
+        ModelChecker {
+            config,
+            shared_cache: None,
+            cache_group: 0,
+            abort: None,
+        }
     }
 
     /// Creates a checker with default configuration.
     pub fn with_defaults() -> Self {
-        ModelChecker {
-            config: Config::new(),
-        }
+        Self::new(Config::new())
     }
 
     /// The active configuration.
     pub fn config(&self) -> &Config {
         &self.config
+    }
+
+    /// Uses `cache` for crash-point snapshots instead of a private
+    /// per-run cache, keying this checker's entries under `group`.
+    ///
+    /// A long-lived service shares one cache across jobs: keying the
+    /// group by (program hash, config fingerprint) lets resubmissions of
+    /// the same job reuse each other's snapshots while distinct jobs
+    /// never collide (see [`Config::fingerprint`]). Ignored when
+    /// [`Config::snapshots`] is off. Purely a performance setting —
+    /// results are identical to a cold private cache.
+    pub fn shared_cache(&mut self, cache: SharedSnapshotCache, group: u64) -> &mut Self {
+        self.shared_cache = Some(cache);
+        self.cache_group = group;
+        self
+    }
+
+    /// Installs a cooperative abort flag: when `flag` becomes `true`,
+    /// exploration winds down at the next scenario boundary and the
+    /// report comes back with `truncated` set (like hitting a scenario
+    /// budget). This is how a serving daemon enforces per-job deadlines
+    /// and cancellation without killing worker threads mid-scenario.
+    pub fn abort_flag(&mut self, flag: Arc<AtomicBool>) -> &mut Self {
+        self.abort = Some(flag);
+        self
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort
+            .as_ref()
+            .is_some_and(|a| a.load(Ordering::Relaxed))
     }
 
     /// Exhaustively model checks `program` and reports every distinct bug
@@ -232,7 +286,32 @@ impl ModelChecker {
     pub fn check(&self, program: &(dyn Program + Sync)) -> CheckReport {
         match self.config.effective_jobs() {
             0 | 1 => self.check_sequential(program),
-            jobs => crate::parallel::check_parallel(&self.config, program, jobs),
+            jobs => crate::parallel::check_parallel(
+                &self.config,
+                program,
+                jobs,
+                self.shared_cache.as_ref().map(|c| (c, self.cache_group)),
+                self.abort.clone(),
+            ),
+        }
+    }
+
+    /// Resolves the snapshot cache a run uses: the installed shared one,
+    /// a fresh private one (created into `local`), or none.
+    pub(crate) fn resolve_cache<'a>(
+        config: &Config,
+        shared: Option<(&'a SharedSnapshotCache, u64)>,
+        local: &'a mut Option<SharedSnapshotCache>,
+    ) -> CacheRef<'a> {
+        if !config.snapshots_value() {
+            return None;
+        }
+        match shared {
+            Some(s) => Some(s),
+            None => {
+                let cache = local.insert(SharedSnapshotCache::new(config.snapshot_cap_value()));
+                Some((cache, 0))
+            }
         }
     }
 
@@ -244,13 +323,21 @@ impl ModelChecker {
         let mut decisions = DecisionLog::new();
         let mut acc = ReportAccumulator::new();
         let mut truncated = false;
-        let mut cache = self
-            .config
-            .snapshots_value()
-            .then(|| CheckerSnapshotCache::new(self.config.snapshot_cap_value()));
+        let mut local = None;
+        let cache = Self::resolve_cache(
+            &self.config,
+            self.shared_cache.as_ref().map(|c| (c, self.cache_group)),
+            &mut local,
+        );
+        // On a long-lived shared cache, report only this run's activity.
+        let base = cache.map(|(c, _)| c.stats());
 
         loop {
-            let (outcome, log) = run_scenario(&self.config, program, decisions, cache.as_mut());
+            if self.aborted() {
+                truncated = true;
+                break;
+            }
+            let (outcome, log) = run_scenario(&self.config, program, decisions, cache);
             decisions = log;
             let had_bug = outcome.bug.is_some();
             acc.add(outcome);
@@ -271,7 +358,11 @@ impl ModelChecker {
             }
         }
 
-        acc.into_report(truncated, start.elapsed(), None, cache.map(|c| c.stats()))
+        let snapshots = cache.map(|(c, _)| {
+            c.stats()
+                .since(&base.expect("base read when cache present"))
+        });
+        acc.into_report(truncated, start.elapsed(), None, snapshots)
     }
 }
 

@@ -88,6 +88,7 @@ pub use report::{
     WorkerStats,
 };
 pub use signal::with_quiet_panics;
+pub use snapshot::SharedSnapshotCache;
 
 // The unified diagnostic framework (lint findings + perf warnings)
 // and its SARIF 2.1.0 rendering.

@@ -111,24 +111,22 @@ impl ReportAccumulator {
 
 /// Merges the workers' partial results into the final report: sort every
 /// outcome by trace (canonical sequential order), fold them through the
-/// accumulator, and attach the scheduling statistics.
+/// accumulator, and attach the scheduling statistics plus the run's
+/// snapshot-cache counters (read once from the shared cache by the
+/// caller — workers no longer own caches, so there is nothing per-worker
+/// to sum).
 pub(crate) fn merge_partials(
     partials: Vec<WorkerPartial>,
     jobs: usize,
     truncated: bool,
     duration: Duration,
+    snapshots: Option<SnapshotStats>,
 ) -> CheckReport {
     let mut workers = Vec::with_capacity(jobs);
     let mut outcomes = Vec::new();
-    let mut snapshots: Option<SnapshotStats> = None;
     for partial in partials {
         workers.push(partial.stats);
         outcomes.extend(partial.outcomes);
-        if let Some(s) = partial.snapshots {
-            snapshots
-                .get_or_insert_with(SnapshotStats::default)
-                .merge(&s);
-        }
     }
     workers.sort_by_key(|w| w.worker);
     outcomes.sort_by(|a, b| a.trace.cmp(&b.trace));

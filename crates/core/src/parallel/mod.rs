@@ -12,9 +12,10 @@
 //! * [`worker`] — each worker replays its prefixes through the same
 //!   [`run_scenario`](crate::explorer::run_scenario) machinery the
 //!   sequential walk uses, with a private `PmPool`/TSO machine per
-//!   scenario and a private crash-point snapshot cache (restores are
-//!   outcome-equivalent to replays, so no cross-worker sharing is
-//!   needed for determinism);
+//!   scenario and a crash-point snapshot cache shared across workers
+//!   (restores are outcome-equivalent to replays, so sharing — sharded,
+//!   with per-shard locking — trades no determinism for reuse of every
+//!   worker's checkpoints);
 //! * [`merge`] — orders every outcome by canonical trace order and folds
 //!   them through the sequential path's accumulator, making the final
 //!   report byte-identical (per [`CheckReport::digest`]) to the
@@ -30,12 +31,15 @@ pub(crate) mod merge;
 pub(crate) mod scheduler;
 pub(crate) mod worker;
 
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::config::Config;
 use crate::report::CheckReport;
 use crate::signal::install_panic_hook;
-use crate::Program;
+use crate::snapshot::SharedSnapshotCache;
+use crate::{ModelChecker, Program};
 
 use scheduler::Scheduler;
 use worker::worker_loop;
@@ -45,16 +49,25 @@ pub(crate) fn check_parallel(
     config: &Config,
     program: &(dyn Program + Sync),
     jobs: usize,
+    shared: Option<(&SharedSnapshotCache, u64)>,
+    abort: Option<Arc<AtomicBool>>,
 ) -> CheckReport {
     install_panic_hook();
     let start = Instant::now();
-    let scheduler = Scheduler::new(jobs, config);
+    let scheduler = Scheduler::new(jobs, config, abort);
+
+    let mut local = None;
+    let cache = ModelChecker::resolve_cache(config, shared, &mut local);
+    // Stats ownership is single-read: the run reads the shared cache's
+    // counters once before and once after, and reports the difference —
+    // never a per-worker sum, so a jointly owned cache is counted once.
+    let base = cache.map(|(c, _)| c.stats());
 
     let partials = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|worker| {
                 let scheduler = &scheduler;
-                scope.spawn(move || worker_loop(worker, scheduler, config, program))
+                scope.spawn(move || worker_loop(worker, scheduler, config, program, cache))
             })
             .collect();
         handles
@@ -63,7 +76,17 @@ pub(crate) fn check_parallel(
             .collect::<Vec<_>>()
     });
 
-    merge::merge_partials(partials, jobs, scheduler.truncated(), start.elapsed())
+    let snapshots = cache.map(|(c, _)| {
+        c.stats()
+            .since(&base.expect("base read when cache present"))
+    });
+    merge::merge_partials(
+        partials,
+        jobs,
+        scheduler.truncated(),
+        start.elapsed(),
+        snapshots,
+    )
 }
 
 #[cfg(test)]
@@ -126,7 +149,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_run_sums_worker_snapshot_stats() {
+    fn parallel_run_reports_shared_cache_stats() {
         let report = ModelChecker::new(config_with_jobs(2)).check(&fan_out_program);
         let stats = report.snapshots.expect("snapshots on by default");
         assert!(stats.inserts > 0, "{stats}");

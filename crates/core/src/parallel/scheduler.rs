@@ -28,7 +28,7 @@
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::config::Config;
 use crate::report::BugKind;
@@ -53,11 +53,15 @@ pub(crate) struct Scheduler {
     bug_limit: usize,
     stop_on_first_bug: bool,
     bug_keys: Mutex<HashSet<(BugKind, String)>>,
+    /// External cooperative abort (deadline/cancellation); observed in
+    /// [`stopped`](Self::stopped) and folded into the stop/truncated
+    /// flags like an exhausted budget.
+    abort: Option<Arc<AtomicBool>>,
 }
 
 impl Scheduler {
     /// A scheduler for `jobs` workers, seeded with the root work item.
-    pub fn new(jobs: usize, config: &Config) -> Self {
+    pub fn new(jobs: usize, config: &Config, abort: Option<Arc<AtomicBool>>) -> Self {
         let mut queues: Vec<Mutex<VecDeque<WorkItem>>> =
             (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
         queues[0]
@@ -73,12 +77,24 @@ impl Scheduler {
             bug_limit: config.bug_limit(),
             stop_on_first_bug: config.stop_on_first_bug_value(),
             bug_keys: Mutex::new(HashSet::new()),
+            abort,
         }
     }
 
     /// Whether workers should wind down.
     pub fn stopped(&self) -> bool {
-        self.stop.load(Ordering::Acquire)
+        if self.stop.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(abort) = &self.abort {
+            if abort.load(Ordering::Relaxed) {
+                // An external abort leaves work behind by construction.
+                self.truncated.store(true, Ordering::Release);
+                self.stop.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        false
     }
 
     /// Whether every created item has completed.

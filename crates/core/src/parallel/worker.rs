@@ -2,20 +2,20 @@
 //!
 //! Each worker is a self-contained sequential checker: it owns its own
 //! [`CheckerEnv`](crate::checker_env::CheckerEnv) — and therefore its
-//! own `PmPool` and TSO machine — per scenario, shares nothing with the
-//! other workers but the scheduler, and buffers its outcomes locally
-//! until the merge.
+//! own `PmPool` and TSO machine — per scenario, buffers its outcomes
+//! locally until the merge, and shares only the scheduler and the
+//! snapshot cache with the other workers. The cache is safe to share
+//! because restores are outcome-equivalent to replays: whichever worker
+//! captured a snapshot, restoring it changes performance, never
+//! results.
 
 use std::time::Instant;
 
 use crate::config::Config;
 use crate::decision::DecisionLog;
-use crate::explorer::{bug_dedup_key, run_scenario, ScenarioOutcome};
+use crate::explorer::{bug_dedup_key, run_scenario, CacheRef, ScenarioOutcome};
 use crate::report::WorkerStats;
-use crate::snapshot::CheckerSnapshotCache;
 use crate::Program;
-
-use jaaru_snapshot::SnapshotStats;
 
 use super::scheduler::{Scheduler, WorkItem};
 
@@ -23,10 +23,6 @@ use super::scheduler::{Scheduler, WorkItem};
 pub(crate) struct WorkerPartial {
     pub stats: WorkerStats,
     pub outcomes: Vec<ScenarioOutcome>,
-    /// This worker's snapshot-cache counters (`None` with snapshots
-    /// disabled); the merge sums them into
-    /// [`CheckReport::snapshots`](crate::CheckReport).
-    pub snapshots: Option<SnapshotStats>,
 }
 
 /// Runs scenarios until the frontier drains or the scheduler stops.
@@ -35,6 +31,7 @@ pub(crate) fn worker_loop(
     scheduler: &Scheduler,
     config: &Config,
     program: &dyn Program,
+    cache: CacheRef<'_>,
 ) -> WorkerPartial {
     let start = Instant::now();
     let mut stats = WorkerStats {
@@ -42,13 +39,6 @@ pub(crate) fn worker_loop(
         ..WorkerStats::default()
     };
     let mut outcomes = Vec::new();
-    // Each worker owns a private cache: outcomes are identical no matter
-    // what the cache holds (restore ≡ replay), so per-worker caches keep
-    // the merged report independent of cross-worker timing. The byte cap
-    // applies per cache.
-    let mut cache = config
-        .snapshots_value()
-        .then(|| CheckerSnapshotCache::new(config.snapshot_cap_value()));
 
     loop {
         if scheduler.stopped() {
@@ -71,12 +61,8 @@ pub(crate) fn worker_loop(
             break;
         }
 
-        let (outcome, log) = run_scenario(
-            config,
-            program,
-            DecisionLog::from_trace(&item.trace),
-            cache.as_mut(),
-        );
+        let (outcome, log) =
+            run_scenario(config, program, DecisionLog::from_trace(&item.trace), cache);
         let children = log
             .sibling_prefixes(log.prefix_len())
             .into_iter()
@@ -99,9 +85,5 @@ pub(crate) fn worker_loop(
     }
 
     stats.busy = start.elapsed();
-    WorkerPartial {
-        stats,
-        outcomes,
-        snapshots: cache.map(|c| c.stats()),
-    }
+    WorkerPartial { stats, outcomes }
 }

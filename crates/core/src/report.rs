@@ -231,11 +231,12 @@ pub struct CheckReport {
     /// [`Config::jobs`](crate::Config::jobs) > 1; `None` for sequential
     /// runs.
     pub parallel: Option<ParallelStats>,
-    /// Snapshot-cache counters (summed across workers in parallel runs);
-    /// `None` when snapshots were disabled. Excluded from
-    /// [`digest`](Self::digest): per-worker caches make hit/eviction
-    /// counts scheduling-dependent, while the explored scenario set is
-    /// not.
+    /// Snapshot-cache activity attributed to this run (read once from
+    /// the run's — possibly shared — cache, as a delta over its counters
+    /// at run start); `None` when snapshots were disabled. Excluded from
+    /// [`digest`](Self::digest): cache contents and worker scheduling
+    /// make hit/eviction counts nondeterministic, while the explored
+    /// scenario set is not.
     pub snapshots: Option<SnapshotStats>,
 }
 
@@ -330,40 +331,85 @@ impl CheckReport {
     /// serialization dependency — but proper JSON: strings are escaped,
     /// optional fields are `null`.
     pub fn to_json(&self) -> String {
+        self.json_impl(true)
+    }
+
+    /// [`to_json`](Self::to_json) restricted to the run-invariant view:
+    /// wall-clock time and snapshot-cache counters are omitted, so two
+    /// runs of the same program and configuration — at any worker count,
+    /// with any cache state, absent truncation — produce byte-identical
+    /// output. This is the artifact contract of the serving daemon
+    /// (`--format json-canonical`): a cached reply must match a freshly
+    /// computed one to the byte.
+    pub fn to_canonical_json(&self) -> String {
+        self.json_impl(false)
+    }
+
+    fn json_impl(&self, timings: bool) -> String {
         use fmt::Write;
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
         let _ = writeln!(out, "  \"has_errors\": {},", self.has_errors());
         let _ = writeln!(out, "  \"truncated\": {},", self.truncated);
-        let _ = writeln!(
-            out,
-            "  \"stats\": {{\"scenarios\": {}, \"executions\": {}, \
-             \"executions_replayed\": {}, \"executions_restored\": {}, \
-             \"failure_points\": {}, \
-             \"load_choice_points\": {}, \"max_rf_set\": {}, \
-             \"duration_secs\": {:.6}}},",
-            self.stats.scenarios,
-            self.stats.executions,
-            self.stats.executions_replayed,
-            self.stats.executions_restored,
-            self.stats.failure_points,
-            self.stats.load_choice_points,
-            self.stats.max_rf_set,
-            self.stats.duration.as_secs_f64(),
-        );
-        match &self.snapshots {
-            Some(s) => {
-                let _ = writeln!(
-                    out,
-                    "  \"snapshots\": {{\"hits\": {}, \"misses\": {}, \
-                     \"inserts\": {}, \"evictions\": {}, \"bytes\": {}, \
-                     \"peak_bytes\": {}}},",
-                    s.hits, s.misses, s.inserts, s.evictions, s.bytes, s.peak_bytes,
-                );
-            }
-            None => {
-                let _ = writeln!(out, "  \"snapshots\": null,");
+        if timings {
+            let _ = write!(
+                out,
+                "  \"stats\": {{\"scenarios\": {}, \"executions\": {}, \
+                 \"executions_replayed\": {}, \"executions_restored\": {}, \
+                 \"failure_points\": {}, \
+                 \"load_choice_points\": {}, \"max_rf_set\": {}, \
+                 \"duration_secs\": {:.6}",
+                self.stats.scenarios,
+                self.stats.executions,
+                self.stats.executions_replayed,
+                self.stats.executions_restored,
+                self.stats.failure_points,
+                self.stats.load_choice_points,
+                self.stats.max_rf_set,
+                self.stats.duration.as_secs_f64(),
+            );
+        } else {
+            // The replayed/restored split depends on cache state and
+            // worker scheduling; only their sum (the logical execution
+            // count the digest pins) is run-invariant.
+            let _ = write!(
+                out,
+                "  \"stats\": {{\"scenarios\": {}, \"executions\": {}, \
+                 \"executions_logical\": {}, \"failure_points\": {}, \
+                 \"load_choice_points\": {}, \"max_rf_set\": {}",
+                self.stats.scenarios,
+                self.stats.executions,
+                self.stats.executions_replayed + self.stats.executions_restored,
+                self.stats.failure_points,
+                self.stats.load_choice_points,
+                self.stats.max_rf_set,
+            );
+        }
+        out.push_str("},\n");
+        if timings {
+            match &self.snapshots {
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        "  \"snapshots\": {{\"hits\": {}, \"misses\": {}, \
+                         \"inserts\": {}, \"evictions\": {}, \"bytes\": {}, \
+                         \"peak_bytes\": {}, \"shared_hits\": {}, \
+                         \"shared_misses\": {}, \"shared_evictions\": {}}},",
+                        s.hits,
+                        s.misses,
+                        s.inserts,
+                        s.evictions,
+                        s.bytes,
+                        s.peak_bytes,
+                        s.shared_hits,
+                        s.shared_misses,
+                        s.shared_evictions,
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  \"snapshots\": null,");
+                }
             }
         }
         out.push_str("  \"bugs\": [");
@@ -607,10 +653,14 @@ mod tests {
             evictions: 1,
             bytes: 512,
             peak_bytes: 1024,
+            shared_hits: 3,
+            shared_misses: 1,
+            shared_evictions: 0,
         });
         let json = r.to_json();
         assert!(json.contains("\"hits\": 4"), "{json}");
         assert!(json.contains("\"peak_bytes\": 1024"), "{json}");
+        assert!(json.contains("\"shared_hits\": 3"), "{json}");
         assert!(json.contains("\"has_errors\": true"), "{json}");
         assert!(json.contains("\\\"quoted\\\""), "escaped quotes: {json}");
         assert!(json.contains("\"location\": null"), "{json}");
@@ -621,5 +671,37 @@ mod tests {
         let opens = json.matches('{').count() + json.matches('[').count();
         let closes = json.matches('}').count() + json.matches(']').count();
         assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn canonical_json_omits_run_varying_fields() {
+        let mut r = CheckReport::default();
+        r.stats.executions_replayed = 3;
+        r.stats.executions_restored = 2;
+        r.stats.duration = Duration::from_millis(125);
+        r.snapshots = Some(SnapshotStats {
+            hits: 4,
+            ..Default::default()
+        });
+        let canonical = r.to_canonical_json();
+        assert!(!canonical.contains("duration_secs"), "{canonical}");
+        assert!(!canonical.contains("snapshots"), "{canonical}");
+        assert!(!canonical.contains("executions_replayed"), "{canonical}");
+        assert!(
+            canonical.contains("\"executions_logical\": 5"),
+            "{canonical}"
+        );
+
+        // Two runs differing only in timing/cache state agree.
+        let mut other = r.clone();
+        other.stats.duration = Duration::from_secs(9);
+        other.stats.executions_replayed = 1;
+        other.stats.executions_restored = 4;
+        other.snapshots = None;
+        assert_eq!(canonical, other.to_canonical_json());
+
+        let opens = canonical.matches('{').count() + canonical.matches('[').count();
+        let closes = canonical.matches('}').count() + canonical.matches(']').count();
+        assert_eq!(opens, closes, "{canonical}");
     }
 }

@@ -21,19 +21,91 @@
 //! replaying those executions.
 
 use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
 
 use jaaru_analysis::DiagnosticSet;
-use jaaru_snapshot::{SnapshotCache, SnapshotPayload};
+use jaaru_snapshot::{ShardedCache, SnapshotPayload, SnapshotStats};
 use jaaru_tso::{ExecutionStorage, OpTrace};
 
 use crate::decision::Decision;
 use crate::report::RaceReport;
 
-/// The explorer's cache of crash-point checkpoints, keyed by consumed
-/// decision-trace prefix. Sequential runs own one; parallel runs keep
-/// one per worker (no sharing — cache contents affect only performance,
-/// so per-worker caches preserve determinism by construction).
-pub(crate) type CheckerSnapshotCache = SnapshotCache<CheckerSnapshot>;
+/// A shareable cache of crash-point checkpoints, keyed by `(group,
+/// consumed decision-trace prefix)`.
+///
+/// One-shot checks create a private one per run (group `0`); a serving
+/// daemon creates one for its lifetime and hands every check the same
+/// handle with a per-(program, config) group via
+/// [`ModelChecker::shared_cache`](crate::ModelChecker::shared_cache),
+/// so repeated submissions of the same job start from a warm cache.
+/// Sharing is sound because restoring a snapshot is outcome-equivalent
+/// to replaying the prefix it covers: cache contents — whoever put them
+/// there — affect only performance, never results, so
+/// [`CheckReport::digest`](crate::CheckReport::digest) is byte-identical
+/// across cold caches, warm caches, and worker counts. Internally the
+/// cache is sharded with per-shard locking (see
+/// [`jaaru_snapshot::ShardedCache`]); clones share the same storage.
+#[derive(Clone)]
+pub struct SharedSnapshotCache {
+    inner: Arc<ShardedCache<CheckerSnapshot>>,
+}
+
+impl SharedSnapshotCache {
+    /// A cache with a `cap_bytes` byte budget (split across shards).
+    pub fn new(cap_bytes: usize) -> Self {
+        SharedSnapshotCache {
+            inner: Arc::new(ShardedCache::new(cap_bytes)),
+        }
+    }
+
+    /// Lifetime counters summed across shards. For a per-run cache this
+    /// is the run's cache activity; long-lived caches diff two reads via
+    /// [`SnapshotStats::since`] to attribute activity to one job.
+    pub fn stats(&self) -> SnapshotStats {
+        self.inner.stats()
+    }
+
+    /// Cached snapshots across all groups.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Runs `read` on the snapshot with the longest prefix of `plan`
+    /// cached in `group`, under the owning shard's lock.
+    pub(crate) fn lookup<R>(
+        &self,
+        group: u64,
+        plan: &[usize],
+        read: impl FnOnce(&CheckerSnapshot) -> R,
+    ) -> Option<R> {
+        self.inner.lookup(group, plan, read)
+    }
+
+    /// Whether a snapshot is cached under exactly `(group, key)`.
+    pub(crate) fn contains(&self, group: u64, key: &[usize]) -> bool {
+        self.inner.contains(group, key)
+    }
+
+    /// Caches `snap` under `(group, key)` (no-op if already present).
+    pub(crate) fn insert(&self, group: u64, key: Vec<usize>, snap: CheckerSnapshot) {
+        self.inner.insert(group, key, snap);
+    }
+}
+
+impl fmt::Debug for SharedSnapshotCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedSnapshotCache")
+            .field("entries", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
 
 /// Everything a post-failure execution needs from the checker's past:
 /// the frozen state of a [`CheckerEnv`](crate::checker_env::CheckerEnv)

@@ -1,0 +1,175 @@
+//! Service throughput: one daemon instance driven through batch mode
+//! with a cold sweep of distinct jobs and a 50%-duplicate sweep,
+//! measuring jobs/sec and the shared result-cache hit rate, plus a
+//! direct cold-vs-cached resubmission timing on a heavier job.
+//!
+//! Emits a machine-readable summary to `BENCH_serve.json` in the
+//! working directory and asserts the subsystem's acceptance bar: a
+//! cached resubmission replies >= 5x faster than the cold run.
+
+use std::fmt::Write as _;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use jaaru_serve::json::{parse, Value};
+use jaaru_serve::{daemon, Daemon, ServeOptions};
+
+const KEYS: usize = 4;
+const ROWS: [usize; 8] = [1, 2, 3, 5, 8, 10, 12, 14];
+/// The heavier job used for the resubmission timing (default bug keys).
+const RESUBMIT: &str = r#"{"kind":"bug","suite":"recipe","row":10}"#;
+
+fn new_daemon() -> Arc<Daemon> {
+    Arc::new(Daemon::new(ServeOptions::default()))
+}
+
+fn job_line(row: usize) -> String {
+    format!(r#"{{"kind":"bug","suite":"recipe","row":{row},"keys":{KEYS}}}"#)
+}
+
+/// Runs request lines through batch mode, returning wall-clock time and
+/// the parsed reply envelopes.
+fn run(d: &Arc<Daemon>, input: &str) -> (Duration, Vec<Value>) {
+    let mut out = Vec::new();
+    let start = Instant::now();
+    daemon::run_batch(d, input, &mut out).expect("batch mode runs");
+    let elapsed = start.elapsed();
+    let replies = String::from_utf8(out)
+        .expect("utf-8 replies")
+        .lines()
+        .map(|line| parse(line).expect("reply line is valid JSON"))
+        .collect();
+    (elapsed, replies)
+}
+
+/// Reads a result-cache counter out of the trailing `stats` reply.
+fn cache_counter(replies: &[Value], key: &str) -> u64 {
+    replies
+        .last()
+        .and_then(|stats| stats.get("metrics"))
+        .and_then(|m| m.get("cache"))
+        .and_then(|c| c.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("stats reply missing cache.{key}"))
+}
+
+fn main() {
+    let mut sweep = String::new();
+    for row in ROWS {
+        let _ = writeln!(sweep, "{}", job_line(row));
+    }
+
+    // Cold sweep: every job distinct, every result a miss.
+    let cold_daemon = new_daemon();
+    let (cold_time, cold_replies) = run(&cold_daemon, &format!("{sweep}{{\"kind\":\"stats\"}}\n"));
+    assert_eq!(cache_counter(&cold_replies, "result_hits"), 0);
+    assert_eq!(
+        cache_counter(&cold_replies, "result_misses"),
+        ROWS.len() as u64
+    );
+    let cold_jps = ROWS.len() as f64 / cold_time.as_secs_f64();
+
+    // 50% duplicate sweep: the same rows resubmitted once each; the
+    // second half is served from the shared result cache.
+    let dup_daemon = new_daemon();
+    let (dup_time, dup_replies) = run(
+        &dup_daemon,
+        &format!("{sweep}{sweep}{{\"kind\":\"stats\"}}\n"),
+    );
+    let dup_hits = cache_counter(&dup_replies, "result_hits");
+    let dup_misses = cache_counter(&dup_replies, "result_misses");
+    assert_eq!(
+        dup_hits,
+        ROWS.len() as u64,
+        "duplicates must hit the result cache"
+    );
+    assert_eq!(dup_misses, ROWS.len() as u64);
+    let dup_jobs = 2 * ROWS.len();
+    let dup_jps = dup_jobs as f64 / dup_time.as_secs_f64();
+    let hit_rate = dup_hits as f64 / (dup_hits + dup_misses) as f64;
+
+    // Direct resubmission timing: one heavier job cold, then cached.
+    // Batch mode closes the daemon after one pass, so this drives the
+    // admission API directly against a persistent executor.
+    let resubmit_daemon = new_daemon();
+    let executor = {
+        let d = Arc::clone(&resubmit_daemon);
+        thread::spawn(move || d.run_executor())
+    };
+    let (tx, rx) = channel();
+    let timed_submit = || {
+        let start = Instant::now();
+        resubmit_daemon.submit_line(RESUBMIT, &tx);
+        let reply = vec![parse(&rx.recv().expect("executor replies")).expect("valid reply")];
+        (start.elapsed(), reply)
+    };
+    let (cold_secs, first) = timed_submit();
+    let (cached_secs, second) = timed_submit();
+    resubmit_daemon.close();
+    executor.join().expect("executor exits cleanly");
+    assert_eq!(first[0].get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(second[0].get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        first[0].get("artifact"),
+        second[0].get("artifact"),
+        "cached reply bytes must match the cold run"
+    );
+    let speedup = cold_secs.as_secs_f64() / cached_secs.as_secs_f64();
+
+    println!();
+    println!(
+        "cold sweep: {} jobs in {:.3}s ({cold_jps:.1} jobs/sec)",
+        ROWS.len(),
+        cold_time.as_secs_f64()
+    );
+    println!(
+        "50% duplicate sweep: {dup_jobs} jobs in {:.3}s ({dup_jps:.1} jobs/sec, hit rate {hit_rate:.2})",
+        dup_time.as_secs_f64()
+    );
+    println!(
+        "resubmission: cold {:.4}s vs cached {:.6}s ({speedup:.1}x)",
+        cold_secs.as_secs_f64(),
+        cached_secs.as_secs_f64()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve_throughput\",");
+    let _ = writeln!(json, "  \"keys\": {KEYS},");
+    let _ = writeln!(
+        json,
+        "  \"cold\": {{\"jobs\": {}, \"secs\": {:.6}, \"jobs_per_sec\": {:.2}}},",
+        ROWS.len(),
+        cold_time.as_secs_f64(),
+        cold_jps
+    );
+    let _ = writeln!(
+        json,
+        "  \"duplicate_sweep\": {{\"jobs\": {dup_jobs}, \"secs\": {:.6}, \
+         \"jobs_per_sec\": {:.2}, \"result_hits\": {dup_hits}, \
+         \"result_misses\": {dup_misses}, \"hit_rate\": {hit_rate:.4}}},",
+        dup_time.as_secs_f64(),
+        dup_jps
+    );
+    let _ = writeln!(
+        json,
+        "  \"resubmission\": {{\"cold_secs\": {:.6}, \"cached_secs\": {:.6}, \
+         \"speedup\": {:.2}}}",
+        cold_secs.as_secs_f64(),
+        cached_secs.as_secs_f64(),
+        speedup
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    assert!(
+        speedup >= 5.0,
+        "acceptance: cached resubmission must be >= 5x faster than cold \
+         (cold {:.6}s vs cached {:.6}s)",
+        cold_secs.as_secs_f64(),
+        cached_secs.as_secs_f64()
+    );
+}

@@ -1,0 +1,385 @@
+//! Job execution: builds the one-shot configuration for a job, looks
+//! its program up in the bench registry, and runs it with panic
+//! isolation, one retry, cooperative cancellation, and a deadline
+//! watchdog.
+//!
+//! The artifact bytes come from the same renderers the one-shot CLI
+//! uses (`CheckReport::to_canonical_json`, `jaaru::to_sarif`), so a
+//! served reply is byte-identical to `jaaru_cli --format json-canonical`
+//! / `--format sarif` for the same job.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use jaaru::{CheckReport, Config, ModelChecker, Program, SharedSnapshotCache};
+use jaaru_bench::registry::{
+    pmdk_bug_cases, pmdk_fixed_cases, recipe_bug_cases, recipe_fixed_cases,
+};
+use jaaru_fuzz::{run_campaign, Oracle};
+use jaaru_snapshot::SnapshotPayload;
+
+use crate::job::{ArtifactFormat, JobSpec, Suite, Workload};
+use crate::metrics::JobStatus;
+
+/// A hidden workload name that panics *outside* the checker's own
+/// guest-panic guard, as if the checking infrastructure itself blew up.
+/// The smoke tests (and operators running failure drills) submit it to
+/// prove such a panic turns into a `failed` reply instead of taking the
+/// daemon down. (A panic *inside* a guest program is different: the
+/// checker reports it as a `GuestPanic` bug, i.e. a `violation` reply
+/// with a full artifact.)
+pub const PANIC_WORKLOAD: &str = "__panic__";
+
+fn is_panic_workload(workload: &Workload) -> bool {
+    matches!(workload, Workload::Fixed { benchmark, .. } if benchmark == PANIC_WORKLOAD)
+}
+
+/// One finished job, ready to be wrapped in a reply envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobOutcome {
+    pub status: JobStatus,
+    /// The rendered artifact; present only for `ok`/`violation`.
+    pub artifact: Option<String>,
+    /// Human-readable failure reason for every other status.
+    pub error: Option<String>,
+    /// Whether the run was retried after a panic before succeeding.
+    pub retried: bool,
+}
+
+impl JobOutcome {
+    fn failed(error: String) -> JobOutcome {
+        JobOutcome {
+            status: JobStatus::Failed,
+            artifact: None,
+            error: Some(error),
+            retried: false,
+        }
+    }
+}
+
+/// A result-cache payload: the terminal status plus the exact artifact
+/// bytes of a completed job. Only `ok`/`violation` results are cached —
+/// failures, cancellations, and deadline kills always re-run (fail
+/// closed, never fail cached).
+#[derive(Clone, Debug)]
+pub struct CachedReply {
+    pub status: JobStatus,
+    pub artifact: String,
+}
+
+impl SnapshotPayload for CachedReply {
+    fn approx_bytes(&self) -> usize {
+        self.artifact.len() + std::mem::size_of::<CachedReply>()
+    }
+}
+
+/// Builds the checker configuration for a job — the same knobs
+/// `jaaru_cli` sets for its one-shot subcommands, so cache groups and
+/// artifacts line up between the two front ends.
+pub fn job_config(spec: &JobSpec, snapshot_cap: Option<usize>) -> Config {
+    let mut c = Config::new();
+    c.pool_size(1 << 18)
+        .max_ops_per_execution(40_000)
+        .max_scenarios(20_000)
+        .jobs(spec.jobs)
+        .snapshots(true);
+    if let Some(cap) = snapshot_cap {
+        c.snapshot_cap(cap);
+    }
+    if spec.lint() {
+        c.lints(true)
+            .lint_cross_thread(true)
+            .lint_torn_stores(true)
+            .lint_flush_redundancy(true);
+    }
+    c
+}
+
+/// Looks the job's program up in the bench registry.
+fn find_program(workload: &Workload) -> Result<Box<dyn Program + Sync>, String> {
+    match workload {
+        // The drill workload never actually runs — `execute` panics
+        // before reaching the checker — but admission still needs a
+        // program value.
+        Workload::Fixed { benchmark, .. } if benchmark == PANIC_WORKLOAD => {
+            Ok(Box::new(|_: &dyn jaaru::PmEnv| {}))
+        }
+        Workload::Fixed { benchmark, keys } => recipe_fixed_cases(*keys)
+            .into_iter()
+            .chain(pmdk_fixed_cases(*keys))
+            .find(|(n, _)| n.eq_ignore_ascii_case(benchmark))
+            .map(|(_, p)| p)
+            .ok_or_else(|| format!("unknown benchmark {benchmark:?}")),
+        Workload::Row { suite, row, keys } => {
+            let cases = match suite {
+                Suite::Recipe => recipe_bug_cases(*keys),
+                Suite::Pmdk => pmdk_bug_cases(*keys),
+            };
+            cases
+                .into_iter()
+                .find(|c| c.id == *row)
+                .map(|c| c.program)
+                .ok_or_else(|| format!("no row {row} in {} bug table", suite.as_str()))
+        }
+        Workload::Campaign { .. } => Err("fuzz campaigns have no registry program".into()),
+    }
+}
+
+fn render(report: &CheckReport, format: ArtifactFormat) -> String {
+    match format {
+        ArtifactFormat::JsonCanonical => report.to_canonical_json(),
+        ArtifactFormat::Sarif => jaaru::to_sarif(&report.diagnostics, env!("CARGO_PKG_VERSION")),
+    }
+}
+
+fn verdict(report: &CheckReport) -> JobStatus {
+    if report.is_clean() && !report.has_errors() {
+        JobStatus::Ok
+    } else {
+        JobStatus::Violation
+    }
+}
+
+/// Runs one job to a terminal outcome.
+///
+/// `cancel` is the registry flag for this job's id: set before the run
+/// starts → `cancelled` without executing; set mid-run → the checker
+/// winds down at the next scenario boundary and the reply fails closed
+/// (no artifact). A deadline arms a watchdog thread that trips the same
+/// cooperative stop but reports `deadline` instead. A panicking run is
+/// caught and retried once; a second panic is a `failed` outcome.
+pub fn execute(
+    spec: &JobSpec,
+    config: &Config,
+    snapshots: &SharedSnapshotCache,
+    cancel: &Arc<AtomicBool>,
+) -> JobOutcome {
+    if cancel.load(Ordering::Relaxed) {
+        return JobOutcome {
+            status: JobStatus::Cancelled,
+            artifact: None,
+            error: Some("cancelled before execution".into()),
+            retried: false,
+        };
+    }
+    if let Workload::Campaign {
+        seeds,
+        seed_start,
+        ops_max,
+        differential,
+    } = spec.workload
+    {
+        return run_fuzz(spec, seeds, seed_start, ops_max, differential);
+    }
+
+    let program = match find_program(&spec.workload) {
+        Ok(program) => program,
+        Err(error) => return JobOutcome::failed(error),
+    };
+
+    // Deadline watchdog: trips the job's cancel flag once the budget
+    // elapses, and records that the stop was a deadline, not a client
+    // cancellation. `done` disarms it when the run finishes first.
+    let deadline_fired = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+    let watchdog = spec.deadline_ms.map(|ms| {
+        let deadline = Duration::from_millis(ms);
+        let cancel = Arc::clone(cancel);
+        let fired = Arc::clone(&deadline_fired);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let armed = Instant::now();
+            while !done.load(Ordering::Relaxed) {
+                if armed.elapsed() >= deadline {
+                    fired.store(true, Ordering::Relaxed);
+                    cancel.store(true, Ordering::Relaxed);
+                    return;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+        })
+    });
+
+    let mut retried = false;
+    let outcome = loop {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            if is_panic_workload(&spec.workload) {
+                panic!("injected panic workload");
+            }
+            let mut checker = ModelChecker::new(config.clone());
+            checker
+                .shared_cache(snapshots.clone(), spec.snapshot_group(config))
+                .abort_flag(Arc::clone(cancel));
+            checker.check(&*program)
+        }));
+        match attempt {
+            Ok(report) => {
+                if deadline_fired.load(Ordering::Relaxed) {
+                    break JobOutcome {
+                        status: JobStatus::Deadline,
+                        artifact: None,
+                        error: Some(format!(
+                            "deadline of {} ms exceeded",
+                            spec.deadline_ms.unwrap_or(0)
+                        )),
+                        retried,
+                    };
+                }
+                if cancel.load(Ordering::Relaxed) {
+                    break JobOutcome {
+                        status: JobStatus::Cancelled,
+                        artifact: None,
+                        error: Some("cancelled during execution".into()),
+                        retried,
+                    };
+                }
+                break JobOutcome {
+                    status: verdict(&report),
+                    artifact: Some(render(&report, spec.format)),
+                    error: None,
+                    retried,
+                };
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                if retried || cancel.load(Ordering::Relaxed) {
+                    break JobOutcome {
+                        status: JobStatus::Failed,
+                        artifact: None,
+                        error: Some(format!("job panicked: {message}")),
+                        retried,
+                    };
+                }
+                retried = true;
+            }
+        }
+    };
+    done.store(true, Ordering::Relaxed);
+    if let Some(handle) = watchdog {
+        let _ = handle.join();
+    }
+    outcome
+}
+
+fn run_fuzz(
+    spec: &JobSpec,
+    seeds: u64,
+    seed_start: u64,
+    ops_max: usize,
+    differential: bool,
+) -> JobOutcome {
+    let oracle = Oracle {
+        jobs: spec.jobs,
+        differential,
+        ..Oracle::default()
+    };
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        run_campaign(&oracle, seed_start, seeds, ops_max, |_, _| {})
+    }));
+    match attempt {
+        Ok(report) => JobOutcome {
+            status: if report.is_clean() {
+                JobStatus::Ok
+            } else {
+                JobStatus::Violation
+            },
+            // Fuzz campaigns always reply with the campaign JSON —
+            // there is no SARIF view of a campaign.
+            artifact: Some(report.to_json()),
+            error: None,
+            retried: false,
+        },
+        Err(payload) => JobOutcome::failed(format!(
+            "fuzz campaign panicked: {}",
+            panic_message(payload.as_ref())
+        )),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobKind, Request};
+    use crate::json::parse;
+
+    fn spec(line: &str) -> JobSpec {
+        match Request::from_value(&parse(line).unwrap(), 1).unwrap() {
+            Request::Job(spec) => spec,
+            other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    fn run(spec: &JobSpec) -> JobOutcome {
+        let config = job_config(spec, None);
+        let cache = SharedSnapshotCache::new(1 << 20);
+        execute(spec, &config, &cache, &Arc::new(AtomicBool::new(false)))
+    }
+
+    #[test]
+    fn unknown_benchmark_fails_closed() {
+        let out = run(&spec(r#"{"kind":"check","benchmark":"no-such-bench"}"#));
+        assert_eq!(out.status, JobStatus::Failed);
+        assert!(out.artifact.is_none());
+        assert!(out.error.unwrap().contains("no-such-bench"));
+    }
+
+    #[test]
+    fn bad_row_fails_closed() {
+        let out = run(&spec(r#"{"kind":"bug","suite":"recipe","row":9999}"#));
+        assert_eq!(out.status, JobStatus::Failed);
+    }
+
+    #[test]
+    fn panic_workload_is_isolated_and_retried_once() {
+        let out = run(&spec(&format!(
+            r#"{{"kind":"check","benchmark":"{PANIC_WORKLOAD}"}}"#
+        )));
+        assert_eq!(out.status, JobStatus::Failed);
+        assert!(out.retried, "one retry before giving up");
+        assert!(out.error.unwrap().contains("injected panic"));
+    }
+
+    #[test]
+    fn precancelled_job_never_runs() {
+        let spec = spec(r#"{"kind":"check","benchmark":"p-clht"}"#);
+        let config = job_config(&spec, None);
+        let cache = SharedSnapshotCache::new(1 << 20);
+        let cancel = Arc::new(AtomicBool::new(true));
+        let out = execute(&spec, &config, &cache, &cancel);
+        assert_eq!(out.status, JobStatus::Cancelled);
+        assert!(out.artifact.is_none(), "fails closed");
+    }
+
+    #[test]
+    fn seeded_bug_reports_violation_with_canonical_artifact() {
+        let spec = spec(r#"{"kind":"bug","suite":"recipe","row":10}"#);
+        let out = run(&spec);
+        assert_eq!(out.status, JobStatus::Violation);
+        let artifact = out.artifact.expect("violation still carries the report");
+        assert!(artifact.contains("\"executions_logical\""));
+        assert!(!artifact.contains("duration_secs"), "canonical view");
+        assert_eq!(spec.kind, JobKind::Bug);
+    }
+
+    #[test]
+    fn lint_config_matches_cli_lint_knobs() {
+        let lint = spec(r#"{"kind":"lint","benchmark":"p-clht"}"#);
+        let check = spec(r#"{"kind":"check","benchmark":"p-clht"}"#);
+        assert_ne!(
+            job_config(&lint, None).fingerprint(),
+            job_config(&check, None).fingerprint(),
+            "lint passes are semantic"
+        );
+    }
+}

@@ -1,0 +1,460 @@
+//! The wire protocol's request side: job specifications and control
+//! requests, parsed from newline-delimited JSON.
+//!
+//! One line, one request. Job requests name a program out of the bench
+//! registry (the same identities `jaaru_cli check`/`bug`/`lint` accept)
+//! plus per-job knobs; control requests (`stats`, `cancel`, `shutdown`)
+//! steer the daemon itself.
+//!
+//! ```text
+//! {"kind": "check", "benchmark": "P-CLHT", "keys": 6}
+//! {"kind": "bug", "suite": "recipe", "row": 10, "format": "sarif"}
+//! {"kind": "lint", "suite": "pmdk", "row": 2, "jobs": 4}
+//! {"kind": "fuzz", "seeds": 50, "ops_max": 10, "differential": true}
+//! {"kind": "cancel", "id": "job-3"}
+//! {"kind": "stats"}
+//! {"kind": "shutdown"}
+//! ```
+
+use jaaru::Config;
+
+use crate::json::Value;
+
+/// Default key count for check/lint jobs (matches `jaaru_cli check`).
+pub const DEFAULT_CHECK_KEYS: usize = 6;
+/// Default key count for bug-row jobs (matches `jaaru_cli bug`).
+pub const DEFAULT_BUG_KEYS: usize = 5;
+
+/// What kind of work a job runs; mirrors the one-shot subcommands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// Exhaustively check a fixed benchmark by name.
+    Check,
+    /// Check one seeded-bug row from a bug table.
+    Bug,
+    /// Lint (all graph passes on) a benchmark or bug row.
+    Lint,
+    /// Run a differential fuzzing campaign.
+    Fuzz,
+}
+
+impl JobKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobKind::Check => "check",
+            JobKind::Bug => "bug",
+            JobKind::Lint => "lint",
+            JobKind::Fuzz => "fuzz",
+        }
+    }
+}
+
+/// Which bug table a `bug`/`lint` row job indexes into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    Recipe,
+    Pmdk,
+}
+
+impl Suite {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Suite::Recipe => "recipe",
+            Suite::Pmdk => "pmdk",
+        }
+    }
+}
+
+/// The program a job runs, by registry identity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// A fixed benchmark by (case-insensitive) name.
+    Fixed { benchmark: String, keys: usize },
+    /// A seeded-bug table row.
+    Row {
+        suite: Suite,
+        row: usize,
+        keys: usize,
+    },
+    /// A generated fuzzing campaign.
+    Campaign {
+        seeds: u64,
+        seed_start: u64,
+        ops_max: usize,
+        differential: bool,
+    },
+}
+
+/// Reply artifact format. `JsonCanonical` is the service default: the
+/// run-invariant JSON view that is byte-identical across worker counts
+/// and cache states (see `CheckReport::to_canonical_json`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArtifactFormat {
+    JsonCanonical,
+    Sarif,
+}
+
+impl ArtifactFormat {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArtifactFormat::JsonCanonical => "json",
+            ArtifactFormat::Sarif => "sarif",
+        }
+    }
+}
+
+/// One parsed job: what to run and how.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Client-chosen id echoed in the reply (cancellation handle).
+    /// Defaults to the admission ordinal (`"job-<n>"`).
+    pub id: Option<String>,
+    pub kind: JobKind,
+    pub workload: Workload,
+    pub format: ArtifactFormat,
+    /// Worker threads for this job's exploration (the one-shot
+    /// `--jobs`); performance-only, invisible in the artifact.
+    pub jobs: usize,
+    /// Cooperative deadline in milliseconds; `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    Job(JobSpec),
+    /// Reply with the aggregate service-metrics snapshot.
+    Stats,
+    /// Cancel the queued or running job with the given id.
+    Cancel {
+        id: String,
+    },
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+/// Why a request line was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Request {
+    /// Parses one request from an already-parsed JSON line. `default_jobs`
+    /// fills the per-job worker count when the spec has no `jobs` field.
+    pub fn from_value(value: &Value, default_jobs: usize) -> Result<Request, SpecError> {
+        let kind = value
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| SpecError("missing \"kind\"".into()))?;
+        match kind {
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "cancel" => {
+                let id = value
+                    .get("id")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| SpecError("cancel requires \"id\"".into()))?;
+                Ok(Request::Cancel { id: id.to_string() })
+            }
+            "check" | "bug" | "lint" | "fuzz" => {
+                Ok(Request::Job(parse_job(kind, value, default_jobs)?))
+            }
+            other => Err(SpecError(format!("unknown kind {other:?}"))),
+        }
+    }
+}
+
+fn parse_job(kind: &str, value: &Value, default_jobs: usize) -> Result<JobSpec, SpecError> {
+    let kind = match kind {
+        "check" => JobKind::Check,
+        "bug" => JobKind::Bug,
+        "lint" => JobKind::Lint,
+        "fuzz" => JobKind::Fuzz,
+        _ => unreachable!("caller matched kind"),
+    };
+    let get_usize = |key: &str| -> Result<Option<usize>, SpecError> {
+        match value.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(|n| Some(n as usize))
+                .ok_or_else(|| SpecError(format!("{key:?} must be a non-negative integer"))),
+        }
+    };
+
+    let benchmark = value.get("benchmark").and_then(Value::as_str);
+    let suite = match value.get("suite").and_then(Value::as_str) {
+        None => None,
+        Some("recipe") => Some(Suite::Recipe),
+        Some("pmdk") => Some(Suite::Pmdk),
+        Some(other) => return Err(SpecError(format!("unknown suite {other:?}"))),
+    };
+    let row = get_usize("row")?;
+
+    let workload = match kind {
+        JobKind::Fuzz => Workload::Campaign {
+            seeds: value.get("seeds").and_then(Value::as_u64).unwrap_or(20),
+            seed_start: value.get("seed_start").and_then(Value::as_u64).unwrap_or(0),
+            ops_max: get_usize("ops_max")?.unwrap_or(10),
+            differential: value
+                .get("differential")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+        },
+        JobKind::Check => {
+            let benchmark = benchmark
+                .ok_or_else(|| SpecError("check requires \"benchmark\"".into()))?
+                .to_string();
+            Workload::Fixed {
+                benchmark,
+                keys: get_usize("keys")?.unwrap_or(DEFAULT_CHECK_KEYS),
+            }
+        }
+        JobKind::Bug => {
+            let suite = suite.ok_or_else(|| SpecError("bug requires \"suite\"".into()))?;
+            let row = row.ok_or_else(|| SpecError("bug requires \"row\"".into()))?;
+            Workload::Row {
+                suite,
+                row,
+                keys: get_usize("keys")?.unwrap_or(DEFAULT_BUG_KEYS),
+            }
+        }
+        // Lint takes either shape, like `jaaru_cli lint`.
+        JobKind::Lint => match (benchmark, suite) {
+            (Some(benchmark), None) => Workload::Fixed {
+                benchmark: benchmark.to_string(),
+                keys: get_usize("keys")?.unwrap_or(DEFAULT_CHECK_KEYS),
+            },
+            (None, Some(suite)) => {
+                let row = row.ok_or_else(|| SpecError("lint by suite requires \"row\"".into()))?;
+                Workload::Row {
+                    suite,
+                    row,
+                    keys: get_usize("keys")?.unwrap_or(DEFAULT_BUG_KEYS),
+                }
+            }
+            _ => {
+                return Err(SpecError(
+                    "lint requires \"benchmark\" or \"suite\"+\"row\"".into(),
+                ))
+            }
+        },
+    };
+
+    let format = match value.get("format").and_then(Value::as_str) {
+        None | Some("json") | Some("json-canonical") => ArtifactFormat::JsonCanonical,
+        Some("sarif") => ArtifactFormat::Sarif,
+        Some(other) => return Err(SpecError(format!("unknown format {other:?}"))),
+    };
+
+    Ok(JobSpec {
+        id: value.get("id").and_then(Value::as_str).map(str::to_string),
+        kind,
+        workload,
+        format,
+        jobs: get_usize("jobs")?.unwrap_or(default_jobs),
+        deadline_ms: value.get("deadline_ms").and_then(Value::as_u64),
+    })
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+impl JobSpec {
+    /// Whether this job's lint passes are on (mirrors one-shot `lint`).
+    pub fn lint(&self) -> bool {
+        self.kind == JobKind::Lint
+    }
+
+    /// A stable hash of the *program* this job runs: kind-normalized
+    /// workload identity, independent of format/jobs/deadline.
+    pub fn program_hash(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        match &self.workload {
+            Workload::Fixed { benchmark, keys } => {
+                fnv1a(&mut hash, b"fixed:");
+                fnv1a(&mut hash, benchmark.to_ascii_lowercase().as_bytes());
+                fnv1a(&mut hash, &(*keys as u64).to_le_bytes());
+            }
+            Workload::Row { suite, row, keys } => {
+                fnv1a(&mut hash, b"row:");
+                fnv1a(&mut hash, suite.as_str().as_bytes());
+                fnv1a(&mut hash, &(*row as u64).to_le_bytes());
+                fnv1a(&mut hash, &(*keys as u64).to_le_bytes());
+            }
+            Workload::Campaign {
+                seeds,
+                seed_start,
+                ops_max,
+                differential,
+            } => {
+                fnv1a(&mut hash, b"fuzz:");
+                fnv1a(&mut hash, &seeds.to_le_bytes());
+                fnv1a(&mut hash, &seed_start.to_le_bytes());
+                fnv1a(&mut hash, &(*ops_max as u64).to_le_bytes());
+                fnv1a(&mut hash, &[*differential as u8]);
+            }
+        }
+        hash
+    }
+
+    /// The group key this job's *snapshot prefixes* live under in the
+    /// shared cache: (program, semantic config) — format excluded, so a
+    /// JSON and a SARIF submission of the same job warm each other.
+    pub fn snapshot_group(&self, config: &Config) -> u64 {
+        let mut hash = self.program_hash();
+        fnv1a(&mut hash, &config.fingerprint().to_le_bytes());
+        hash
+    }
+
+    /// The group key this job's *result* lives under in the shared
+    /// cache: the snapshot group plus the artifact format and kind (a
+    /// lint and a check of the same program produce different
+    /// artifacts, as do JSON and SARIF).
+    pub fn result_group(&self, config: &Config) -> u64 {
+        let mut hash = self.snapshot_group(config);
+        fnv1a(&mut hash, self.kind.as_str().as_bytes());
+        fnv1a(&mut hash, self.format.as_str().as_bytes());
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn req(line: &str) -> Result<Request, SpecError> {
+        Request::from_value(&parse(line).unwrap(), 1)
+    }
+
+    fn job(line: &str) -> JobSpec {
+        match req(line).unwrap() {
+            Request::Job(spec) => spec,
+            other => panic!("expected a job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_check_with_defaults() {
+        let spec = job(r#"{"kind":"check","benchmark":"P-CLHT"}"#);
+        assert_eq!(spec.kind, JobKind::Check);
+        assert_eq!(
+            spec.workload,
+            Workload::Fixed {
+                benchmark: "P-CLHT".into(),
+                keys: DEFAULT_CHECK_KEYS
+            }
+        );
+        assert_eq!(spec.format, ArtifactFormat::JsonCanonical);
+        assert_eq!(spec.jobs, 1, "default_jobs flows in");
+        assert_eq!(spec.deadline_ms, None);
+        assert!(!spec.lint());
+    }
+
+    #[test]
+    fn parses_bug_row_and_options() {
+        let spec = job(
+            r#"{"kind":"bug","suite":"pmdk","row":2,"keys":4,"format":"sarif","jobs":4,"deadline_ms":500,"id":"j1"}"#,
+        );
+        assert_eq!(
+            spec.workload,
+            Workload::Row {
+                suite: Suite::Pmdk,
+                row: 2,
+                keys: 4
+            }
+        );
+        assert_eq!(spec.format, ArtifactFormat::Sarif);
+        assert_eq!(spec.jobs, 4);
+        assert_eq!(spec.deadline_ms, Some(500));
+        assert_eq!(spec.id.as_deref(), Some("j1"));
+    }
+
+    #[test]
+    fn lint_takes_either_shape() {
+        let by_name = job(r#"{"kind":"lint","benchmark":"cceh"}"#);
+        assert!(by_name.lint());
+        assert!(matches!(by_name.workload, Workload::Fixed { .. }));
+        let by_row = job(r#"{"kind":"lint","suite":"recipe","row":10}"#);
+        assert!(matches!(
+            by_row.workload,
+            Workload::Row {
+                suite: Suite::Recipe,
+                row: 10,
+                keys: DEFAULT_BUG_KEYS
+            }
+        ));
+        assert!(req(r#"{"kind":"lint"}"#).is_err());
+    }
+
+    #[test]
+    fn parses_control_requests() {
+        assert_eq!(req(r#"{"kind":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(req(r#"{"kind":"shutdown"}"#).unwrap(), Request::Shutdown);
+        assert_eq!(
+            req(r#"{"kind":"cancel","id":"job-7"}"#).unwrap(),
+            Request::Cancel { id: "job-7".into() }
+        );
+        assert!(req(r#"{"kind":"cancel"}"#).is_err());
+        assert!(req(r#"{"kind":"frobnicate"}"#).is_err());
+        assert!(req(r#"{"benchmark":"cceh"}"#).is_err(), "kind required");
+    }
+
+    #[test]
+    fn missing_required_fields_are_errors() {
+        assert!(req(r#"{"kind":"check"}"#).is_err());
+        assert!(req(r#"{"kind":"bug","suite":"recipe"}"#).is_err());
+        assert!(req(r#"{"kind":"bug","row":1}"#).is_err());
+        assert!(req(r#"{"kind":"bug","suite":"nope","row":1}"#).is_err());
+        assert!(req(r#"{"kind":"check","benchmark":"x","keys":-1}"#).is_err());
+        assert!(req(r#"{"kind":"check","benchmark":"x","format":"yaml"}"#).is_err());
+    }
+
+    #[test]
+    fn cache_keys_separate_programs_but_not_performance_knobs() {
+        let config = Config::new();
+        let a = job(r#"{"kind":"check","benchmark":"P-CLHT"}"#);
+        let b = job(r#"{"kind":"check","benchmark":"p-clht","jobs":4,"deadline_ms":99}"#);
+        assert_eq!(a.program_hash(), b.program_hash(), "case and knobs ignored");
+        assert_eq!(a.result_group(&config), b.result_group(&config));
+
+        let other = job(r#"{"kind":"check","benchmark":"CCEH"}"#);
+        assert_ne!(a.program_hash(), other.program_hash());
+
+        let more_keys = job(r#"{"kind":"check","benchmark":"P-CLHT","keys":9}"#);
+        assert_ne!(a.program_hash(), more_keys.program_hash());
+    }
+
+    #[test]
+    fn result_group_separates_format_and_kind_but_snapshot_group_does_not() {
+        let config = Config::new();
+        let json = job(r#"{"kind":"bug","suite":"recipe","row":10}"#);
+        let sarif = job(r#"{"kind":"bug","suite":"recipe","row":10,"format":"sarif"}"#);
+        assert_eq!(json.snapshot_group(&config), sarif.snapshot_group(&config));
+        assert_ne!(json.result_group(&config), sarif.result_group(&config));
+    }
+
+    #[test]
+    fn fuzz_campaign_parses() {
+        let spec = job(r#"{"kind":"fuzz","seeds":5,"ops_max":8,"differential":true}"#);
+        assert_eq!(
+            spec.workload,
+            Workload::Campaign {
+                seeds: 5,
+                seed_start: 0,
+                ops_max: 8,
+                differential: true
+            }
+        );
+    }
+}

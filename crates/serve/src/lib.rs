@@ -1,0 +1,44 @@
+//! Checking as a service for the Jaaru reproduction.
+//!
+//! Model-checking jobs in CI tend to be near-duplicates: the same
+//! benchmark checked on every push, the same bug row linted under two
+//! output formats, the same campaign re-run with one knob moved. A
+//! one-shot CLI pays the full exploration cost every time. This crate
+//! runs the checker as a long-lived daemon so that cost is shared:
+//!
+//! - **Job queue** ([`queue`], [`job`]): newline-delimited JSON job
+//!   specs (`check` / `bug` / `lint` / `fuzz`) over a Unix domain
+//!   socket or an offline `--batch` file; a bounded queue rejects
+//!   overload instead of blocking, and every job can carry a deadline
+//!   or be cancelled by id.
+//! - **Executor** ([`exec`], [`daemon`]): jobs run one at a time on the
+//!   in-process checker (within-job parallelism via each job's `jobs`
+//!   knob), with panics isolated into `failed` replies, one retry for
+//!   transient failures, and cooperative deadline/cancellation stops at
+//!   scenario boundaries.
+//! - **Shared cross-job cache**: completed `ok`/`violation` artifacts
+//!   are replayed byte-identically for duplicate submissions, and all
+//!   jobs share one sharded snapshot-prefix cache
+//!   ([`jaaru::SharedSnapshotCache`]), so a resubmitted or related job
+//!   restores crash-point prefixes other jobs already paid for.
+//! - **Service metrics** ([`metrics`]): queue depth, per-status
+//!   completion counts, cache hit rates for both layers, and p50/p99
+//!   latency, rendered deterministically into every reply envelope and
+//!   on demand via a `stats` request.
+//!
+//! The front end is `jaaru_cli serve` (socket) or `jaaru_cli serve
+//! --batch FILE` (CI); see `crates/cli`. Artifact bytes are pinned to
+//! the one-shot renderers, so migrating a pipeline from `jaaru_cli
+//! check` to the daemon changes latency, never output.
+
+pub mod daemon;
+pub mod exec;
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+
+pub use daemon::{run_batch, serve, Daemon, LineAction, ServeOptions};
+pub use exec::{execute, job_config, CachedReply, JobOutcome, PANIC_WORKLOAD};
+pub use job::{ArtifactFormat, JobKind, JobSpec, Request, Suite, Workload};
+pub use metrics::{JobStatus, Metrics};

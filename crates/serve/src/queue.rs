@@ -1,0 +1,184 @@
+//! Admission control: a bounded blocking job queue and the cancellation
+//! registry.
+//!
+//! The queue applies backpressure by *rejecting* rather than blocking
+//! the submitter — a full queue turns the request into an immediate
+//! `rejected` reply, so one slow client cannot wedge the daemon's read
+//! loops. The executor side blocks on [`BoundedQueue::pop`] until work
+//! or shutdown arrives.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Default queue capacity (`--queue-cap` overrides).
+pub const DEFAULT_QUEUE_CAP: usize = 64;
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer single-consumer queue. `push` never blocks;
+/// `pop` blocks until an item or close.
+pub struct BoundedQueue<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            cap: cap.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, or hands it back when the queue is full or
+    /// closed (the caller turns that into a `rejected` reply).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed || state.items.len() >= self.cap {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available; `None` once the queue is
+    /// closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Stops admission and wakes the consumer; queued items still drain.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Live cancellation flags by job id. A job registers on admission and
+/// deregisters after its reply; `cancel` flips the flag whether the job
+/// is still queued (the executor skips it) or mid-run (the checker's
+/// abort flag stops it at the next scenario boundary).
+#[derive(Default)]
+pub struct CancelRegistry {
+    flags: Mutex<HashMap<String, Arc<AtomicBool>>>,
+}
+
+impl CancelRegistry {
+    pub fn new() -> CancelRegistry {
+        CancelRegistry::default()
+    }
+
+    /// Registers `id` and returns its flag. Re-registering an id joins
+    /// the existing flag, so `cancel` covers duplicate submissions too.
+    pub fn register(&self, id: &str) -> Arc<AtomicBool> {
+        self.flags
+            .lock()
+            .unwrap()
+            .entry(id.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Sets the flag for `id`; false when no such job is live.
+    pub fn cancel(&self, id: &str) -> bool {
+        match self.flags.lock().unwrap().get(id) {
+            Some(flag) => {
+                flag.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops the flag once the job has replied.
+    pub fn deregister(&self, id: &str) {
+        self.flags.lock().unwrap().remove(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn rejects_when_full_and_drains_in_order() {
+        let q = BoundedQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3), "backpressure hands the item back");
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok(), "space freed");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_wakes_consumer_and_drains_remainder() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(7).unwrap();
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(item) = q.pop() {
+                    seen.push(item);
+                }
+                seen
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(q.push(8), Err(8), "closed queue admits nothing");
+        assert_eq!(consumer.join().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn cancel_registry_flags_live_jobs_only() {
+        let reg = CancelRegistry::new();
+        let flag = reg.register("job-1");
+        assert!(!flag.load(Ordering::Relaxed));
+        assert!(reg.cancel("job-1"));
+        assert!(flag.load(Ordering::Relaxed));
+        assert!(!reg.cancel("job-2"), "unknown id");
+        reg.deregister("job-1");
+        assert!(!reg.cancel("job-1"), "deregistered id");
+    }
+
+    #[test]
+    fn duplicate_ids_share_one_flag() {
+        let reg = CancelRegistry::new();
+        let a = reg.register("dup");
+        let b = reg.register("dup");
+        reg.cancel("dup");
+        assert!(a.load(Ordering::Relaxed) && b.load(Ordering::Relaxed));
+    }
+}
