@@ -15,6 +15,8 @@ use std::fmt;
 
 use jaaru_pmem::PmAddr;
 
+use crate::repair::FixEdit;
+
 /// What a diagnostic is about.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DiagnosticKind {
@@ -167,9 +169,14 @@ pub struct Diagnostic {
     /// `MissingFence`/`FlushNotFenced`, the wasted op for the redundant
     /// kinds.
     pub site: String,
-    /// A concrete, actionable fix ("insert clflush + sfence after the
-    /// store at …, before the commit store at …").
-    pub suggestion: String,
+    /// A concrete, actionable fix, rendered for humans ("insert
+    /// clflush + sfence after the store at …, before the commit store
+    /// at …").
+    pub message: String,
+    /// The same fix as a machine-applicable edit, when the kind has
+    /// one (`RedundantFence` has no edit in the repair vocabulary —
+    /// deleting a fence could unorder unrelated flushes).
+    pub suggestion: Option<FixEdit>,
     /// A representative persistent address involved, when meaningful.
     pub addr: Option<PmAddr>,
     /// How many scenarios (or sites-executions, for warnings)
@@ -197,7 +204,7 @@ impl fmt::Display for Diagnostic {
             self.severity(),
             self.kind,
             self.site,
-            self.suggestion
+            self.message
         )?;
         if let Some(addr) = self.addr {
             write!(f, " (addr {addr})")?;
@@ -227,10 +234,18 @@ impl DiagnosticSet {
     }
 
     /// Folds in one diagnostic: a new `(kind, site)` appends, a known
-    /// one adds its occurrences to the existing entry.
+    /// one adds its occurrences to the existing entry. Merging keeps
+    /// the richer typed edit: an edit-carrying duplicate upgrades an
+    /// entry recorded without one (the inline perf path reports eagerly
+    /// with no edit; the graph pass derives the `DeleteFlush`).
     pub fn insert(&mut self, d: Diagnostic) {
         match self.index.get(&(d.kind, d.site.clone())) {
-            Some(&i) => self.items[i].occurrences += d.occurrences,
+            Some(&i) => {
+                self.items[i].occurrences += d.occurrences;
+                if self.items[i].suggestion.is_none() {
+                    self.items[i].suggestion = d.suggestion;
+                }
+            }
             None => {
                 self.index
                     .insert((d.kind, d.site.clone()), self.items.len());
@@ -275,7 +290,8 @@ mod tests {
         Diagnostic {
             kind,
             site: site.into(),
-            suggestion: "do the thing".into(),
+            message: "do the thing".into(),
+            suggestion: None,
             addr: None,
             occurrences: 1,
         }

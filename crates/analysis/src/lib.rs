@@ -36,10 +36,17 @@
 //!    observed symptom.
 //! 6. **The diagnostic framework** ([`Diagnostic`], [`DiagnosticSet`])
 //!    and its renderings: the unified finding type (kind, severity,
-//!    site, suggestion, occurrences), the single deduplicating
-//!    accumulation path used by both the sequential explorer and the
-//!    parallel merge, and SARIF 2.1.0 output ([`to_sarif`]) for CI
-//!    consumption.
+//!    site, rendered message, typed edit, occurrences), the single
+//!    deduplicating accumulation path used by both the sequential
+//!    explorer and the parallel merge, and SARIF 2.1.0 output
+//!    ([`to_sarif`]) for CI consumption.
+//! 7. **Typed repair edits** ([`FixEdit`], [`minimize_edits`]): every
+//!    error-class diagnostic carries a machine-applicable edit —
+//!    insert flush, insert fence, delete flush — at its interned site,
+//!    and the delta-debugging reducer shrinks a candidate edit set to
+//!    a 1-minimal repair against any verification oracle. The repair
+//!    *driver* (apply edits, re-check, prove) lives in the checker
+//!    core (`jaaru::repair`), which owns program execution.
 //!
 //! This crate is deliberately independent of the checker core: it
 //! depends only on the trace and address types, so the same analysis
@@ -50,6 +57,7 @@ mod graph;
 mod localize;
 mod perf;
 mod races;
+mod repair;
 mod robust;
 mod sarif;
 mod vclock;
@@ -59,6 +67,7 @@ pub use graph::{Edge, EdgeKind, FlushRef, LinePersist, PersistGraph, SiteTable, 
 pub use localize::{localize, RfEvidence};
 pub use perf::flush_redundancy;
 pub use races::{cross_thread_races, recovery_read_lines, torn_candidates};
+pub use repair::{minimize_edits, parse_site, FixEdit};
 pub use robust::{analyze_trace, robustness_candidates, Candidate};
-pub use sarif::to_sarif;
+pub use sarif::{to_sarif, to_sarif_with_verified};
 pub use vclock::VClock;

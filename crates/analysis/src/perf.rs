@@ -27,6 +27,7 @@ use jaaru_tso::TraceOpKind;
 
 use crate::diagnostic::{Diagnostic, DiagnosticKind, DiagnosticSet};
 use crate::graph::PersistGraph;
+use crate::repair::FixEdit;
 
 /// Replays `graph`'s trace with per-line dirty bits and reports wasted
 /// persistency operations, deduplicated by site with occurrence
@@ -73,7 +74,7 @@ pub fn flush_redundancy(graph: &PersistGraph<'_>) -> Vec<Diagnostic> {
                     } else {
                         DiagnosticKind::RedundantFlush
                     };
-                    let suggestion = if premature {
+                    let message = if premature {
                         format!(
                             "the flush at {} covers lines {first}..={last} before \
                              any store to them; move it after the store it is \
@@ -90,7 +91,14 @@ pub fn flush_redundancy(graph: &PersistGraph<'_>) -> Vec<Diagnostic> {
                     out.insert(Diagnostic {
                         kind,
                         site: graph.site(i).to_string(),
-                        suggestion,
+                        message,
+                        // The line filter keeps the deletion from
+                        // swallowing useful flushes issued through the
+                        // same (interpreter-style) call site.
+                        suggestion: Some(FixEdit::DeleteFlush {
+                            site: graph.site(i).to_string(),
+                            line: Some(first),
+                        }),
                         addr: None,
                         occurrences: 1,
                     });
@@ -105,11 +113,15 @@ pub fn flush_redundancy(graph: &PersistGraph<'_>) -> Vec<Diagnostic> {
                     out.insert(Diagnostic {
                         kind: DiagnosticKind::RedundantFence,
                         site: graph.site(i).to_string(),
-                        suggestion: format!(
+                        message: format!(
                             "the fence at {} has no stores or flushes to order \
                              since the previous ordering op; remove it",
                             graph.site(i)
                         ),
+                        // No DeleteFence in the edit vocabulary:
+                        // removing a fence can unorder flushes the
+                        // dirty-bit replay doesn't see.
+                        suggestion: None,
                         addr: None,
                         occurrences: 1,
                     });
@@ -214,7 +226,7 @@ mod tests {
         let d = run(&t);
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].kind, DiagnosticKind::FlushBeforeStore);
-        assert!(d[0].suggestion.contains("before any store"), "{d:?}");
+        assert!(d[0].message.contains("before any store"), "{d:?}");
 
         // A flush of a line never stored at all is a plain redundant
         // flush, not a premature one.

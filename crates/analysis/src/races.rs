@@ -33,6 +33,7 @@ use jaaru_tso::{OpTrace, TraceOpKind};
 
 use crate::diagnostic::{Diagnostic, DiagnosticKind, DiagnosticSet};
 use crate::graph::PersistGraph;
+use crate::repair::FixEdit;
 use crate::robust::Candidate;
 
 /// Reports stores whose flush/fence chain spans threads without a
@@ -58,7 +59,7 @@ pub fn cross_thread_races(graph: &PersistGraph<'_>) -> Vec<Diagnostic> {
                 out.insert(Diagnostic {
                     kind: DiagnosticKind::CrossThreadRace,
                     site: graph.site(s.op_idx).to_string(),
-                    suggestion: format!(
+                    message: format!(
                         "the store at {} (thread {}) is flushed only by thread {} \
                          (at {}) with no synchronization ordering the flush after \
                          the store; under another interleaving the flush runs first \
@@ -69,6 +70,10 @@ pub fn cross_thread_races(graph: &PersistGraph<'_>) -> Vec<Diagnostic> {
                         flush_thread.0,
                         graph.site(flush.op_idx),
                     ),
+                    suggestion: Some(FixEdit::InsertFlush {
+                        site: graph.site(s.op_idx).to_string(),
+                        line: Some(fact.line),
+                    }),
                     addr: Some(s.addr),
                     occurrences: 1,
                 });
@@ -87,7 +92,7 @@ pub fn cross_thread_races(graph: &PersistGraph<'_>) -> Vec<Diagnostic> {
                     out.insert(Diagnostic {
                         kind: DiagnosticKind::CrossThreadRace,
                         site: graph.site(flush.op_idx).to_string(),
-                        suggestion: format!(
+                        message: format!(
                             "the clflushopt at {} parks line {} in thread {}'s \
                              flush buffer, but only thread {} fences afterwards \
                              (at {}); a fence drains only its own thread's buffer, \
@@ -99,6 +104,10 @@ pub fn cross_thread_races(graph: &PersistGraph<'_>) -> Vec<Diagnostic> {
                             graph.site(fence),
                             flush_thread.0,
                         ),
+                        suggestion: Some(FixEdit::InsertFence {
+                            site: graph.site(flush.op_idx).to_string(),
+                            line: Some(fact.line),
+                        }),
                         addr: Some(s.addr),
                         occurrences: 1,
                     });
@@ -144,6 +153,13 @@ pub fn torn_candidates(graph: &PersistGraph<'_>) -> Vec<Candidate> {
                  keep it within one line",
                 s.first_line, s.last_line,
             ),
+            // One wide clflush spanning the store's byte range is a
+            // single trace op, so both halves persist at the same
+            // point — the mechanical fix for a tear.
+            fix: Some(FixEdit::InsertFlush {
+                site: site.clone(),
+                line: Some(s.first_line),
+            }),
             store_loc: site,
             addr: s.addr,
             commit_loc: String::new(),
@@ -231,7 +247,7 @@ mod tests {
         assert_eq!(races.len(), 1, "{races:?}");
         assert_eq!(races[0].kind, DiagnosticKind::CrossThreadRace);
         assert_eq!(races[0].addr, Some(PmAddr::new(2 * LINE)));
-        assert!(races[0].suggestion.contains("thread 1"), "{races:?}");
+        assert!(races[0].message.contains("thread 1"), "{races:?}");
     }
 
     #[test]
@@ -265,8 +281,9 @@ mod tests {
         sfence(&mut t, 1); // thread 1 fences: drains nothing
         let races = cross_thread_races(&PersistGraph::build(&t));
         assert_eq!(races.len(), 1, "{races:?}");
+        assert!(races[0].message.contains("fence on thread 0"), "{races:?}");
         assert!(
-            races[0].suggestion.contains("fence on thread 0"),
+            matches!(races[0].suggestion, Some(FixEdit::InsertFence { .. })),
             "{races:?}"
         );
     }

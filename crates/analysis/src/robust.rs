@@ -26,6 +26,7 @@ use jaaru_tso::OpTrace;
 
 use crate::diagnostic::{Diagnostic, DiagnosticKind};
 use crate::graph::PersistGraph;
+use crate::repair::FixEdit;
 
 /// A robustness violation: `store` can reach `commit` unpersisted.
 #[derive(Clone, Debug)]
@@ -44,8 +45,10 @@ pub struct Candidate {
     pub addr: PmAddr,
     /// Source site of the commit store the violation races with.
     pub commit_loc: String,
-    /// The concrete fix.
+    /// The concrete fix, rendered for humans.
     pub suggestion: String,
+    /// The same fix as a machine-applicable edit.
+    pub fix: Option<FixEdit>,
     /// Whether the store does persist later in the trace (a late flush
     /// or late fence), just not before the commit store. Late-ordered
     /// stores are only wrong if recovery actually observes the window,
@@ -61,7 +64,8 @@ impl Candidate {
         Diagnostic {
             kind: self.kind,
             site: self.site,
-            suggestion: self.suggestion,
+            message: self.suggestion,
+            suggestion: self.fix,
             addr: Some(self.addr),
             occurrences: 1,
         }
@@ -105,6 +109,7 @@ pub fn robustness_candidates(graph: &PersistGraph<'_>) -> Vec<Candidate> {
         let commit = &stores[c];
         let commit_loc = graph.site(commit.op_idx).to_string();
         let store_loc = graph.site(s.op_idx).to_string();
+        let store_line = Some(s.addr.cache_line().index());
         let candidate = match s.flush {
             Some(f) if f.op_idx < commit.op_idx && f.opt => match s.persist_point {
                 None => Candidate {
@@ -116,6 +121,10 @@ pub fn robustness_candidates(graph: &PersistGraph<'_>) -> Vec<Candidate> {
                          flush, before the commit store at {commit_loc}",
                         graph.site(f.op_idx)
                     ),
+                    fix: Some(FixEdit::InsertFence {
+                        site: graph.site(f.op_idx).to_string(),
+                        line: store_line,
+                    }),
                     store_loc,
                     addr: s.addr,
                     commit_loc,
@@ -131,6 +140,10 @@ pub fn robustness_candidates(graph: &PersistGraph<'_>) -> Vec<Candidate> {
                         graph.site(f.op_idx),
                         graph.site(p)
                     ),
+                    fix: Some(FixEdit::InsertFence {
+                        site: graph.site(f.op_idx).to_string(),
+                        line: store_line,
+                    }),
                     store_loc,
                     addr: s.addr,
                     commit_loc,
@@ -146,6 +159,10 @@ pub fn robustness_candidates(graph: &PersistGraph<'_>) -> Vec<Candidate> {
                      before the commit store",
                     graph.site(f.op_idx)
                 ),
+                fix: Some(FixEdit::InsertFlush {
+                    site: store_loc.clone(),
+                    line: store_line,
+                }),
                 store_loc,
                 addr: s.addr,
                 commit_loc,
@@ -158,6 +175,10 @@ pub fn robustness_candidates(graph: &PersistGraph<'_>) -> Vec<Candidate> {
                     "insert clflush + sfence (or clflushopt + sfence) after the \
                      store at {store_loc}, before the commit store at {commit_loc}"
                 ),
+                fix: Some(FixEdit::InsertFlush {
+                    site: store_loc.clone(),
+                    line: store_line,
+                }),
                 store_loc,
                 addr: s.addr,
                 commit_loc,

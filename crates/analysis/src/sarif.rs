@@ -22,6 +22,7 @@
 use std::fmt::Write as _;
 
 use crate::diagnostic::{Diagnostic, DiagnosticKind, Severity};
+use crate::repair::{parse_site, FixEdit};
 
 /// Escapes `s` as JSON string contents (without the quotes).
 fn escape(s: &str) -> String {
@@ -42,14 +43,6 @@ fn escape(s: &str) -> String {
     out
 }
 
-/// Splits a `file:line:column` site into its parts; `None` when the
-/// site is not in that shape.
-fn parse_site(site: &str) -> Option<(&str, u32, u32)> {
-    let (rest, column) = site.rsplit_once(':')?;
-    let (file, line) = rest.rsplit_once(':')?;
-    Some((file, line.parse().ok()?, column.parse().ok()?))
-}
-
 fn level(sev: Severity) -> &'static str {
     match sev {
         Severity::Error => "error",
@@ -61,6 +54,67 @@ fn level(sev: Severity) -> &'static str {
 /// a deterministic function of the input list: same diagnostics in the
 /// same order produce identical bytes.
 pub fn to_sarif(diagnostics: &[Diagnostic], tool_version: &str) -> String {
+    to_sarif_with_verified(diagnostics, tool_version, &[])
+}
+
+/// Emits one `fixes` array entry for a diagnostic's machine edit.
+fn push_fix(out: &mut String, fix: &FixEdit) {
+    let Some((file, line, column)) = parse_site(fix.site()) else {
+        // An unparsable site has no physical anchor to patch.
+        out.push_str("          \"fixes\": [],\n");
+        return;
+    };
+    out.push_str("          \"fixes\": [\n            {\n");
+    let _ = writeln!(
+        out,
+        "              \"description\": {{ \"text\": \"{}\" }},",
+        escape(&fix.to_string())
+    );
+    out.push_str("              \"artifactChanges\": [\n                {\n");
+    let _ = writeln!(
+        out,
+        "                  \"artifactLocation\": {{ \"uri\": \"{}\" }},",
+        escape(file)
+    );
+    out.push_str("                  \"replacements\": [\n                    {\n");
+    match fix.inserted_text() {
+        // Insertions use a zero-width deleted region at the anchored
+        // operation: SARIF's convention for "insert here".
+        Some(text) => {
+            let _ = writeln!(
+                out,
+                "                      \"deletedRegion\": {{ \"startLine\": {line}, \
+                 \"startColumn\": {column}, \"endLine\": {line}, \"endColumn\": {column} }},"
+            );
+            let _ = writeln!(
+                out,
+                "                      \"insertedContent\": {{ \"text\": \"{}\" }}",
+                escape(text)
+            );
+        }
+        // Deletions drop the anchored line.
+        None => {
+            let _ = writeln!(
+                out,
+                "                      \"deletedRegion\": {{ \"startLine\": {line}, \
+                 \"endLine\": {line} }}"
+            );
+        }
+    }
+    out.push_str("                    }\n                  ]\n                }\n");
+    out.push_str("              ]\n            }\n          ],\n");
+}
+
+/// [`to_sarif`] with a proven repair: results whose suggested edit the
+/// `verified` set (the minimal edit set a re-check proved) contains —
+/// exactly, or subsumed by a site-wide edit of the same kind — carry a
+/// `"verified": true` property-bag flag, so CI can distinguish
+/// candidate fixes from repairs the checker has already validated.
+pub fn to_sarif_with_verified(
+    diagnostics: &[Diagnostic],
+    tool_version: &str,
+    verified: &[FixEdit],
+) -> String {
     let kinds_present: Vec<DiagnosticKind> = DiagnosticKind::ALL
         .into_iter()
         .filter(|k| diagnostics.iter().any(|d| d.kind == *k))
@@ -112,7 +166,7 @@ pub fn to_sarif(diagnostics: &[Diagnostic], tool_version: &str) -> String {
         let _ = writeln!(
             out,
             "          \"message\": {{ \"text\": \"{}\" }},",
-            escape(&d.suggestion)
+            escape(&d.message)
         );
         out.push_str("          \"locations\": [\n            {\n");
         out.push_str("              \"physicalLocation\": {\n");
@@ -137,7 +191,21 @@ pub fn to_sarif(diagnostics: &[Diagnostic], tool_version: &str) -> String {
             }
         }
         out.push_str("              }\n            }\n          ],\n");
+        if let Some(fix) = &d.suggestion {
+            push_fix(&mut out, fix);
+        }
+        // A verified edit proves the suggestion either exactly or by
+        // subsumption: a site-wide edit (no cache-line filter) covers
+        // every narrower suggestion of the same kind at that site.
+        let is_verified = d.suggestion.as_ref().is_some_and(|fix| {
+            verified
+                .iter()
+                .any(|v| v == fix || (v.same_fix(fix) && v.cache_line().is_none()))
+        });
         out.push_str("          \"properties\": {\n");
+        if is_verified {
+            out.push_str("            \"verified\": true,\n");
+        }
         match d.addr {
             Some(addr) => {
                 let _ = writeln!(out, "            \"occurrences\": {},", d.occurrences);
@@ -167,13 +235,21 @@ mod tests {
     use super::*;
     use jaaru_pmem::PmAddr;
 
-    fn diag(kind: DiagnosticKind, site: &str, suggestion: &str) -> Diagnostic {
+    fn diag(kind: DiagnosticKind, site: &str, message: &str) -> Diagnostic {
         Diagnostic {
             kind,
             site: site.into(),
-            suggestion: suggestion.into(),
+            message: message.into(),
+            suggestion: None,
             addr: Some(PmAddr::new(128)),
             occurrences: 2,
+        }
+    }
+
+    fn diag_with_fix(kind: DiagnosticKind, site: &str, fix: FixEdit) -> Diagnostic {
+        Diagnostic {
+            suggestion: Some(fix),
+            ..diag(kind, site, "fix it")
         }
     }
 
@@ -241,5 +317,119 @@ mod tests {
         let doc = to_sarif(&[], "0");
         assert!(doc.contains("\"rules\": [\n          ]"));
         assert!(doc.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn structured_fix_becomes_a_sarif_fixes_object() {
+        let fix = FixEdit::InsertFlush {
+            site: "src/a.rs:10:5".into(),
+            line: Some(2),
+        };
+        let doc = to_sarif(
+            &[diag_with_fix(
+                DiagnosticKind::MissingFlush,
+                "src/a.rs:10:5",
+                fix,
+            )],
+            "0",
+        );
+        assert!(doc.contains("\"fixes\": ["), "{doc}");
+        assert!(doc.contains("\"artifactChanges\""), "{doc}");
+        assert!(doc.contains("\"replacements\""), "{doc}");
+        assert!(
+            doc.contains(
+                "\"insertedContent\": { \"text\": \"env.clflush(addr, len); env.sfence();\" }"
+            ),
+            "{doc}"
+        );
+        assert!(
+            doc.contains(
+                "\"deletedRegion\": { \"startLine\": 10, \"startColumn\": 5, \
+                 \"endLine\": 10, \"endColumn\": 5 }"
+            ),
+            "{doc}"
+        );
+        // Unverified candidates carry the fix but no verified flag.
+        assert!(!doc.contains("\"verified\""), "{doc}");
+    }
+
+    #[test]
+    fn deletion_fix_drops_the_line_without_inserted_content() {
+        let fix = FixEdit::DeleteFlush {
+            site: "src/b.rs:7:3".into(),
+            line: None,
+        };
+        let doc = to_sarif(
+            &[diag_with_fix(
+                DiagnosticKind::RedundantFlush,
+                "src/b.rs:7:3",
+                fix,
+            )],
+            "0",
+        );
+        assert!(
+            doc.contains("\"deletedRegion\": { \"startLine\": 7, \"endLine\": 7 }"),
+            "{doc}"
+        );
+        assert!(!doc.contains("insertedContent"), "{doc}");
+    }
+
+    #[test]
+    fn verified_edits_flag_their_results() {
+        let fix = FixEdit::InsertFlush {
+            site: "src/a.rs:10:5".into(),
+            line: None,
+        };
+        let other = FixEdit::InsertFence {
+            site: "src/c.rs:1:1".into(),
+            line: None,
+        };
+        let diags = vec![
+            diag_with_fix(DiagnosticKind::MissingFlush, "src/a.rs:10:5", fix.clone()),
+            diag_with_fix(DiagnosticKind::MissingFence, "src/c.rs:1:1", other),
+        ];
+        let doc = to_sarif_with_verified(&diags, "0", std::slice::from_ref(&fix));
+        assert_eq!(doc.matches("\"verified\": true").count(), 1, "{doc}");
+        let first = doc.find("\"ruleId\": \"missing-flush\"").unwrap();
+        let second = doc.find("\"ruleId\": \"missing-fence\"").unwrap();
+        assert!(doc[first..second].contains("\"verified\": true"), "{doc}");
+        // And the unverified variant is byte-stable against itself.
+        assert_eq!(
+            to_sarif_with_verified(&diags, "0", &[]),
+            to_sarif(&diags, "0")
+        );
+    }
+
+    #[test]
+    fn site_wide_verified_edit_subsumes_narrow_suggestions() {
+        // Repair may widen a per-line suggestion to its whole site
+        // before verification converges; the proven site-wide edit
+        // still vouches for the narrow suggestions it covers.
+        let narrow = FixEdit::InsertFlush {
+            site: "src/a.rs:10:5".into(),
+            line: Some(17),
+        };
+        let diags = vec![diag_with_fix(
+            DiagnosticKind::MissingFlush,
+            "src/a.rs:10:5",
+            narrow.clone(),
+        )];
+        let wide = narrow.generalized();
+        let doc = to_sarif_with_verified(&diags, "0", std::slice::from_ref(&wide));
+        assert_eq!(doc.matches("\"verified\": true").count(), 1, "{doc}");
+        // A narrow verified edit at a *different* line does not.
+        let other_line = FixEdit::InsertFlush {
+            site: "src/a.rs:10:5".into(),
+            line: Some(18),
+        };
+        let doc = to_sarif_with_verified(&diags, "0", std::slice::from_ref(&other_line));
+        assert!(!doc.contains("\"verified\""), "{doc}");
+        // Nor does a site-wide edit of a different kind.
+        let wrong_kind = FixEdit::InsertFence {
+            site: "src/a.rs:10:5".into(),
+            line: None,
+        };
+        let doc = to_sarif_with_verified(&diags, "0", std::slice::from_ref(&wrong_kind));
+        assert!(!doc.contains("\"verified\""), "{doc}");
     }
 }

@@ -1,0 +1,179 @@
+//! Repair re-check ablation: diagnose → fix → verify on seeded bug rows
+//! with and without a shared crash-point snapshot cache.
+//!
+//! Repair synthesis re-runs the model checker many times over near-
+//! identical programs (the baseline, each candidate round, every
+//! minimization probe). Cold, every re-check replays its own prefixes;
+//! warm — `RepairDriver::shared_cache`, the configuration the serve
+//! daemon uses — re-checks restore prefixes cached by earlier runs of
+//! the *same* edit subset, and the baseline additionally shares the
+//! group of a plain check of the unrepaired program, the state a warm
+//! daemon is already in.
+//!
+//! Emits a machine-readable summary to `BENCH_repair.json` and asserts
+//! the subsystem's acceptance bar: every measured row verifies, cold
+//! and warm agree on the edit set byte-for-byte, and warm restores
+//! strictly more prefix executions than cold across the sweep.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use jaaru::{Config, ModelChecker, RepairDriver, RepairOutcome, SharedSnapshotCache};
+use jaaru_bench::registry::{pmdk_bug_cases, recipe_bug_cases, BugCase};
+use jaaru_bench::timing::{bench, ratio};
+
+const KEYS: usize = 4;
+const SAMPLES: usize = 3;
+const WARMUP: usize = 1;
+const CACHE_CAP: usize = 64 << 20;
+
+/// The rows measured: one per structure family that auto-repairs.
+const ROWS: &[(&str, usize)] = &[("recipe", 1), ("recipe", 4), ("recipe", 15), ("pmdk", 1)];
+
+fn config() -> Config {
+    let mut c = Config::new();
+    c.pool_size(1 << 18)
+        .max_ops_per_execution(40_000)
+        .max_scenarios(2_000)
+        .lints(true)
+        .lint_cross_thread(true)
+        .lint_torn_stores(true);
+    c
+}
+
+fn case(suite: &str, id: usize) -> BugCase {
+    let cases = if suite == "recipe" {
+        recipe_bug_cases(KEYS)
+    } else {
+        pmdk_bug_cases(KEYS)
+    };
+    cases
+        .into_iter()
+        .find(|c| c.id == id)
+        .expect("row exists in the registry")
+}
+
+struct RowResult {
+    name: String,
+    rechecks: u64,
+    restored_cold: u64,
+    restored_warm: u64,
+    cold: Duration,
+    warm: Duration,
+}
+
+fn restored(outcome: &RepairOutcome) -> u64 {
+    outcome.baseline.stats.executions_restored
+        + outcome
+            .repaired
+            .as_ref()
+            .map_or(0, |r| r.stats.executions_restored)
+}
+
+fn main() {
+    let mut rows: Vec<RowResult> = Vec::new();
+    for &(suite, id) in ROWS {
+        let name = format!("{suite}-{id}");
+
+        let mut cold_outcome: Option<RepairOutcome> = None;
+        let cold = bench(
+            "repair_recheck",
+            &format!("{name}/cold"),
+            SAMPLES,
+            WARMUP,
+            || {
+                let c = case(suite, id);
+                cold_outcome = Some(RepairDriver::new(config()).synthesize(&*c.program));
+            },
+        );
+
+        // The daemon's steady state: a plain check of the program has
+        // already populated the group the repair baseline uses, and the
+        // cache persists across jobs — only the repair itself is timed.
+        let cache = SharedSnapshotCache::new(CACHE_CAP);
+        {
+            let c = case(suite, id);
+            let mut checker = ModelChecker::new(config());
+            checker.shared_cache(cache.clone(), 0);
+            let _ = checker.check(&*c.program);
+        }
+        let mut warm_outcome: Option<RepairOutcome> = None;
+        let warm = bench(
+            "repair_recheck",
+            &format!("{name}/warm"),
+            SAMPLES,
+            WARMUP,
+            || {
+                let c = case(suite, id);
+                let mut driver = RepairDriver::new(config());
+                driver.shared_cache(cache.clone(), 0);
+                warm_outcome = Some(driver.synthesize(&*c.program));
+            },
+        );
+
+        let cold_outcome = cold_outcome.expect("cold sample ran");
+        let warm_outcome = warm_outcome.expect("warm sample ran");
+        assert!(cold_outcome.verified, "{name}: cold repair must verify");
+        assert!(warm_outcome.verified, "{name}: warm repair must verify");
+        assert_eq!(
+            cold_outcome.to_json(),
+            warm_outcome.to_json(),
+            "{name}: the cache must not change the repair"
+        );
+        rows.push(RowResult {
+            name,
+            rechecks: cold_outcome.rechecks,
+            restored_cold: restored(&cold_outcome),
+            restored_warm: restored(&warm_outcome),
+            cold,
+            warm,
+        });
+    }
+
+    println!();
+    println!(
+        "{:<12} {:>9} {:>15} {:>15} {:>12} {:>12}",
+        "row", "rechecks", "restored(cold)", "restored(warm)", "cold", "warm"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>9} {:>15} {:>15} {:>12?} {:>12?}",
+            r.name, r.rechecks, r.restored_cold, r.restored_warm, r.cold, r.warm
+        );
+    }
+    let cold_total: Duration = rows.iter().map(|r| r.cold).sum();
+    let warm_total: Duration = rows.iter().map(|r| r.warm).sum();
+    ratio("repair re-check cold vs warm", cold_total, warm_total);
+
+    let restored_cold: u64 = rows.iter().map(|r| r.restored_cold).sum();
+    let restored_warm: u64 = rows.iter().map(|r| r.restored_warm).sum();
+    assert!(
+        restored_warm > restored_cold,
+        "shared cache must restore more prefixes ({restored_warm} vs {restored_cold})"
+    );
+
+    let mut json = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"row\": \"{}\", \"rechecks\": {}, \"restored_cold\": {}, \
+             \"restored_warm\": {}, \"cold_ms\": {}, \"warm_ms\": {}}}{comma}",
+            r.name,
+            r.rechecks,
+            r.restored_cold,
+            r.restored_warm,
+            r.cold.as_millis(),
+            r.warm.as_millis()
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"cold_ms_total\": {},\n  \"warm_ms_total\": {}\n}}",
+        cold_total.as_millis(),
+        warm_total.as_millis()
+    );
+    std::fs::write("BENCH_repair.json", json).expect("write BENCH_repair.json");
+    println!("wrote BENCH_repair.json");
+}

@@ -9,6 +9,8 @@
 //! jaaru_cli [options] bug (recipe|pmdk) <row#> [keys]   # one bug-table row
 //! jaaru_cli [options] lint <benchmark> [keys]           # lint a fixed benchmark
 //! jaaru_cli [options] lint (recipe|pmdk) <row#> [keys]  # lint one bug row
+//! jaaru_cli [options] repair <benchmark> [keys]         # repair a fixed benchmark
+//! jaaru_cli [options] repair (recipe|pmdk) <row#> [keys] # repair one bug row
 //! jaaru_cli [options] perf [keys]                       # Figure 14 run
 //! jaaru_cli [options] fuzz [fuzz options]               # differential fuzzing
 //! jaaru_cli [options] serve [serve options]             # checking as a service
@@ -36,11 +38,13 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use jaaru::{CheckReport, Config, ModelChecker, Program};
+use jaaru::{
+    synthesize_repair, to_sarif_with_verified, CheckReport, Config, ModelChecker, Program,
+};
 use jaaru_bench::registry::{
     pmdk_bug_cases, pmdk_fixed_cases, recipe_bug_cases, recipe_fixed_cases,
 };
-use jaaru_fuzz::{harvest, minimize_divergence, run_campaign, Oracle};
+use jaaru_fuzz::{harvest, minimize_divergence, repair_seeded, run_campaign, Oracle, RepairStats};
 use jaaru_serve::{daemon, Daemon, ServeOptions};
 
 #[derive(Clone, Copy, PartialEq)]
@@ -133,6 +137,74 @@ fn run(
     emit(name, &report, format)
 }
 
+/// The checker configuration `repair` verifies against: every
+/// robustness pass, but not flush-redundancy — repair must converge on
+/// the crash-consistency fix, not chase advisory flush-hygiene
+/// warnings on flushes the bug rows plant on purpose. `fuzz --repair`
+/// exercises delete-flush synthesis on its redundant-flush class.
+fn repair_config(jobs: usize, snapshots: SnapshotOpts) -> Config {
+    let mut c = config(jobs, true, snapshots);
+    c.lint_flush_redundancy(false);
+    c
+}
+
+/// The `repair` subcommand: diagnose → fix → verify → minimize, then
+/// report. Exit 0 only for a *verified* repair; in SARIF output the
+/// proven edits carry the `verified` property flag.
+fn repair_run(
+    name: &str,
+    program: &(dyn Program + Sync),
+    jobs: usize,
+    format: Format,
+    snapshots: SnapshotOpts,
+) -> i32 {
+    let outcome = synthesize_repair(&repair_config(jobs, snapshots), program);
+    match format {
+        Format::Json | Format::JsonCanonical => print!("{}", outcome.to_json()),
+        Format::Sarif => {
+            let verified: &[_] = if outcome.verified {
+                &outcome.edits
+            } else {
+                &[]
+            };
+            print!(
+                "{}",
+                to_sarif_with_verified(&outcome.diagnosed, env!("CARGO_PKG_VERSION"), verified)
+            );
+        }
+        Format::Text => {
+            println!("== repair {name} ==");
+            println!("baseline: {}", outcome.baseline.summary());
+            println!(
+                "{} distinct finding(s); {} round(s), {} re-check(s)",
+                outcome.diagnosed.len(),
+                outcome.rounds,
+                outcome.rechecks
+            );
+            for (i, e) in outcome.edits.iter().enumerate() {
+                println!("edit {}: {e}", i + 1);
+            }
+            if outcome.verified {
+                if let Some(r) = &outcome.repaired {
+                    println!("re-check: {}", r.summary());
+                }
+                println!(
+                    "VERDICT: verified minimal repair ({} edit(s)); re-check clean",
+                    outcome.edits.len()
+                );
+            } else {
+                println!(
+                    "VERDICT: no verified repair after {} round(s); \
+                     {} candidate edit(s) above",
+                    outcome.rounds,
+                    outcome.edits.len()
+                );
+            }
+        }
+    }
+    i32::from(!outcome.verified)
+}
+
 /// Looks a fixed benchmark up by name across both fixed registries.
 fn find_fixed(name: &str, keys: usize) -> Option<(String, Box<dyn Program + Sync>)> {
     recipe_fixed_cases(keys)
@@ -149,6 +221,8 @@ fn usage() -> ! {
          jaaru_cli [options] bug (recipe|pmdk) <row#> [keys]\n  \
          jaaru_cli [options] lint <benchmark> [keys]\n  \
          jaaru_cli [options] lint (recipe|pmdk) <row#> [keys]\n  \
+         jaaru_cli [options] repair <benchmark> [keys]\n  \
+         jaaru_cli [options] repair (recipe|pmdk) <row#> [keys]\n  \
          jaaru_cli [options] perf [keys]\n  \
          jaaru_cli [options] fuzz [fuzz options]\n  \
          jaaru_cli [options] serve [serve options]\n\
@@ -165,7 +239,9 @@ fn usage() -> ! {
          --differential         also compare config axes and the eager baseline\n  \
          --minimize             shrink any divergence to a minimal reproducer\n  \
          --corpus DIR           read/write reproducers under DIR\n  \
-         --harvest              minimize seeded-fault programs into the corpus\n\
+         --harvest              minimize seeded-fault programs into the corpus\n  \
+         --repair               auto-repair every seeded-fault program; exit\n                         \
+         nonzero if any fault class is unrepairable\n\
          serve options:\n  \
          --socket PATH          listen on a Unix domain socket at PATH\n  \
          --batch FILE           run request lines from FILE and exit (CI mode)\n  \
@@ -185,6 +261,7 @@ struct FuzzOpts {
     minimize: bool,
     corpus: Option<PathBuf>,
     harvest: bool,
+    repair: bool,
 }
 
 fn parse_fuzz_opts(args: &[String]) -> FuzzOpts {
@@ -196,6 +273,7 @@ fn parse_fuzz_opts(args: &[String]) -> FuzzOpts {
         minimize: false,
         corpus: None,
         harvest: false,
+        repair: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -219,6 +297,7 @@ fn parse_fuzz_opts(args: &[String]) -> FuzzOpts {
                 None => usage(),
             },
             "--harvest" => opts.harvest = true,
+            "--repair" => opts.repair = true,
             _ => usage(),
         }
     }
@@ -238,7 +317,8 @@ fn fuzz(opts: FuzzOpts, jobs: usize, format: Format) -> i32 {
         ..Oracle::default()
     };
     let mut harvested = Vec::new();
-    let report = run_campaign(
+    let mut faulted = Vec::new();
+    let mut report = run_campaign(
         &oracle,
         opts.seed_start,
         opts.seeds,
@@ -249,8 +329,23 @@ fn fuzz(opts: FuzzOpts, jobs: usize, format: Format) -> i32 {
                     harvested.push(repro);
                 }
             }
+            if opts.repair && program.fault.is_some() {
+                faulted.push(program.clone());
+            }
         },
     );
+
+    // Auto-repair every seeded-fault program: each class's planted
+    // construct must come back as a verified minimal edit set, or the
+    // campaign fails.
+    if opts.repair {
+        let mut stats = RepairStats::default();
+        for program in &faulted {
+            let outcome = repair_seeded(program, jobs);
+            stats.record(program.fault_class, &outcome);
+        }
+        report.repair = Some(stats);
+    }
 
     // Shrink each diverging seed to a minimal reproducer; persist them
     // when a corpus directory was given.
@@ -278,7 +373,7 @@ fn fuzz(opts: FuzzOpts, jobs: usize, format: Format) -> i32 {
         Format::Json | Format::JsonCanonical => print!("{}", report.to_json()),
         Format::Text | Format::Sarif => {
             println!("== fuzz ==");
-            let rows = vec![
+            let mut rows = vec![
                 vec!["seeds".to_string(), report.seeds.to_string()],
                 vec!["buggy".to_string(), report.buggy.to_string()],
                 vec!["clean".to_string(), report.clean.to_string()],
@@ -295,6 +390,12 @@ fn fuzz(opts: FuzzOpts, jobs: usize, format: Format) -> i32 {
                     report.divergences.len().to_string(),
                 ],
             ];
+            if let Some(stats) = &report.repair {
+                rows.push(vec![
+                    "repaired".to_string(),
+                    format!("{}/{}", stats.repaired(), stats.attempted()),
+                ]);
+            }
             print!(
                 "{}",
                 jaaru_bench::table::render(&["metric", "value"], &rows)
@@ -313,6 +414,19 @@ fn fuzz(opts: FuzzOpts, jobs: usize, format: Format) -> i32 {
             if opts.harvest {
                 println!("harvested {} reproducer(s)", harvested.len());
             }
+            if let Some(stats) = &report.repair {
+                for row in &stats.classes {
+                    if row.attempted > 0 {
+                        println!(
+                            "repair {}: {}/{} verified",
+                            row.class, row.repaired, row.attempted
+                        );
+                    }
+                }
+                for class in stats.unrepairable() {
+                    println!("UNREPAIRABLE: seeded {class} fault(s) survived repair");
+                }
+            }
             if report.is_clean() {
                 println!("VERDICT: all oracles agree on every seed");
             } else {
@@ -323,7 +437,11 @@ fn fuzz(opts: FuzzOpts, jobs: usize, format: Format) -> i32 {
             }
         }
     }
-    i32::from(!report.is_clean())
+    let repair_ok = report
+        .repair
+        .as_ref()
+        .is_none_or(|s| s.unrepairable().is_empty());
+    i32::from(!report.is_clean() || !repair_ok)
 }
 
 /// The `serve` subcommand: stand the daemon up on a socket, or run a
@@ -473,7 +591,7 @@ fn main() {
                 }
             }
         }
-        Some(cmd @ ("bug" | "lint")) => {
+        Some(cmd @ ("bug" | "lint" | "repair")) => {
             let lint = cmd == "lint";
             let suite = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
             match suite {
@@ -497,7 +615,11 @@ fn main() {
                                 );
                             }
                             let name = format!("{suite} row {id}: {}", case.benchmark);
-                            run(&name, &*case.program, jobs, format, lint, snapshots)
+                            if cmd == "repair" {
+                                repair_run(&name, &*case.program, jobs, format, snapshots)
+                            } else {
+                                run(&name, &*case.program, jobs, format, lint, snapshots)
+                            }
                         }
                         None => {
                             eprintln!("no row {id} in {suite}; try `jaaru_cli list`");
@@ -505,10 +627,14 @@ fn main() {
                         }
                     }
                 }
-                // `lint <benchmark>`: a fixed configuration by name.
-                name if lint => {
+                // `lint <benchmark>` / `repair <benchmark>`: a fixed
+                // configuration by name.
+                name if cmd != "bug" => {
                     let keys = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(6);
                     match find_fixed(name, keys) {
+                        Some((name, program)) if cmd == "repair" => {
+                            repair_run(&name, &*program, jobs, format, snapshots)
+                        }
                         Some((name, program)) => {
                             run(&name, &*program, jobs, format, true, snapshots)
                         }

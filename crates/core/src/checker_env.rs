@@ -494,7 +494,7 @@ fn record_perf(
     what: &str,
 ) {
     let site = format!("{}:{}:{}", loc.file(), loc.line(), loc.column());
-    let suggestion = match kind {
+    let message = match kind {
         DiagnosticKind::RedundantFence => {
             format!("the {what} has no buffered stores or flushes to order; remove it")
         }
@@ -503,7 +503,10 @@ fn record_perf(
     inner.diagnostics.insert(Diagnostic {
         kind,
         site,
-        suggestion,
+        message,
+        // The graph-based redundancy pass is the canonical producer of
+        // DeleteFlush edits; this inline path stays advisory.
+        suggestion: None,
         addr,
         occurrences: 1,
     });

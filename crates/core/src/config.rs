@@ -33,6 +33,7 @@ pub struct Config {
     jobs: usize,
     snapshots: bool,
     snapshot_cap: usize,
+    repair_max_rounds: usize,
 }
 
 impl Config {
@@ -60,6 +61,7 @@ impl Config {
             jobs: 1,
             snapshots: true,
             snapshot_cap: 64 << 20,
+            repair_max_rounds: 8,
         }
     }
 
@@ -316,6 +318,27 @@ impl Config {
         self.snapshot_cap
     }
 
+    /// Bounds the diagnose → edit → re-check iterations of repair
+    /// synthesis (`jaaru::repair`, default 8). Each round can only
+    /// discover edits the previous round's repair exposed, so a
+    /// handful suffices. A driver knob like `jobs`: it never changes
+    /// what a single check explores, so it stays out of
+    /// [`Config::fingerprint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero rounds (repair could never even diagnose).
+    pub fn repair_max_rounds(&mut self, rounds: usize) -> &mut Self {
+        assert!(rounds >= 1, "repair needs at least one round");
+        self.repair_max_rounds = rounds;
+        self
+    }
+
+    /// The configured repair-round bound.
+    pub fn repair_max_rounds_value(&self) -> usize {
+        self.repair_max_rounds
+    }
+
     /// The configured worker count, as set (`0` = auto).
     pub fn jobs_value(&self) -> usize {
         self.jobs
@@ -468,8 +491,19 @@ mod tests {
     fn fingerprint_ignores_performance_knobs() {
         let base = Config::new().fingerprint();
         let mut c = Config::new();
-        c.jobs(4).snapshots(false).snapshot_cap(1 << 10);
-        assert_eq!(c.fingerprint(), base, "jobs/snapshot knobs excluded");
+        c.jobs(4)
+            .snapshots(false)
+            .snapshot_cap(1 << 10)
+            .repair_max_rounds(3);
+        assert_eq!(c.fingerprint(), base, "driver knobs excluded");
+    }
+
+    #[test]
+    fn repair_rounds_default_and_override() {
+        let mut c = Config::new();
+        assert_eq!(c.repair_max_rounds_value(), 8);
+        c.repair_max_rounds(2);
+        assert_eq!(c.repair_max_rounds_value(), 2);
     }
 
     #[test]

@@ -980,7 +980,7 @@ mod tests {
             .find(|d| d.kind == DiagnosticKind::MissingFlush)
             .expect("missing-flush diagnostic");
         assert!(d.site.contains("explorer.rs"), "{d}");
-        assert!(d.suggestion.contains("commit store"), "{d}");
+        assert!(d.message.contains("commit store"), "{d}");
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod litmus;
 mod native;
 mod parallel;
 mod program;
+mod repair;
 mod report;
 mod signal;
 mod snapshot;
@@ -83,6 +84,7 @@ pub use env::PmEnv;
 pub use explorer::{check, ModelChecker};
 pub use native::NativeEnv;
 pub use program::{Named, Program};
+pub use repair::{synthesize_repair, RepairDriver, RepairOutcome, RepairedProgram};
 pub use report::{
     BugKind, BugReport, CheckReport, CheckStats, ParallelStats, RaceCandidate, RaceReport,
     WorkerStats,
@@ -92,7 +94,10 @@ pub use snapshot::SharedSnapshotCache;
 
 // The unified diagnostic framework (lint findings + perf warnings)
 // and its SARIF 2.1.0 rendering.
-pub use jaaru_analysis::{to_sarif, Diagnostic, DiagnosticKind, DiagnosticSet, Severity};
+pub use jaaru_analysis::{
+    minimize_edits, to_sarif, to_sarif_with_verified, Diagnostic, DiagnosticKind, DiagnosticSet,
+    FixEdit, Severity,
+};
 
 // Snapshot-cache counters, surfaced through `CheckReport::snapshots`.
 pub use jaaru_snapshot::SnapshotStats;

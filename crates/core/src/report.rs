@@ -473,14 +473,26 @@ impl CheckReport {
                 Some(a) => a.offset().to_string(),
                 None => "null".into(),
             };
+            let fix = match &d.suggestion {
+                Some(edit) => format!(
+                    "{{\"edit\": {}, \"site\": {}, \"cache_line\": {}}}",
+                    json_string(edit.kind_str()),
+                    json_string(edit.site()),
+                    match edit.cache_line() {
+                        Some(line) => line.to_string(),
+                        None => "null".into(),
+                    }
+                ),
+                None => "null".into(),
+            };
             let _ = write!(
                 out,
                 "{{\"kind\": {}, \"severity\": {}, \"site\": {}, \
-                 \"suggestion\": {}, \"addr\": {}, \"occurrences\": {}}}",
+                 \"message\": {}, \"fix\": {fix}, \"addr\": {}, \"occurrences\": {}}}",
                 json_string(d.kind.as_str()),
                 json_string(d.severity().as_str()),
                 json_string(&d.site),
-                json_string(&d.suggestion),
+                json_string(&d.message),
                 addr,
                 d.occurrences,
             );
@@ -602,7 +614,8 @@ mod tests {
         r.diagnostics.push(Diagnostic {
             kind: DiagnosticKind::RedundantFlush,
             site: "a.rs:1:1".into(),
-            suggestion: "remove it".into(),
+            message: "remove it".into(),
+            suggestion: None,
             addr: None,
             occurrences: 1,
         });
@@ -610,7 +623,8 @@ mod tests {
         r.diagnostics.push(Diagnostic {
             kind: DiagnosticKind::MissingFlush,
             site: "b.rs:2:2".into(),
-            suggestion: "insert a flush".into(),
+            message: "insert a flush".into(),
+            suggestion: None,
             addr: Some(PmAddr::new(64)),
             occurrences: 1,
         });
@@ -639,7 +653,11 @@ mod tests {
         r.diagnostics.push(Diagnostic {
             kind: DiagnosticKind::MissingFence,
             site: "lib.rs:10:5".into(),
-            suggestion: "insert an sfence".into(),
+            message: "insert an sfence".into(),
+            suggestion: Some(jaaru_analysis::FixEdit::InsertFence {
+                site: "lib.rs:10:5".into(),
+                line: Some(2),
+            }),
             addr: Some(PmAddr::new(128)),
             occurrences: 2,
         });
@@ -667,6 +685,14 @@ mod tests {
         assert!(json.contains("\"kind\": \"missing-fence\""), "{json}");
         assert!(json.contains("\"severity\": \"error\""), "{json}");
         assert!(json.contains("\"addr\": 128"), "{json}");
+        assert!(json.contains("\"message\": \"insert an sfence\""), "{json}");
+        assert!(
+            json.contains(
+                "\"fix\": {\"edit\": \"insert-fence\", \"site\": \"lib.rs:10:5\", \
+                 \"cache_line\": 2}"
+            ),
+            "{json}"
+        );
         // Balanced braces/brackets (cheap well-formedness check).
         let opens = json.matches('{').count() + json.matches('[').count();
         let closes = json.matches('}').count() + json.matches(']').count();

@@ -21,6 +21,10 @@
 //!   the divergence persists.
 //! * [`corpus`] — persistent minimized reproducers (seed + program +
 //!   decision trace + expected digest) replayed byte-for-byte in CI.
+//! * [`mod@repair`] — the `fuzz --repair` loop: every seeded-fault
+//!   program is auto-repaired with the synthesis engine
+//!   ([`jaaru::synthesize_repair`]) and the campaign fails if any
+//!   fault class proves unrepairable.
 //!
 //! Everything is deterministic: same seeds → same programs → same
 //! verdicts → same corpus, across runs and `--jobs` settings.
@@ -29,8 +33,10 @@ pub mod corpus;
 pub mod gen;
 pub mod minimize;
 pub mod oracle;
+pub mod repair;
 
 pub use corpus::{load_dir, Reproducer};
 pub use gen::{generate, FaultClass, FaultMode, GenProgram, Op, MAX_LINES, SLOTS_PER_LINE};
 pub use minimize::{harvest, minimize, minimize_divergence, seeded_fault_manifests, shrink_trace};
 pub use oracle::{run_campaign, CampaignReport, Divergence, Oracle, SeedOutcome};
+pub use repair::{repair_config, repair_seeded, ClassRepair, RepairStats};

@@ -416,6 +416,10 @@ pub struct CampaignReport {
     pub fingerprint: u64,
     /// Every divergence observed, in seed order.
     pub divergences: Vec<Divergence>,
+    /// Repairability tally when the campaign ran with `--repair`
+    /// (filled in by the caller after the repair pass); `None` keeps
+    /// the JSON summary byte-identical to a repair-free campaign.
+    pub repair: Option<crate::repair::RepairStats>,
 }
 
 impl CampaignReport {
@@ -460,6 +464,27 @@ impl CampaignReport {
         let _ = writeln!(out, "  \"yat_states\": {},", self.yat_states);
         let _ = writeln!(out, "  \"yat_skipped\": {},", self.yat_skipped);
         let _ = writeln!(out, "  \"fingerprint\": \"{:016x}\",", self.fingerprint);
+        if let Some(repair) = &self.repair {
+            let _ = writeln!(out, "  \"repair\": {{");
+            let _ = writeln!(out, "    \"attempted\": {},", repair.attempted());
+            let _ = writeln!(out, "    \"repaired\": {},", repair.repaired());
+            let _ = writeln!(out, "    \"rechecks\": {},", repair.rechecks);
+            let _ = writeln!(out, "    \"classes\": [");
+            for (i, row) in repair.classes.iter().enumerate() {
+                let comma = if i + 1 < repair.classes.len() {
+                    ","
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "      {{\"class\": \"{}\", \"attempted\": {}, \"repaired\": {}}}{comma}",
+                    row.class, row.attempted, row.repaired
+                );
+            }
+            let _ = writeln!(out, "    ]");
+            let _ = writeln!(out, "  }},");
+        }
         let _ = writeln!(out, "  \"divergences\": [");
         for (i, d) in self.divergences.iter().enumerate() {
             let comma = if i + 1 < self.divergences.len() {
@@ -513,6 +538,7 @@ pub fn run_campaign(
         yat_states: 0,
         fingerprint: FNV_OFFSET,
         divergences: Vec::new(),
+        repair: None,
     };
     for seed in seed_start..seed_start.saturating_add(seeds) {
         let program = generate(seed, ops_max, FaultMode::Auto);

@@ -14,14 +14,17 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use jaaru::{CheckReport, Config, ModelChecker, Program, SharedSnapshotCache};
+use jaaru::{
+    to_sarif_with_verified, CheckReport, Config, FixEdit, ModelChecker, Program, RepairDriver,
+    RepairOutcome, SharedSnapshotCache,
+};
 use jaaru_bench::registry::{
     pmdk_bug_cases, pmdk_fixed_cases, recipe_bug_cases, recipe_fixed_cases,
 };
 use jaaru_fuzz::{run_campaign, Oracle};
 use jaaru_snapshot::SnapshotPayload;
 
-use crate::job::{ArtifactFormat, JobSpec, Suite, Workload};
+use crate::job::{ArtifactFormat, JobKind, JobSpec, Suite, Workload};
 use crate::metrics::JobStatus;
 
 /// A hidden workload name that panics *outside* the checker's own
@@ -95,6 +98,13 @@ pub fn job_config(spec: &JobSpec, snapshot_cap: Option<usize>) -> Config {
             .lint_torn_stores(true)
             .lint_flush_redundancy(true);
     }
+    if spec.kind == JobKind::Repair {
+        // Same knobs as `jaaru_cli repair`: every robustness pass, but
+        // not flush-redundancy — repair must converge on the
+        // crash-consistency fix, not chase advisory flush-hygiene
+        // warnings on flushes the bug rows plant on purpose.
+        c.lint_flush_redundancy(false);
+    }
     c
 }
 
@@ -132,6 +142,22 @@ fn render(report: &CheckReport, format: ArtifactFormat) -> String {
     match format {
         ArtifactFormat::JsonCanonical => report.to_canonical_json(),
         ArtifactFormat::Sarif => jaaru::to_sarif(&report.diagnostics, env!("CARGO_PKG_VERSION")),
+    }
+}
+
+/// The `repair` artifact: the outcome's deterministic JSON, or the
+/// diagnosed findings as SARIF with proven fixes flagged `verified`.
+fn render_repair(outcome: &RepairOutcome, format: ArtifactFormat) -> String {
+    match format {
+        ArtifactFormat::JsonCanonical => outcome.to_json(),
+        ArtifactFormat::Sarif => {
+            let verified: &[FixEdit] = if outcome.verified {
+                &outcome.edits
+            } else {
+                &[]
+            };
+            to_sarif_with_verified(&outcome.diagnosed, env!("CARGO_PKG_VERSION"), verified)
+        }
     }
 }
 
@@ -209,14 +235,28 @@ pub fn execute(
             if is_panic_workload(&spec.workload) {
                 panic!("injected panic workload");
             }
+            if spec.kind == JobKind::Repair {
+                let mut driver = RepairDriver::new(config.clone());
+                driver
+                    .shared_cache(snapshots.clone(), spec.snapshot_group(config))
+                    .abort_flag(Arc::clone(cancel));
+                let outcome = driver.synthesize(&*program);
+                let status = if outcome.verified {
+                    JobStatus::Ok
+                } else {
+                    JobStatus::Violation
+                };
+                return (status, render_repair(&outcome, spec.format));
+            }
             let mut checker = ModelChecker::new(config.clone());
             checker
                 .shared_cache(snapshots.clone(), spec.snapshot_group(config))
                 .abort_flag(Arc::clone(cancel));
-            checker.check(&*program)
+            let report = checker.check(&*program);
+            (verdict(&report), render(&report, spec.format))
         }));
         match attempt {
-            Ok(report) => {
+            Ok((status, artifact)) => {
                 if deadline_fired.load(Ordering::Relaxed) {
                     break JobOutcome {
                         status: JobStatus::Deadline,
@@ -237,8 +277,8 @@ pub fn execute(
                     };
                 }
                 break JobOutcome {
-                    status: verdict(&report),
-                    artifact: Some(render(&report, spec.format)),
+                    status,
+                    artifact: Some(artifact),
                     error: None,
                     retried,
                 };
@@ -370,6 +410,29 @@ mod tests {
         assert!(artifact.contains("\"executions_logical\""));
         assert!(!artifact.contains("duration_secs"), "canonical view");
         assert_eq!(spec.kind, JobKind::Bug);
+    }
+
+    #[test]
+    fn repair_job_verifies_a_bug_row_and_reports_ok() {
+        let spec = spec(r#"{"kind":"repair","suite":"recipe","row":3,"keys":3}"#);
+        let out = run(&spec);
+        assert_eq!(out.status, JobStatus::Ok, "{:?}", out.error);
+        let artifact = out.artifact.expect("verified repair carries the outcome");
+        assert!(artifact.contains("\"verified\": true"), "{artifact}");
+        assert!(artifact.contains("\"edit\": \"insert-"), "{artifact}");
+    }
+
+    #[test]
+    fn repair_config_drops_flush_redundancy_but_keeps_lints() {
+        let repair = spec(r#"{"kind":"repair","benchmark":"p-clht"}"#);
+        let lint = spec(r#"{"kind":"lint","benchmark":"p-clht"}"#);
+        let config = job_config(&repair, None);
+        assert!(config.lints_value() && !config.lint_flush_redundancy_value());
+        assert_ne!(
+            config.fingerprint(),
+            job_config(&lint, None).fingerprint(),
+            "repair verifies under its own semantic config"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! {"kind": "check", "benchmark": "P-CLHT", "keys": 6}
 //! {"kind": "bug", "suite": "recipe", "row": 10, "format": "sarif"}
 //! {"kind": "lint", "suite": "pmdk", "row": 2, "jobs": 4}
+//! {"kind": "repair", "suite": "recipe", "row": 3, "format": "sarif"}
 //! {"kind": "fuzz", "seeds": 50, "ops_max": 10, "differential": true}
 //! {"kind": "cancel", "id": "job-3"}
 //! {"kind": "stats"}
@@ -34,6 +35,9 @@ pub enum JobKind {
     Bug,
     /// Lint (all graph passes on) a benchmark or bug row.
     Lint,
+    /// Synthesize and verify a flush/fence repair for a benchmark or
+    /// bug row (diagnose → fix → verify → minimize).
+    Repair,
     /// Run a differential fuzzing campaign.
     Fuzz,
 }
@@ -44,6 +48,7 @@ impl JobKind {
             JobKind::Check => "check",
             JobKind::Bug => "bug",
             JobKind::Lint => "lint",
+            JobKind::Repair => "repair",
             JobKind::Fuzz => "fuzz",
         }
     }
@@ -161,7 +166,7 @@ impl Request {
                     .ok_or_else(|| SpecError("cancel requires \"id\"".into()))?;
                 Ok(Request::Cancel { id: id.to_string() })
             }
-            "check" | "bug" | "lint" | "fuzz" => {
+            "check" | "bug" | "lint" | "repair" | "fuzz" => {
                 Ok(Request::Job(parse_job(kind, value, default_jobs)?))
             }
             other => Err(SpecError(format!("unknown kind {other:?}"))),
@@ -174,6 +179,7 @@ fn parse_job(kind: &str, value: &Value, default_jobs: usize) -> Result<JobSpec, 
         "check" => JobKind::Check,
         "bug" => JobKind::Bug,
         "lint" => JobKind::Lint,
+        "repair" => JobKind::Repair,
         "fuzz" => JobKind::Fuzz,
         _ => unreachable!("caller matched kind"),
     };
@@ -224,14 +230,16 @@ fn parse_job(kind: &str, value: &Value, default_jobs: usize) -> Result<JobSpec, 
                 keys: get_usize("keys")?.unwrap_or(DEFAULT_BUG_KEYS),
             }
         }
-        // Lint takes either shape, like `jaaru_cli lint`.
-        JobKind::Lint => match (benchmark, suite) {
+        // Lint and repair take either shape, like the one-shot CLI.
+        JobKind::Lint | JobKind::Repair => match (benchmark, suite) {
             (Some(benchmark), None) => Workload::Fixed {
                 benchmark: benchmark.to_string(),
                 keys: get_usize("keys")?.unwrap_or(DEFAULT_CHECK_KEYS),
             },
             (None, Some(suite)) => {
-                let row = row.ok_or_else(|| SpecError("lint by suite requires \"row\"".into()))?;
+                let row = row.ok_or_else(|| {
+                    SpecError(format!("{} by suite requires \"row\"", kind.as_str()))
+                })?;
                 Workload::Row {
                     suite,
                     row,
@@ -239,9 +247,10 @@ fn parse_job(kind: &str, value: &Value, default_jobs: usize) -> Result<JobSpec, 
                 }
             }
             _ => {
-                return Err(SpecError(
-                    "lint requires \"benchmark\" or \"suite\"+\"row\"".into(),
-                ))
+                return Err(SpecError(format!(
+                    "{} requires \"benchmark\" or \"suite\"+\"row\"",
+                    kind.as_str()
+                )))
             }
         },
     };
@@ -270,9 +279,11 @@ fn fnv1a(hash: &mut u64, bytes: &[u8]) {
 }
 
 impl JobSpec {
-    /// Whether this job's lint passes are on (mirrors one-shot `lint`).
+    /// Whether this job's lint passes are on (mirrors one-shot `lint`;
+    /// repair diagnoses and verifies against the same passes, minus
+    /// flush-redundancy — see `job_config`).
     pub fn lint(&self) -> bool {
-        self.kind == JobKind::Lint
+        matches!(self.kind, JobKind::Lint | JobKind::Repair)
     }
 
     /// A stable hash of the *program* this job runs: kind-normalized
@@ -395,6 +406,23 @@ mod tests {
             }
         ));
         assert!(req(r#"{"kind":"lint"}"#).is_err());
+    }
+
+    #[test]
+    fn repair_takes_either_shape_and_separates_cache_results() {
+        let by_name = job(r#"{"kind":"repair","benchmark":"cceh"}"#);
+        assert_eq!(by_name.kind, JobKind::Repair);
+        assert!(by_name.lint(), "repair runs the lint passes");
+        assert!(matches!(by_name.workload, Workload::Fixed { .. }));
+        let by_row = job(r#"{"kind":"repair","suite":"recipe","row":3}"#);
+        assert!(matches!(by_row.workload, Workload::Row { .. }));
+        assert!(req(r#"{"kind":"repair"}"#).is_err());
+
+        // A repair and a lint of the same row share snapshots but not
+        // results: the artifacts differ.
+        let config = Config::new();
+        let lint = job(r#"{"kind":"lint","suite":"recipe","row":3}"#);
+        assert_ne!(by_row.result_group(&config), lint.result_group(&config));
     }
 
     #[test]

@@ -145,7 +145,7 @@ fn flush_on_another_thread_is_localized_here() {
         "{races:#?}"
     );
     assert!(
-        races[0].suggestion.contains("flush on the storing thread"),
+        races[0].message.contains("flush on the storing thread"),
         "{races:#?}"
     );
 }
@@ -178,10 +178,7 @@ fn fence_on_the_wrong_thread_is_localized_here() {
         .collect();
     assert!(!races.is_empty(), "{:#?}", report.diagnostics);
     assert!(races[0].site.contains("lint_localization.rs"), "{races:#?}");
-    assert!(
-        races[0].suggestion.contains("fence on thread 1"),
-        "{races:#?}"
-    );
+    assert!(races[0].message.contains("fence on thread 1"), "{races:#?}");
 }
 
 #[test]
@@ -218,5 +215,5 @@ fn torn_straddling_store_is_confirmed_by_the_failing_recovery() {
         .collect();
     assert!(!torn.is_empty(), "{:#?}", report.diagnostics);
     assert!(torn[0].site.contains("lint_localization.rs"), "{torn:#?}");
-    assert!(torn[0].suggestion.contains("never persists"), "{torn:#?}");
+    assert!(torn[0].message.contains("never persists"), "{torn:#?}");
 }
