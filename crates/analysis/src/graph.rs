@@ -203,13 +203,17 @@ impl<'a> PersistGraph<'a> {
             op_sites.push(site_table.intern(op.loc));
 
             // Happens-before bookkeeping first: acquire on RMW, then
-            // the op's own tick, then release on RMW.
+            // the op's own tick, then release on RMW. A *failed* CAS
+            // still acquires (the locked load observed the line) but
+            // releases nothing: it made no store another thread could
+            // synchronize with, so giving it a release edge would
+            // fabricate happens-before out of a lost race.
+            let (sync_line, releases) = match op.kind {
+                TraceOpKind::Rmw { addr, success } => (Some(addr.cache_line().index()), success),
+                _ => (None, false),
+            };
             let t = op.thread.0 as usize;
             let clock = thread_clocks.entry(t).or_default();
-            let sync_line = match op.kind {
-                TraceOpKind::Rmw { addr } => Some(addr.cache_line().index()),
-                _ => None,
-            };
             if let Some(line) = sync_line {
                 if let Some(rel) = last_sync.get(&line) {
                     clock.join(rel);
@@ -217,8 +221,10 @@ impl<'a> PersistGraph<'a> {
             }
             ticks.push(clock.advance(t));
             clocks.push(clock.clone());
-            if let Some(line) = sync_line {
-                last_sync.insert(line, clock.clone());
+            if releases {
+                if let Some(line) = sync_line {
+                    last_sync.insert(line, clock.clone());
+                }
             }
 
             match op.kind {
@@ -513,6 +519,7 @@ mod tests {
             0,
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
+                success: true,
             },
         ); // op 1: release
         rec(
@@ -520,6 +527,7 @@ mod tests {
             1,
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
+                success: true,
             },
         ); // op 2: acquire
         flush(&mut t, 1, 2); // op 3, thread 1
@@ -534,6 +542,7 @@ mod tests {
             0,
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
+                success: true,
             },
         );
         rec(
@@ -541,11 +550,70 @@ mod tests {
             1,
             TraceOpKind::Rmw {
                 addr: PmAddr::new(7 * LINE),
+                success: true,
             },
         );
         flush(&mut t, 1, 2);
         let g = PersistGraph::build(&t);
         assert!(!g.happens_before(0, 3));
+    }
+
+    #[test]
+    fn failed_cas_acquires_but_does_not_release() {
+        // Thread 0's *failed* CAS must not act as a release: thread 1's
+        // acquire on the same line gains no edge back to the store.
+        let mut t = OpTrace::new();
+        store(&mut t, 0, 2 * LINE, 8); // op 0, thread 0
+        rec(
+            &mut t,
+            0,
+            TraceOpKind::Rmw {
+                addr: PmAddr::new(6 * LINE),
+                success: false,
+            },
+        ); // op 1: failed CAS — no release
+        rec(
+            &mut t,
+            1,
+            TraceOpKind::Rmw {
+                addr: PmAddr::new(6 * LINE),
+                success: false,
+            },
+        ); // op 2: failed CAS — still acquires, but nothing was released
+        flush(&mut t, 1, 2); // op 3, thread 1
+        let g = PersistGraph::build(&t);
+        assert!(
+            !g.happens_before(0, 3),
+            "a failed CAS must not publish a release edge"
+        );
+
+        // The acquire side of a failed CAS is real: after a *successful*
+        // release, a failed attempt on the other thread still gains the
+        // edge (it observed the line under the bus lock).
+        let mut t = OpTrace::new();
+        store(&mut t, 0, 2 * LINE, 8);
+        rec(
+            &mut t,
+            0,
+            TraceOpKind::Rmw {
+                addr: PmAddr::new(6 * LINE),
+                success: true,
+            },
+        );
+        rec(
+            &mut t,
+            1,
+            TraceOpKind::Rmw {
+                addr: PmAddr::new(6 * LINE),
+                success: false,
+            },
+        );
+        flush(&mut t, 1, 2);
+        let g = PersistGraph::build(&t);
+        assert!(
+            g.happens_before(0, 3),
+            "a failed CAS still acquires from a successful release"
+        );
     }
 
     #[test]

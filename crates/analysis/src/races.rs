@@ -259,6 +259,7 @@ mod tests {
             0,
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
+                success: true,
             },
         );
         rec(
@@ -266,6 +267,7 @@ mod tests {
             1,
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
+                success: true,
             },
         );
         flush(&mut t, 1, 2); // ordered after the store by the RMW pair

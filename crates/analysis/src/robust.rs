@@ -388,6 +388,7 @@ mod tests {
             Location::caller(),
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
+                success: true,
             },
         );
         store(&mut t, 3 * LINE, 8); // commit

@@ -1,8 +1,18 @@
 //! The benchmark registry: every RECIPE and PMDK configuration the
-//! paper's tables evaluate, as ready-to-run programs.
+//! paper's tables evaluate, plus the lock-free durable-linearizability
+//! family, as ready-to-run programs.
+//!
+//! Registration is by [`jaaru::Program`] value, not by index trait: any
+//! workload driver (key-value [`IndexWorkload`], operation-scripted
+//! [`LockFreeWorkload`], …) registers the same way, so non-index
+//! families need no `PmIndex` stub impls.
 
 use jaaru::Program;
 use jaaru_workloads::alloc::AllocFault;
+use jaaru_workloads::lockfree::{
+    clevel::ClevelHash, harris::HarrisList, msqueue::MsQueue, treiber::TreiberStack, LfFault,
+    LockFreeWorkload,
+};
 use jaaru_workloads::pmdk::{
     btree_map, ctree_map, hashmap_atomic, hashmap_tx, MapWorkload, PmdkFaults,
 };
@@ -358,6 +368,109 @@ pub fn pmdk_fixed_cases(keys: usize) -> Vec<(&'static str, Box<dyn Program + Syn
             "Hashmap_tx",
             Box::new(MapWorkload::<hashmap_tx::HashmapTx>::fixed(keys)),
         ),
+    ]
+}
+
+/// The eight lock-free durable-linearizability bug rows: each structure
+/// of the `lockfree` family with its seeded faults. These are scripted
+/// operation workloads (stack/queue ops, not key-value inserts), judged
+/// by the `lockfree::dlin` oracle rather than the commit-counter
+/// contract; all are new bugs (no paper figure covers them), so the
+/// driver takes no key count.
+pub fn lockfree_bug_cases() -> Vec<BugCase> {
+    vec![
+        BugCase {
+            id: 1,
+            benchmark: "LF-Stack",
+            cause: "Successful push CAS not persisted before response",
+            paper_symptom: "Durable linearizability violation (completed push lost)",
+            new_bug: true,
+            program: Box::new(LockFreeWorkload::<TreiberStack>::faulted(
+                LfFault::UnpersistedCas,
+            )),
+        },
+        BugCase {
+            id: 2,
+            benchmark: "LF-Stack",
+            cause: "Recovery re-applies the last completed op",
+            paper_symptom: "Durable linearizability violation (duplicated effect)",
+            new_bug: true,
+            program: Box::new(LockFreeWorkload::<TreiberStack>::faulted(
+                LfFault::DoubleApply,
+            )),
+        },
+        BugCase {
+            id: 3,
+            benchmark: "LF-Queue",
+            cause: "Missing flush on the enqueue link CAS",
+            paper_symptom: "Durable linearizability violation (completed enqueue lost)",
+            new_bug: true,
+            program: Box::new(LockFreeWorkload::<MsQueue>::faulted(
+                LfFault::MissingLinkFlush,
+            )),
+        },
+        BugCase {
+            id: 4,
+            benchmark: "LF-Queue",
+            cause: "Recovery re-applies the last completed op",
+            paper_symptom: "Durable linearizability violation (duplicated effect)",
+            new_bug: true,
+            program: Box::new(LockFreeWorkload::<MsQueue>::faulted(LfFault::DoubleApply)),
+        },
+        BugCase {
+            id: 5,
+            benchmark: "LF-List",
+            cause: "Successful insert link CAS not persisted before response",
+            paper_symptom: "Durable linearizability violation (completed insert lost)",
+            new_bug: true,
+            program: Box::new(LockFreeWorkload::<HarrisList>::faulted(
+                LfFault::UnpersistedCas,
+            )),
+        },
+        BugCase {
+            id: 6,
+            benchmark: "LF-List",
+            cause: "Unflushed sentinel init",
+            paper_symptom: "Assertion failure (sentinel chain not durable)",
+            new_bug: true,
+            program: Box::new(LockFreeWorkload::<HarrisList>::faulted(
+                LfFault::UnflushedInit,
+            )),
+        },
+        BugCase {
+            id: 7,
+            benchmark: "LF-Hash",
+            cause: "Missing flush on the value word before key publication",
+            paper_symptom: "Durable linearizability violation (corrupt recovered entry)",
+            new_bug: true,
+            program: Box::new(LockFreeWorkload::<ClevelHash>::faulted(
+                LfFault::MissingLinkFlush,
+            )),
+        },
+        BugCase {
+            id: 8,
+            benchmark: "LF-Hash",
+            cause: "Unflushed geometry word in constructor",
+            paper_symptom: "Assertion failure (geometry word not durable)",
+            new_bug: true,
+            program: Box::new(LockFreeWorkload::<ClevelHash>::faulted(
+                LfFault::UnflushedInit,
+            )),
+        },
+    ]
+}
+
+/// The fixed lock-free structures: must be durably linearizable under
+/// full exploration.
+pub fn lockfree_fixed_cases() -> Vec<(&'static str, Box<dyn Program + Sync>)> {
+    vec![
+        (
+            "LF-Stack",
+            Box::new(LockFreeWorkload::<TreiberStack>::fixed()) as Box<dyn Program + Sync>,
+        ),
+        ("LF-Queue", Box::new(LockFreeWorkload::<MsQueue>::fixed())),
+        ("LF-List", Box::new(LockFreeWorkload::<HarrisList>::fixed())),
+        ("LF-Hash", Box::new(LockFreeWorkload::<ClevelHash>::fixed())),
     ]
 }
 

@@ -42,7 +42,8 @@ use jaaru::{
     synthesize_repair, to_sarif_with_verified, CheckReport, Config, ModelChecker, Program,
 };
 use jaaru_bench::registry::{
-    pmdk_bug_cases, pmdk_fixed_cases, recipe_bug_cases, recipe_fixed_cases,
+    lockfree_bug_cases, lockfree_fixed_cases, pmdk_bug_cases, pmdk_fixed_cases, recipe_bug_cases,
+    recipe_fixed_cases,
 };
 use jaaru_fuzz::{harvest, minimize_divergence, repair_seeded, run_campaign, Oracle, RepairStats};
 use jaaru_serve::{daemon, Daemon, ServeOptions};
@@ -205,11 +206,14 @@ fn repair_run(
     i32::from(!outcome.verified)
 }
 
-/// Looks a fixed benchmark up by name across both fixed registries.
+/// Looks a fixed benchmark up by name across all fixed registries.
+/// (The lock-free family runs a built-in script, so `keys` does not
+/// apply to it.)
 fn find_fixed(name: &str, keys: usize) -> Option<(String, Box<dyn Program + Sync>)> {
     recipe_fixed_cases(keys)
         .into_iter()
         .chain(pmdk_fixed_cases(keys))
+        .chain(lockfree_fixed_cases())
         .find(|(n, _)| n.eq_ignore_ascii_case(name))
         .map(|(n, p)| (n.to_string(), p))
 }
@@ -218,11 +222,11 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  jaaru_cli [options] list\n  \
          jaaru_cli [options] check <benchmark> [keys]\n  \
-         jaaru_cli [options] bug (recipe|pmdk) <row#> [keys]\n  \
+         jaaru_cli [options] bug (recipe|pmdk|lockfree) <row#> [keys]\n  \
          jaaru_cli [options] lint <benchmark> [keys]\n  \
-         jaaru_cli [options] lint (recipe|pmdk) <row#> [keys]\n  \
+         jaaru_cli [options] lint (recipe|pmdk|lockfree) <row#> [keys]\n  \
          jaaru_cli [options] repair <benchmark> [keys]\n  \
-         jaaru_cli [options] repair (recipe|pmdk) <row#> [keys]\n  \
+         jaaru_cli [options] repair (recipe|pmdk|lockfree) <row#> [keys]\n  \
          jaaru_cli [options] perf [keys]\n  \
          jaaru_cli [options] fuzz [fuzz options]\n  \
          jaaru_cli [options] serve [serve options]\n\
@@ -567,7 +571,11 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("list") => {
             println!("fixed benchmarks (check / lint):");
-            for (name, _) in recipe_fixed_cases(4).into_iter().chain(pmdk_fixed_cases(4)) {
+            for (name, _) in recipe_fixed_cases(4)
+                .into_iter()
+                .chain(pmdk_fixed_cases(4))
+                .chain(lockfree_fixed_cases())
+            {
                 println!("  {name}");
             }
             println!("recipe bug rows (bug recipe N / lint recipe N):");
@@ -576,6 +584,10 @@ fn main() {
             }
             println!("pmdk bug rows (bug pmdk N / lint pmdk N):");
             for case in pmdk_bug_cases(4) {
+                println!("  {:2}  {:<15} {}", case.id, case.benchmark, case.cause);
+            }
+            println!("lockfree bug rows (bug lockfree N / lint lockfree N):");
+            for case in lockfree_bug_cases() {
                 println!("  {:2}  {:<15} {}", case.id, case.benchmark, case.cause);
             }
             0
@@ -595,16 +607,16 @@ fn main() {
             let lint = cmd == "lint";
             let suite = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
             match suite {
-                "recipe" | "pmdk" => {
+                "recipe" | "pmdk" | "lockfree" => {
                     let id: usize = args
                         .get(2)
                         .and_then(|a| a.parse().ok())
                         .unwrap_or_else(|| usage());
                     let keys = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(5);
-                    let cases = if suite == "recipe" {
-                        recipe_bug_cases(keys)
-                    } else {
-                        pmdk_bug_cases(keys)
+                    let cases = match suite {
+                        "recipe" => recipe_bug_cases(keys),
+                        "pmdk" => pmdk_bug_cases(keys),
+                        _ => lockfree_bug_cases(),
                     };
                     match cases.into_iter().find(|c| c.id == id) {
                         Some(case) => {

@@ -643,7 +643,17 @@ impl PmEnv for CheckerEnv {
         let inner = &mut *inner;
         inner.work_since_fence = 0;
         if self.flag_lints {
-            self.record_trace(inner, loc, TraceOpKind::Rmw { addr });
+            // Failed attempts are recorded too: a failed CAS is still a
+            // locked instruction (fences, acquires) — it just publishes
+            // nothing, which the persist graph models via `success`.
+            self.record_trace(
+                inner,
+                loc,
+                TraceOpKind::Rmw {
+                    addr,
+                    success: observed == current,
+                },
+            );
         }
         inner.machine.mfence(inner.current_tid);
         observed

@@ -15,12 +15,15 @@
 //!   publish a commit flag — the idiom Jaaru's constraint refinement
 //!   exploits),
 //! * an optional *seeded persistency fault* with a known ground-truth
-//!   label, drawn from four [`FaultClass`]es: the canonical
+//!   label, drawn from five [`FaultClass`]es: the canonical
 //!   missing-flush bug (the epilogue omits one line's flush after a
-//!   trailing store), a cross-thread persistency race (the line's flush
-//!   runs on a spawned thread with no synchronization back), a torn
-//!   store (an 8-byte store straddling into an unflushed line), and a
-//!   redundant flush (the same clean line flushed twice back-to-back).
+//!   trailing store), an unpersisted CAS (the epilogue omits the flush
+//!   after a trailing successful `compare_exchange` — the lock-free
+//!   publication bug), a cross-thread persistency race (the line's
+//!   flush runs on a spawned thread with no synchronization back), a
+//!   torn store (an 8-byte store straddling into an unflushed line),
+//!   and a redundant flush (the same clean line flushed twice
+//!   back-to-back).
 //!
 //! The generated recovery procedure asserts exactly the legal states:
 //! committed slots must hold their final values; uncommitted slots may
@@ -172,6 +175,7 @@ impl Op {
 /// Which planted persistency construct a seeded fault is.
 ///
 /// Buggy classes ([`MissingFlush`](FaultClass::MissingFlush),
+/// [`UnpersistedCas`](FaultClass::UnpersistedCas),
 /// [`Torn`](FaultClass::Torn)) must manifest a recovery assertion
 /// naming the faulted line; clean classes
 /// ([`CrossThread`](FaultClass::CrossThread),
@@ -184,6 +188,12 @@ pub enum FaultClass {
     /// trailing store — the paper's canonical missing-flush bug.
     #[default]
     MissingFlush,
+    /// The commit epilogue omits the faulted line's flush after a
+    /// trailing *successful CAS* — the lock-free publication bug the
+    /// `lockfree` workload family seeds as `unpersisted-cas`: the RMW
+    /// takes effect in the cache, its success is acted on, but nothing
+    /// orders it to media before the commit store.
+    UnpersistedCas,
     /// The faulted line is persisted only by a spawned thread
     /// (`clflushopt` + `sfence`) with no synchronizing edge back to the
     /// storing thread. Crash-consistent under the deterministic
@@ -204,6 +214,7 @@ impl FaultClass {
     pub fn as_str(self) -> &'static str {
         match self {
             FaultClass::MissingFlush => "missing-flush",
+            FaultClass::UnpersistedCas => "unpersisted-cas",
             FaultClass::CrossThread => "cross-thread",
             FaultClass::Torn => "torn",
             FaultClass::RedundantFlush => "redundant-flush",
@@ -214,6 +225,7 @@ impl FaultClass {
     pub fn parse(text: &str) -> Result<FaultClass, String> {
         match text {
             "missing-flush" => Ok(FaultClass::MissingFlush),
+            "unpersisted-cas" => Ok(FaultClass::UnpersistedCas),
             "cross-thread" => Ok(FaultClass::CrossThread),
             "torn" => Ok(FaultClass::Torn),
             "redundant-flush" => Ok(FaultClass::RedundantFlush),
@@ -339,7 +351,7 @@ impl GenProgram {
         self.fault.is_some()
             && matches!(
                 self.fault_class,
-                FaultClass::MissingFlush | FaultClass::Torn
+                FaultClass::MissingFlush | FaultClass::UnpersistedCas | FaultClass::Torn
             )
     }
 
@@ -446,7 +458,9 @@ impl GenProgram {
                 let delegated = self.fault == Some(line)
                     && matches!(
                         self.fault_class,
-                        FaultClass::MissingFlush | FaultClass::CrossThread
+                        FaultClass::MissingFlush
+                            | FaultClass::UnpersistedCas
+                            | FaultClass::CrossThread
                     );
                 if !delegated {
                     env.clflush(Self::line_base(root, line), 64);
@@ -563,10 +577,11 @@ pub fn generate(seed: u64, ops_max: usize, mode: FaultMode) -> GenProgram {
     // generator versions, and forced-fault callers (minimizer drills,
     // corpus harvesting) keep the canonical missing-flush class.
     let class = if faulted && mode == FaultMode::Auto {
-        match rng.next_u64() % 4 {
+        match rng.next_u64() % 5 {
             0 => FaultClass::CrossThread,
             1 => FaultClass::Torn,
             2 => FaultClass::RedundantFlush,
+            3 => FaultClass::UnpersistedCas,
             _ => FaultClass::MissingFlush,
         }
     } else {
@@ -630,6 +645,21 @@ pub fn generate(seed: u64, ops_max: usize, mode: FaultMode) -> GenProgram {
                 // so a committed recovery can observe the older value.
                 // This makes the seeded bug reachable by construction.
                 ops.push(Op::Store {
+                    line,
+                    slot,
+                    value: next_value,
+                });
+                Some(line)
+            }
+            FaultClass::UnpersistedCas => {
+                let line = (rng.next_u64() % lines as u64) as u8;
+                let slot = (rng.next_u64() % SLOTS_PER_LINE as u64) as u8;
+                // Same shape as the missing-flush plant, but the
+                // trailing write is a successful CAS: its new value is
+                // acted on (the pre-failure assert) yet never ordered to
+                // media, so a committed recovery can observe the value
+                // the CAS displaced.
+                ops.push(Op::Cas {
                     line,
                     slot,
                     value: next_value,
@@ -737,8 +767,45 @@ mod tests {
         }
         assert_eq!(
             by_class.len(),
-            4,
-            "all four fault classes generated: {by_class:?}"
+            5,
+            "all five fault classes generated: {by_class:?}"
+        );
+    }
+
+    #[test]
+    fn unpersisted_cas_programs_report_the_seeded_line() {
+        let mut checked = 0;
+        for seed in 0..400 {
+            let p = generate(seed, 10, FaultMode::Auto);
+            if p.fault.is_none() || p.fault_class != FaultClass::UnpersistedCas {
+                continue;
+            }
+            let fault = p.fault.unwrap();
+            assert!(p.expect_buggy());
+            assert!(
+                matches!(p.ops.last(), Some(Op::Cas { line, .. }) if *line == fault),
+                "seed {seed}: the plant is a trailing CAS on the faulted line"
+            );
+            let report = checker().check(&p);
+            assert!(
+                !report.is_clean(),
+                "seed {seed}: unpersisted CAS must manifest"
+            );
+            for bug in &report.bugs {
+                assert_eq!(
+                    bug.message,
+                    format!("committed slot lost (line {fault})"),
+                    "seed {seed}: only the seeded line can fail"
+                );
+            }
+            checked += 1;
+            if checked == 5 {
+                break;
+            }
+        }
+        assert!(
+            checked >= 3,
+            "too few unpersisted-cas seeds in range: {checked}"
         );
     }
 
@@ -802,6 +869,7 @@ mod tests {
     fn fault_class_roundtrips_through_text() {
         for class in [
             FaultClass::MissingFlush,
+            FaultClass::UnpersistedCas,
             FaultClass::CrossThread,
             FaultClass::Torn,
             FaultClass::RedundantFlush,

@@ -73,6 +73,7 @@ impl Default for RepairStats {
         RepairStats {
             classes: [
                 FaultClass::MissingFlush,
+                FaultClass::UnpersistedCas,
                 FaultClass::CrossThread,
                 FaultClass::Torn,
                 FaultClass::RedundantFlush,
@@ -158,13 +159,13 @@ mod tests {
                     .iter()
                     .all(|e| matches!(e, FixEdit::DeleteFlush { .. })));
             }
-            if seen.len() == 4 {
+            if seen.len() == 5 {
                 break;
             }
         }
         assert_eq!(
             seen.len(),
-            4,
+            5,
             "seeds 0..400 must cover all classes: {seen:?}"
         );
     }

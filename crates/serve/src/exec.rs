@@ -19,7 +19,8 @@ use jaaru::{
     RepairOutcome, SharedSnapshotCache,
 };
 use jaaru_bench::registry::{
-    pmdk_bug_cases, pmdk_fixed_cases, recipe_bug_cases, recipe_fixed_cases,
+    lockfree_bug_cases, lockfree_fixed_cases, pmdk_bug_cases, pmdk_fixed_cases, recipe_bug_cases,
+    recipe_fixed_cases,
 };
 use jaaru_fuzz::{run_campaign, Oracle};
 use jaaru_snapshot::SnapshotPayload;
@@ -120,6 +121,7 @@ fn find_program(workload: &Workload) -> Result<Box<dyn Program + Sync>, String> 
         Workload::Fixed { benchmark, keys } => recipe_fixed_cases(*keys)
             .into_iter()
             .chain(pmdk_fixed_cases(*keys))
+            .chain(lockfree_fixed_cases())
             .find(|(n, _)| n.eq_ignore_ascii_case(benchmark))
             .map(|(_, p)| p)
             .ok_or_else(|| format!("unknown benchmark {benchmark:?}")),
@@ -127,6 +129,7 @@ fn find_program(workload: &Workload) -> Result<Box<dyn Program + Sync>, String> 
             let cases = match suite {
                 Suite::Recipe => recipe_bug_cases(*keys),
                 Suite::Pmdk => pmdk_bug_cases(*keys),
+                Suite::Lockfree => lockfree_bug_cases(),
             };
             cases
                 .into_iter()

@@ -59,6 +59,7 @@ impl JobKind {
 pub enum Suite {
     Recipe,
     Pmdk,
+    Lockfree,
 }
 
 impl Suite {
@@ -66,6 +67,7 @@ impl Suite {
         match self {
             Suite::Recipe => "recipe",
             Suite::Pmdk => "pmdk",
+            Suite::Lockfree => "lockfree",
         }
     }
 }
@@ -198,6 +200,7 @@ fn parse_job(kind: &str, value: &Value, default_jobs: usize) -> Result<JobSpec, 
         None => None,
         Some("recipe") => Some(Suite::Recipe),
         Some("pmdk") => Some(Suite::Pmdk),
+        Some("lockfree") => Some(Suite::Lockfree),
         Some(other) => return Err(SpecError(format!("unknown suite {other:?}"))),
     };
     let row = get_usize("row")?;

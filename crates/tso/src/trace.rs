@@ -39,7 +39,11 @@ pub enum TraceOpKind {
     Mfence,
     /// A locked read-modify-write at `addr` (fences on both sides; the
     /// constituent fences and store are recorded as separate ops).
-    Rmw { addr: PmAddr },
+    /// `success` is whether the compare-exchange actually mutated the
+    /// cell: failed attempts are still locked instructions — they fence
+    /// the flush buffer and *acquire* from prior successful RMWs on the
+    /// line — but publish nothing, so they carry no release edge.
+    Rmw { addr: PmAddr, success: bool },
 }
 
 impl TraceOpKind {
@@ -221,7 +225,14 @@ mod tests {
         assert!(TraceOpKind::Sfence.is_ordering());
         assert!(TraceOpKind::Mfence.is_ordering());
         assert!(TraceOpKind::Rmw {
-            addr: PmAddr::new(64)
+            addr: PmAddr::new(64),
+            success: true
+        }
+        .is_ordering());
+        // A failed CAS is still a locked instruction: it fences.
+        assert!(TraceOpKind::Rmw {
+            addr: PmAddr::new(64),
+            success: false
         }
         .is_ordering());
         assert!(!TraceOpKind::Clflush {

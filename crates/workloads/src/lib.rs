@@ -12,13 +12,18 @@
 //!   persistent heap allocator, undo-log transactions) plus the five
 //!   PMDK example maps, with the Figure 12 bugs seeded,
 //! * [`synthetic`] — the paper's worked examples (Figures 2–4), the
-//!   `9^(n/8)` array-init scaling workload, and checksum-based recovery.
+//!   `9^(n/8)` array-init scaling workload, and checksum-based recovery,
+//! * [`lockfree`] — CAS-published lock-free structures (Treiber stack,
+//!   Michael–Scott queue, Harris list, Clevel-style hash) judged by a
+//!   durable-linearizability oracle ([`lockfree::dlin`]) instead of a
+//!   commit counter, with seeded linearizability faults.
 //!
 //! Shared substrate: [`alloc::PBump`], a crash-safe persistent bump
 //! allocator (itself checkable, with its own seeded fault), and
 //! [`util::Harness`], the driver header with durable insert/delete
 //! counters that turn durability violations into assertion failures.
 pub mod alloc;
+pub mod lockfree;
 pub mod pmdk;
 pub mod recipe;
 pub mod synthetic;

@@ -1,0 +1,199 @@
+//! Split-level (Clevel-style) bucket hash with value-then-key
+//! publication.
+//!
+//! Two fixed bucket levels (four top-level buckets, two bottom-level
+//! overflow buckets — the shape of Clevel's level hashing, without
+//! resizing). Each bucket is two cache lines: a *key line* of four slot
+//! keys and a separate *value line* of the four payloads, so persisting
+//! a key publication never incidentally persists its value. An insert
+//! probes the key's bucket in both levels, writes the value word,
+//! persists it, and then *publishes* the slot with a CAS on the key word
+//! (zero means empty). Detectable recoverability requires the value to
+//! persist before the key publication — [`LfFault::MissingLinkFlush`]
+//! drops that flush, so recovery can find a durably published key with a
+//! lost (zeroed) value. [`LfFault::UnflushedInit`] skips the
+//! geometry-word flush, which [`validate`](LockFree::validate) catches.
+
+use jaaru::{PmAddr, PmEnv};
+
+use super::dlin::{LfKind, LfOp};
+use super::{LfFault, LockFree};
+use crate::alloc::PBump;
+
+/// Top-level bucket count.
+const L0_BUCKETS: u64 = 4;
+/// Bottom-level (overflow) bucket count.
+const L1_BUCKETS: u64 = 2;
+/// Slots per bucket (4 keys on the key line, 4 payloads on the value
+/// line).
+const SLOTS: u64 = 4;
+/// Bytes per bucket: one key line + one value line.
+const BUCKET_BYTES: u64 = 128;
+/// Geometry word persisted by the constructor ("LVL2").
+const META: u64 = 0x4c56_4c32;
+
+/// The hash handle. Root object layout: geometry word (own line), then
+/// the top-level buckets, then the bottom-level buckets, each bucket a
+/// key line followed by a value line.
+pub struct ClevelHash {
+    root: PmAddr,
+    fault: LfFault,
+}
+
+impl ClevelHash {
+    fn bucket(&self, level: u64, b: u64) -> PmAddr {
+        self.root + (64 + (level * L0_BUCKETS + b) * BUCKET_BYTES)
+    }
+
+    /// All candidate slots for `k` as `(key_addr, value_addr)` pairs,
+    /// probe order: top-level bucket first, then the overflow bucket.
+    fn slots_for(&self, k: u64) -> Vec<(PmAddr, PmAddr)> {
+        let mut out = Vec::with_capacity((2 * SLOTS) as usize);
+        for (level, buckets) in [(0, L0_BUCKETS), (1, L1_BUCKETS)] {
+            let base = self.bucket(level, k % buckets);
+            for s in 0..SLOTS {
+                out.push((base + s * 8, base + (64 + s * 8)));
+            }
+        }
+        out
+    }
+
+    fn put(&self, env: &dyn PmEnv, k: u64, v: u64) -> u64 {
+        loop {
+            let mut empty = None;
+            for (key_addr, value_addr) in self.slots_for(k) {
+                let key = env.load_u64(key_addr);
+                if key == k {
+                    return 0;
+                }
+                if key == 0 && empty.is_none() {
+                    empty = Some((key_addr, value_addr));
+                }
+            }
+            let Some((key_addr, value_addr)) = empty else {
+                env.bug("hash bucket overflow: both levels full");
+            };
+            env.store_u64(value_addr, v);
+            // The value must persist before the key CAS publishes the
+            // slot — the seeded fault drops exactly this flush.
+            if self.fault != LfFault::MissingLinkFlush {
+                env.persist(value_addr, 8);
+            }
+            if env.compare_exchange_u64(key_addr, 0, k) == 0 {
+                env.persist(key_addr, 8);
+                return 1;
+            }
+        }
+    }
+
+    fn get(&self, env: &dyn PmEnv, k: u64) -> u64 {
+        for (key_addr, value_addr) in self.slots_for(k) {
+            if env.load_u64(key_addr) == k {
+                return env.load_u64(value_addr);
+            }
+        }
+        0
+    }
+}
+
+impl LockFree for ClevelHash {
+    const NAME: &'static str = "lf-hash";
+    const KIND: LfKind = LfKind::Map;
+
+    fn create(env: &dyn PmEnv, heap: &PBump, fault: LfFault) -> Self {
+        // One geometry line plus two lines per bucket; the bucket region
+        // of a fresh pool reads as zeros (empty slots) and the bump
+        // allocator never reuses it, so only the geometry word needs
+        // explicit stores.
+        let root = heap.alloc(env, 64 + (L0_BUCKETS + L1_BUCKETS) * BUCKET_BYTES, 64);
+        env.store_u64(root, META);
+        if fault != LfFault::UnflushedInit {
+            env.persist(root, 8);
+        }
+        ClevelHash { root, fault }
+    }
+
+    fn open(_env: &dyn PmEnv, root: PmAddr, fault: LfFault) -> Self {
+        ClevelHash { root, fault }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn apply(&self, env: &dyn PmEnv, _heap: &PBump, op: LfOp) -> u64 {
+        match op {
+            LfOp::Put(k, v) => self.put(env, k, v),
+            LfOp::Get(k) => self.get(env, k),
+            other => unreachable!("{other} is not a map op"),
+        }
+    }
+
+    fn validate(&self, env: &dyn PmEnv) {
+        env.pm_assert(
+            env.load_u64(self.root) == META,
+            "hash geometry word not durable after init",
+        );
+    }
+
+    fn snapshot(&self, env: &dyn PmEnv) -> Vec<u64> {
+        let mut out = Vec::new();
+        for level in 0..2 {
+            let buckets = if level == 0 { L0_BUCKETS } else { L1_BUCKETS };
+            for b in 0..buckets {
+                let base = self.bucket(level, b);
+                for s in 0..SLOTS {
+                    let key = env.load_u64(base + s * 8);
+                    if key != 0 {
+                        out.push((key << 32) | env.load_u64(base + (64 + s * 8)));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::native_roundtrip;
+    use super::*;
+    use crate::alloc::AllocFault;
+    use crate::util::Harness;
+    use jaaru::NativeEnv;
+
+    #[test]
+    fn native_script_matches_model() {
+        native_roundtrip::<ClevelHash>();
+    }
+
+    #[test]
+    fn put_get_and_overflow_to_second_level() {
+        let env = NativeEnv::new(1 << 16);
+        let h = Harness::new(&env);
+        let heap = PBump::create(
+            &env,
+            h.heap_cursor_cell(),
+            h.heap_base(),
+            AllocFault::default(),
+        );
+        let m = ClevelHash::create(&env, &heap, LfFault::None);
+        m.validate(&env);
+        assert_eq!(m.apply(&env, &heap, LfOp::Get(3)), 0);
+        assert_eq!(m.apply(&env, &heap, LfOp::Put(3, 0x33)), 1);
+        assert_eq!(m.apply(&env, &heap, LfOp::Put(3, 0x99)), 0, "insert-only");
+        assert_eq!(m.apply(&env, &heap, LfOp::Get(3)), 0x33);
+        // Five keys that collide in top-level bucket 1 (k % 4 == 1):
+        // the fifth must overflow into the bottom level and stay
+        // reachable.
+        for (i, k) in [1u64, 5, 9, 13, 17].iter().enumerate() {
+            assert_eq!(m.apply(&env, &heap, LfOp::Put(*k, 0x100 + i as u64)), 1);
+        }
+        assert_eq!(m.apply(&env, &heap, LfOp::Get(17)), 0x104);
+        let snap = m.snapshot(&env);
+        assert_eq!(snap.len(), 6);
+        assert!(snap.contains(&((17u64 << 32) | 0x104)));
+        assert!(snap.windows(2).all(|w| w[0] < w[1]), "snapshot sorted");
+    }
+}

@@ -1,0 +1,520 @@
+//! The durable-linearizability oracle.
+//!
+//! Lock-free persistent structures have no single commit counter the
+//! [`Harness`](crate::util::Harness) durability contract can audit:
+//! operations overlap, and a crash can legally drop any operation whose
+//! *response* never became durable. The correctness notion is **durable
+//! linearizability** (Izraelevitz et al., adapted to Px86 by Khyzha &
+//! Lahav, see PAPERS.md): after a crash, the recovered state must be
+//! explainable by *some* linearization of the durable invocation/response
+//! history — every operation whose response persisted must appear with
+//! exactly that response, every operation that was invoked but never
+//! acknowledged may appear or vanish, and nothing else may appear.
+//!
+//! The guest drivers in [`super`] record that history *in persistent
+//! memory* (see the record layout on
+//! [`LockFreeWorkload`](super::LockFreeWorkload)); after every crash —
+//! and once more when a run completes — [`check_history`] replays a
+//! bounded exhaustive search over linearizations of the recorded ops
+//! against the recovered structure snapshot. Histories are a handful of
+//! operations, so plain DFS with per-thread program order and
+//! include/skip branching on unacknowledged ops is exact and cheap.
+//!
+//! When no linearization exists the oracle *localizes* the violation:
+//! first by finding a completed operation whose exclusion would make the
+//! history linearizable (a lost effect — the non-persisted-CAS and
+//! missing-link-flush faults), then by finding a recovered value that
+//! more copies of exist than durable operations could have produced (a
+//! double-applied or corrupted entry).
+
+use std::fmt;
+
+/// Response value acknowledging an effectful operation (push/enqueue).
+pub const ACK: u64 = 1;
+
+/// Response of a pop/dequeue that observed an empty structure.
+pub const EMPTY: u64 = u64::MAX;
+
+/// Which abstract type a structure linearizes against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LfKind {
+    /// LIFO: [`LfOp::Push`] / [`LfOp::Pop`].
+    Stack,
+    /// FIFO: [`LfOp::Enqueue`] / [`LfOp::Dequeue`].
+    Queue,
+    /// Sorted set: [`LfOp::Insert`] / [`LfOp::Remove`] / [`LfOp::Contains`].
+    Set,
+    /// Hash map: [`LfOp::Put`] / [`LfOp::Get`].
+    Map,
+}
+
+/// One operation of the lock-free vocabulary. Arguments are bounded to
+/// 24 bits so an op packs into the low 48 bits of a history word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LfOp {
+    /// Stack push; responds [`ACK`].
+    Push(u64),
+    /// Stack pop; responds the popped value or [`EMPTY`].
+    Pop,
+    /// Queue enqueue; responds [`ACK`].
+    Enqueue(u64),
+    /// Queue dequeue; responds the dequeued value or [`EMPTY`].
+    Dequeue,
+    /// Set insert; responds 1 if inserted, 0 if already present.
+    Insert(u64),
+    /// Set remove; responds 1 if removed, 0 if absent.
+    Remove(u64),
+    /// Set membership query; responds 1 or 0.
+    Contains(u64),
+    /// Map insert of `(key, value)`; responds 1 if inserted, 0 if the
+    /// key already exists (insert-only, like Clevel's lookups-dominant
+    /// workloads).
+    Put(u64, u64),
+    /// Map lookup; responds the value or 0.
+    Get(u64),
+}
+
+/// Maximum argument an op may carry (packing budget).
+pub const MAX_ARG: u64 = (1 << 24) - 1;
+
+impl LfOp {
+    /// Packs the op into the low 52 bits of a `u64` (kind in bits
+    /// 48..52, arguments below).
+    pub fn encode(self) -> u64 {
+        let (kind, arg) = match self {
+            LfOp::Push(v) => (0u64, v),
+            LfOp::Pop => (1, 0),
+            LfOp::Enqueue(v) => (2, v),
+            LfOp::Dequeue => (3, 0),
+            LfOp::Insert(k) => (4, k),
+            LfOp::Remove(k) => (5, k),
+            LfOp::Contains(k) => (6, k),
+            LfOp::Put(k, v) => (7, (k << 24) | v),
+            LfOp::Get(k) => (8, k),
+        };
+        debug_assert!(arg < (1 << 48), "op argument exceeds packing budget");
+        (kind << 48) | arg
+    }
+
+    /// The value this op would add to the structure, in the snapshot's
+    /// canonical encoding, if it took effect.
+    fn produces(self, v: u64) -> bool {
+        match self {
+            LfOp::Push(x) | LfOp::Enqueue(x) | LfOp::Insert(x) => x == v,
+            LfOp::Put(k, val) => ((k << 32) | val) == v,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for LfOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LfOp::Push(v) => write!(f, "push({v:#x})"),
+            LfOp::Pop => write!(f, "pop"),
+            LfOp::Enqueue(v) => write!(f, "enqueue({v:#x})"),
+            LfOp::Dequeue => write!(f, "dequeue"),
+            LfOp::Insert(k) => write!(f, "insert({k:#x})"),
+            LfOp::Remove(k) => write!(f, "remove({k:#x})"),
+            LfOp::Contains(k) => write!(f, "contains({k:#x})"),
+            LfOp::Put(k, v) => write!(f, "put({k:#x}, {v:#x})"),
+            LfOp::Get(k) => write!(f, "get({k:#x})"),
+        }
+    }
+}
+
+/// Durable status of one recorded operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpStatus {
+    /// No durable invocation record: the op never ran. Excluded from
+    /// linearization outright.
+    NotInvoked,
+    /// Invocation durable, response not: the op crashed in flight. A
+    /// linearization may include it (with any response) or drop it.
+    Maybe,
+    /// Invocation and response both durable: the op *must* linearize,
+    /// with exactly the recorded response.
+    Completed,
+}
+
+/// One durable history record, as read back from the pool.
+#[derive(Clone, Copy, Debug)]
+pub struct HistEntry {
+    /// Script slot (stable identity across crashes).
+    pub slot: usize,
+    /// Guest thread that ran the op.
+    pub thread: u8,
+    /// The operation.
+    pub op: LfOp,
+    /// Durable status.
+    pub status: OpStatus,
+    /// Recorded response (meaningful only when
+    /// [`Completed`](OpStatus::Completed)).
+    pub response: u64,
+}
+
+/// Simulates one op against the abstract state, returning its response.
+/// State encodings: stack = top-first, queue = head-first, set = sorted
+/// keys, map = sorted `(key << 32) | value` words.
+fn model_apply(kind: LfKind, state: &mut Vec<u64>, op: LfOp) -> u64 {
+    debug_assert!(matches!(
+        (kind, op),
+        (LfKind::Stack, LfOp::Push(_) | LfOp::Pop)
+            | (LfKind::Queue, LfOp::Enqueue(_) | LfOp::Dequeue)
+            | (
+                LfKind::Set,
+                LfOp::Insert(_) | LfOp::Remove(_) | LfOp::Contains(_)
+            )
+            | (LfKind::Map, LfOp::Put(..) | LfOp::Get(_))
+    ));
+    match op {
+        LfOp::Push(v) => {
+            state.insert(0, v);
+            ACK
+        }
+        LfOp::Pop => {
+            if state.is_empty() {
+                EMPTY
+            } else {
+                state.remove(0)
+            }
+        }
+        LfOp::Enqueue(v) => {
+            state.push(v);
+            ACK
+        }
+        LfOp::Dequeue => {
+            if state.is_empty() {
+                EMPTY
+            } else {
+                state.remove(0)
+            }
+        }
+        LfOp::Insert(k) => {
+            if state.contains(&k) {
+                0
+            } else {
+                state.push(k);
+                state.sort_unstable();
+                1
+            }
+        }
+        LfOp::Remove(k) => match state.iter().position(|&x| x == k) {
+            Some(i) => {
+                state.remove(i);
+                1
+            }
+            None => 0,
+        },
+        LfOp::Contains(k) => u64::from(state.contains(&k)),
+        LfOp::Put(k, v) => {
+            if state.iter().any(|&e| (e >> 32) == k) {
+                0
+            } else {
+                state.push((k << 32) | v);
+                state.sort_unstable();
+                1
+            }
+        }
+        LfOp::Get(k) => state
+            .iter()
+            .find(|&&e| (e >> 32) == k)
+            .map(|&e| e & 0xffff_ffff)
+            .unwrap_or(0),
+    }
+}
+
+/// Test-only window onto the abstract model, so driver smoke tests can
+/// cross-check concrete responses against it.
+#[cfg(test)]
+pub(crate) fn test_model_apply(kind: LfKind, state: &mut Vec<u64>, op: LfOp) -> u64 {
+    model_apply(kind, state, op)
+}
+
+/// Per-thread program-order views of the history (invoked entries only).
+fn by_thread(entries: &[HistEntry]) -> Vec<Vec<HistEntry>> {
+    let mut threads: Vec<Vec<HistEntry>> = Vec::new();
+    for e in entries {
+        if e.status == OpStatus::NotInvoked {
+            continue;
+        }
+        let t = e.thread as usize;
+        while threads.len() <= t {
+            threads.push(Vec::new());
+        }
+        threads[t].push(*e);
+    }
+    threads
+}
+
+/// DFS over linearizations: at each step extend with some thread's next
+/// op. Completed ops must reproduce their recorded response; maybe-ops
+/// branch on taking effect or vanishing. Exact for the small histories
+/// the drivers generate.
+fn dfs(
+    kind: LfKind,
+    threads: &[Vec<HistEntry>],
+    idxs: &mut [usize],
+    state: &[u64],
+    snapshot: &[u64],
+) -> bool {
+    if idxs.iter().enumerate().all(|(t, &i)| i == threads[t].len()) {
+        return state == snapshot;
+    }
+    for t in 0..threads.len() {
+        if idxs[t] == threads[t].len() {
+            continue;
+        }
+        let e = threads[t][idxs[t]];
+        idxs[t] += 1;
+        match e.status {
+            OpStatus::Completed => {
+                let mut next = state.to_vec();
+                let resp = model_apply(kind, &mut next, e.op);
+                if resp == e.response && dfs(kind, threads, idxs, &next, snapshot) {
+                    idxs[t] -= 1;
+                    return true;
+                }
+            }
+            OpStatus::Maybe => {
+                // Took effect (response never observed, so any is fine)…
+                let mut next = state.to_vec();
+                let _ = model_apply(kind, &mut next, e.op);
+                if dfs(kind, threads, idxs, &next, snapshot)
+                    // …or vanished with the crash.
+                    || dfs(kind, threads, idxs, state, snapshot)
+                {
+                    idxs[t] -= 1;
+                    return true;
+                }
+            }
+            OpStatus::NotInvoked => unreachable!("filtered by by_thread"),
+        }
+        idxs[t] -= 1;
+    }
+    false
+}
+
+fn linearizable(kind: LfKind, entries: &[HistEntry], snapshot: &[u64]) -> bool {
+    let threads = by_thread(entries);
+    let mut idxs = vec![0usize; threads.len()];
+    dfs(kind, &threads, &mut idxs, &[], snapshot)
+}
+
+/// Checks the recovered `snapshot` against the durable history. `Ok` if
+/// some linearization explains the state; otherwise a diagnosis naming
+/// the violating operation (or value) — the drivers turn it into a bug
+/// via [`PmEnv::bug`](jaaru::PmEnv::bug).
+pub fn check_history(kind: LfKind, entries: &[HistEntry], snapshot: &[u64]) -> Result<(), String> {
+    if linearizable(kind, entries, snapshot) {
+        return Ok(());
+    }
+    // A completed op whose exclusion explains the state: its effect (or
+    // its response's effect) is missing from the recovered structure.
+    for e in entries {
+        if e.status != OpStatus::Completed {
+            continue;
+        }
+        let without: Vec<HistEntry> = entries
+            .iter()
+            .filter(|o| o.slot != e.slot)
+            .copied()
+            .collect();
+        if linearizable(kind, &without, snapshot) {
+            return Err(format!(
+                "durable linearizability violation: completed {} (slot {}, thread {}, \
+                 response {:#x}) is not reflected in the recovered state {snapshot:x?}",
+                e.op, e.slot, e.thread, e.response
+            ));
+        }
+    }
+    // A value with more recovered copies than durable producers: a
+    // double-applied operation or a corrupted entry.
+    let mut seen: Vec<u64> = Vec::new();
+    for &v in snapshot {
+        if seen.contains(&v) {
+            continue;
+        }
+        seen.push(v);
+        let have = snapshot.iter().filter(|&&x| x == v).count();
+        let producible = entries
+            .iter()
+            .filter(|e| e.status != OpStatus::NotInvoked && e.op.produces(v))
+            .count();
+        if have > producible {
+            return Err(format!(
+                "durable linearizability violation: value {v:#x} appears {have} time(s) in \
+                 the recovered state {snapshot:x?} but only {producible} durable op(s) \
+                 could have produced it"
+            ));
+        }
+    }
+    Err(format!(
+        "durable linearizability violation: recovered state {snapshot:x?} admits no \
+         linearization of the durable history"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed(slot: usize, thread: u8, op: LfOp, response: u64) -> HistEntry {
+        HistEntry {
+            slot,
+            thread,
+            op,
+            status: OpStatus::Completed,
+            response,
+        }
+    }
+
+    fn maybe(slot: usize, thread: u8, op: LfOp) -> HistEntry {
+        HistEntry {
+            slot,
+            thread,
+            op,
+            status: OpStatus::Maybe,
+            response: 0,
+        }
+    }
+
+    #[test]
+    fn empty_history_matches_empty_state() {
+        assert!(check_history(LfKind::Stack, &[], &[]).is_ok());
+        assert!(check_history(LfKind::Stack, &[], &[1]).is_err());
+    }
+
+    #[test]
+    fn sequential_stack_history_linearizes() {
+        let h = [
+            completed(0, 0, LfOp::Push(0xa), ACK),
+            completed(1, 0, LfOp::Push(0xb), ACK),
+            completed(2, 0, LfOp::Pop, 0xb),
+        ];
+        assert!(check_history(LfKind::Stack, &h, &[0xa]).is_ok());
+        assert!(check_history(LfKind::Stack, &h, &[0xb]).is_err());
+    }
+
+    #[test]
+    fn cross_thread_interleavings_are_searched() {
+        // t0 pushes A then pops B: only explicable if t1's push of B
+        // linearizes between them.
+        let h = [
+            completed(0, 0, LfOp::Push(0xa), ACK),
+            completed(1, 0, LfOp::Pop, 0xb),
+            completed(2, 1, LfOp::Push(0xb), ACK),
+        ];
+        assert!(check_history(LfKind::Stack, &h, &[0xa]).is_ok());
+    }
+
+    #[test]
+    fn maybe_ops_may_take_effect_or_vanish() {
+        let h = [
+            completed(0, 0, LfOp::Push(0xa), ACK),
+            maybe(1, 0, LfOp::Push(0xb)),
+        ];
+        assert!(check_history(LfKind::Stack, &h, &[0xa]).is_ok());
+        assert!(check_history(LfKind::Stack, &h, &[0xb, 0xa]).is_ok());
+        // …but the completed push can never vanish.
+        assert!(check_history(LfKind::Stack, &h, &[]).is_err());
+    }
+
+    #[test]
+    fn lost_completed_push_is_localized() {
+        let h = [
+            completed(0, 0, LfOp::Push(0xa), ACK),
+            completed(1, 1, LfOp::Push(0xb), ACK),
+        ];
+        let err = check_history(LfKind::Stack, &h, &[0xb]).unwrap_err();
+        assert!(err.contains("push(0xa)"), "{err}");
+        assert!(err.contains("slot 0"), "{err}");
+    }
+
+    #[test]
+    fn double_applied_value_is_localized() {
+        let h = [completed(0, 0, LfOp::Push(0xa), ACK)];
+        let err = check_history(LfKind::Stack, &h, &[0xa, 0xa]).unwrap_err();
+        assert!(err.contains("0xa appears 2 time(s)"), "{err}");
+    }
+
+    #[test]
+    fn queue_order_is_fifo() {
+        let h = [
+            completed(0, 0, LfOp::Enqueue(0xa), ACK),
+            completed(1, 0, LfOp::Enqueue(0xb), ACK),
+            completed(2, 0, LfOp::Dequeue, 0xa),
+        ];
+        assert!(check_history(LfKind::Queue, &h, &[0xb]).is_ok());
+        // A LIFO dequeue response has no linearization.
+        let bad = [
+            completed(0, 0, LfOp::Enqueue(0xa), ACK),
+            completed(1, 0, LfOp::Enqueue(0xb), ACK),
+            completed(2, 0, LfOp::Dequeue, 0xb),
+        ];
+        assert!(check_history(LfKind::Queue, &bad, &[0xa]).is_err());
+    }
+
+    #[test]
+    fn set_and_map_semantics() {
+        let h = [
+            completed(0, 0, LfOp::Insert(3), 1),
+            completed(1, 0, LfOp::Insert(3), 0),
+            completed(2, 1, LfOp::Insert(5), 1),
+            completed(3, 1, LfOp::Remove(5), 1),
+            completed(4, 1, LfOp::Contains(3), 1),
+        ];
+        assert!(check_history(LfKind::Set, &h, &[3]).is_ok());
+        assert!(check_history(LfKind::Set, &h, &[3, 5]).is_err());
+
+        let m = [
+            completed(0, 0, LfOp::Put(3, 0x33), 1),
+            completed(1, 0, LfOp::Get(3), 0x33),
+            completed(2, 1, LfOp::Put(5, 0x55), 1),
+        ];
+        let snap = [(3u64 << 32) | 0x33, (5u64 << 32) | 0x55];
+        assert!(check_history(LfKind::Map, &m, &snap).is_ok());
+        // A zeroed (lost) value word is a corrupt entry no op produced.
+        let torn = [(3u64 << 32), (5u64 << 32) | 0x55];
+        let err = check_history(LfKind::Map, &m, &torn).unwrap_err();
+        assert!(err.contains("could have produced"), "{err}");
+    }
+
+    #[test]
+    fn empty_pop_responses_constrain_order() {
+        let h = [
+            completed(0, 0, LfOp::Pop, EMPTY),
+            completed(1, 0, LfOp::Push(0xa), ACK),
+        ];
+        assert!(check_history(LfKind::Stack, &h, &[0xa]).is_ok());
+        // The pop must precede the push (program order), so EMPTY is
+        // the only legal response — and a recorded popped value of 0xa
+        // would be a violation.
+        let bad = [
+            completed(0, 0, LfOp::Pop, 0xa),
+            completed(1, 0, LfOp::Push(0xa), ACK),
+        ];
+        assert!(check_history(LfKind::Stack, &bad, &[0xa]).is_err());
+    }
+
+    #[test]
+    fn op_encoding_is_injective_over_the_vocabulary() {
+        let ops = [
+            LfOp::Push(1),
+            LfOp::Push(2),
+            LfOp::Pop,
+            LfOp::Enqueue(1),
+            LfOp::Dequeue,
+            LfOp::Insert(1),
+            LfOp::Remove(1),
+            LfOp::Contains(1),
+            LfOp::Put(1, 2),
+            LfOp::Put(2, 1),
+            LfOp::Get(1),
+        ];
+        let mut encodings: Vec<u64> = ops.iter().map(|o| o.encode()).collect();
+        encodings.sort_unstable();
+        encodings.dedup();
+        assert_eq!(encodings.len(), ops.len());
+    }
+}

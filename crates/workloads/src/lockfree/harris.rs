@@ -1,0 +1,251 @@
+//! Harris-style sorted linked-list set.
+//!
+//! Nodes `[key, next]` are kept in ascending key order between a head
+//! sentinel (key 0) and a tail sentinel (key `u64::MAX`). Removal is
+//! two-phase in Harris's style: a CAS sets the *mark* bit (bit 0) of the
+//! victim's `next` word — the linearization point — and a second CAS
+//! physically unlinks it; traversals help unlink marked nodes they
+//! encounter. Durably, the mark must persist before the removal is
+//! acknowledged, and an insert's link CAS must persist before the
+//! insert's response — [`LfFault::UnpersistedCas`] drops the latter
+//! flush. [`LfFault::UnflushedInit`] skips the sentinel constructor
+//! flushes, which [`validate`](LockFree::validate) catches as a broken
+//! sentinel chain.
+
+use jaaru::{PmAddr, PmEnv};
+
+use super::dlin::{LfKind, LfOp};
+use super::{LfFault, LockFree};
+use crate::alloc::PBump;
+
+/// Node layout: `[key: u64, next: u64]`, 16-aligned. Bit 0 of `next` is
+/// the logical-deletion mark.
+const NODE_SIZE: u64 = 16;
+
+/// Traversal bound for finds, snapshots and validation.
+const MAX_NODES: u64 = 64;
+
+/// Tail sentinel key: strictly greater than any op key (ops pack into
+/// 24 bits).
+const TAIL_KEY: u64 = u64::MAX;
+
+fn marked(raw: u64) -> bool {
+    raw & 1 == 1
+}
+
+fn unmark(raw: u64) -> u64 {
+    raw & !1
+}
+
+/// The list handle. The root object is the head sentinel node.
+pub struct HarrisList {
+    head: PmAddr,
+    fault: LfFault,
+}
+
+impl HarrisList {
+    fn check_node(&self, env: &dyn PmEnv, raw: u64) -> PmAddr {
+        env.pm_assert(
+            raw != 0 && raw.is_multiple_of(8) && raw < env.pool_size(),
+            "list pointer outside the pool",
+        );
+        PmAddr::new(raw)
+    }
+
+    /// Finds the first node with key `>= k`, returning `(pred, curr)`
+    /// node addresses. Helps physically unlink any marked node it walks
+    /// past (persisting the unlink), so `curr` is unmarked on return.
+    fn find(&self, env: &dyn PmEnv, k: u64) -> (PmAddr, PmAddr) {
+        let mut steps = 0;
+        'retry: loop {
+            let mut pred = self.head;
+            let mut curr = unmark(env.load_u64(pred + 8));
+            loop {
+                steps += 1;
+                env.pm_assert(steps <= MAX_NODES, "list traversal does not terminate");
+                let cnode = self.check_node(env, curr);
+                let next_raw = env.load_u64(cnode + 8);
+                if marked(next_raw) {
+                    // Help unlink the logically deleted node.
+                    if env.compare_exchange_u64(pred + 8, curr, unmark(next_raw)) == curr {
+                        env.persist(pred + 8, 8);
+                    }
+                    continue 'retry;
+                }
+                if env.load_u64(cnode) >= k {
+                    return (pred, cnode);
+                }
+                pred = cnode;
+                curr = unmark(next_raw);
+            }
+        }
+    }
+
+    fn insert(&self, env: &dyn PmEnv, heap: &PBump, k: u64) -> u64 {
+        loop {
+            let (pred, curr) = self.find(env, k);
+            if env.load_u64(curr) == k {
+                return 0;
+            }
+            let n = heap.alloc(env, NODE_SIZE, 16);
+            env.store_u64(n, k);
+            env.store_u64(n + 8, curr.offset());
+            env.persist(n, NODE_SIZE as usize);
+            if env.compare_exchange_u64(pred + 8, curr.offset(), n.offset()) == curr.offset() {
+                // The publishing CAS must persist before the response —
+                // the seeded fault drops exactly this flush.
+                if self.fault != LfFault::UnpersistedCas {
+                    env.persist(pred + 8, 8);
+                }
+                return 1;
+            }
+        }
+    }
+
+    fn remove(&self, env: &dyn PmEnv, k: u64) -> u64 {
+        loop {
+            let (pred, curr) = self.find(env, k);
+            if env.load_u64(curr) != k {
+                return 0;
+            }
+            let next_raw = env.load_u64(curr + 8);
+            // Logical deletion (the linearization point): mark, then
+            // persist the mark before acknowledging.
+            if env.compare_exchange_u64(curr + 8, next_raw, next_raw | 1) != next_raw {
+                continue;
+            }
+            env.persist(curr + 8, 8);
+            // Physical unlink is best-effort; traversals help if lost.
+            if env.compare_exchange_u64(pred + 8, curr.offset(), unmark(next_raw)) == curr.offset()
+            {
+                env.persist(pred + 8, 8);
+            }
+            return 1;
+        }
+    }
+
+    fn contains(&self, env: &dyn PmEnv, k: u64) -> u64 {
+        let (_, curr) = self.find(env, k);
+        u64::from(env.load_u64(curr) == k)
+    }
+}
+
+impl LockFree for HarrisList {
+    const NAME: &'static str = "lf-list";
+    const KIND: LfKind = LfKind::Set;
+
+    fn create(env: &dyn PmEnv, heap: &PBump, fault: LfFault) -> Self {
+        let tail = heap.alloc(env, NODE_SIZE, 16);
+        env.store_u64(tail, TAIL_KEY);
+        env.store_u64(tail + 8, 0);
+        let head = heap.alloc(env, NODE_SIZE, 16);
+        env.store_u64(head, 0);
+        env.store_u64(head + 8, tail.offset());
+        if fault != LfFault::UnflushedInit {
+            env.persist(tail, NODE_SIZE as usize);
+            env.persist(head, NODE_SIZE as usize);
+        }
+        HarrisList { head, fault }
+    }
+
+    fn open(_env: &dyn PmEnv, root: PmAddr, fault: LfFault) -> Self {
+        HarrisList { head: root, fault }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.head
+    }
+
+    fn apply(&self, env: &dyn PmEnv, heap: &PBump, op: LfOp) -> u64 {
+        match op {
+            LfOp::Insert(k) => self.insert(env, heap, k),
+            LfOp::Remove(k) => self.remove(env, k),
+            LfOp::Contains(k) => self.contains(env, k),
+            other => unreachable!("{other} is not a set op"),
+        }
+    }
+
+    fn validate(&self, env: &dyn PmEnv) {
+        // The sentinel chain is persisted before the pool is marked
+        // initialized: head must reach the tail sentinel.
+        let mut raw = env.load_u64(self.head + 8);
+        let mut steps = 0;
+        loop {
+            env.pm_assert(
+                raw != 0 && steps <= MAX_NODES,
+                "list sentinel chain not durable after init",
+            );
+            steps += 1;
+            let node = self.check_node(env, unmark(raw));
+            if env.load_u64(node) == TAIL_KEY {
+                return;
+            }
+            raw = env.load_u64(node + 8);
+        }
+    }
+
+    fn snapshot(&self, env: &dyn PmEnv) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut raw = env.load_u64(self.head + 8);
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            env.pm_assert(steps <= MAX_NODES, "list chain does not terminate");
+            let node = self.check_node(env, unmark(raw));
+            let key = env.load_u64(node);
+            if key == TAIL_KEY {
+                out.sort_unstable();
+                return out;
+            }
+            let next_raw = env.load_u64(node + 8);
+            if !marked(next_raw) {
+                // Marked nodes are logically deleted: a durably marked
+                // node reads as removed even if its unlink was lost.
+                out.push(key);
+            }
+            raw = next_raw;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::native_roundtrip;
+    use super::*;
+    use crate::alloc::AllocFault;
+    use crate::util::Harness;
+    use jaaru::NativeEnv;
+
+    #[test]
+    fn native_script_matches_model() {
+        native_roundtrip::<HarrisList>();
+    }
+
+    #[test]
+    fn insert_remove_contains_semantics() {
+        let env = NativeEnv::new(1 << 16);
+        let h = Harness::new(&env);
+        let heap = PBump::create(
+            &env,
+            h.heap_cursor_cell(),
+            h.heap_base(),
+            AllocFault::default(),
+        );
+        let l = HarrisList::create(&env, &heap, LfFault::None);
+        l.validate(&env);
+        assert_eq!(l.apply(&env, &heap, LfOp::Insert(5)), 1);
+        assert_eq!(l.apply(&env, &heap, LfOp::Insert(3)), 1);
+        assert_eq!(l.apply(&env, &heap, LfOp::Insert(5)), 0, "duplicate");
+        assert_eq!(l.apply(&env, &heap, LfOp::Insert(9)), 1);
+        assert_eq!(l.snapshot(&env), vec![3, 5, 9], "sorted set contents");
+        assert_eq!(l.apply(&env, &heap, LfOp::Contains(3)), 1);
+        assert_eq!(l.apply(&env, &heap, LfOp::Remove(3)), 1);
+        assert_eq!(l.apply(&env, &heap, LfOp::Remove(3)), 0, "already removed");
+        assert_eq!(l.apply(&env, &heap, LfOp::Contains(3)), 0);
+        assert_eq!(l.snapshot(&env), vec![5, 9]);
+        // Removed keys can be re-inserted.
+        assert_eq!(l.apply(&env, &heap, LfOp::Insert(3)), 1);
+        assert_eq!(l.snapshot(&env), vec![3, 5, 9]);
+        l.validate(&env);
+    }
+}

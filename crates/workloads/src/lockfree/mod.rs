@@ -1,0 +1,439 @@
+//! Lock-free persistent data structures with a durable-linearizability
+//! oracle.
+//!
+//! Every other workload family in this crate is lock-based or
+//! single-writer; this module exercises the checker on what the race and
+//! robustness passes were actually built for: racy CAS-published
+//! structures in the style of the Memento/Mirror benchmark families. Four
+//! detectably-recoverable structures are implemented directly against
+//! [`PmEnv::compare_exchange_u64`], each backed by the persistent bump
+//! allocator ([`PBump`]):
+//!
+//! * [`treiber::TreiberStack`] — Treiber stack (CAS-published `top`),
+//! * [`msqueue::MsQueue`] — Michael–Scott queue (link CAS + tail swing
+//!   with helping),
+//! * [`harris::HarrisList`] — Harris-style sorted linked list set
+//!   (mark-then-unlink removal),
+//! * [`clevel::ClevelHash`] — split-level (Clevel-style) bucket hash
+//!   (value-then-key publication).
+//!
+//! Correctness is judged by **durable linearizability**, not a commit
+//! counter: the shared [`LockFreeWorkload`] driver records each guest
+//! thread's invocation/response history *in persistent memory* and the
+//! [`dlin`] oracle checks, after every crash and at the end of every
+//! completed run, that the recovered structure state is explained by some
+//! linearization of the durable history. See [`dlin`] for the record
+//! semantics and the matcher.
+//!
+//! Each structure seeds one or two durable-linearizability faults from
+//! the taxonomy in [`LfFault`]; the fixed ([`LfFault::None`])
+//! configurations must check clean under full exploration.
+
+pub mod clevel;
+pub mod dlin;
+pub mod harris;
+pub mod msqueue;
+pub mod treiber;
+
+use jaaru::{PmAddr, PmEnv, Program};
+
+use crate::alloc::{AllocFault, PBump};
+use crate::util::Harness;
+
+pub use dlin::{HistEntry, LfKind, LfOp, OpStatus, ACK, EMPTY};
+
+/// The seeded durable-linearizability fault taxonomy. Each structure
+/// honours the subset that makes sense for its publication protocol and
+/// ignores the rest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LfFault {
+    /// Fixed configuration: fully detectably recoverable.
+    #[default]
+    None,
+    /// A *successful* publishing CAS is not persisted before the op's
+    /// result is acted on (the response record becomes durable while the
+    /// published pointer can still be lost). Honoured by the stack's
+    /// push and the list's insert.
+    UnpersistedCas,
+    /// The store a publishing CAS depends on is never flushed: the
+    /// queue's link CAS result, the hash's value word. Recovery can see
+    /// the publication without its payload (or lose the link entirely).
+    MissingLinkFlush,
+    /// Recovery-time double-apply: after a crash the driver blindly
+    /// re-executes the most recent *completed* operation, as if its
+    /// durable response record did not exist.
+    DoubleApply,
+    /// Constructor stores (sentinels, head/tail cells, geometry words)
+    /// are not persisted before the pool is marked initialized.
+    UnflushedInit,
+}
+
+impl LfFault {
+    /// Kebab-case tag used in workload names and registry rows.
+    pub fn tag(self) -> &'static str {
+        match self {
+            LfFault::None => "fixed",
+            LfFault::UnpersistedCas => "unpersisted-cas",
+            LfFault::MissingLinkFlush => "missing-link-flush",
+            LfFault::DoubleApply => "double-apply",
+            LfFault::UnflushedInit => "unflushed-init",
+        }
+    }
+}
+
+/// A lock-free persistent structure checkable by [`LockFreeWorkload`].
+///
+/// Implementations publish every effect with
+/// [`PmEnv::compare_exchange_u64`] and must be *detectably recoverable*
+/// in the fixed configuration: any post-crash state reachable from any
+/// failure point must linearize against the durable history.
+pub trait LockFree: Sized {
+    /// Display name (used in workload and registry naming).
+    const NAME: &'static str;
+
+    /// Which abstract type the structure linearizes against.
+    const KIND: LfKind;
+
+    /// Builds a fresh structure, honouring `fault` where applicable
+    /// (notably [`LfFault::UnflushedInit`]).
+    fn create(env: &dyn PmEnv, heap: &PBump, fault: LfFault) -> Self;
+
+    /// Re-attaches to a structure rooted at `root`.
+    fn open(env: &dyn PmEnv, root: PmAddr, fault: LfFault) -> Self;
+
+    /// The structure's root object (stored in the driver header).
+    fn root(&self) -> PmAddr;
+
+    /// Applies one operation and returns its response. Must be durable
+    /// when it returns (modulo the seeded fault).
+    fn apply(&self, env: &dyn PmEnv, heap: &PBump, op: LfOp) -> u64;
+
+    /// Structure-specific recovery validation (sentinel reachability,
+    /// geometry words); runs on every execution before the oracle.
+    fn validate(&self, _env: &dyn PmEnv) {}
+
+    /// The recovered abstract state in the canonical encoding the
+    /// [`dlin`] model uses (stack: top-first; queue: head-first; set:
+    /// sorted keys; map: sorted `(key << 32) | value`).
+    fn snapshot(&self, env: &dyn PmEnv) -> Vec<u64>;
+}
+
+/// Byte offset of the history region within the driver header (own
+/// cache-line boundary, clear of the [`Harness`] words and the heap
+/// cursor line).
+const HISTORY_BASE_OFF: u64 = 192;
+
+/// Bytes per history record: invocation word, response word, completion
+/// word, one word of padding.
+const RECORD_SIZE: u64 = 32;
+
+/// Maximum script length: the history region must fit between the end of
+/// the harness header lines and [`Harness::heap_base`].
+pub const MAX_SCRIPT_OPS: usize = 24;
+
+/// Packs a durable invocation word: valid bit, thread id, encoded op.
+fn encode_invocation(thread: u8, op: LfOp) -> u64 {
+    (1 << 63) | ((u64::from(thread) & 0x3f) << 56) | op.encode()
+}
+
+/// The shared crash-consistency workload over a [`LockFree`] structure.
+///
+/// # Durable history protocol
+///
+/// Each script slot owns a 32-byte record at a fixed pool address, so
+/// record identity is stable across crashes:
+///
+/// ```text
+/// word 0  invocation  — written and persisted *before* the op runs
+/// word 1  response    — written and persisted after the op's effect
+/// word 2  completion  — written and persisted after the response
+/// ```
+///
+/// The completion word is a commit store for the record: `completion ==
+/// 1` implies the response word is durable (persist order), and a
+/// durable invocation with no completion marks an op that crashed in
+/// flight — the [`dlin`] oracle may include or drop it. Ops whose
+/// invocation word reads zero never ran and are (re-)executed when the
+/// driver continues the script after recovery; invoked-but-incomplete
+/// ops are *not* re-run (re-running would double-apply).
+pub struct LockFreeWorkload<S: LockFree> {
+    fault: LfFault,
+    script: Vec<(u8, LfOp)>,
+    name: String,
+    _marker: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<S: LockFree> LockFreeWorkload<S> {
+    /// A workload running `script` (pairs of guest thread id and op)
+    /// under `fault`.
+    pub fn new(fault: LfFault, script: Vec<(u8, LfOp)>) -> Self {
+        assert!(
+            script.len() <= MAX_SCRIPT_OPS,
+            "script exceeds the history region ({} > {MAX_SCRIPT_OPS} ops)",
+            script.len()
+        );
+        let name = match fault {
+            LfFault::None => S::NAME.to_string(),
+            f => format!("{}-{}", S::NAME, f.tag()),
+        };
+        LockFreeWorkload {
+            fault,
+            script,
+            name,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The fixed configuration over the structure's default script.
+    pub fn fixed() -> Self {
+        Self::new(LfFault::None, default_script(S::KIND))
+    }
+
+    /// A faulted configuration over the structure's default script.
+    pub fn faulted(fault: LfFault) -> Self {
+        Self::new(fault, default_script(S::KIND))
+    }
+
+    /// The script being run.
+    pub fn script(&self) -> &[(u8, LfOp)] {
+        &self.script
+    }
+
+    fn record(&self, env: &dyn PmEnv, slot: usize) -> PmAddr {
+        env.root() + (HISTORY_BASE_OFF + slot as u64 * RECORD_SIZE)
+    }
+
+    /// Reads the durable history back from the pool. Loads are kept
+    /// minimal: the response word is only read when the completion word
+    /// witnesses it (otherwise its value is unconstrained after a crash
+    /// and reading it would only widen the exploration).
+    fn read_history(&self, env: &dyn PmEnv) -> Vec<HistEntry> {
+        let mut entries = Vec::with_capacity(self.script.len());
+        for (slot, &(thread, op)) in self.script.iter().enumerate() {
+            let rec = self.record(env, slot);
+            let invocation = env.load_u64(rec);
+            let (status, response) = if invocation == 0 {
+                (OpStatus::NotInvoked, 0)
+            } else {
+                env.pm_assert(
+                    invocation == encode_invocation(thread, op),
+                    "history invocation record corrupt",
+                );
+                let done = env.load_u64(rec + 16);
+                if done == 1 {
+                    (OpStatus::Completed, env.load_u64(rec + 8))
+                } else {
+                    env.pm_assert(done == 0, "history completion flag corrupt");
+                    (OpStatus::Maybe, 0)
+                }
+            };
+            entries.push(HistEntry {
+                slot,
+                thread,
+                op,
+                status,
+                response,
+            });
+        }
+        entries
+    }
+
+    /// The most recent completed record, for the seeded
+    /// [`LfFault::DoubleApply`] recovery bug.
+    fn last_completed(&self, entries: &[HistEntry]) -> Option<LfOp> {
+        entries
+            .iter()
+            .rev()
+            .find(|e| e.status == OpStatus::Completed)
+            .map(|e| e.op)
+    }
+
+    /// Runs the oracle against the current durable history and recovered
+    /// state, turning a violation into a reported bug.
+    fn audit(&self, env: &dyn PmEnv, s: &S) {
+        let entries = self.read_history(env);
+        let snapshot = s.snapshot(env);
+        if let Err(msg) = dlin::check_history(S::KIND, &entries, &snapshot) {
+            env.bug(&msg);
+        }
+    }
+
+    /// Executes one scripted op, bracketing it with its durable history
+    /// record (invocation persisted before the effect, response before
+    /// the completion commit store).
+    fn run_op(&self, env: &dyn PmEnv, heap: &PBump, s: &S, slot: usize, thread: u8, op: LfOp) {
+        let rec = self.record(env, slot);
+        env.store_u64(rec, encode_invocation(thread, op));
+        env.persist(rec, 8);
+        let response = s.apply(env, heap, op);
+        env.store_u64(rec + 8, response);
+        env.persist(rec + 8, 8);
+        env.store_u64(rec + 16, 1);
+        env.persist(rec + 16, 8);
+    }
+}
+
+impl<S: LockFree> Program for LockFreeWorkload<S> {
+    fn run(&self, env: &dyn PmEnv) {
+        let h = Harness::new(env);
+        let fresh = !h.is_initialized(env);
+        let (s, heap) = if fresh {
+            let heap = PBump::create(
+                env,
+                h.heap_cursor_cell(),
+                h.heap_base(),
+                AllocFault::default(),
+            );
+            let s = S::create(env, &heap, self.fault);
+            h.set_structure(env, s.root());
+            h.set_initialized(env);
+            (s, heap)
+        } else {
+            let heap = PBump::open(h.heap_cursor_cell(), AllocFault::default());
+            (S::open(env, h.structure(env), self.fault), heap)
+        };
+
+        // Structure-level recovery validation, then the oracle: the
+        // durable history must explain the recovered state before the
+        // workload is allowed to continue.
+        s.validate(env);
+        if !fresh {
+            let entries = self.read_history(env);
+            let snapshot = s.snapshot(env);
+            if let Err(msg) = dlin::check_history(S::KIND, &entries, &snapshot) {
+                env.bug(&msg);
+            }
+            if self.fault == LfFault::DoubleApply {
+                // Seeded recovery bug: re-execute the most recent
+                // completed op as if its durable response did not exist.
+                if let Some(op) = self.last_completed(&entries) {
+                    s.apply(env, &heap, op);
+                }
+            }
+        }
+
+        // Continue the script: each guest thread runs, in program order,
+        // exactly the ops whose invocation record is still absent.
+        // Invoked-but-incomplete ops crashed in flight and stay ambiguous
+        // ("maybe" to the oracle) — re-running them would double-apply.
+        let mut threads: Vec<u8> = self.script.iter().map(|&(t, _)| t).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        for &t in &threads {
+            let pending: Vec<(usize, LfOp)> = self
+                .script
+                .iter()
+                .enumerate()
+                .filter(|&(slot, &(th, _))| th == t && env.load_u64(self.record(env, slot)) == 0)
+                .map(|(slot, &(_, op))| (slot, op))
+                .collect();
+            if pending.is_empty() {
+                continue;
+            }
+            env.spawn(&mut |te| {
+                for &(slot, op) in &pending {
+                    self.run_op(te, &heap, &s, slot, t, op);
+                }
+            });
+        }
+
+        // Final durable-linearizability audit of the completed run.
+        self.audit(env, &s);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The default two-thread script for each abstract kind: small enough
+/// for exact linearization search and bounded exploration, contended
+/// enough to exercise cross-thread CAS publication.
+pub fn default_script(kind: LfKind) -> Vec<(u8, LfOp)> {
+    match kind {
+        LfKind::Stack => vec![(0, LfOp::Push(0xa1)), (0, LfOp::Pop), (1, LfOp::Push(0xb1))],
+        LfKind::Queue => vec![
+            (0, LfOp::Enqueue(0xa1)),
+            (0, LfOp::Dequeue),
+            (1, LfOp::Enqueue(0xb1)),
+        ],
+        LfKind::Set => vec![
+            (0, LfOp::Insert(0x3)),
+            (1, LfOp::Insert(0x5)),
+            (1, LfOp::Remove(0x3)),
+        ],
+        LfKind::Map => vec![
+            (0, LfOp::Put(0x3, 0x33)),
+            (0, LfOp::Get(0x3)),
+            (1, LfOp::Put(0x5, 0x55)),
+        ],
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use jaaru::{CheckReport, Config, ModelChecker, NativeEnv};
+
+    /// Functional smoke test under the native environment: run the
+    /// default script sequentially with no crashes and check responses
+    /// against the abstract model.
+    pub fn native_roundtrip<S: LockFree>() {
+        let env = NativeEnv::new(1 << 16);
+        let h = Harness::new(&env);
+        let heap = PBump::create(
+            &env,
+            h.heap_cursor_cell(),
+            h.heap_base(),
+            AllocFault::default(),
+        );
+        let s = S::create(&env, &heap, LfFault::None);
+        let mut model: Vec<u64> = Vec::new();
+        for &(_, op) in &default_script(S::KIND) {
+            let got = s.apply(&env, &heap, op);
+            let want = dlin::test_model_apply(S::KIND, &mut model, op);
+            assert_eq!(got, want, "{op} response diverges from the model");
+        }
+        assert_eq!(s.snapshot(&env), model, "final state diverges");
+    }
+
+    /// Model checks a workload and returns the report.
+    pub fn check_workload<S: LockFree>(fault: LfFault) -> CheckReport {
+        let mut config = Config::new();
+        config
+            .pool_size(1 << 18)
+            .max_scenarios(5_000)
+            .max_ops_per_execution(20_000);
+        ModelChecker::new(config).check(&LockFreeWorkload::<S>::faulted(fault))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::check_workload;
+    use super::*;
+    use crate::lockfree::treiber::TreiberStack;
+
+    #[test]
+    fn driver_names_encode_structure_and_fault() {
+        assert_eq!(LockFreeWorkload::<TreiberStack>::fixed().name(), "lf-stack");
+        assert_eq!(
+            LockFreeWorkload::<TreiberStack>::faulted(LfFault::UnpersistedCas).name(),
+            "lf-stack-unpersisted-cas"
+        );
+    }
+
+    /// Driver-level wiring: the same structure checks clean fixed and
+    /// reports a durable-linearizability violation with the seeded
+    /// publication fault.
+    #[test]
+    fn stack_verdict_flips_with_the_seeded_fault() {
+        let clean = check_workload::<TreiberStack>(LfFault::None);
+        assert!(clean.is_clean(), "{clean}");
+        let faulted = check_workload::<TreiberStack>(LfFault::UnpersistedCas);
+        assert!(faulted
+            .bugs
+            .iter()
+            .any(|b| b.message.contains("durable linearizability violation")));
+    }
+}

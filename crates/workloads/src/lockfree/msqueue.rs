@@ -1,0 +1,204 @@
+//! Michael–Scott queue with durable link publication.
+//!
+//! The root object holds `[head, tail]`; both start at a persistent
+//! sentinel node. An enqueue appends with a CAS on the last node's
+//! `next` (the linearization point) and then swings `tail`; a dequeue
+//! advances `head` past the sentinel. Detectable recoverability requires
+//! the *link* CAS result to persist before `tail` is swung and before
+//! the response is recorded — [`LfFault::MissingLinkFlush`] drops that
+//! flush, so a crash can leave a durably acknowledged enqueue whose node
+//! is unreachable from `head`. [`LfFault::UnflushedInit`] skips the
+//! sentinel/head/tail constructor flushes, which
+//! [`validate`](LockFree::validate) catches on recovery.
+
+use jaaru::{PmAddr, PmEnv};
+
+use super::dlin::{LfKind, LfOp, ACK, EMPTY};
+use super::{LfFault, LockFree};
+use crate::alloc::PBump;
+
+/// Node layout: `[value: u64, next: u64]`, 16-aligned.
+const NODE_SIZE: u64 = 16;
+
+/// Traversal bound for snapshots and validation.
+const MAX_NODES: u64 = 64;
+
+/// The queue handle. The root object is `[head, tail]` on its own line.
+pub struct MsQueue {
+    root: PmAddr,
+    fault: LfFault,
+}
+
+impl MsQueue {
+    fn head_cell(&self) -> PmAddr {
+        self.root
+    }
+
+    fn tail_cell(&self) -> PmAddr {
+        self.root + 8
+    }
+
+    fn check_node(&self, env: &dyn PmEnv, raw: u64) -> PmAddr {
+        env.pm_assert(
+            raw != 0 && raw.is_multiple_of(8) && raw < env.pool_size(),
+            "queue pointer outside the pool",
+        );
+        PmAddr::new(raw)
+    }
+
+    fn enqueue(&self, env: &dyn PmEnv, heap: &PBump, value: u64) -> u64 {
+        let n = heap.alloc(env, NODE_SIZE, 16);
+        env.store_u64(n, value);
+        env.store_u64(n + 8, 0);
+        env.persist(n, NODE_SIZE as usize);
+        loop {
+            let tail = env.load_u64(self.tail_cell());
+            let tnode = self.check_node(env, tail);
+            let next = env.load_u64(tnode + 8);
+            if next != 0 {
+                // Help a lagging tail forward before trying again.
+                env.compare_exchange_u64(self.tail_cell(), tail, next);
+                env.persist(self.tail_cell(), 8);
+                continue;
+            }
+            if env.compare_exchange_u64(tnode + 8, 0, n.offset()) == 0 {
+                // The link CAS is the linearization point: its result
+                // must persist before the tail swing and the response —
+                // the seeded fault drops exactly this flush.
+                if self.fault != LfFault::MissingLinkFlush {
+                    env.persist(tnode + 8, 8);
+                }
+                env.compare_exchange_u64(self.tail_cell(), tail, n.offset());
+                env.persist(self.tail_cell(), 8);
+                return ACK;
+            }
+        }
+    }
+
+    fn dequeue(&self, env: &dyn PmEnv) -> u64 {
+        loop {
+            let head = env.load_u64(self.head_cell());
+            let hnode = self.check_node(env, head);
+            let next = env.load_u64(hnode + 8);
+            if next == 0 {
+                return EMPTY;
+            }
+            let nnode = self.check_node(env, next);
+            let value = env.load_u64(nnode);
+            // Help the tail past the old sentinel before unlinking it.
+            let tail = env.load_u64(self.tail_cell());
+            if tail == head {
+                env.compare_exchange_u64(self.tail_cell(), tail, next);
+                env.persist(self.tail_cell(), 8);
+            }
+            if env.compare_exchange_u64(self.head_cell(), head, next) == head {
+                env.persist(self.head_cell(), 8);
+                return value;
+            }
+        }
+    }
+}
+
+impl LockFree for MsQueue {
+    const NAME: &'static str = "lf-queue";
+    const KIND: LfKind = LfKind::Queue;
+
+    fn create(env: &dyn PmEnv, heap: &PBump, fault: LfFault) -> Self {
+        let sentinel = heap.alloc(env, NODE_SIZE, 16);
+        env.store_u64(sentinel, 0);
+        env.store_u64(sentinel + 8, 0);
+        let root = heap.alloc(env, 64, 64);
+        env.store_u64(root, sentinel.offset());
+        env.store_u64(root + 8, sentinel.offset());
+        if fault != LfFault::UnflushedInit {
+            env.persist(sentinel, NODE_SIZE as usize);
+            env.persist(root, 16);
+        }
+        MsQueue { root, fault }
+    }
+
+    fn open(_env: &dyn PmEnv, root: PmAddr, fault: LfFault) -> Self {
+        MsQueue { root, fault }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.root
+    }
+
+    fn apply(&self, env: &dyn PmEnv, heap: &PBump, op: LfOp) -> u64 {
+        match op {
+            LfOp::Enqueue(v) => self.enqueue(env, heap, v),
+            LfOp::Dequeue => self.dequeue(env),
+            other => unreachable!("{other} is not a queue op"),
+        }
+    }
+
+    fn validate(&self, env: &dyn PmEnv) {
+        // The head and tail cells are persisted before the pool is
+        // marked initialized, so a zero here is a lost constructor
+        // flush (the unflushed-init fault).
+        env.pm_assert(
+            env.load_u64(self.head_cell()) != 0,
+            "queue head cell not durable after init",
+        );
+        env.pm_assert(
+            env.load_u64(self.tail_cell()) != 0,
+            "queue tail cell not durable after init",
+        );
+    }
+
+    fn snapshot(&self, env: &dyn PmEnv) -> Vec<u64> {
+        let mut out = Vec::new();
+        let head = env.load_u64(self.head_cell());
+        let mut node = self.check_node(env, head);
+        let mut steps = 0;
+        loop {
+            let next = env.load_u64(node + 8);
+            if next == 0 {
+                return out;
+            }
+            steps += 1;
+            env.pm_assert(steps <= MAX_NODES, "queue chain does not terminate");
+            node = self.check_node(env, next);
+            out.push(env.load_u64(node));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::native_roundtrip;
+    use super::*;
+    use crate::alloc::AllocFault;
+    use crate::util::Harness;
+    use jaaru::NativeEnv;
+
+    #[test]
+    fn native_script_matches_model() {
+        native_roundtrip::<MsQueue>();
+    }
+
+    #[test]
+    fn enqueue_dequeue_fifo_order() {
+        let env = NativeEnv::new(1 << 16);
+        let h = Harness::new(&env);
+        let heap = PBump::create(
+            &env,
+            h.heap_cursor_cell(),
+            h.heap_base(),
+            AllocFault::default(),
+        );
+        let q = MsQueue::create(&env, &heap, LfFault::None);
+        q.validate(&env);
+        assert_eq!(q.apply(&env, &heap, LfOp::Dequeue), EMPTY);
+        for v in [1u64, 2, 3] {
+            assert_eq!(q.apply(&env, &heap, LfOp::Enqueue(v)), ACK);
+        }
+        assert_eq!(q.snapshot(&env), vec![1, 2, 3]);
+        assert_eq!(q.apply(&env, &heap, LfOp::Dequeue), 1);
+        assert_eq!(q.apply(&env, &heap, LfOp::Dequeue), 2);
+        assert_eq!(q.snapshot(&env), vec![3]);
+        assert_eq!(q.apply(&env, &heap, LfOp::Dequeue), 3);
+        assert_eq!(q.apply(&env, &heap, LfOp::Dequeue), EMPTY);
+    }
+}

@@ -1,0 +1,153 @@
+//! Treiber stack: the minimal CAS-published persistent structure.
+//!
+//! The root object is a single `top` pointer; a push allocates a node
+//! `[value, next]`, persists it, and publishes it with one CAS on `top`;
+//! a pop unlinks with one CAS. Detectable recoverability requires the
+//! published `top` to be persisted before the operation's response is
+//! acted on — the [`LfFault::UnpersistedCas`] seed skips exactly that
+//! flush on push, so a crash can durably acknowledge a push whose node
+//! is no longer reachable.
+
+use jaaru::{PmAddr, PmEnv};
+
+use super::dlin::{LfKind, LfOp, ACK, EMPTY};
+use super::{LfFault, LockFree};
+use crate::alloc::PBump;
+
+/// Node layout: `[value: u64, next: u64]`, 16 bytes, 16-aligned so a
+/// node never straddles a cache line.
+const NODE_SIZE: u64 = 16;
+
+/// Traversal bound: scripts are tiny, so any longer chain is corruption.
+const MAX_NODES: u64 = 64;
+
+/// The stack handle (root object is the `top` cell itself).
+pub struct TreiberStack {
+    top: PmAddr,
+    fault: LfFault,
+}
+
+impl TreiberStack {
+    fn check_node(&self, env: &dyn PmEnv, raw: u64) -> PmAddr {
+        env.pm_assert(
+            raw.is_multiple_of(8) && raw < env.pool_size(),
+            "stack pointer outside the pool",
+        );
+        PmAddr::new(raw)
+    }
+
+    fn push(&self, env: &dyn PmEnv, heap: &PBump, value: u64) -> u64 {
+        let n = heap.alloc(env, NODE_SIZE, 16);
+        env.store_u64(n, value);
+        loop {
+            let top = env.load_u64(self.top);
+            env.store_u64(n + 8, top);
+            env.persist(n, NODE_SIZE as usize);
+            if env.compare_exchange_u64(self.top, top, n.offset()) == top {
+                // The publishing CAS must persist before the response is
+                // acted on — the seeded fault drops exactly this flush.
+                if self.fault != LfFault::UnpersistedCas {
+                    env.persist(self.top, 8);
+                }
+                return ACK;
+            }
+        }
+    }
+
+    fn pop(&self, env: &dyn PmEnv) -> u64 {
+        loop {
+            let top = env.load_u64(self.top);
+            if top == 0 {
+                return EMPTY;
+            }
+            let node = self.check_node(env, top);
+            let value = env.load_u64(node);
+            let next = env.load_u64(node + 8);
+            if env.compare_exchange_u64(self.top, top, next) == top {
+                env.persist(self.top, 8);
+                return value;
+            }
+        }
+    }
+}
+
+impl LockFree for TreiberStack {
+    const NAME: &'static str = "lf-stack";
+    const KIND: LfKind = LfKind::Stack;
+
+    fn create(env: &dyn PmEnv, heap: &PBump, fault: LfFault) -> Self {
+        let top = heap.alloc(env, 64, 64);
+        env.store_u64(top, 0);
+        if fault != LfFault::UnflushedInit {
+            env.persist(top, 8);
+        }
+        TreiberStack { top, fault }
+    }
+
+    fn open(_env: &dyn PmEnv, root: PmAddr, fault: LfFault) -> Self {
+        TreiberStack { top: root, fault }
+    }
+
+    fn root(&self) -> PmAddr {
+        self.top
+    }
+
+    fn apply(&self, env: &dyn PmEnv, heap: &PBump, op: LfOp) -> u64 {
+        match op {
+            LfOp::Push(v) => self.push(env, heap, v),
+            LfOp::Pop => self.pop(env),
+            other => unreachable!("{other} is not a stack op"),
+        }
+    }
+
+    fn snapshot(&self, env: &dyn PmEnv) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = env.load_u64(self.top);
+        let mut steps = 0;
+        while cur != 0 {
+            steps += 1;
+            env.pm_assert(steps <= MAX_NODES, "stack chain does not terminate");
+            let node = self.check_node(env, cur);
+            out.push(env.load_u64(node));
+            cur = env.load_u64(node + 8);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::native_roundtrip;
+    use super::*;
+    use crate::alloc::AllocFault;
+    use crate::util::Harness;
+    use jaaru::NativeEnv;
+
+    #[test]
+    fn native_script_matches_model() {
+        native_roundtrip::<TreiberStack>();
+    }
+
+    #[test]
+    fn push_pop_lifo_order() {
+        let env = NativeEnv::new(1 << 16);
+        let h = Harness::new(&env);
+        let heap = PBump::create(
+            &env,
+            h.heap_cursor_cell(),
+            h.heap_base(),
+            AllocFault::default(),
+        );
+        let s = TreiberStack::create(&env, &heap, LfFault::None);
+        assert_eq!(s.apply(&env, &heap, LfOp::Pop), EMPTY);
+        for v in [1u64, 2, 3] {
+            assert_eq!(s.apply(&env, &heap, LfOp::Push(v)), ACK);
+        }
+        assert_eq!(s.snapshot(&env), vec![3, 2, 1]);
+        assert_eq!(s.apply(&env, &heap, LfOp::Pop), 3);
+        assert_eq!(s.apply(&env, &heap, LfOp::Pop), 2);
+        assert_eq!(s.apply(&env, &heap, LfOp::Pop), 1);
+        assert_eq!(s.apply(&env, &heap, LfOp::Pop), EMPTY);
+        assert!(s.snapshot(&env).is_empty());
+    }
+}

@@ -10,7 +10,7 @@
 //!   findings.
 //!
 //! The corpus is regenerated with
-//! `jaaru_cli fuzz --seeds 30 --harvest --corpus tests/corpus`
+//! `jaaru_cli fuzz --seeds 60 --harvest --corpus tests/corpus`
 //! (see `tests/corpus/README.md`).
 
 use std::path::Path;
