@@ -13,6 +13,7 @@
 //! jaaru_cli [options] repair (recipe|pmdk) <row#> [keys] # repair one bug row
 //! jaaru_cli [options] perf [keys]                       # Figure 14 run
 //! jaaru_cli [options] fuzz [fuzz options]               # differential fuzzing
+//! jaaru_cli [options] litmus [corpus|sweep] [opts]      # Px86 conformance harness
 //! jaaru_cli [options] serve [serve options]             # checking as a service
 //! ```
 //!
@@ -46,6 +47,8 @@ use jaaru_bench::registry::{
     recipe_fixed_cases,
 };
 use jaaru_fuzz::{harvest, minimize_divergence, repair_seeded, run_campaign, Oracle, RepairStats};
+use jaaru_litmus::corpus::run_corpus_report;
+use jaaru_litmus::sweep::{run_sweep, SweepBound};
 use jaaru_serve::{daemon, Daemon, ServeOptions};
 
 #[derive(Clone, Copy, PartialEq)]
@@ -229,6 +232,7 @@ fn usage() -> ! {
          jaaru_cli [options] repair (recipe|pmdk|lockfree) <row#> [keys]\n  \
          jaaru_cli [options] perf [keys]\n  \
          jaaru_cli [options] fuzz [fuzz options]\n  \
+         jaaru_cli [options] litmus [corpus|sweep] [litmus options]\n  \
          jaaru_cli [options] serve [serve options]\n\
          options:\n  \
          --jobs N (-j)          worker threads (0 = all cores; default 1)\n  \
@@ -246,6 +250,11 @@ fn usage() -> ! {
          --harvest              minimize seeded-fault programs into the corpus\n  \
          --repair               auto-repair every seeded-fault program; exit\n                         \
          nonzero if any fault class is unrepairable\n\
+         litmus options:\n  \
+         corpus | sweep         run only the named corpus / only the sweep (default both)\n  \
+         --max-threads N        sweep bound: max threads (default 2)\n  \
+         --max-ops N            sweep bound: max ops per thread (default 4)\n  \
+         --max-total N          sweep bound: max total ops (default 4)\n\
          serve options:\n  \
          --socket PATH          listen on a Unix domain socket at PATH\n  \
          --batch FILE           run request lines from FILE and exit (CI mode)\n  \
@@ -446,6 +455,100 @@ fn fuzz(opts: FuzzOpts, jobs: usize, format: Format) -> i32 {
         .as_ref()
         .is_none_or(|s| s.unrepairable().is_empty());
     i32::from(!report.is_clean() || !repair_ok)
+}
+
+/// Litmus-subcommand options drained from the remaining arguments.
+struct LitmusOpts {
+    corpus: bool,
+    sweep: bool,
+    bound: SweepBound,
+}
+
+fn parse_litmus_opts(args: &[String]) -> LitmusOpts {
+    let mut opts = LitmusOpts {
+        corpus: true,
+        sweep: true,
+        bound: SweepBound::default(),
+    };
+    let mut it = args.iter();
+    let mut first = true;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            // An optional leading mode restricts the run to one half.
+            "corpus" if first => opts.sweep = false,
+            "sweep" if first => opts.corpus = false,
+            "--max-threads" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(n) => opts.bound.max_threads = n,
+                None => usage(),
+            },
+            "--max-ops" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(n) => opts.bound.max_ops_per_thread = n,
+                None => usage(),
+            },
+            "--max-total" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(n) => opts.bound.max_total_ops = n,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+        first = false;
+    }
+    opts
+}
+
+/// The `litmus` subcommand: the Px86 conformance harness. Runs the
+/// named corpus (paper litmus tests with pinned verdicts under both
+/// the operational machine and the axiomatic reference checker) and/or
+/// the exhaustive conformance sweep. Output is deterministic —
+/// byte-identical across runs and `--jobs` settings. Exit 1 on any
+/// corpus failure or unexplained divergence.
+fn litmus(opts: LitmusOpts, jobs: usize, format: Format) -> i32 {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    let corpus = opts.corpus.then(run_corpus_report);
+    let sweep = opts.sweep.then(|| run_sweep(&opts.bound, jobs));
+    match format {
+        Format::Json | Format::JsonCanonical => match (&corpus, &sweep) {
+            (Some(c), Some(s)) => {
+                // Both halves in one object, each renderer's bytes kept
+                // verbatim (indented one level).
+                let indent = |s: &str| s.trim_end().replace('\n', "\n  ");
+                print!(
+                    "{{\n  \"corpus\": {},\n  \"sweep\": {}\n}}\n",
+                    indent(&c.to_json()),
+                    indent(&s.to_json())
+                );
+            }
+            (Some(c), None) => print!("{}", c.to_json()),
+            (None, Some(s)) => print!("{}", s.to_json()),
+            (None, None) => unreachable!("one mode always selected"),
+        },
+        Format::Text | Format::Sarif => {
+            if let Some(c) = &corpus {
+                println!("== litmus corpus ==");
+                print!("{}", c.to_text());
+            }
+            if let Some(s) = &sweep {
+                println!("== litmus sweep ==");
+                print!("{}", s.to_text());
+            }
+            let clean = corpus.as_ref().is_none_or(|c| c.is_clean())
+                && sweep.as_ref().is_none_or(|s| s.is_clean());
+            if clean {
+                println!("VERDICT: operational and axiomatic checkers agree");
+            } else {
+                println!("VERDICT: conformance failures above");
+            }
+        }
+    }
+    let clean =
+        corpus.as_ref().is_none_or(|c| c.is_clean()) && sweep.as_ref().is_none_or(|s| s.is_clean());
+    i32::from(!clean)
 }
 
 /// The `serve` subcommand: stand the daemon up on a socket, or run a
@@ -660,6 +763,7 @@ fn main() {
             }
         }
         Some("fuzz") => fuzz(parse_fuzz_opts(&args[1..]), jobs, format),
+        Some("litmus") => litmus(parse_litmus_opts(&args[1..]), jobs, format),
         Some("serve") => serve(&args[1..], jobs, snapshots),
         Some("perf") => {
             let keys = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);

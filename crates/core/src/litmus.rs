@@ -26,10 +26,20 @@ pub enum LitmusOp {
     Clflush(PmAddr),
     /// `clflushopt` of the line containing the address.
     Clflushopt(PmAddr),
+    /// `clwb` of the line containing the address — same Px86 ordering
+    /// semantics as `clflushopt`; a distinct token so the conformance
+    /// sweep proves the two behave identically end to end.
+    Clwb(PmAddr),
     /// Store fence.
     Sfence,
     /// Full fence.
     Mfence,
+    /// Locked read-modify-write (exchange): the old value is read into
+    /// the thread's next register slot and the new value stored, with
+    /// the implied full fence on both sides (paper §2: locked RMW
+    /// instructions drain the store buffer and apply pending optimized
+    /// flushes before *and* after their access).
+    Rmw(PmAddr, u8),
 }
 
 /// The observable result of one complete litmus execution.
@@ -40,6 +50,18 @@ pub struct LitmusOutcome {
     /// Final `(line, begin, end)` writeback constraints for every line
     /// with a non-trivial interval, in line order.
     pub flush_bounds: Vec<(u64, u64, Option<u64>)>,
+}
+
+/// One allowed `(registers, crash-persisted memory)` observable of a
+/// litmus program, as produced by [`LitmusProgram::crash_outcomes`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LitmusCrashOutcome {
+    /// Register values per thread, in load/RMW order.
+    pub regs: Vec<Vec<u8>>,
+    /// Persisted memory after the crash: `(address, value)` sorted by
+    /// address, one entry per address the program stores to; 0 means
+    /// the byte still holds its initial value.
+    pub mem: Vec<(u64, u8)>,
 }
 
 /// A litmus program: one op-list per thread.
@@ -116,16 +138,58 @@ impl LitmusProgram {
     /// and store-buffer eviction, returning the set of distinct outcomes.
     pub fn outcomes(&self) -> BTreeSet<LitmusOutcome> {
         let mut results = BTreeSet::new();
-        let initial = State {
-            machine: TsoMachine::new(EvictionPolicy::OnFence),
-            pcs: vec![0; self.threads.len()],
-            regs: vec![Vec::new(); self.threads.len()],
-        };
-        self.explore(initial, &mut results);
+        self.explore(self.initial(), &mut |s| {
+            results.insert(outcome_of(s));
+        });
         results
     }
 
-    fn explore(&self, state: State, results: &mut BTreeSet<LitmusOutcome>) {
+    /// Exhaustively enumerates interleavings like [`LitmusProgram::outcomes`],
+    /// but projects each terminal state onto its **allowed crash-persisted
+    /// memory states**: for every cache line the program stores to, each
+    /// candidate writeback point of the line's flush interval yields one
+    /// persisted snapshot, and the per-line choices combine freely (lines
+    /// write back independently). The union over all executions is exactly
+    /// the observable the axiomatic reference checker in `jaaru-litmus`
+    /// computes, which makes this the operational side of the conformance
+    /// comparison.
+    ///
+    /// Addresses never persisted report value 0 (initial memory).
+    pub fn crash_outcomes(&self) -> BTreeSet<LitmusCrashOutcome> {
+        let addrs = self.stored_addrs();
+        let mut results = BTreeSet::new();
+        self.explore(self.initial(), &mut |s| {
+            collect_crash_outcomes(&s, &addrs, &mut results);
+        });
+        results
+    }
+
+    /// Sorted, deduplicated addresses the program stores to (via `Store`
+    /// or `Rmw`) — the memory universe of [`LitmusProgram::crash_outcomes`].
+    fn stored_addrs(&self) -> Vec<PmAddr> {
+        let mut addrs: Vec<PmAddr> = self
+            .threads
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                LitmusOp::Store(a, _) | LitmusOp::Rmw(a, _) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        addrs.sort();
+        addrs.dedup();
+        addrs
+    }
+
+    fn initial(&self) -> State {
+        State {
+            machine: TsoMachine::new(EvictionPolicy::OnFence),
+            pcs: vec![0; self.threads.len()],
+            regs: vec![Vec::new(); self.threads.len()],
+        }
+    }
+
+    fn explore(&self, state: State, sink: &mut impl FnMut(State)) {
         let mut progressed = false;
         for t in 0..self.threads.len() {
             let tid = ThreadId(t as u32);
@@ -135,20 +199,20 @@ impl LitmusProgram {
                 let mut next = state.clone();
                 next.pcs[t] += 1;
                 self.step(&mut next, t, self.threads[t][state.pcs[t]]);
-                self.explore(next, results);
+                self.explore(next, sink);
             }
             // Choice: evict one entry from the thread's store buffer.
             let mut next = state.clone();
             if next.machine.evict_one(tid) {
                 progressed = true;
-                self.explore(next, results);
+                self.explore(next, sink);
             }
         }
         if !progressed {
             // All threads done and all buffers empty: record the outcome.
             // Deferred clflushopt entries keep their lines unconstrained,
             // exactly as at a power failure.
-            results.insert(outcome_of(state));
+            sink(state);
         }
     }
 
@@ -219,9 +283,86 @@ impl LitmusProgram {
             }
             LitmusOp::Clflush(addr) => state.machine.clflush(tid, addr.cache_line()),
             LitmusOp::Clflushopt(addr) => state.machine.clflushopt(tid, addr.cache_line()),
+            LitmusOp::Clwb(addr) => state.machine.clwb(tid, addr.cache_line()),
             LitmusOp::Sfence => state.machine.sfence(tid),
             LitmusOp::Mfence => state.machine.mfence(tid),
+            LitmusOp::Rmw(addr, v) => {
+                // Locked exchange: fence, read-modify-write, fence — all
+                // atomically within one litmus step, which is exactly the
+                // global ordering a locked instruction provides.
+                state.machine.mfence(tid);
+                let old = match state.machine.read_current(tid, addr) {
+                    CurrentRead::Buffered(b) | CurrentRead::Cached(b) => b,
+                    CurrentRead::Miss => 0,
+                };
+                state.regs[t].push(old);
+                state.machine.store(tid, addr, &[v], loc);
+                state.machine.mfence(tid);
+            }
         }
+    }
+}
+
+/// Expands one terminal machine state into its allowed crash states:
+/// the product, over every line holding stored addresses, of the line's
+/// candidate writeback points.
+fn collect_crash_outcomes(
+    state: &State,
+    addrs: &[PmAddr],
+    results: &mut BTreeSet<LitmusCrashOutcome>,
+) {
+    let storage = state.machine.storage();
+    // Group the (sorted) address universe by cache line; line order
+    // follows address order, so concatenating per-line snapshots keeps
+    // the global vector address-sorted.
+    let mut groups: Vec<(CacheLineId, Vec<PmAddr>)> = Vec::new();
+    for &a in addrs {
+        match groups.last_mut() {
+            Some((line, v)) if *line == a.cache_line() => v.push(a),
+            _ => groups.push((a.cache_line(), vec![a])),
+        }
+    }
+    // Per line: the distinct persisted snapshots its writeback points
+    // allow. At a completed execution the interval end is still open,
+    // so every store past the guarantee is a candidate point.
+    let per_line: Vec<Vec<Vec<(u64, u8)>>> = groups
+        .iter()
+        .map(|(line, line_addrs)| {
+            let snaps: BTreeSet<Vec<(u64, u8)>> = storage
+                .writeback_points(*line)
+                .into_iter()
+                .map(|w| {
+                    line_addrs
+                        .iter()
+                        .map(|&a| (a.offset(), storage.snapshot_value(a, w).unwrap_or(0)))
+                        .collect()
+                })
+                .collect();
+            snaps.into_iter().collect()
+        })
+        .collect();
+    // Odometer over the per-line alternatives.
+    let mut idx = vec![0usize; per_line.len()];
+    'product: loop {
+        let mem: Vec<(u64, u8)> = per_line
+            .iter()
+            .zip(idx.iter())
+            .flat_map(|(alts, &i)| alts[i].iter().copied())
+            .collect();
+        results.insert(LitmusCrashOutcome {
+            regs: state.regs.clone(),
+            mem,
+        });
+        let mut i = 0;
+        while i < per_line.len() {
+            if idx[i] + 1 < per_line[i].len() {
+                idx[i] += 1;
+                continue 'product;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+        break;
     }
 }
 
@@ -357,6 +498,68 @@ mod tests {
         ]);
         assert_eq!(p.outcomes_sampled(42, 50), p.outcomes_sampled(42, 50));
         // (Different seeds may or may not differ; determinism is the claim.)
+    }
+
+    #[test]
+    fn rmw_is_dual_fenced() {
+        // SB with locked exchanges instead of plain stores: the locked
+        // RMW drains the buffer on both sides, so the both-old-values-
+        // zero relaxation disappears.
+        let p = LitmusProgram::new(vec![
+            vec![LitmusOp::Rmw(X, 1), LitmusOp::Load(Y)],
+            vec![LitmusOp::Rmw(Y, 1), LitmusOp::Load(X)],
+        ]);
+        let outcomes = reg_outcomes(&p);
+        assert!(
+            !outcomes.contains(&vec![vec![0, 0], vec![0, 0]]),
+            "locked RMW forbids the SB relaxation"
+        );
+    }
+
+    #[test]
+    fn competing_rmws_serialize() {
+        let p = LitmusProgram::new(vec![vec![LitmusOp::Rmw(X, 1)], vec![LitmusOp::Rmw(X, 2)]]);
+        let outcomes = reg_outcomes(&p);
+        assert!(!outcomes.contains(&vec![vec![0], vec![0]]));
+        assert!(outcomes.contains(&vec![vec![0], vec![1]]));
+        assert!(outcomes.contains(&vec![vec![2], vec![0]]));
+    }
+
+    #[test]
+    fn clwb_behaves_like_clflushopt() {
+        let mk = |flush: fn(PmAddr) -> LitmusOp| {
+            LitmusProgram::new(vec![vec![
+                LitmusOp::Store(X, 1),
+                flush(X),
+                LitmusOp::Sfence,
+            ]])
+        };
+        assert_eq!(
+            mk(LitmusOp::Clwb).outcomes(),
+            mk(LitmusOp::Clflushopt).outcomes()
+        );
+    }
+
+    #[test]
+    fn crash_outcomes_of_fenced_flush_pin_the_value() {
+        let p = LitmusProgram::new(vec![vec![
+            LitmusOp::Store(X, 1),
+            LitmusOp::Clflushopt(X),
+            LitmusOp::Sfence,
+        ]]);
+        let crashes = p.crash_outcomes();
+        assert!(
+            crashes.iter().all(|c| c.mem == vec![(64, 1)]),
+            "{crashes:?}"
+        );
+    }
+
+    #[test]
+    fn crash_outcomes_of_unflushed_store_include_initial() {
+        let p = LitmusProgram::new(vec![vec![LitmusOp::Store(X, 1)]]);
+        let mems: BTreeSet<Vec<(u64, u8)>> =
+            p.crash_outcomes().into_iter().map(|c| c.mem).collect();
+        assert_eq!(mems, BTreeSet::from([vec![(64, 0)], vec![(64, 1)]]));
     }
 
     #[test]

@@ -1,0 +1,869 @@
+//! The axiomatic Px86 reference checker.
+//!
+//! This module computes, for a small multi-threaded program, the exact
+//! set of allowed `(registers, crash-persisted memory)` outcomes under
+//! the *declarative* Px86 model (Raad et al.'s Px86sim as axiomatized by
+//! Khyzha & Lahav, "Taming x86-TSO Persistency"), by candidate
+//! enumeration and axiom filtering:
+//!
+//! 1. enumerate every **reads-from** assignment (each load reads from a
+//!    same-address store or from initial memory),
+//! 2. enumerate every **store order** `mo` (a total order over stores
+//!    respecting per-thread program order — TSO's total store order),
+//! 3. filter the candidates through the x86-TSO axioms (SC-per-location
+//!    and global-happens-before acyclicity, locked-RMW atomicity),
+//! 4. for each consistent execution, enumerate every **non-volatile
+//!    order** (a linear extension of the durable-event partial order)
+//!    and read the allowed crash-persisted states off its per-line
+//!    flush-coverage prefixes.
+//!
+//! **Independence argument.** The operational checker in
+//! `jaaru::litmus` derives outcomes by simulating store buffers, flush
+//! buffers, and eviction interleavings of the `jaaru-tso` machine. This
+//! module shares none of that code — no `TsoMachine`, no `Seq`, no
+//! `FlushInterval`; it never *executes* anything. It enumerates whole-
+//! execution candidates and filters them through declarative axioms, so
+//! agreement between the two is evidence about the semantics, not about
+//! a shared implementation. (See DESIGN.md, "Px86 conformance".)
+//!
+//! The model is scoped to what the operational litmus harness observes:
+//! programs run to completion (store buffers drained), then power fails;
+//! a `clflushopt`/`clwb` with no later same-thread ordering instruction
+//! guarantees nothing.
+
+use std::collections::BTreeSet;
+
+/// Cache-line size shared with the operational model (64-byte lines).
+pub const AX_LINE_SIZE: u64 = 64;
+
+/// One instruction of an axiomatic litmus thread. Mirrors the
+/// operational `jaaru::litmus::LitmusOp` vocabulary but is deliberately
+/// a distinct type: the two sides meet only in the conformance driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AxOp {
+    /// Store a byte value.
+    Store(u64, u8),
+    /// Load into the thread's next register slot.
+    Load(u64),
+    /// `clflush` of the line containing the address.
+    Clflush(u64),
+    /// `clflushopt` of the line containing the address.
+    Clflushopt(u64),
+    /// `clwb` of the line containing the address (same ordering
+    /// semantics as `clflushopt` in Px86sim; kept distinct so the
+    /// conformance sweep proves both tokens behave identically).
+    Clwb(u64),
+    /// Store fence.
+    Sfence,
+    /// Full fence.
+    Mfence,
+    /// Locked exchange: register := old value, memory := new value.
+    /// Implies a full fence on both sides (paper §2: locked RMW).
+    Rmw(u64, u8),
+}
+
+/// An axiomatic litmus program: one op-list per thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AxProgram {
+    /// Per-thread instruction lists.
+    pub threads: Vec<Vec<AxOp>>,
+}
+
+/// One allowed observable: register values per thread (loads and RMW
+/// old-values in program order) plus the crash-persisted memory state
+/// (every program-stored address, with 0 for "still initial").
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AxOutcome {
+    /// Register file per thread.
+    pub regs: Vec<Vec<u8>>,
+    /// Persisted memory: `(address, value)` sorted by address, one entry
+    /// per address the program stores to anywhere.
+    pub mem: Vec<(u64, u8)>,
+}
+
+/// Event kinds of the candidate-execution graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    /// A store (or the write half of an RMW) of `val` at `addr`.
+    Write { addr: u64, val: u8, rmw: bool },
+    /// A load (or the read half of an RMW) of `addr`.
+    Read { addr: u64, rmw: bool },
+    /// A flush of `line`; `deferred` for `clflushopt`/`clwb`.
+    Flush { line: u64, deferred: bool },
+    /// `sfence`: orders durable events, no volatile W→R power.
+    Sfence,
+    /// `mfence`: full volatile fence and durable orderer.
+    Mfence,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Ev {
+    thread: usize,
+    kind: Kind,
+}
+
+/// The static event structure of one program: events in per-thread
+/// program order (event ids are globally unique; ids within one thread
+/// are po-ordered).
+struct Events {
+    evs: Vec<Ev>,
+    /// Write event ids per thread, in po order (mo must respect this).
+    writes_by_thread: Vec<Vec<usize>>,
+    /// Read event ids, in (thread, po) order.
+    reads: Vec<usize>,
+    /// All write event ids.
+    writes: Vec<usize>,
+    /// Sorted, deduplicated addresses the program stores to.
+    stored_addrs: Vec<u64>,
+}
+
+impl Events {
+    fn build(p: &AxProgram) -> Events {
+        let mut evs = Vec::new();
+        let mut writes_by_thread = vec![Vec::new(); p.threads.len()];
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let mut stored_addrs = Vec::new();
+        for (t, ops) in p.threads.iter().enumerate() {
+            for &op in ops {
+                match op {
+                    AxOp::Store(addr, val) => {
+                        let id = evs.len();
+                        evs.push(Ev {
+                            thread: t,
+                            kind: Kind::Write {
+                                addr,
+                                val,
+                                rmw: false,
+                            },
+                        });
+                        writes_by_thread[t].push(id);
+                        writes.push(id);
+                        stored_addrs.push(addr);
+                    }
+                    AxOp::Load(addr) => {
+                        let id = evs.len();
+                        evs.push(Ev {
+                            thread: t,
+                            kind: Kind::Read { addr, rmw: false },
+                        });
+                        reads.push(id);
+                    }
+                    AxOp::Clflush(addr) => evs.push(Ev {
+                        thread: t,
+                        kind: Kind::Flush {
+                            line: addr / AX_LINE_SIZE,
+                            deferred: false,
+                        },
+                    }),
+                    AxOp::Clflushopt(addr) | AxOp::Clwb(addr) => evs.push(Ev {
+                        thread: t,
+                        kind: Kind::Flush {
+                            line: addr / AX_LINE_SIZE,
+                            deferred: true,
+                        },
+                    }),
+                    AxOp::Sfence => evs.push(Ev {
+                        thread: t,
+                        kind: Kind::Sfence,
+                    }),
+                    AxOp::Mfence => evs.push(Ev {
+                        thread: t,
+                        kind: Kind::Mfence,
+                    }),
+                    AxOp::Rmw(addr, val) => {
+                        // Read half strictly po-before the write half.
+                        let rid = evs.len();
+                        evs.push(Ev {
+                            thread: t,
+                            kind: Kind::Read { addr, rmw: true },
+                        });
+                        reads.push(rid);
+                        let wid = evs.len();
+                        evs.push(Ev {
+                            thread: t,
+                            kind: Kind::Write {
+                                addr,
+                                val,
+                                rmw: true,
+                            },
+                        });
+                        writes_by_thread[t].push(wid);
+                        writes.push(wid);
+                        stored_addrs.push(addr);
+                    }
+                }
+            }
+        }
+        stored_addrs.sort_unstable();
+        stored_addrs.dedup();
+        Events {
+            evs,
+            writes_by_thread,
+            reads,
+            writes,
+            stored_addrs,
+        }
+    }
+
+    fn addr_of(&self, id: usize) -> Option<u64> {
+        match self.evs[id].kind {
+            Kind::Write { addr, .. } | Kind::Read { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+
+    fn val_of(&self, id: usize) -> u8 {
+        match self.evs[id].kind {
+            Kind::Write { val, .. } => val,
+            _ => unreachable!("val_of on a non-write"),
+        }
+    }
+
+    fn is_memory(&self, id: usize) -> bool {
+        matches!(self.evs[id].kind, Kind::Write { .. } | Kind::Read { .. })
+    }
+
+    fn is_locked(&self, id: usize) -> bool {
+        matches!(
+            self.evs[id].kind,
+            Kind::Write { rmw: true, .. } | Kind::Read { rmw: true, .. }
+        )
+    }
+
+    /// `a` strictly po-before `b`: same thread, smaller id (ids are
+    /// allocated in program order per thread).
+    fn po(&self, a: usize, b: usize) -> bool {
+        self.evs[a].thread == self.evs[b].thread && a < b
+    }
+}
+
+/// `rf` choice per read, indexed like `Events::reads`; `None` = reads
+/// initial memory (value 0).
+type RfChoice = Vec<Option<usize>>;
+
+/// Directed-graph cycle check (DFS, three colors) over `n` nodes.
+fn has_cycle(n: usize, edges: &[(usize, usize)]) -> bool {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+    }
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; n];
+    fn dfs(v: usize, adj: &[Vec<usize>], color: &mut [u8]) -> bool {
+        color[v] = 1;
+        for &w in &adj[v] {
+            if color[w] == 1 {
+                return true;
+            }
+            if color[w] == 0 && dfs(w, adj, color) {
+                return true;
+            }
+        }
+        color[v] = 2;
+        false
+    }
+    (0..n).any(|v| color[v] == 0 && dfs(v, &adj, &mut color))
+}
+
+/// The axiomatic checker for one program.
+pub struct AxChecker {
+    ev: Events,
+}
+
+/// Volatile-consistency statistics of one [`AxChecker::allowed`] run,
+/// for reporting: how many candidate executions were enumerated and how
+/// many survived the axioms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AxStats {
+    /// Candidate `(rf, mo)` pairs enumerated.
+    pub candidates: u64,
+    /// Candidates consistent with the volatile TSO axioms.
+    pub consistent: u64,
+    /// Non-volatile linear extensions enumerated across all consistent
+    /// candidates.
+    pub extensions: u64,
+}
+
+impl AxChecker {
+    /// Builds the event structure for `p`.
+    pub fn new(p: &AxProgram) -> AxChecker {
+        AxChecker {
+            ev: Events::build(p),
+        }
+    }
+
+    /// The exact allowed outcome set: every `(registers, crash state)`
+    /// pair some Px86-consistent execution admits.
+    pub fn allowed(&self) -> BTreeSet<AxOutcome> {
+        self.allowed_with_stats().0
+    }
+
+    /// [`AxChecker::allowed`] plus enumeration statistics.
+    pub fn allowed_with_stats(&self) -> (BTreeSet<AxOutcome>, AxStats) {
+        let mut out = BTreeSet::new();
+        let mut stats = AxStats::default();
+        // Per-read rf candidates: initial memory plus every same-address
+        // write. po-later and otherwise-impossible sources are pruned by
+        // the axioms, not here.
+        let cands: Vec<Vec<Option<usize>>> = self
+            .ev
+            .reads
+            .iter()
+            .map(|&r| {
+                let addr = self.ev.addr_of(r).expect("read has an address");
+                std::iter::once(None)
+                    .chain(
+                        self.ev
+                            .writes
+                            .iter()
+                            // An RMW reading its own write is excluded by
+                            // SC-per-location (po-loc ∪ rf cycle), so no
+                            // special case is needed here.
+                            .filter(|&&w| self.ev.addr_of(w) == Some(addr))
+                            .map(|&w| Some(w)),
+                    )
+                    .collect()
+            })
+            .collect();
+        let mut rf: RfChoice = vec![None; self.ev.reads.len()];
+        self.enum_rf(0, &cands, &mut rf, &mut out, &mut stats);
+        (out, stats)
+    }
+
+    fn enum_rf(
+        &self,
+        i: usize,
+        cands: &[Vec<Option<usize>>],
+        rf: &mut RfChoice,
+        out: &mut BTreeSet<AxOutcome>,
+        stats: &mut AxStats,
+    ) {
+        if i == cands.len() {
+            let mut mo = Vec::with_capacity(self.ev.writes.len());
+            let mut taken = vec![0usize; self.ev.writes_by_thread.len()];
+            self.enum_mo(&mut mo, &mut taken, rf, out, stats);
+            return;
+        }
+        for &c in &cands[i] {
+            rf[i] = c;
+            self.enum_rf(i + 1, cands, rf, out, stats);
+        }
+    }
+
+    /// Enumerates `mo` as interleavings of the per-thread write
+    /// sequences (TSO: the total store order respects program order
+    /// between stores of the same thread).
+    fn enum_mo(
+        &self,
+        mo: &mut Vec<usize>,
+        taken: &mut Vec<usize>,
+        rf: &RfChoice,
+        out: &mut BTreeSet<AxOutcome>,
+        stats: &mut AxStats,
+    ) {
+        if mo.len() == self.ev.writes.len() {
+            stats.candidates += 1;
+            if self.consistent(rf, mo) {
+                stats.consistent += 1;
+                self.collect_crash_outcomes(rf, mo, out, stats);
+            }
+            return;
+        }
+        for t in 0..taken.len() {
+            if taken[t] < self.ev.writes_by_thread[t].len() {
+                mo.push(self.ev.writes_by_thread[t][taken[t]]);
+                taken[t] += 1;
+                self.enum_mo(mo, taken, rf, out, stats);
+                taken[t] -= 1;
+                mo.pop();
+            }
+        }
+    }
+
+    /// The volatile x86-TSO axioms over one `(rf, mo)` candidate:
+    /// SC-per-location, global-happens-before acyclicity, and locked-RMW
+    /// atomicity (the herd-style formulation).
+    fn consistent(&self, rf: &RfChoice, mo: &[usize]) -> bool {
+        let n = self.ev.evs.len();
+        let mut mo_pos = vec![usize::MAX; n];
+        for (i, &w) in mo.iter().enumerate() {
+            mo_pos[w] = i;
+        }
+
+        // fr: read → every same-address write mo-after its source (all
+        // of them when the source is initial memory).
+        let mut fr = Vec::new();
+        for (i, &r) in self.ev.reads.iter().enumerate() {
+            let addr = self.ev.addr_of(r);
+            let src_pos = match rf[i] {
+                Some(w) => mo_pos[w],
+                None => 0, // init: before every write
+            };
+            let after_src = |w: &&usize| {
+                self.ev.addr_of(**w) == addr
+                    && match rf[i] {
+                        Some(src) => mo_pos[**w] > src_pos && **w != src,
+                        None => true,
+                    }
+            };
+            for &w in self.ev.writes.iter().filter(after_src) {
+                fr.push((r, w));
+            }
+        }
+
+        // co: all same-address mo pairs.
+        let mut co = Vec::new();
+        for (i, &a) in mo.iter().enumerate() {
+            for &b in &mo[i + 1..] {
+                if self.ev.addr_of(a) == self.ev.addr_of(b) {
+                    co.push((a, b));
+                }
+            }
+        }
+
+        let rf_edges: Vec<(usize, usize)> = self
+            .ev
+            .reads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| rf[i].map(|w| (w, r)))
+            .collect();
+
+        // SC-per-location: acyclic(po-loc ∪ rf ∪ fr ∪ co).
+        let mut scpl = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.ev.po(a, b)
+                    && self.ev.addr_of(a).is_some()
+                    && self.ev.addr_of(a) == self.ev.addr_of(b)
+                {
+                    scpl.push((a, b));
+                }
+            }
+        }
+        scpl.extend_from_slice(&rf_edges);
+        scpl.extend_from_slice(&fr);
+        scpl.extend_from_slice(&co);
+        if has_cycle(n, &scpl) {
+            return false;
+        }
+
+        // Locked-RMW atomicity: no same-address write strictly mo-between
+        // the read's source and the RMW's own write.
+        for (i, &r) in self.ev.reads.iter().enumerate() {
+            if !self.ev.is_locked(r) {
+                continue;
+            }
+            let w = r + 1; // the paired write half
+            let addr = self.ev.addr_of(r);
+            match rf[i] {
+                Some(src) => {
+                    if mo_pos[src] >= mo_pos[w] {
+                        return false;
+                    }
+                    if self.ev.writes.iter().any(|&x| {
+                        self.ev.addr_of(x) == addr
+                            && mo_pos[x] > mo_pos[src]
+                            && mo_pos[x] < mo_pos[w]
+                    }) {
+                        return false;
+                    }
+                }
+                None => {
+                    if self
+                        .ev
+                        .writes
+                        .iter()
+                        .any(|&x| self.ev.addr_of(x) == addr && mo_pos[x] < mo_pos[w])
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+
+        // Global happens-before: ppo (po minus W→R) ∪ mfence ∪ locked
+        // ∪ rfe ∪ fr ∪ co must be acyclic. sfence has no volatile W→R
+        // power on x86 and is excluded here; it matters only for the
+        // durable order below.
+        let mut ghb = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if !self.ev.po(a, b) {
+                    continue;
+                }
+                let a_mem = self.ev.is_memory(a);
+                let b_mem = self.ev.is_memory(b);
+                if a_mem && b_mem {
+                    let w_r = matches!(self.ev.evs[a].kind, Kind::Write { .. })
+                        && matches!(self.ev.evs[b].kind, Kind::Read { .. });
+                    let locked = self.ev.is_locked(a) || self.ev.is_locked(b);
+                    let fenced = ((a + 1)..b)
+                        .any(|f| self.ev.po(a, f) && matches!(self.ev.evs[f].kind, Kind::Mfence));
+                    if !w_r || locked || fenced {
+                        ghb.push((a, b));
+                    }
+                }
+            }
+        }
+        // rfe only: internal reads-from (store-buffer forwarding) has no
+        // global ordering power on TSO.
+        ghb.extend(
+            rf_edges
+                .iter()
+                .filter(|&&(w, r)| self.ev.evs[w].thread != self.ev.evs[r].thread)
+                .copied(),
+        );
+        ghb.extend_from_slice(&fr);
+        ghb.extend_from_slice(&co);
+        !has_cycle(n, &ghb)
+    }
+
+    /// Register file implied by an rf choice.
+    fn regs_of(&self, rf: &RfChoice) -> Vec<Vec<u8>> {
+        let mut regs = vec![Vec::new(); self.ev.writes_by_thread.len()];
+        for (i, &r) in self.ev.reads.iter().enumerate() {
+            let val = rf[i].map(|w| self.ev.val_of(w)).unwrap_or(0);
+            regs[self.ev.evs[r].thread].push(val);
+        }
+        regs
+    }
+
+    /// Enumerates the allowed crash-persisted states of one consistent
+    /// execution and inserts the `(regs, mem)` pairs into `out`.
+    ///
+    /// The durable events (stores, flushes, fences) form a partial
+    /// order: the per-thread FIFO order for everything that drains
+    /// through the store buffer, weaker edges for deferred flushes
+    /// (`clflushopt`/`clwb` reorder past other-line stores), plus the
+    /// enumerated `mo` over stores. Every linear extension is a
+    /// candidate non-volatile order; per cache line the stores that
+    /// precede an *applied* flush are guaranteed persisted, and any
+    /// longer per-line prefix may have persisted (cache pressure evicts
+    /// lines at arbitrary times).
+    fn collect_crash_outcomes(
+        &self,
+        rf: &RfChoice,
+        mo: &[usize],
+        out: &mut BTreeSet<AxOutcome>,
+        stats: &mut AxStats,
+    ) {
+        let regs = self.regs_of(rf);
+        let n = self.ev.evs.len();
+
+        // Durable nodes and their partial order.
+        let durable: Vec<usize> = (0..n)
+            .filter(|&id| {
+                matches!(
+                    self.ev.evs[id].kind,
+                    Kind::Write { .. } | Kind::Flush { .. } | Kind::Sfence | Kind::Mfence
+                )
+            })
+            .collect();
+        let is_deferred =
+            |id: usize| matches!(self.ev.evs[id].kind, Kind::Flush { deferred: true, .. });
+        let is_orderer = |id: usize| {
+            matches!(
+                self.ev.evs[id].kind,
+                Kind::Sfence | Kind::Mfence | Kind::Write { rmw: true, .. }
+            )
+        };
+        let line_of = |id: usize| match self.ev.evs[id].kind {
+            Kind::Write { addr, .. } => Some(addr / AX_LINE_SIZE),
+            Kind::Flush { line, .. } => Some(line),
+            _ => None,
+        };
+
+        // Constraint graph over ALL events (reads included). An edge
+        // a → b asserts that a's durable-order point cannot come after
+        // b's in any machine run consistent with this candidate — with
+        // reads contributing their execution point as a connector. The
+        // durable partial order is the transitive closure restricted to
+        // durable events, which is what lets a volatile observation pin
+        // the persist order (e.g. W →rfe r →po FL forces the flush to
+        // cover the cross-thread store).
+        let mut direct: Vec<(usize, usize)> = Vec::new();
+        for tw in 0..self.ev.writes_by_thread.len() {
+            let tevs: Vec<usize> = (0..n).filter(|&id| self.ev.evs[id].thread == tw).collect();
+            let chain: Vec<usize> = tevs
+                .iter()
+                .copied()
+                .filter(|&id| durable.contains(&id) && !is_deferred(id))
+                .collect();
+            // Store-buffer FIFO over non-deferred durables.
+            for pair in chain.windows(2) {
+                direct.push((pair[0], pair[1]));
+            }
+            // Deferred flushes: anchored after the latest po-earlier
+            // same-line store/clflush (t_{τ,cl}) and the latest
+            // po-earlier ordering instruction (t_τ); before the first
+            // po-later non-deferred durable (its effect point precedes
+            // everything that drains after it). Cross-thread placement
+            // is otherwise free — exactly the clflushopt reordering.
+            for &fo in durable
+                .iter()
+                .filter(|&&id| self.ev.evs[id].thread == tw && is_deferred(id))
+            {
+                let line = line_of(fo);
+                if let Some(&a) = chain.iter().rev().find(|&&id| {
+                    id < fo
+                        && (line_of(id) == line
+                            && matches!(
+                                self.ev.evs[id].kind,
+                                Kind::Write { .. } | Kind::Flush { .. }
+                            )
+                            || is_orderer(id))
+                }) {
+                    direct.push((a, fo));
+                }
+                if let Some(&b) = chain.iter().find(|&&id| id > fo) {
+                    direct.push((fo, b));
+                }
+            }
+            // A read executes before any po-later event takes effect
+            // (a deferred flush's effective point includes σ at its
+            // execution, which is after every po-earlier read).
+            for &r in tevs
+                .iter()
+                .filter(|&&id| matches!(self.ev.evs[id].kind, Kind::Read { .. }))
+            {
+                for &e in tevs.iter().filter(|&&id| id > r) {
+                    direct.push((r, e));
+                }
+            }
+            // mfence drains at execution and a locked RMW's write takes
+            // effect at execution, so both precede po-later reads.
+            // Other durables do NOT (that is store buffering); they gain
+            // this power only transitively through a chain to an mfence.
+            for &d in tevs.iter().filter(|&&id| {
+                matches!(self.ev.evs[id].kind, Kind::Mfence) || self.ev.is_locked(id)
+            }) {
+                for &r2 in tevs
+                    .iter()
+                    .filter(|&&id| id > d && matches!(self.ev.evs[id].kind, Kind::Read { .. }))
+                {
+                    direct.push((d, r2));
+                }
+            }
+        }
+        // Observation-derived cross-thread constraints.
+        let mut mo_pos = vec![usize::MAX; n];
+        for (i, &w) in mo.iter().enumerate() {
+            mo_pos[w] = i;
+        }
+        for (i, &r) in self.ev.reads.iter().enumerate() {
+            let addr = self.ev.addr_of(r);
+            // rfe: the source store was cache-visible before the read.
+            if let Some(w) = rf[i] {
+                if self.ev.evs[w].thread != self.ev.evs[r].thread {
+                    direct.push((w, r));
+                }
+            }
+            // fr: same-address stores mo-after the source must still be
+            // buffered when the read executes — valid only when the read
+            // certainly hit the cache rather than its own store buffer:
+            // init reads, external sources, locked reads (the leading
+            // fence drained the buffer), or an internal source already
+            // forced out by an intervening drain point.
+            let from_cache = match rf[i] {
+                None => true,
+                Some(w) if self.ev.evs[w].thread != self.ev.evs[r].thread => true,
+                Some(w) => {
+                    self.ev.is_locked(r)
+                        || ((w + 1)..r).any(|e| {
+                            matches!(self.ev.evs[e].kind, Kind::Mfence) || self.ev.is_locked(e)
+                        })
+                }
+            };
+            if from_cache {
+                let src_pos = rf[i].map(|w| mo_pos[w]);
+                for &w2 in self.ev.writes.iter().filter(|&&w2| {
+                    self.ev.addr_of(w2) == addr
+                        && match src_pos {
+                            Some(p) => mo_pos[w2] > p,
+                            None => true,
+                        }
+                }) {
+                    direct.push((r, w2));
+                }
+            }
+        }
+        // The enumerated total store order.
+        for pair in mo.windows(2) {
+            direct.push((pair[0], pair[1]));
+        }
+
+        // Transitive closure, then restrict to durable events.
+        let mut reach = vec![vec![false; n]; n];
+        {
+            let mut adj = vec![Vec::new(); n];
+            for &(a, b) in &direct {
+                adj[a].push(b);
+            }
+            for (s, row) in reach.iter_mut().enumerate() {
+                let mut stack = vec![s];
+                while let Some(v) = stack.pop() {
+                    for &w in &adj[v] {
+                        if !row[w] {
+                            row[w] = true;
+                            stack.push(w);
+                        }
+                    }
+                }
+            }
+        }
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for &a in &durable {
+            for &b in &durable {
+                if a != b && reach[a][b] {
+                    edges.push((a, b));
+                }
+            }
+        }
+
+        // A flush applies iff it is a clflush, or a deferred flush with
+        // a po-later same-thread ordering instruction.
+        let applied: Vec<usize> = durable
+            .iter()
+            .copied()
+            .filter(|&id| match self.ev.evs[id].kind {
+                Kind::Flush {
+                    deferred: false, ..
+                } => true,
+                Kind::Flush { deferred: true, .. } => {
+                    durable.iter().any(|&o| self.ev.po(id, o) && is_orderer(o))
+                }
+                _ => false,
+            })
+            .collect();
+
+        // Per line: the stores in mo order (their order is an edge-chain
+        // of the DAG, identical in every extension).
+        let mut lines: Vec<(u64, Vec<usize>)> = Vec::new();
+        for &w in mo {
+            let l = line_of(w).expect("stores have lines");
+            match lines.iter_mut().find(|(line, _)| *line == l) {
+                Some((_, v)) => v.push(w),
+                None => lines.push((l, vec![w])),
+            }
+        }
+        lines.sort_by_key(|&(l, _)| l);
+
+        // Enumerate linear extensions, collecting the distinct
+        // guaranteed-prefix vectors (per line: how many of its stores
+        // precede an applied flush of that line).
+        let mut guaranteed: BTreeSet<Vec<usize>> = BTreeSet::new();
+        if applied.is_empty() {
+            guaranteed.insert(vec![0; lines.len()]);
+            stats.extensions += 1;
+        } else {
+            let mut indeg = vec![0usize; n];
+            let mut adj = vec![Vec::new(); n];
+            for &(a, b) in &edges {
+                indeg[b] += 1;
+                adj[a].push(b);
+            }
+            let mut order = Vec::with_capacity(durable.len());
+            extensions(
+                &durable,
+                &adj,
+                &mut indeg,
+                &mut vec![false; n],
+                &mut order,
+                &mut |order| {
+                    stats.extensions += 1;
+                    let pos = |id: usize| order.iter().position(|&x| x == id).unwrap();
+                    let g: Vec<usize> = lines
+                        .iter()
+                        .map(|(l, stores)| {
+                            applied
+                                .iter()
+                                .filter(|&&f| line_of(f) == Some(*l))
+                                .map(|&f| stores.iter().filter(|&&s| pos(s) < pos(f)).count())
+                                .max()
+                                .unwrap_or(0)
+                        })
+                        .collect();
+                    guaranteed.insert(g);
+                },
+            );
+        }
+
+        // Expand each guaranteed vector into the crash-state product:
+        // per line any prefix at least as long as the guarantee.
+        for g in &guaranteed {
+            let mut prefix = g.clone();
+            'product: loop {
+                let mem: Vec<(u64, u8)> = self
+                    .ev
+                    .stored_addrs
+                    .iter()
+                    .map(|&addr| {
+                        let l = addr / AX_LINE_SIZE;
+                        let val = lines
+                            .iter()
+                            .zip(prefix.iter())
+                            .find(|((line, _), _)| *line == l)
+                            .and_then(|((_, stores), &p)| {
+                                stores[..p]
+                                    .iter()
+                                    .rev()
+                                    .find(|&&w| self.ev.addr_of(w) == Some(addr))
+                                    .map(|&w| self.ev.val_of(w))
+                            })
+                            .unwrap_or(0);
+                        (addr, val)
+                    })
+                    .collect();
+                out.insert(AxOutcome {
+                    regs: regs.clone(),
+                    mem,
+                });
+                // Odometer over per-line prefix lengths, each digit
+                // ranging over `g[i]..=stores.len()`.
+                let mut i = 0;
+                while i < lines.len() {
+                    if prefix[i] < lines[i].1.len() {
+                        prefix[i] += 1;
+                        continue 'product;
+                    }
+                    prefix[i] = g[i];
+                    i += 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Enumerates every linear extension of the DAG restricted to `nodes`,
+/// invoking `sink` with each complete order.
+fn extensions(
+    nodes: &[usize],
+    adj: &[Vec<usize>],
+    indeg: &mut [usize],
+    taken: &mut [bool],
+    order: &mut Vec<usize>,
+    sink: &mut impl FnMut(&[usize]),
+) {
+    if order.len() == nodes.len() {
+        sink(order);
+        return;
+    }
+    for &v in nodes {
+        if !taken[v] && indeg[v] == 0 {
+            taken[v] = true;
+            for &w in &adj[v] {
+                indeg[w] -= 1;
+            }
+            order.push(v);
+            extensions(nodes, adj, indeg, taken, order, sink);
+            order.pop();
+            for &w in &adj[v] {
+                indeg[w] += 1;
+            }
+            taken[v] = false;
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! # jaaru-litmus — axiomatic Px86 conformance harness
+//!
+//! This crate holds the repo's independent semantic witness for the
+//! operational TSO+persistency simulator in `jaaru-tso` (ROADMAP
+//! item 4). It has three layers:
+//!
+//! - [`ax`]: a pure **axiomatic Px86 reference checker** in the style
+//!   of herd — candidate-execution enumeration filtered through
+//!   declarative axioms (x86-TSO volatile axioms plus a durable-order
+//!   axiomatization of Px86sim). It shares no code with the
+//!   operational machine.
+//! - [`conform`]: the **conformance driver** — converts programs into
+//!   both checkers, compares the outcome sets, and minimizes any
+//!   divergence to a smallest counterexample program.
+//! - [`corpus`] and [`sweep`]: a **named corpus** of paper litmus
+//!   tests with expected verdicts, and an **exhaustive generator** of
+//!   all small programs up to a bound, with a deterministic parallel
+//!   driver and JSON report.
+//!
+//! ## Example
+//!
+//! The store-buffering litmus test: both loads may observe 0 on TSO.
+//!
+//! ```
+//! use jaaru_litmus::ax::{AxChecker, AxOp, AxProgram};
+//!
+//! let sb = AxProgram {
+//!     threads: vec![
+//!         vec![AxOp::Store(64, 1), AxOp::Load(128)],
+//!         vec![AxOp::Store(128, 1), AxOp::Load(64)],
+//!     ],
+//! };
+//! let allowed = AxChecker::new(&sb).allowed();
+//! assert!(allowed.iter().any(|o| o.regs == vec![vec![0], vec![0]]));
+//! ```
+
+pub mod ax;
+pub mod conform;
+pub mod corpus;
+pub mod sweep;
+
+#[cfg(test)]
+mod ax_tests {
+    use crate::ax::{AxChecker, AxOp, AxOutcome, AxProgram};
+    use std::collections::BTreeSet;
+
+    const X: u64 = 64;
+    const Y: u64 = 128;
+
+    fn regs_of(p: &AxProgram) -> BTreeSet<Vec<Vec<u8>>> {
+        AxChecker::new(p)
+            .allowed()
+            .into_iter()
+            .map(|o| o.regs)
+            .collect()
+    }
+
+    fn mems_of(p: &AxProgram) -> BTreeSet<Vec<(u64, u8)>> {
+        AxChecker::new(p)
+            .allowed()
+            .into_iter()
+            .map(|o| o.mem)
+            .collect()
+    }
+
+    #[test]
+    fn store_buffering_allows_zero_zero() {
+        let p = AxProgram {
+            threads: vec![
+                vec![AxOp::Store(X, 1), AxOp::Load(Y)],
+                vec![AxOp::Store(Y, 1), AxOp::Load(X)],
+            ],
+        };
+        let regs = regs_of(&p);
+        assert!(regs.contains(&vec![vec![0], vec![0]]));
+        assert!(regs.contains(&vec![vec![1], vec![0]]));
+        assert!(regs.contains(&vec![vec![0], vec![1]]));
+        assert!(regs.contains(&vec![vec![1], vec![1]]));
+    }
+
+    #[test]
+    fn store_buffering_mfence_forbids_zero_zero() {
+        let p = AxProgram {
+            threads: vec![
+                vec![AxOp::Store(X, 1), AxOp::Mfence, AxOp::Load(Y)],
+                vec![AxOp::Store(Y, 1), AxOp::Mfence, AxOp::Load(X)],
+            ],
+        };
+        let regs = regs_of(&p);
+        assert!(!regs.contains(&vec![vec![0], vec![0]]));
+        assert!(regs.contains(&vec![vec![1], vec![1]]));
+    }
+
+    #[test]
+    fn store_buffering_sfence_still_allows_zero_zero() {
+        // sfence has no volatile W→R power on x86.
+        let p = AxProgram {
+            threads: vec![
+                vec![AxOp::Store(X, 1), AxOp::Sfence, AxOp::Load(Y)],
+                vec![AxOp::Store(Y, 1), AxOp::Sfence, AxOp::Load(X)],
+            ],
+        };
+        assert!(regs_of(&p).contains(&vec![vec![0], vec![0]]));
+    }
+
+    #[test]
+    fn store_buffering_rmw_forbids_zero_zero() {
+        // Locked RMW acts as a full fence on both sides.
+        let p = AxProgram {
+            threads: vec![
+                vec![AxOp::Rmw(X, 1), AxOp::Load(Y)],
+                vec![AxOp::Rmw(Y, 1), AxOp::Load(X)],
+            ],
+        };
+        let regs = regs_of(&p);
+        assert!(!regs.contains(&vec![vec![0, 0], vec![0, 0]]));
+    }
+
+    #[test]
+    fn message_passing_forbids_stale_data() {
+        let p = AxProgram {
+            threads: vec![
+                vec![AxOp::Store(X, 1), AxOp::Store(Y, 1)],
+                vec![AxOp::Load(Y), AxOp::Load(X)],
+            ],
+        };
+        let regs = regs_of(&p);
+        assert!(!regs.contains(&vec![vec![], vec![1, 0]]));
+        assert!(regs.contains(&vec![vec![], vec![1, 1]]));
+        assert!(regs.contains(&vec![vec![], vec![0, 0]]));
+        assert!(regs.contains(&vec![vec![], vec![0, 1]]));
+    }
+
+    #[test]
+    fn own_store_is_forwarded() {
+        let p = AxProgram {
+            threads: vec![vec![AxOp::Store(X, 1), AxOp::Load(X)]],
+        };
+        assert_eq!(
+            regs_of(&p),
+            BTreeSet::from([vec![vec![1]]]),
+            "a load po-after a same-address store must see it"
+        );
+    }
+
+    #[test]
+    fn rmw_atomicity_excludes_intervening_store() {
+        // Two competing RMWs on one location: they serialize, so the
+        // old values are never equal.
+        let p = AxProgram {
+            threads: vec![vec![AxOp::Rmw(X, 1)], vec![AxOp::Rmw(X, 2)]],
+        };
+        let regs = regs_of(&p);
+        assert!(regs.contains(&vec![vec![0], vec![1]]));
+        assert!(regs.contains(&vec![vec![2], vec![0]]));
+        assert!(!regs.contains(&vec![vec![0], vec![0]]));
+    }
+
+    #[test]
+    fn unflushed_store_may_or_may_not_persist() {
+        let p = AxProgram {
+            threads: vec![vec![AxOp::Store(X, 1)]],
+        };
+        assert_eq!(mems_of(&p), BTreeSet::from([vec![(X, 0)], vec![(X, 1)]]));
+    }
+
+    #[test]
+    fn flushed_and_fenced_store_persists() {
+        let p = AxProgram {
+            threads: vec![vec![AxOp::Store(X, 1), AxOp::Clflushopt(X), AxOp::Sfence]],
+        };
+        assert_eq!(mems_of(&p), BTreeSet::from([vec![(X, 1)]]));
+    }
+
+    #[test]
+    fn unfenced_clflushopt_guarantees_nothing() {
+        // Without a trailing orderer the deferred flush never applies.
+        let p = AxProgram {
+            threads: vec![vec![AxOp::Store(X, 1), AxOp::Clflushopt(X)]],
+        };
+        assert_eq!(mems_of(&p), BTreeSet::from([vec![(X, 0)], vec![(X, 1)]]));
+    }
+
+    #[test]
+    fn clflush_needs_no_fence() {
+        let p = AxProgram {
+            threads: vec![vec![AxOp::Store(X, 1), AxOp::Clflush(X)]],
+        };
+        assert_eq!(mems_of(&p), BTreeSet::from([vec![(X, 1)]]));
+    }
+
+    #[test]
+    fn clwb_matches_clflushopt() {
+        let mk = |flush: fn(u64) -> AxOp| AxProgram {
+            threads: vec![vec![AxOp::Store(X, 1), flush(X), AxOp::Sfence]],
+        };
+        assert_eq!(
+            AxChecker::new(&mk(AxOp::Clflushopt)).allowed(),
+            AxChecker::new(&mk(AxOp::Clwb)).allowed()
+        );
+    }
+
+    #[test]
+    fn flush_between_stores_pins_first_value_or_later() {
+        // St x=1; FO x; St x=2; Sfence — the flush covers at least the
+        // first store, so x=0 is impossible but both 1 and 2 persist.
+        let p = AxProgram {
+            threads: vec![vec![
+                AxOp::Store(X, 1),
+                AxOp::Clflushopt(X),
+                AxOp::Store(X, 2),
+                AxOp::Sfence,
+            ]],
+        };
+        assert_eq!(mems_of(&p), BTreeSet::from([vec![(X, 1)], vec![(X, 2)]]));
+    }
+
+    #[test]
+    fn clflushopt_reorders_past_other_line_store() {
+        // St x; FO x; St y; Sfence — x is guaranteed, y is not: the
+        // deferred flush only covers its own line.
+        let p = AxProgram {
+            threads: vec![vec![
+                AxOp::Store(X, 1),
+                AxOp::Clflushopt(X),
+                AxOp::Store(Y, 1),
+                AxOp::Sfence,
+            ]],
+        };
+        assert_eq!(
+            mems_of(&p),
+            BTreeSet::from([vec![(X, 1), (Y, 0)], vec![(X, 1), (Y, 1)]])
+        );
+    }
+
+    #[test]
+    fn clflush_orders_like_a_store() {
+        // clflush is NOT deferred: St x; FL x; St y — the flush point
+        // sits between the two stores in the durable order, so x=1 is
+        // guaranteed even without any fence.
+        let p = AxProgram {
+            threads: vec![vec![AxOp::Store(X, 1), AxOp::Clflush(X), AxOp::Store(Y, 1)]],
+        };
+        assert_eq!(
+            mems_of(&p),
+            BTreeSet::from([vec![(X, 1), (Y, 0)], vec![(X, 1), (Y, 1)]])
+        );
+    }
+
+    #[test]
+    fn rmw_orders_earlier_flush() {
+        // St x; FO x; Rmw y — the locked RMW is a durable orderer, so
+        // the deferred flush applies and x persists.
+        let p = AxProgram {
+            threads: vec![vec![
+                AxOp::Store(X, 1),
+                AxOp::Clflushopt(X),
+                AxOp::Rmw(Y, 7),
+            ]],
+        };
+        let mems = mems_of(&p);
+        assert!(mems.iter().all(|m| m.contains(&(X, 1))));
+        assert!(mems.iter().any(|m| m.contains(&(Y, 0))));
+        assert!(mems.iter().any(|m| m.contains(&(Y, 7))));
+    }
+
+    #[test]
+    fn cross_thread_flush_union() {
+        // T0 flushes a line only T1 writes: depending on the durable
+        // interleaving the flush may or may not cover the store.
+        let p = AxProgram {
+            threads: vec![vec![AxOp::Clflush(X)], vec![AxOp::Store(X, 1)]],
+        };
+        assert_eq!(mems_of(&p), BTreeSet::from([vec![(X, 0)], vec![(X, 1)]]));
+    }
+
+    #[test]
+    fn epoch_ordering_mp_persist() {
+        // Persistent message passing: St x; FO x; Sfence; St y — if y
+        // persisted… is not constrained (y itself unflushed), but x is
+        // always persisted before the program ends.
+        let p = AxProgram {
+            threads: vec![vec![
+                AxOp::Store(X, 1),
+                AxOp::Clflushopt(X),
+                AxOp::Sfence,
+                AxOp::Store(Y, 1),
+            ]],
+        };
+        let mems = mems_of(&p);
+        assert!(mems.iter().all(|m| m.contains(&(X, 1))));
+    }
+
+    #[test]
+    fn empty_program_has_single_empty_outcome() {
+        let p = AxProgram { threads: vec![] };
+        assert_eq!(
+            AxChecker::new(&p).allowed(),
+            BTreeSet::from([AxOutcome {
+                regs: vec![],
+                mem: vec![]
+            }])
+        );
+    }
+}

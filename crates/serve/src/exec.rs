@@ -23,6 +23,8 @@ use jaaru_bench::registry::{
     recipe_fixed_cases,
 };
 use jaaru_fuzz::{run_campaign, Oracle};
+use jaaru_litmus::corpus::run_corpus_report;
+use jaaru_litmus::sweep::{run_sweep, SweepBound};
 use jaaru_snapshot::SnapshotPayload;
 
 use crate::job::{ArtifactFormat, JobKind, JobSpec, Suite, Workload};
@@ -138,6 +140,7 @@ fn find_program(workload: &Workload) -> Result<Box<dyn Program + Sync>, String> 
                 .ok_or_else(|| format!("no row {row} in {} bug table", suite.as_str()))
         }
         Workload::Campaign { .. } => Err("fuzz campaigns have no registry program".into()),
+        Workload::Litmus { .. } => Err("litmus runs have no registry program".into()),
     }
 }
 
@@ -202,6 +205,20 @@ pub fn execute(
     } = spec.workload
     {
         return run_fuzz(spec, seeds, seed_start, ops_max, differential);
+    }
+    if let Workload::Litmus {
+        sweep,
+        max_threads,
+        max_ops_per_thread,
+        max_total_ops,
+    } = spec.workload
+    {
+        let bound = SweepBound {
+            max_threads,
+            max_ops_per_thread,
+            max_total_ops,
+        };
+        return run_litmus(spec, sweep, &bound);
     }
 
     let program = match find_program(&spec.workload) {
@@ -342,6 +359,39 @@ fn run_fuzz(
     }
 }
 
+/// A `litmus` job: the named corpus or the exhaustive conformance
+/// sweep. The artifact is always the deterministic JSON report (there
+/// is no SARIF view of a conformance run); a divergence or corpus
+/// failure is a `violation` reply so batch mode fails the pipeline.
+fn run_litmus(spec: &JobSpec, sweep: bool, bound: &SweepBound) -> JobOutcome {
+    let jobs = spec.jobs.max(1);
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        if sweep {
+            let report = run_sweep(bound, jobs);
+            (report.is_clean(), report.to_json())
+        } else {
+            let report = run_corpus_report();
+            (report.is_clean(), report.to_json())
+        }
+    }));
+    match attempt {
+        Ok((clean, artifact)) => JobOutcome {
+            status: if clean {
+                JobStatus::Ok
+            } else {
+                JobStatus::Violation
+            },
+            artifact: Some(artifact),
+            error: None,
+            retried: false,
+        },
+        Err(payload) => JobOutcome::failed(format!(
+            "litmus run panicked: {}",
+            panic_message(payload.as_ref())
+        )),
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     payload
         .downcast_ref::<&'static str>()
@@ -402,6 +452,24 @@ mod tests {
         let out = execute(&spec, &config, &cache, &cancel);
         assert_eq!(out.status, JobStatus::Cancelled);
         assert!(out.artifact.is_none(), "fails closed");
+    }
+
+    #[test]
+    fn litmus_jobs_reply_ok_with_deterministic_artifacts() {
+        let corpus = run(&spec(r#"{"kind":"litmus"}"#));
+        assert_eq!(corpus.status, JobStatus::Ok, "{:?}", corpus.error);
+        let artifact = corpus.artifact.expect("corpus report");
+        assert!(artifact.contains("\"clean\": true"), "{artifact}");
+        let again = run(&spec(r#"{"kind":"litmus"}"#));
+        assert_eq!(Some(artifact), again.artifact, "byte-identical replies");
+
+        let sweep = run(&spec(
+            r#"{"kind":"litmus","mode":"sweep","max_ops_per_thread":2,"max_total_ops":2,"jobs":2}"#,
+        ));
+        assert_eq!(sweep.status, JobStatus::Ok, "{:?}", sweep.error);
+        let artifact = sweep.artifact.expect("sweep report");
+        assert!(artifact.contains("\"clean\": true"), "{artifact}");
+        assert!(artifact.contains("\"fingerprint\""), "{artifact}");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! {"kind": "lint", "suite": "pmdk", "row": 2, "jobs": 4}
 //! {"kind": "repair", "suite": "recipe", "row": 3, "format": "sarif"}
 //! {"kind": "fuzz", "seeds": 50, "ops_max": 10, "differential": true}
+//! {"kind": "litmus", "mode": "sweep", "max_total_ops": 3}
 //! {"kind": "cancel", "id": "job-3"}
 //! {"kind": "stats"}
 //! {"kind": "shutdown"}
@@ -40,6 +41,9 @@ pub enum JobKind {
     Repair,
     /// Run a differential fuzzing campaign.
     Fuzz,
+    /// Run the Px86 conformance harness (named litmus corpus or the
+    /// exhaustive operational-vs-axiomatic sweep).
+    Litmus,
 }
 
 impl JobKind {
@@ -50,6 +54,7 @@ impl JobKind {
             JobKind::Lint => "lint",
             JobKind::Repair => "repair",
             JobKind::Fuzz => "fuzz",
+            JobKind::Litmus => "litmus",
         }
     }
 }
@@ -89,6 +94,15 @@ pub enum Workload {
         seed_start: u64,
         ops_max: usize,
         differential: bool,
+    },
+    /// A Px86 conformance run: the named corpus, or an exhaustive
+    /// sweep at the given bound (bound fields are ignored for the
+    /// corpus mode but kept so the workload identity is total).
+    Litmus {
+        sweep: bool,
+        max_threads: usize,
+        max_ops_per_thread: usize,
+        max_total_ops: usize,
     },
 }
 
@@ -168,7 +182,7 @@ impl Request {
                     .ok_or_else(|| SpecError("cancel requires \"id\"".into()))?;
                 Ok(Request::Cancel { id: id.to_string() })
             }
-            "check" | "bug" | "lint" | "repair" | "fuzz" => {
+            "check" | "bug" | "lint" | "repair" | "fuzz" | "litmus" => {
                 Ok(Request::Job(parse_job(kind, value, default_jobs)?))
             }
             other => Err(SpecError(format!("unknown kind {other:?}"))),
@@ -183,6 +197,7 @@ fn parse_job(kind: &str, value: &Value, default_jobs: usize) -> Result<JobSpec, 
         "lint" => JobKind::Lint,
         "repair" => JobKind::Repair,
         "fuzz" => JobKind::Fuzz,
+        "litmus" => JobKind::Litmus,
         _ => unreachable!("caller matched kind"),
     };
     let get_usize = |key: &str| -> Result<Option<usize>, SpecError> {
@@ -215,6 +230,19 @@ fn parse_job(kind: &str, value: &Value, default_jobs: usize) -> Result<JobSpec, 
                 .and_then(Value::as_bool)
                 .unwrap_or(false),
         },
+        JobKind::Litmus => {
+            let sweep = match value.get("mode").and_then(Value::as_str) {
+                None | Some("corpus") => false,
+                Some("sweep") => true,
+                Some(other) => return Err(SpecError(format!("unknown litmus mode {other:?}"))),
+            };
+            Workload::Litmus {
+                sweep,
+                max_threads: get_usize("max_threads")?.unwrap_or(2),
+                max_ops_per_thread: get_usize("max_ops_per_thread")?.unwrap_or(4),
+                max_total_ops: get_usize("max_total_ops")?.unwrap_or(4),
+            }
+        }
         JobKind::Check => {
             let benchmark = benchmark
                 .ok_or_else(|| SpecError("check requires \"benchmark\"".into()))?
@@ -316,6 +344,18 @@ impl JobSpec {
                 fnv1a(&mut hash, &seed_start.to_le_bytes());
                 fnv1a(&mut hash, &(*ops_max as u64).to_le_bytes());
                 fnv1a(&mut hash, &[*differential as u8]);
+            }
+            Workload::Litmus {
+                sweep,
+                max_threads,
+                max_ops_per_thread,
+                max_total_ops,
+            } => {
+                fnv1a(&mut hash, b"litmus:");
+                fnv1a(&mut hash, &[*sweep as u8]);
+                fnv1a(&mut hash, &(*max_threads as u64).to_le_bytes());
+                fnv1a(&mut hash, &(*max_ops_per_thread as u64).to_le_bytes());
+                fnv1a(&mut hash, &(*max_total_ops as u64).to_le_bytes());
             }
         }
         hash
@@ -473,6 +513,36 @@ mod tests {
         let sarif = job(r#"{"kind":"bug","suite":"recipe","row":10,"format":"sarif"}"#);
         assert_eq!(json.snapshot_group(&config), sarif.snapshot_group(&config));
         assert_ne!(json.result_group(&config), sarif.result_group(&config));
+    }
+
+    #[test]
+    fn litmus_job_parses_and_hashes_by_bound() {
+        let corpus = job(r#"{"kind":"litmus"}"#);
+        assert_eq!(corpus.kind, JobKind::Litmus);
+        assert_eq!(
+            corpus.workload,
+            Workload::Litmus {
+                sweep: false,
+                max_threads: 2,
+                max_ops_per_thread: 4,
+                max_total_ops: 4
+            }
+        );
+        let sweep = job(r#"{"kind":"litmus","mode":"sweep","max_total_ops":3}"#);
+        assert!(matches!(
+            sweep.workload,
+            Workload::Litmus {
+                sweep: true,
+                max_total_ops: 3,
+                ..
+            }
+        ));
+        assert_ne!(
+            corpus.program_hash(),
+            sweep.program_hash(),
+            "mode and bound are workload identity"
+        );
+        assert!(req(r#"{"kind":"litmus","mode":"nope"}"#).is_err());
     }
 
     #[test]

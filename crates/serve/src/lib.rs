@@ -7,7 +7,8 @@
 //! runs the checker as a long-lived daemon so that cost is shared:
 //!
 //! - **Job queue** ([`queue`], [`job`]): newline-delimited JSON job
-//!   specs (`check` / `bug` / `lint` / `fuzz`) over a Unix domain
+//!   specs (`check` / `bug` / `lint` / `repair` / `fuzz` / `litmus`)
+//!   over a Unix domain
 //!   socket or an offline `--batch` file; a bounded queue rejects
 //!   overload instead of blocking, and every job can carry a deadline
 //!   or be cancelled by id.

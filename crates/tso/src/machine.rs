@@ -144,6 +144,15 @@ impl TsoMachine {
         self.maybe_drain(tid);
     }
 
+    /// `clwb`: semantically identical to [`TsoMachine::clflushopt`] in
+    /// Px86sim (paper §2) — it differs only in leaving the line valid in
+    /// the cache, which this model does not track. A named entry point so
+    /// call sites (and the conformance sweep) can exercise the token
+    /// distinctly.
+    pub fn clwb(&mut self, tid: ThreadId, line: CacheLineId) {
+        self.clflushopt(tid, line);
+    }
+
     /// `Exec_SFENCE` (Figure 7): enqueue a store fence into `S_τ`.
     pub fn sfence(&mut self, tid: ThreadId) {
         self.thread(tid).store_buffer.push_back(SbEntry::Sfence);
