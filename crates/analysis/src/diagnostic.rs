@@ -49,6 +49,10 @@ pub enum DiagnosticKind {
     /// A flush of a cache line that is only stored to later: the flush
     /// does nothing and the store it was meant to persist stays dirty.
     FlushBeforeStore,
+    /// A flush of a cache line outside the recovery read footprint: no
+    /// recovery execution ever reads the line, so persisting it buys
+    /// nothing and the flush can be deleted outright.
+    DeadFlush,
 }
 
 impl DiagnosticKind {
@@ -64,12 +68,13 @@ impl DiagnosticKind {
             DiagnosticKind::RedundantFlushOpt => "redundant-flushopt",
             DiagnosticKind::RedundantFence => "redundant-fence",
             DiagnosticKind::FlushBeforeStore => "flush-before-store",
+            DiagnosticKind::DeadFlush => "dead-flush",
         }
     }
 
     /// Every kind, in declaration order — the canonical rule order for
     /// SARIF output.
-    pub const ALL: [DiagnosticKind; 9] = [
+    pub const ALL: [DiagnosticKind; 10] = [
         DiagnosticKind::MissingFlush,
         DiagnosticKind::MissingFence,
         DiagnosticKind::FlushNotFenced,
@@ -79,6 +84,7 @@ impl DiagnosticKind {
         DiagnosticKind::RedundantFlushOpt,
         DiagnosticKind::RedundantFence,
         DiagnosticKind::FlushBeforeStore,
+        DiagnosticKind::DeadFlush,
     ];
 
     /// One-line description of the rule, for SARIF rule metadata.
@@ -107,6 +113,7 @@ impl DiagnosticKind {
             DiagnosticKind::FlushBeforeStore => {
                 "a flush of a cache line that is only stored to later"
             }
+            DiagnosticKind::DeadFlush => "a flush of a cache line no recovery execution ever reads",
         }
     }
 
@@ -123,7 +130,8 @@ impl DiagnosticKind {
             DiagnosticKind::RedundantFlush
             | DiagnosticKind::RedundantFlushOpt
             | DiagnosticKind::RedundantFence
-            | DiagnosticKind::FlushBeforeStore => Severity::Warning,
+            | DiagnosticKind::FlushBeforeStore
+            | DiagnosticKind::DeadFlush => Severity::Warning,
         }
     }
 }
@@ -329,6 +337,7 @@ mod tests {
                 "redundant-flushopt",
                 "redundant-fence",
                 "flush-before-store",
+                "dead-flush",
             ]
         );
         for k in DiagnosticKind::ALL {

@@ -209,7 +209,9 @@ impl<'a> PersistGraph<'a> {
             // synchronize with, so giving it a release edge would
             // fabricate happens-before out of a lost race.
             let (sync_line, releases) = match op.kind {
-                TraceOpKind::Rmw { addr, success } => (Some(addr.cache_line().index()), success),
+                TraceOpKind::Rmw { addr, success, .. } => {
+                    (Some(addr.cache_line().index()), success)
+                }
                 _ => (None, false),
             };
             let t = op.thread.0 as usize;
@@ -520,6 +522,7 @@ mod tests {
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
                 success: true,
+                recovery: false,
             },
         ); // op 1: release
         rec(
@@ -528,6 +531,7 @@ mod tests {
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
                 success: true,
+                recovery: false,
             },
         ); // op 2: acquire
         flush(&mut t, 1, 2); // op 3, thread 1
@@ -543,6 +547,7 @@ mod tests {
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
                 success: true,
+                recovery: false,
             },
         );
         rec(
@@ -551,6 +556,7 @@ mod tests {
             TraceOpKind::Rmw {
                 addr: PmAddr::new(7 * LINE),
                 success: true,
+                recovery: false,
             },
         );
         flush(&mut t, 1, 2);
@@ -570,6 +576,7 @@ mod tests {
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
                 success: false,
+                recovery: false,
             },
         ); // op 1: failed CAS — no release
         rec(
@@ -578,6 +585,7 @@ mod tests {
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
                 success: false,
+                recovery: false,
             },
         ); // op 2: failed CAS — still acquires, but nothing was released
         flush(&mut t, 1, 2); // op 3, thread 1
@@ -598,6 +606,7 @@ mod tests {
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
                 success: true,
+                recovery: false,
             },
         );
         rec(
@@ -606,6 +615,7 @@ mod tests {
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
                 success: false,
+                recovery: false,
             },
         );
         flush(&mut t, 1, 2);
@@ -646,6 +656,7 @@ mod tests {
             TraceOpKind::Load {
                 addr: PmAddr::new(2 * LINE),
                 len: 8,
+                recovery: false,
             },
         );
         flush(&mut t, 0, 2);

@@ -40,7 +40,13 @@
 //!    deduplicating accumulation path used by both the sequential
 //!    explorer and the parallel merge, and SARIF 2.1.0 output
 //!    ([`to_sarif`]) for CI consumption.
-//! 7. **Typed repair edits** ([`FixEdit`], [`minimize_edits`]): every
+//! 7. **Static persistence slicing** ([`SliceReport`]): the recovery
+//!    read footprint (cache lines recovery-flagged loads observe),
+//!    absorption facts (a line's last fenced store masks earlier
+//!    writeback choices), and crash-point equivalence classes — the
+//!    static prediction of the explorer's dynamic pruning, plus the
+//!    footprint-driven dead-flush pass ([`dead_flushes`]).
+//! 8. **Typed repair edits** ([`FixEdit`], [`minimize_edits`]): every
 //!    error-class diagnostic carries a machine-applicable edit —
 //!    insert flush, insert fence, delete flush — at its interned site,
 //!    and the delta-debugging reducer shrinks a candidate edit set to
@@ -60,14 +66,16 @@ mod races;
 mod repair;
 mod robust;
 mod sarif;
+mod slice;
 mod vclock;
 
 pub use diagnostic::{Diagnostic, DiagnosticKind, DiagnosticSet, Severity};
 pub use graph::{Edge, EdgeKind, FlushRef, LinePersist, PersistGraph, SiteTable, StoreNode};
 pub use localize::{localize, RfEvidence};
-pub use perf::flush_redundancy;
+pub use perf::{dead_flushes, flush_redundancy};
 pub use races::{cross_thread_races, recovery_read_lines, torn_candidates};
 pub use repair::{minimize_edits, parse_site, FixEdit};
 pub use robust::{analyze_trace, robustness_candidates, Candidate};
 pub use sarif::{to_sarif, to_sarif_with_verified};
+pub use slice::{Absorption, CrashPointClass, SliceReport};
 pub use vclock::VClock;

@@ -138,6 +138,51 @@ pub fn flush_redundancy(graph: &PersistGraph<'_>) -> Vec<Diagnostic> {
     out.into_vec()
 }
 
+/// Reports flushes whose entire line range lies outside the recovery
+/// read footprint: no recovery execution ever reads those lines, so
+/// persisting them buys nothing and the flush can be deleted outright.
+///
+/// The footprint must come from an *exhaustive* exploration (every
+/// recovery branch observed), otherwise a line read only on a rare
+/// recovery path would be misreported; the checker guarantees this by
+/// folding recovery reads to a fixpoint before calling the pass. An
+/// empty footprint means no recovery ever ran (or read nothing) — the
+/// pass stays silent rather than condemning every flush in the program.
+pub fn dead_flushes(graph: &PersistGraph<'_>, footprint: &HashSet<u64>) -> Vec<Diagnostic> {
+    if footprint.is_empty() {
+        return Vec::new();
+    }
+    let mut out = DiagnosticSet::new();
+    for (i, op) in graph.ops().iter().enumerate() {
+        if !matches!(
+            op.kind,
+            TraceOpKind::Clflush { .. } | TraceOpKind::Clflushopt { .. }
+        ) {
+            continue;
+        }
+        let (first, last) = op.kind.line_range().unwrap();
+        if (first..=last).any(|l| footprint.contains(&l)) {
+            continue;
+        }
+        out.insert(Diagnostic {
+            kind: DiagnosticKind::DeadFlush,
+            site: graph.site(i).to_string(),
+            message: format!(
+                "the flush at {} covers lines {first}..={last}, which no \
+                 recovery execution ever reads; remove it",
+                graph.site(i)
+            ),
+            suggestion: Some(FixEdit::DeleteFlush {
+                site: graph.site(i).to_string(),
+                line: Some(first),
+            }),
+            addr: None,
+            occurrences: 1,
+        });
+    }
+    out.into_vec()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +315,51 @@ mod tests {
         let d = run(&t);
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].occurrences, 3);
+    }
+
+    #[test]
+    fn flush_outside_the_footprint_is_dead() {
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE);
+        flush(&mut t, 2); // line 2: recovery reads it — live
+        store(&mut t, 5 * LINE);
+        flush(&mut t, 5); // line 5: recovery never reads it — dead
+        rec(&mut t, TraceOpKind::Sfence);
+        let footprint: HashSet<u64> = [2].into_iter().collect();
+        let d = dead_flushes(&PersistGraph::build(&t), &footprint);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].kind, DiagnosticKind::DeadFlush);
+        assert!(d[0].message.contains("lines 5..=5"), "{d:?}");
+        assert!(
+            matches!(
+                d[0].suggestion,
+                Some(FixEdit::DeleteFlush { line: Some(5), .. })
+            ),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn empty_footprint_silences_the_dead_flush_pass() {
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE);
+        flush(&mut t, 2);
+        assert!(dead_flushes(&PersistGraph::build(&t), &HashSet::new()).is_empty());
+    }
+
+    #[test]
+    fn straddling_flush_with_one_live_line_is_not_dead() {
+        let mut t = OpTrace::new();
+        store(&mut t, 2 * LINE);
+        rec(
+            &mut t,
+            TraceOpKind::Clflush {
+                first_line: 2,
+                last_line: 3,
+            },
+        );
+        let footprint: HashSet<u64> = [3].into_iter().collect();
+        assert!(dead_flushes(&PersistGraph::build(&t), &footprint).is_empty());
     }
 
     #[test]

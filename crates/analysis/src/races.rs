@@ -170,17 +170,27 @@ pub fn torn_candidates(graph: &PersistGraph<'_>) -> Vec<Candidate> {
 }
 
 /// The cache lines a scenario's recovery executions actually read:
-/// `Load` ops recorded in every execution after the first. Buggy
-/// scenarios use this to keep cross-thread reports tied to state the
-/// failing recovery could observe.
+/// recovery-flagged `Load` and `Rmw` ops (a failed recovery CAS still
+/// observes its cell). Buggy scenarios use this to keep cross-thread
+/// reports tied to state the failing recovery could observe; the
+/// persistence slice uses it to seed the recovery read footprint.
 pub fn recovery_read_lines(traces: &[OpTrace]) -> HashSet<u64> {
     let mut lines = HashSet::new();
-    for trace in traces.iter().skip(1) {
+    for trace in traces {
         for op in trace.ops() {
-            if let TraceOpKind::Load { .. } = op.kind {
-                if let Some((first, last)) = op.kind.line_range() {
-                    lines.extend(first..=last);
+            if !op.kind.is_recovery_read() {
+                continue;
+            }
+            match op.kind {
+                TraceOpKind::Load { .. } => {
+                    if let Some((first, last)) = op.kind.line_range() {
+                        lines.extend(first..=last);
+                    }
                 }
+                TraceOpKind::Rmw { addr, .. } => {
+                    lines.insert(addr.cache_line().index());
+                }
+                _ => {}
             }
         }
     }
@@ -260,6 +270,7 @@ mod tests {
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
                 success: true,
+                recovery: false,
             },
         );
         rec(
@@ -268,6 +279,7 @@ mod tests {
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
                 success: true,
+                recovery: false,
             },
         );
         flush(&mut t, 1, 2); // ordered after the store by the RMW pair
@@ -340,7 +352,7 @@ mod tests {
     }
 
     #[test]
-    fn recovery_read_lines_come_from_later_executions() {
+    fn recovery_read_lines_come_from_recovery_flagged_ops() {
         let mut pre = OpTrace::new();
         rec(
             &mut pre,
@@ -348,6 +360,7 @@ mod tests {
             TraceOpKind::Load {
                 addr: PmAddr::new(2 * LINE),
                 len: 8,
+                recovery: false,
             },
         );
         let mut rec1 = OpTrace::new();
@@ -357,10 +370,21 @@ mod tests {
             TraceOpKind::Load {
                 addr: PmAddr::new(5 * LINE - 2),
                 len: 4,
+                recovery: true,
+            },
+        );
+        rec(
+            &mut rec1,
+            0,
+            TraceOpKind::Rmw {
+                addr: PmAddr::new(7 * LINE),
+                success: false,
+                recovery: true,
             },
         );
         let lines = recovery_read_lines(&[pre, rec1]);
         assert!(!lines.contains(&2), "pre-failure loads don't count");
         assert!(lines.contains(&4) && lines.contains(&5), "{lines:?}");
+        assert!(lines.contains(&7), "failed recovery CAS reads its line");
     }
 }

@@ -389,6 +389,7 @@ mod tests {
             TraceOpKind::Rmw {
                 addr: PmAddr::new(6 * LINE),
                 success: true,
+                recovery: false,
             },
         );
         store(&mut t, 3 * LINE, 8); // commit

@@ -1,0 +1,239 @@
+//! Static-persistence-slicing ablation: every fixed registry benchmark
+//! plus the scratch-state workloads (`jaaru_bench::scratch`) checked
+//! with pruning on vs. off, comparing post-failure execution counts and
+//! wall-clock time.
+//!
+//! Two cost views are reported, and both appear in the JSON:
+//!
+//! * `executions_pruned` — the converged (final fixpoint round)
+//!   exploration alone: what an amortized re-check pays once the
+//!   footprint is known (a warm service cache, a CI re-run, the
+//!   repair loop's re-verification).
+//! * `executions_with_discovery` — cumulative over every fixpoint
+//!   round, i.e. the full cost of a cold pruned check including the
+//!   footprint discovery rounds.
+//!
+//! The index benchmarks' recoveries read essentially every line they
+//! persist, so pruning is near-neutral there (the bench asserts it is
+//! also *harmless* there: same verdict, same bugs, same failure
+//! points). The reduction shows on workloads with persisted-but-
+//! never-recovered state — stats pages, log padding — which is the
+//! pattern the analysis targets.
+//!
+//! Emits `BENCH_prune.json` and asserts the acceptance bar: at least
+//! two workloads with >= 1.5x fewer post-failure executions, with
+//! verdicts, bug sets, and failure points identical everywhere.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use jaaru::{CheckReport, Config, ModelChecker, Program};
+use jaaru_bench::registry::{lockfree_fixed_cases, pmdk_fixed_cases, recipe_fixed_cases};
+use jaaru_bench::scratch::{stats_page, wal_padding};
+use jaaru_bench::timing::{bench, ratio};
+
+const KEYS: usize = 3;
+const SAMPLES: usize = 3;
+const WARMUP: usize = 1;
+const SPEEDUP_BAR: f64 = 1.5;
+const WORKLOADS_OVER_BAR: usize = 2;
+
+fn config(prune: bool) -> Config {
+    let mut c = Config::new();
+    c.pool_size(1 << 18)
+        .max_ops_per_execution(40_000)
+        .max_scenarios(20_000)
+        .prune(prune);
+    c
+}
+
+/// Order- and occurrence-insensitive bug identity.
+fn bug_keys(report: &CheckReport) -> Vec<(String, String, Option<String>)> {
+    let mut keys: Vec<_> = report
+        .bugs
+        .iter()
+        .map(|b| {
+            (
+                format!("{:?}", b.kind),
+                b.message.clone(),
+                b.location.clone(),
+            )
+        })
+        .collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+struct CaseResult {
+    name: String,
+    /// Post-failure executions of the unpruned walk.
+    post_off: u64,
+    /// Post-failure executions of the converged pruned round.
+    post_on: u64,
+    /// Cumulative executions of the pruned check (all fixpoint rounds).
+    with_discovery: u64,
+    skipped: u64,
+    rounds: u64,
+    on: Duration,
+    off: Duration,
+}
+
+impl CaseResult {
+    fn reduction(&self) -> f64 {
+        self.post_off as f64 / self.post_on.max(1) as f64
+    }
+}
+
+fn run_case(name: &str, program: &(dyn Program + Sync)) -> CaseResult {
+    let mut report_on: Option<CheckReport> = None;
+    let on = bench(
+        "prune_speedup",
+        &format!("{name}/on"),
+        SAMPLES,
+        WARMUP,
+        || {
+            report_on = Some(ModelChecker::new(config(true)).check(program));
+        },
+    );
+    let mut report_off: Option<CheckReport> = None;
+    let off = bench(
+        "prune_speedup",
+        &format!("{name}/off"),
+        SAMPLES,
+        WARMUP,
+        || {
+            report_off = Some(ModelChecker::new(config(false)).check(program));
+        },
+    );
+    let report_on = report_on.unwrap();
+    let report_off = report_off.unwrap();
+
+    // Pruning must be invisible in results: same verdict, same bugs,
+    // and the same injection-point count (skipped points are still
+    // counted, so a mismatch means the slice mis-modeled the program).
+    assert_eq!(
+        report_on.is_clean(),
+        report_off.is_clean(),
+        "{name}: pruning changed the verdict"
+    );
+    assert_eq!(
+        bug_keys(&report_on),
+        bug_keys(&report_off),
+        "{name}: pruning changed the bug set"
+    );
+    assert_eq!(
+        report_on.stats.failure_points, report_off.stats.failure_points,
+        "{name}: pruning changed the failure-point census"
+    );
+
+    let slice = report_on.slice.as_ref().expect("pruned run attaches slice");
+    // Post-failure executions: everything beyond the one pre-failure
+    // execution each scenario replays or restores.
+    let post_off = report_off
+        .stats
+        .executions
+        .saturating_sub(report_off.stats.scenarios);
+    let post_on = slice
+        .final_round_executions
+        .saturating_sub(slice.final_round_scenarios);
+    CaseResult {
+        name: name.to_string(),
+        post_off,
+        post_on,
+        with_discovery: report_on.stats.executions,
+        skipped: slice.points_skipped,
+        rounds: slice.rounds,
+        on,
+        off,
+    }
+}
+
+fn main() {
+    let mut cases: Vec<(String, Box<dyn Program + Sync>)> = recipe_fixed_cases(KEYS)
+        .into_iter()
+        .chain(pmdk_fixed_cases(KEYS))
+        .chain(lockfree_fixed_cases())
+        .map(|(name, program)| (name.to_string(), program))
+        .collect();
+    cases.push(("stats-page".to_string(), stats_page(5, 4)));
+    cases.push(("wal-padding".to_string(), wal_padding(5, 3)));
+
+    let results: Vec<CaseResult> = cases
+        .iter()
+        .map(|(name, program)| run_case(name, &**program))
+        .collect();
+
+    println!();
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>8} {:>7} {:>8}",
+        "workload", "post(off)", "post(on)", "w/discovery", "skipped", "rounds", "x"
+    );
+    for r in &results {
+        println!(
+            "{:<16} {:>10} {:>10} {:>12} {:>8} {:>7} {:>7.2}x",
+            r.name,
+            r.post_off,
+            r.post_on,
+            r.with_discovery,
+            r.skipped,
+            r.rounds,
+            r.reduction()
+        );
+    }
+    let time_on: Duration = results.iter().map(|r| r.on).sum();
+    let time_off: Duration = results.iter().map(|r| r.off).sum();
+    ratio("wall-clock (off/on, sum of medians)", time_off, time_on);
+
+    let over_bar: Vec<&CaseResult> = results
+        .iter()
+        .filter(|r| r.reduction() >= SPEEDUP_BAR)
+        .collect();
+    println!(
+        "{} workload(s) at or above the {SPEEDUP_BAR}x post-failure bar: {}",
+        over_bar.len(),
+        over_bar
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"prune_speedup\",");
+    let _ = writeln!(json, "  \"keys\": {KEYS},");
+    let _ = writeln!(json, "  \"speedup_bar\": {SPEEDUP_BAR},");
+    json.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"post_failure_executions_unpruned\": {}, \
+             \"post_failure_executions_pruned\": {}, \"executions_with_discovery\": {}, \
+             \"points_skipped\": {}, \"rounds\": {}, \"reduction\": {:.4}, \
+             \"results_match\": true, \"median_secs_on\": {:.6}, \"median_secs_off\": {:.6}}}",
+            r.name,
+            r.post_off,
+            r.post_on,
+            r.with_discovery,
+            r.skipped,
+            r.rounds,
+            r.reduction(),
+            r.on.as_secs_f64(),
+            r.off.as_secs_f64(),
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"workloads_at_or_over_bar\": {}", over_bar.len());
+    json.push_str("}\n");
+    std::fs::write("BENCH_prune.json", &json).expect("write BENCH_prune.json");
+    println!("wrote BENCH_prune.json");
+
+    assert!(
+        over_bar.len() >= WORKLOADS_OVER_BAR,
+        "acceptance: expected >= {WORKLOADS_OVER_BAR} workloads with >= {SPEEDUP_BAR}x fewer \
+         post-failure executions, got {}",
+        over_bar.len()
+    );
+}

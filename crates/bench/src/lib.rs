@@ -14,5 +14,6 @@
 //! | `--bench exploration` | exploration micro-costs and ablations |
 
 pub mod registry;
+pub mod scratch;
 pub mod table;
 pub mod timing;

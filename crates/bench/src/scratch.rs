@@ -1,0 +1,118 @@
+//! Workloads with persisted-but-never-recovered state — the pattern
+//! static persistence slicing targets.
+//!
+//! Real PM programs persist more than their recovery ever reads:
+//! operation counters and histograms (PMDK's examples keep persistent
+//! stats pages), log padding and checksum scratch, debug breadcrumbs.
+//! Every flush of such a line is a crash point the checker must
+//! otherwise explore, yet no recovery execution can observe the
+//! difference. These two programs model the pattern explicitly so the
+//! pruning bench can measure the reduction on workloads that actually
+//! exhibit it (the index benchmarks' recoveries walk essentially every
+//! line they persist, so pruning is near-neutral there — see
+//! `benches/prune_speedup.rs`).
+
+use jaaru::{PmEnv, Program};
+
+/// A commit-store key/value workload that also maintains a persistent
+/// statistics page: after every committed insert it updates and flushes
+/// `stat_lines` counter lines. Recovery validates the committed inserts
+/// and never consults the stats.
+pub fn stats_page(ops: u64, stat_lines: u64) -> Box<dyn Program + Sync> {
+    Box::new(move |env: &dyn PmEnv| {
+        let root = env.root();
+        let commit = root;
+        let data = |i: u64| root + 64 * (1 + i);
+        let stat = |s: u64| root + 64 * (1 + ops + s);
+        let committed = env.load_u64(commit);
+        if committed != 0 {
+            // Recovery: the commit store guarantees every insert at or
+            // below the observed watermark is durable.
+            for i in 0..committed.min(ops) {
+                env.pm_assert(env.load_u64(data(i)) == i + 1, "committed insert lost");
+            }
+            return;
+        }
+        for i in 0..ops {
+            env.store_u64(data(i), i + 1);
+            env.clflush(data(i), 8);
+            env.sfence();
+            env.store_u64(commit, i + 1);
+            env.clflush(commit, 8);
+            env.sfence();
+            // Operation statistics: persisted eagerly for post-mortem
+            // tooling, never read back by recovery.
+            for s in 0..stat_lines {
+                env.store_u64(stat(s), i + s + 1);
+                env.clflush(stat(s), 8);
+                env.sfence();
+            }
+        }
+    })
+}
+
+/// A write-ahead log whose records carry `pad_lines` checksum/padding
+/// lines next to each payload. The head pointer commits a record; the
+/// replayer reads the head and the committed payloads, never the
+/// padding.
+pub fn wal_padding(records: u64, pad_lines: u64) -> Box<dyn Program + Sync> {
+    Box::new(move |env: &dyn PmEnv| {
+        let root = env.root();
+        let head = root;
+        let stride = 1 + pad_lines;
+        let payload = |i: u64| root + 64 * (1 + i * stride);
+        let pad = |i: u64, p: u64| root + 64 * (1 + i * stride + 1 + p);
+        let committed = env.load_u64(head);
+        if committed != 0 {
+            for i in 0..committed.min(records) {
+                env.pm_assert(env.load_u64(payload(i)) == 0xbeef + i, "logged record lost");
+            }
+            return;
+        }
+        for i in 0..records {
+            env.store_u64(payload(i), 0xbeef + i);
+            env.clflush(payload(i), 8);
+            for p in 0..pad_lines {
+                env.store_u64(pad(i, p), i ^ (p + 1));
+                env.clflush(pad(i, p), 8);
+            }
+            env.sfence();
+            env.store_u64(head, i + 1);
+            env.clflush(head, 8);
+            env.sfence();
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaaru::{check, Config, ModelChecker};
+
+    #[test]
+    fn scratch_workloads_are_crash_consistent() {
+        assert!(check(&*stats_page(3, 2)).is_clean());
+        assert!(check(&*wal_padding(3, 2)).is_clean());
+    }
+
+    #[test]
+    fn pruning_skips_the_scratch_points_and_keeps_the_verdict() {
+        for program in [stats_page(3, 2), wal_padding(3, 2)] {
+            let mut pruned = Config::new();
+            pruned.prune(true);
+            let report = ModelChecker::new(pruned).check(&*program);
+            assert!(report.is_clean());
+            let slice = report.slice.expect("pruned run attaches the slice");
+            assert!(slice.points_skipped > 0, "scratch flushes must be skipped");
+            let plain = ModelChecker::new(Config::new()).check(&*program);
+            assert!(plain.is_clean());
+            assert!(
+                slice.final_round_executions < plain.stats.executions,
+                "converged round must beat the unpruned walk \
+                 ({} vs {})",
+                slice.final_round_executions,
+                plain.stats.executions
+            );
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //! jaaru_cli [options] lint (recipe|pmdk) <row#> [keys]  # lint one bug row
 //! jaaru_cli [options] repair <benchmark> [keys]         # repair a fixed benchmark
 //! jaaru_cli [options] repair (recipe|pmdk) <row#> [keys] # repair one bug row
+//! jaaru_cli [options] analyze <benchmark> [keys]        # persistence slice report
+//! jaaru_cli [options] analyze (recipe|pmdk|lockfree) <row#> [keys]
 //! jaaru_cli [options] perf [keys]                       # Figure 14 run
 //! jaaru_cli [options] fuzz [fuzz options]               # differential fuzzing
 //! jaaru_cli [options] litmus [corpus|sweep] [opts]      # Px86 conformance harness
@@ -25,6 +27,10 @@
 //! SARIF 2.1.0 document for CI ingestion.
 //! `--no-snapshot` disables crash-point snapshots (replay every prefix);
 //! `--snapshot-cap <bytes>` bounds the per-cache snapshot footprint.
+//! `--no-prune` disables persistence-slice pruning (on by default here:
+//! the CLI explores with the recovery-read-footprint oracle, which
+//! preserves verdicts, bug sets, and lint findings while skipping
+//! crash points recovery cannot distinguish).
 //! e.g. `cargo run --release -p jaaru-cli --bin jaaru_cli -- bug recipe 10`
 //!
 //! The `serve` subcommand accepts newline-delimited JSON job specs on a
@@ -66,13 +72,14 @@ struct SnapshotOpts {
     cap: Option<usize>,
 }
 
-fn config(jobs: usize, lint: bool, snapshots: SnapshotOpts) -> Config {
+fn config(jobs: usize, lint: bool, snapshots: SnapshotOpts, prune: bool) -> Config {
     let mut c = Config::new();
     c.pool_size(1 << 18)
         .max_ops_per_execution(40_000)
         .max_scenarios(20_000)
         .jobs(jobs)
-        .snapshots(snapshots.enabled);
+        .snapshots(snapshots.enabled)
+        .prune(prune);
     if let Some(cap) = snapshots.cap {
         c.snapshot_cap(cap);
     }
@@ -136,8 +143,9 @@ fn run(
     format: Format,
     lint: bool,
     snapshots: SnapshotOpts,
+    prune: bool,
 ) -> i32 {
-    let report = ModelChecker::new(config(jobs, lint, snapshots)).check(program);
+    let report = ModelChecker::new(config(jobs, lint, snapshots, prune)).check(program);
     emit(name, &report, format)
 }
 
@@ -146,8 +154,8 @@ fn run(
 /// the crash-consistency fix, not chase advisory flush-hygiene
 /// warnings on flushes the bug rows plant on purpose. `fuzz --repair`
 /// exercises delete-flush synthesis on its redundant-flush class.
-fn repair_config(jobs: usize, snapshots: SnapshotOpts) -> Config {
-    let mut c = config(jobs, true, snapshots);
+fn repair_config(jobs: usize, snapshots: SnapshotOpts, prune: bool) -> Config {
+    let mut c = config(jobs, true, snapshots, prune);
     c.lint_flush_redundancy(false);
     c
 }
@@ -161,8 +169,9 @@ fn repair_run(
     jobs: usize,
     format: Format,
     snapshots: SnapshotOpts,
+    prune: bool,
 ) -> i32 {
-    let outcome = synthesize_repair(&repair_config(jobs, snapshots), program);
+    let outcome = synthesize_repair(&repair_config(jobs, snapshots, prune), program);
     match format {
         Format::Json | Format::JsonCanonical => print!("{}", outcome.to_json()),
         Format::Sarif => {
@@ -209,6 +218,93 @@ fn repair_run(
     i32::from(!outcome.verified)
 }
 
+/// The `analyze` subcommand: the static persistence-slicing pass and a
+/// pruned exploration, side by side. Text shows the recovery read
+/// footprint with per-line read/write counts, absorption facts,
+/// predicted crash-point equivalence classes, and the dynamic pruning
+/// summary; JSON wraps the full report and the static slice in one
+/// object; SARIF carries the run's diagnostics (dead-flush findings
+/// included).
+fn analyze_run(
+    name: &str,
+    program: &(dyn Program + Sync),
+    jobs: usize,
+    format: Format,
+    snapshots: SnapshotOpts,
+    prune: bool,
+) -> i32 {
+    let checker = ModelChecker::new(config(jobs, true, snapshots, prune));
+    let report = checker.check(program);
+    let slice = checker.slice(program);
+    match format {
+        Format::Json | Format::JsonCanonical => {
+            let rendered = if format == Format::Json {
+                report.to_json()
+            } else {
+                report.to_canonical_json()
+            };
+            let indent = |s: &str| s.trim_end().replace('\n', "\n  ");
+            print!(
+                "{{\n  \"report\": {},\n  \"static_slice\": {}\n}}\n",
+                indent(&rendered),
+                slice.to_json()
+            );
+        }
+        Format::Sarif => print!(
+            "{}",
+            jaaru::to_sarif(&report.diagnostics, env!("CARGO_PKG_VERSION"))
+        ),
+        Format::Text => {
+            println!("== analyze {name} ==");
+            println!("recovery read footprint: {} line(s)", slice.footprint.len());
+            for (line, reads) in &slice.reads_per_line {
+                let writes = slice
+                    .writes_per_line
+                    .iter()
+                    .find(|(l, _)| l == line)
+                    .map_or(0, |(_, n)| *n);
+                println!("  line {line}: {reads} recovery read(s), {writes} pre-crash store(s)");
+            }
+            for a in &slice.absorptions {
+                println!(
+                    "absorption: line {} — {} earlier store(s) masked by the flush at {}",
+                    a.line, a.masked_stores, a.absorbing_site
+                );
+            }
+            println!(
+                "crash points: {} total, {} predicted skippable across {} class(es)",
+                slice.total_points,
+                slice.predicted_skipped,
+                slice.classes.len()
+            );
+            match &report.slice {
+                Some(dynamic) => println!(
+                    "dynamic pruning: {} point(s) skipped over {} fixpoint round(s), \
+                     footprint {} line(s)",
+                    dynamic.points_skipped,
+                    dynamic.rounds,
+                    dynamic.footprint.len()
+                ),
+                None => println!("dynamic pruning: off (--no-prune)"),
+            }
+            println!("{report}");
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            if report.is_clean() && !report.has_errors() {
+                println!("VERDICT: crash consistent; slice above explains the pruned search");
+            } else {
+                println!(
+                    "VERDICT: {} bug(s), {} diagnostic(s)",
+                    report.bugs.len(),
+                    report.diagnostics.len()
+                );
+            }
+        }
+    }
+    i32::from(!report.is_clean() || report.has_errors())
+}
+
 /// Looks a fixed benchmark up by name across all fixed registries.
 /// (The lock-free family runs a built-in script, so `keys` does not
 /// apply to it.)
@@ -230,6 +326,8 @@ fn usage() -> ! {
          jaaru_cli [options] lint (recipe|pmdk|lockfree) <row#> [keys]\n  \
          jaaru_cli [options] repair <benchmark> [keys]\n  \
          jaaru_cli [options] repair (recipe|pmdk|lockfree) <row#> [keys]\n  \
+         jaaru_cli [options] analyze <benchmark> [keys]\n  \
+         jaaru_cli [options] analyze (recipe|pmdk|lockfree) <row#> [keys]\n  \
          jaaru_cli [options] perf [keys]\n  \
          jaaru_cli [options] fuzz [fuzz options]\n  \
          jaaru_cli [options] litmus [corpus|sweep] [litmus options]\n  \
@@ -239,7 +337,9 @@ fn usage() -> ! {
          --format text|json|json-canonical|sarif (-f) output format\n                         \
          (json-canonical: run-invariant bytes; sarif: lint diagnostics as SARIF 2.1.0)\n  \
          --no-snapshot          replay every prefix instead of restoring snapshots\n  \
-         --snapshot-cap BYTES   per-cache snapshot byte budget (default 64 MiB)\n\
+         --snapshot-cap BYTES   per-cache snapshot byte budget (default 64 MiB)\n  \
+         --no-prune             disable persistence-slice pruning (explore every\n                         \
+         crash point instead of one representative per slice class)\n\
          fuzz options:\n  \
          --seeds N              programs to generate (default 200)\n  \
          --seed-start S         first seed (default 0)\n  \
@@ -671,6 +771,11 @@ fn main() {
         snapshots.cap = Some(cap);
         args.drain(pos..=pos + 1);
     }
+    let mut prune = true;
+    if let Some(pos) = args.iter().position(|a| a == "--no-prune") {
+        prune = false;
+        args.remove(pos);
+    }
     let code = match args.first().map(String::as_str) {
         Some("list") => {
             println!("fixed benchmarks (check / lint):");
@@ -699,14 +804,16 @@ fn main() {
             let name = args.get(1).unwrap_or_else(|| usage());
             let keys = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(6);
             match find_fixed(name, keys) {
-                Some((name, program)) => run(&name, &*program, jobs, format, false, snapshots),
+                Some((name, program)) => {
+                    run(&name, &*program, jobs, format, false, snapshots, prune)
+                }
                 None => {
                     eprintln!("unknown benchmark {name:?}; try `jaaru_cli list`");
                     2
                 }
             }
         }
-        Some(cmd @ ("bug" | "lint" | "repair")) => {
+        Some(cmd @ ("bug" | "lint" | "repair" | "analyze")) => {
             let lint = cmd == "lint";
             let suite = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
             match suite {
@@ -730,10 +837,26 @@ fn main() {
                                 );
                             }
                             let name = format!("{suite} row {id}: {}", case.benchmark);
-                            if cmd == "repair" {
-                                repair_run(&name, &*case.program, jobs, format, snapshots)
-                            } else {
-                                run(&name, &*case.program, jobs, format, lint, snapshots)
+                            match cmd {
+                                "repair" => repair_run(
+                                    &name,
+                                    &*case.program,
+                                    jobs,
+                                    format,
+                                    snapshots,
+                                    prune,
+                                ),
+                                "analyze" => analyze_run(
+                                    &name,
+                                    &*case.program,
+                                    jobs,
+                                    format,
+                                    snapshots,
+                                    prune,
+                                ),
+                                _ => {
+                                    run(&name, &*case.program, jobs, format, lint, snapshots, prune)
+                                }
                             }
                         }
                         None => {
@@ -748,10 +871,13 @@ fn main() {
                     let keys = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(6);
                     match find_fixed(name, keys) {
                         Some((name, program)) if cmd == "repair" => {
-                            repair_run(&name, &*program, jobs, format, snapshots)
+                            repair_run(&name, &*program, jobs, format, snapshots, prune)
+                        }
+                        Some((name, program)) if cmd == "analyze" => {
+                            analyze_run(&name, &*program, jobs, format, snapshots, prune)
                         }
                         Some((name, program)) => {
-                            run(&name, &*program, jobs, format, true, snapshots)
+                            run(&name, &*program, jobs, format, true, snapshots, prune)
                         }
                         None => {
                             eprintln!("unknown benchmark {name:?}; try `jaaru_cli list`");
@@ -768,7 +894,8 @@ fn main() {
         Some("perf") => {
             let keys = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
             for (name, program) in recipe_fixed_cases(keys) {
-                let report = ModelChecker::new(config(jobs, false, snapshots)).check(&*program);
+                let report =
+                    ModelChecker::new(config(jobs, false, snapshots, prune)).check(&*program);
                 println!("{name:<11} {}", report.summary());
             }
             0

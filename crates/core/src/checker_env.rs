@@ -8,8 +8,9 @@
 //! and on detected bugs.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::panic::{panic_any, Location};
+use std::sync::Arc;
 
 use jaaru_analysis::{Diagnostic, DiagnosticKind, DiagnosticSet};
 use jaaru_pmem::{PmAddr, CACHE_LINE_SIZE, NULL_PAGE_SIZE};
@@ -27,6 +28,34 @@ use crate::PmEnv;
 
 /// Cap on remembered race reports (debugging aid, not a bug list).
 const MAX_RACES: usize = 256;
+
+/// The persistence-slicing oracle consulted at crash-point expansion.
+///
+/// Wraps the frozen recovery read footprint of the current fixpoint
+/// round: the set of cache lines any recovery execution has been
+/// observed to read. An injection point is *invisible* when nothing
+/// since the previous consulted point touched a footprint line —
+/// crashing there is behaviorally identical to crashing at that
+/// previous point, so the explorer keeps only the representative (see
+/// [`injection_point_impl`](CheckerEnv::injection_point_impl) and
+/// DESIGN.md, "Static persistence slicing" for the soundness argument).
+#[derive(Clone, Debug)]
+pub(crate) struct PruneOracle {
+    footprint: Arc<HashSet<u64>>,
+}
+
+impl PruneOracle {
+    pub(crate) fn new(footprint: HashSet<u64>) -> Self {
+        PruneOracle {
+            footprint: Arc::new(footprint),
+        }
+    }
+
+    /// Whether any of `touched` is a line recovery can observe.
+    fn visible(&self, touched: &HashSet<u64>) -> bool {
+        touched.iter().any(|l| self.footprint.contains(l))
+    }
+}
 
 struct Inner {
     machine: TsoMachine,
@@ -62,6 +91,22 @@ struct Inner {
     /// Per-execution operation traces for the lint engine (empty unless
     /// [`Config::lints`] is on); the last entry is the running execution.
     op_traces: Vec<OpTrace>,
+
+    /// Cache lines stored to or flushed since the last *consulted*
+    /// injection point (maintained only while a [`PruneOracle`] is
+    /// installed; volatile — reset per point and per execution).
+    touched: HashSet<u64>,
+    /// Lines with a clflushopt issued but not yet applied by a fence,
+    /// keyed by thread: the fence applying them counts as touching them
+    /// (maintained only while pruning; volatile).
+    parked: HashMap<u32, HashSet<u64>>,
+    /// Per-line counts of recovery reads: post-failure loads that missed
+    /// the running execution's own state and consulted pre-failure
+    /// storage. Always collected (cheap); accumulates across executions
+    /// and participates in snapshots.
+    recovery_reads: HashMap<u64, u64>,
+    /// Injection points the prune oracle skipped in this scenario.
+    points_skipped: u64,
 }
 
 /// Per-scenario results harvested by the explorer after a run.
@@ -74,6 +119,10 @@ pub(crate) struct ScenarioRecord {
     pub op_traces: Vec<OpTrace>,
     pub load_choice_points: u64,
     pub max_rf_set: usize,
+    /// Per-line recovery read counts, sorted by line.
+    pub recovery_reads: Vec<(u64, u64)>,
+    /// Injection points skipped by the prune oracle.
+    pub points_skipped: u64,
 }
 
 /// The instrumented environment for one failure scenario.
@@ -91,6 +140,9 @@ pub(crate) struct CheckerEnv {
     /// primitive (locked RMW): the constituent ops carry the guest call
     /// site of the RMW, not the environment-internal one.
     lint_loc: Cell<Option<SourceLoc>>,
+    /// The frozen recovery-read footprint of the current fixpoint round;
+    /// `None` disables pruning (replay always runs with `None`).
+    prune: Option<PruneOracle>,
 }
 
 impl CheckerEnv {
@@ -121,6 +173,10 @@ impl CheckerEnv {
                 } else {
                     Vec::new()
                 },
+                touched: HashSet::new(),
+                parked: HashMap::new(),
+                recovery_reads: HashMap::new(),
+                points_skipped: 0,
             }),
             pool_size: config.pool_size_value() as u64,
             max_failures: config.failure_limit(),
@@ -133,7 +189,16 @@ impl CheckerEnv {
             flag_perf: config.flag_perf_issues_value(),
             flag_lints: config.trace_ops_value(),
             lint_loc: Cell::new(None),
+            prune: None,
         }
+    }
+
+    /// Installs the prune oracle for this scenario. Called by the
+    /// explorer right after construction (both the fresh and the
+    /// from-snapshot paths); [`replay`](crate::ModelChecker::replay)
+    /// never installs one, so replayed traces are taken verbatim.
+    pub(crate) fn set_prune(&mut self, prune: Option<PruneOracle>) {
+        self.prune = prune;
     }
 
     /// Rolls the environment over into the next (post-failure) execution:
@@ -155,6 +220,8 @@ impl CheckerEnv {
         inner.points_this_exec = 0;
         inner.current_tid = ThreadId(0);
         inner.next_tid = 1;
+        inner.touched.clear();
+        inner.parked.clear();
         if self.flag_lints {
             inner.op_traces.push(OpTrace::new());
         }
@@ -188,6 +255,8 @@ impl CheckerEnv {
             inner.diagnostics = snap.diagnostics.clone();
             inner.work_since_fence = snap.work_since_fence;
             inner.op_traces = snap.op_traces.clone();
+            inner.recovery_reads = snap.recovery_reads.clone();
+            inner.points_skipped = snap.points_skipped;
         }
         fresh
     }
@@ -199,7 +268,13 @@ impl CheckerEnv {
     pub(crate) fn snapshot(&self) -> CheckerSnapshot {
         let inner = self.inner.borrow();
         let prefix = inner.decisions.prefix_decisions(inner.decisions.consumed());
-        let bytes = estimate_bytes(&inner.stack, &inner.op_traces, &inner.races, &prefix);
+        let bytes = estimate_bytes(
+            &inner.stack,
+            &inner.op_traces,
+            &inner.races,
+            &prefix,
+            &inner.recovery_reads,
+        );
         CheckerSnapshot {
             stack: inner.stack.clone(),
             exec_index: inner.exec_index,
@@ -212,6 +287,8 @@ impl CheckerEnv {
             diagnostics: inner.diagnostics.clone(),
             work_since_fence: inner.work_since_fence,
             op_traces: inner.op_traces.clone(),
+            recovery_reads: inner.recovery_reads.clone(),
+            points_skipped: inner.points_skipped,
             prefix,
             bytes,
         }
@@ -236,6 +313,8 @@ impl CheckerEnv {
     pub(crate) fn finish(self) -> ScenarioRecord {
         let mut inner = self.inner.into_inner();
         inner.points_per_exec.push(inner.points_this_exec);
+        let mut recovery_reads: Vec<(u64, u64)> = inner.recovery_reads.into_iter().collect();
+        recovery_reads.sort_unstable();
         ScenarioRecord {
             decisions: inner.decisions,
             crash_points: inner.crash_points,
@@ -245,6 +324,8 @@ impl CheckerEnv {
             op_traces: inner.op_traces,
             load_choice_points: inner.load_choice_points,
             max_rf_set: inner.max_rf_set,
+            recovery_reads,
+            points_skipped: inner.points_skipped,
         }
     }
 
@@ -340,6 +421,24 @@ impl CheckerEnv {
         let ordinal = inner.points_this_exec;
         inner.points_this_exec += 1;
         inner.writes_since_point = false;
+        if let Some(oracle) = &self.prune {
+            // Slice pruning: if nothing since the previous consulted
+            // point touched a footprint line, crashing here is
+            // behaviorally identical to crashing there — recovery reads
+            // the same values from the same candidates. Consume a
+            // forced "continue" (one alternative) so decision positions
+            // stay 1:1 with unpruned runs and pruned bug traces replay.
+            // The first point of every execution and the end-of-
+            // execution point are always kept as representatives.
+            let invisible = !at_end && ordinal > 0 && !oracle.visible(&inner.touched);
+            inner.touched.clear();
+            if invisible {
+                inner.points_skipped += 1;
+                let forced = inner.decisions.next(1, ChoiceKind::Crash, exec);
+                debug_assert_eq!(forced, 0);
+                return;
+            }
+        }
         let choice = inner.decisions.next(2, ChoiceKind::Crash, exec);
         if choice == 1 {
             inner.crash_points.push(ordinal);
@@ -356,6 +455,15 @@ impl CheckerEnv {
         match inner.machine.read_current(inner.current_tid, addr) {
             CurrentRead::Buffered(v) | CurrentRead::Cached(v) => v,
             CurrentRead::Miss => {
+                if inner.exec_index >= 1 {
+                    // A recovery read: this load consulted pre-failure
+                    // persisted state. The set of lines observed here
+                    // seeds the slicing footprint (fixpoint rounds).
+                    *inner
+                        .recovery_reads
+                        .entry(addr.cache_line().index())
+                        .or_insert(0) += 1;
+                }
                 let cands = read_pre_failure(&inner.stack, addr);
                 inner.max_rf_set = inner.max_rf_set.max(cands.len());
                 let choice = if cands.len() == 1 {
@@ -398,6 +506,19 @@ impl CheckerEnv {
         inner.work_since_fence += 1;
         let first = addr.cache_line().index();
         let last = (addr + (len.max(1) as u64 - 1)).cache_line().index();
+        if self.prune.is_some() {
+            if opt {
+                // A clflushopt only takes effect at a later fence in
+                // this thread; park it so the fence's drain registers
+                // the lines as touched at that point too.
+                inner
+                    .parked
+                    .entry(inner.current_tid.0)
+                    .or_default()
+                    .extend(first..=last);
+            }
+            inner.touched.extend(first..=last);
+        }
         if self.flag_lints {
             let kind = if opt {
                 TraceOpKind::Clflushopt {
@@ -439,6 +560,15 @@ impl CheckerEnv {
                 inner.machine.clflush(inner.current_tid, line);
             }
         }
+    }
+}
+
+/// Folds the current thread's parked (unfenced) clflushopt lines into
+/// the touched set: a fence applying them is a persistency effect at
+/// the fence, even when the flush itself preceded the anchor point.
+fn drain_parked(inner: &mut Inner) {
+    if let Some(lines) = inner.parked.get_mut(&inner.current_tid.0) {
+        inner.touched.extend(lines.drain());
     }
 }
 
@@ -530,6 +660,7 @@ impl PmEnv for CheckerEnv {
                 TraceOpKind::Load {
                     addr,
                     len: buf.len() as u32,
+                    recovery: inner.exec_index >= 1,
                 },
             );
         }
@@ -552,6 +683,13 @@ impl PmEnv for CheckerEnv {
         inner.writes_since_point = true;
         inner.any_writes_this_exec = true;
         inner.work_since_fence += 1;
+        if self.prune.is_some() {
+            let first = addr.cache_line().index();
+            let last = (addr + (bytes.len().max(1) as u64 - 1))
+                .cache_line()
+                .index();
+            inner.touched.extend(first..=last);
+        }
         if self.flag_lints {
             self.record_trace(
                 inner,
@@ -597,6 +735,9 @@ impl PmEnv for CheckerEnv {
             record_perf(inner, DiagnosticKind::RedundantFence, None, loc, "sfence");
         }
         inner.work_since_fence = 0;
+        if self.prune.is_some() {
+            drain_parked(inner);
+        }
         if self.flag_lints {
             self.record_trace(inner, loc, TraceOpKind::Sfence);
         }
@@ -619,6 +760,9 @@ impl PmEnv for CheckerEnv {
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
         inner.work_since_fence = 0;
+        if self.prune.is_some() {
+            drain_parked(inner);
+        }
         if self.flag_lints {
             self.record_trace(inner, loc, TraceOpKind::Mfence);
         }
@@ -652,8 +796,12 @@ impl PmEnv for CheckerEnv {
                 TraceOpKind::Rmw {
                     addr,
                     success: observed == current,
+                    recovery: inner.exec_index >= 1,
                 },
             );
+        }
+        if self.prune.is_some() {
+            drain_parked(inner);
         }
         inner.machine.mfence(inner.current_tid);
         observed

@@ -17,19 +17,21 @@
 //! directly at recovery — the original system's fork-based rollback,
 //! without a guest process to fork (see `crate::snapshot`).
 
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use jaaru_analysis::Diagnostic;
+use jaaru_tso::{OpTrace, TraceOpKind};
 
-use crate::checker_env::CheckerEnv;
+use crate::checker_env::{CheckerEnv, PruneOracle};
 use crate::config::Config;
 use crate::decision::DecisionLog;
 use crate::lint::lint_scenario;
 use crate::parallel::merge::ReportAccumulator;
-use crate::report::{BugKind, BugReport, CheckReport, CheckStats, RaceReport};
+use crate::report::{BugKind, BugReport, CheckReport, CheckStats, RaceReport, SliceSummary};
 use crate::signal::{
     install_panic_hook, panic_message, take_last_panic_location, with_quiet_panics, AbortSignal,
     CrashSignal,
@@ -76,6 +78,30 @@ pub(crate) struct ScenarioOutcome {
     /// The bug this scenario hit, if any, with crash points and trace
     /// filled in.
     pub bug: Option<BugReport>,
+    /// Per-line recovery read counts observed by this scenario, sorted
+    /// by line (slicing footprint observations).
+    pub recovery_reads: Vec<(u64, u64)>,
+    /// Injection points the prune oracle skipped in this scenario.
+    pub points_skipped: u64,
+    /// The complete pre-failure operation trace, present only for the
+    /// crash-free, bug-free scenario with lints on (one per run): the
+    /// input of the footprint-driven dead-flush pass.
+    pub clean_trace: Option<OpTrace>,
+    /// Every execution's op trace (pre-failure first, recoveries after),
+    /// kept only under [`Config::collect_traces`] — the static slicing
+    /// pass ([`ModelChecker::slice`]) consumes them. Empty otherwise, so
+    /// ordinary runs never retain per-scenario traces past the merge.
+    pub op_traces: Vec<OpTrace>,
+}
+
+/// Exploration by-products the fixpoint driver needs beyond the report:
+/// the union of recovery-read observations (footprint extension), the
+/// total skip count, and the canonical crash-free trace.
+#[derive(Debug, Default)]
+pub(crate) struct ExploreAux {
+    pub recovery_reads: HashMap<u64, u64>,
+    pub points_skipped: u64,
+    pub clean_trace: Option<OpTrace>,
 }
 
 /// Runs one complete failure scenario steered by `decisions` and returns
@@ -93,13 +119,14 @@ pub(crate) fn run_scenario(
     program: &dyn Program,
     decisions: DecisionLog,
     snapshots: CacheRef<'_>,
+    prune: Option<&PruneOracle>,
 ) -> (ScenarioOutcome, DecisionLog) {
     let mut executions_restored = 0usize;
     // The restore clones checker state out of the cache under the shard
     // lock; `decisions` is consumed by whichever constructor runs, so it
     // rides in an Option the closures take from.
     let mut log = Some(decisions);
-    let env = match snapshots {
+    let mut env = match snapshots {
         Some((cache, group)) => {
             let planned = log.as_ref().expect("log present").planned_prefix();
             cache
@@ -111,6 +138,7 @@ pub(crate) fn run_scenario(
         }
         None => CheckerEnv::new(config, log.take().expect("log present")),
     };
+    env.set_prune(prune.cloned());
     let mut executions_this_scenario = 0usize;
     let mut scenario_bug: Option<BugReport> = None;
 
@@ -176,6 +204,19 @@ pub(crate) fn run_scenario(
     let lints = lint_scenario(&record, bug.is_some(), config);
     let mut diagnostics = record.diagnostics;
     diagnostics.extend(lints);
+    // Exactly one scenario per run never crashes and never hits a bug:
+    // the all-continue one. Its first (and only) trace is the canonical
+    // complete pre-failure trace, which the dead-flush pass consumes.
+    let clean_trace = if record.crash_points.is_empty() && bug.is_none() {
+        record.op_traces.first().cloned()
+    } else {
+        None
+    };
+    let op_traces = if config.collect_traces {
+        record.op_traces
+    } else {
+        Vec::new()
+    };
     let outcome = ScenarioOutcome {
         trace: record.decisions.trace(),
         executions_replayed: executions_this_scenario,
@@ -187,6 +228,10 @@ pub(crate) fn run_scenario(
         races: record.races,
         diagnostics,
         bug,
+        recovery_reads: record.recovery_reads,
+        points_skipped: record.points_skipped,
+        clean_trace,
+        op_traces,
     };
     (outcome, record.decisions)
 }
@@ -283,17 +328,205 @@ impl ModelChecker {
     /// With [`Config::jobs`] > 1 the scenario frontier is explored by a
     /// work-stealing thread pool; for non-truncated runs the report is
     /// byte-identical (per [`CheckReport::digest`]) to the sequential one.
+    ///
+    /// With [`Config::prune`] on, exploration runs as a fixpoint of
+    /// slicing rounds: each round freezes the recovery read footprint
+    /// observed so far, prunes injection points invisible to it, and
+    /// extends the footprint with any new recovery reads; the final
+    /// report carries cumulative work statistics across rounds and a
+    /// [`SliceSummary`]. Pruning preserves verdicts, bug sets, and lint
+    /// findings — only scenario/execution counts shrink.
     pub fn check(&self, program: &(dyn Program + Sync)) -> CheckReport {
+        if !self.config.prune_value() {
+            return self.check_round(program, None, 0).0;
+        }
+        self.check_pruned(program)
+    }
+
+    /// Runs the *static* persistence-slicing pass: a bounded sequential
+    /// exploration with op tracing forced on, whose recorded traces feed
+    /// [`jaaru_analysis::SliceReport::build`]. The result names the
+    /// recovery read footprint, absorption facts, and the predicted
+    /// crash-point equivalence classes — the explanation for what
+    /// [`Config::prune`] skips dynamically. Advisory only: it never
+    /// affects `check`'s exploration or verdicts.
+    pub fn slice(&self, program: &(dyn Program + Sync)) -> jaaru_analysis::SliceReport {
+        install_panic_hook();
+        let mut config = self.config.clone();
+        // `lints(true)` turns per-execution op tracing on; prune stays
+        // off so the slice describes the unpruned scenario walk.
+        config.lints(true).prune(false).jobs(1);
+        config.collect_traces = true;
+
+        let mut decisions = DecisionLog::new();
+        let mut pre: Option<OpTrace> = None;
+        let mut recoveries: Vec<OpTrace> = Vec::new();
+        let mut scenarios = 0u64;
+        loop {
+            let (mut outcome, log) = run_scenario(&config, program, decisions, None, None);
+            decisions = log;
+            scenarios += 1;
+            if let Some(trace) = outcome.clean_trace.take() {
+                // The all-continue scenario's only trace is the complete
+                // pre-failure execution.
+                pre = Some(trace);
+            }
+            recoveries.extend(outcome.op_traces.drain(..).skip(1));
+            if scenarios >= self.config.scenario_limit() || !decisions.backtrack() {
+                break;
+            }
+        }
+        let mut traces = vec![pre.unwrap_or_default()];
+        traces.append(&mut recoveries);
+        jaaru_analysis::SliceReport::build(&traces)
+    }
+
+    /// One full exploration pass with a frozen prune oracle (or none).
+    /// `salt` perturbs the snapshot-cache key group: rounds with
+    /// different footprints force different crash-decision alternative
+    /// counts (1 vs 2) at the same positions, so their snapshots must
+    /// never adopt each other's prefixes.
+    fn check_round(
+        &self,
+        program: &(dyn Program + Sync),
+        prune: Option<&PruneOracle>,
+        salt: u64,
+    ) -> (CheckReport, ExploreAux) {
         match self.config.effective_jobs() {
-            0 | 1 => self.check_sequential(program),
+            0 | 1 => self.check_sequential(program, prune, salt),
             jobs => crate::parallel::check_parallel(
                 &self.config,
                 program,
                 jobs,
                 self.shared_cache.as_ref().map(|c| (c, self.cache_group)),
                 self.abort.clone(),
+                prune,
+                salt,
             ),
         }
+    }
+
+    /// The slicing fixpoint. Round 1 runs with an empty footprint —
+    /// only the representative points (first of each execution, end of
+    /// execution) are expanded — and observes which lines recovery
+    /// reads; each later round reruns with the extended footprint until
+    /// no new line appears. Convergence is self-certifying: in the
+    /// final round every explored recovery read only footprint lines,
+    /// and by the representative-equivalence argument (DESIGN.md,
+    /// "Static persistence slicing") every pruned point behaves
+    /// identically to its representative, so nothing else was readable.
+    fn check_pruned(&self, program: &(dyn Program + Sync)) -> CheckReport {
+        // Each round must add at least one line, so this cap is only
+        // reachable for pathologically value-dependent recovery code;
+        // past it, trust nothing and run one unpruned final round.
+        const MAX_ROUNDS: u64 = 32;
+        let start = Instant::now();
+        let mut footprint: HashSet<u64> = HashSet::new();
+        let mut reads: HashMap<u64, u64> = HashMap::new();
+        let mut rounds = 0u64;
+        // Work carried over from earlier fixpoint rounds: discovery is
+        // real work the pruned check performed, so the final report's
+        // scenario/execution counts are cumulative (the pruning bench
+        // compares exactly these against unpruned runs).
+        let mut carry = CheckStats::default();
+        loop {
+            rounds += 1;
+            let oracle = PruneOracle::new(footprint.clone());
+            let (report, aux) =
+                self.check_round(program, Some(&oracle), footprint_salt(&footprint));
+            for (line, n) in &aux.recovery_reads {
+                *reads.entry(*line).or_insert(0) += n;
+            }
+            let new_lines: Vec<u64> = aux
+                .recovery_reads
+                .keys()
+                .filter(|l| !footprint.contains(l))
+                .copied()
+                .collect();
+            let converged = new_lines.is_empty();
+            footprint.extend(new_lines);
+            // A truncated round (budget, bug cap, abort) ends the
+            // fixpoint too: truncated runs carry no exhaustiveness
+            // guarantee with or without pruning.
+            if converged || report.truncated {
+                return self.finalize_pruned(report, aux, footprint, reads, carry, rounds, start);
+            }
+            if rounds >= MAX_ROUNDS {
+                let (report, aux) = self.check_round(program, None, 0);
+                return self.finalize_pruned(
+                    report,
+                    aux,
+                    footprint,
+                    reads,
+                    carry,
+                    rounds + 1,
+                    start,
+                );
+            }
+            carry.scenarios += report.stats.scenarios;
+            carry.executions += report.stats.executions;
+            carry.executions_replayed += report.stats.executions_replayed;
+            carry.executions_restored += report.stats.executions_restored;
+        }
+    }
+
+    /// Folds the discovery rounds' work into the final round's report,
+    /// runs the footprint-driven dead-flush pass over the crash-free
+    /// trace, and attaches the slice summary.
+    #[allow(clippy::too_many_arguments)]
+    fn finalize_pruned(
+        &self,
+        mut report: CheckReport,
+        aux: ExploreAux,
+        footprint: HashSet<u64>,
+        reads: HashMap<u64, u64>,
+        carry: CheckStats,
+        rounds: u64,
+        start: Instant,
+    ) -> CheckReport {
+        let final_round_executions = report.stats.executions;
+        let final_round_scenarios = report.stats.scenarios;
+        report.stats.scenarios += carry.scenarios;
+        report.stats.executions += carry.executions;
+        report.stats.executions_replayed += carry.executions_replayed;
+        report.stats.executions_restored += carry.executions_restored;
+        report.stats.duration = start.elapsed();
+
+        let mut writes_per_line: Vec<(u64, u64)> = Vec::new();
+        if let Some(trace) = &aux.clean_trace {
+            if self.config.lint_flush_redundancy_value() {
+                let graph = jaaru_analysis::PersistGraph::build(trace);
+                report
+                    .diagnostics
+                    .extend(jaaru_analysis::dead_flushes(&graph, &footprint));
+            }
+            let mut writes: HashMap<u64, u64> = HashMap::new();
+            for op in trace.ops() {
+                if matches!(op.kind, TraceOpKind::Store { .. }) {
+                    if let Some((first, last)) = op.kind.line_range() {
+                        for l in first..=last {
+                            *writes.entry(l).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            writes_per_line = writes.into_iter().collect();
+            writes_per_line.sort_unstable();
+        }
+        let mut fp: Vec<u64> = footprint.into_iter().collect();
+        fp.sort_unstable();
+        let mut reads_per_line: Vec<(u64, u64)> = reads.into_iter().collect();
+        reads_per_line.sort_unstable();
+        report.slice = Some(SliceSummary {
+            footprint: fp,
+            reads_per_line,
+            writes_per_line,
+            points_skipped: aux.points_skipped,
+            rounds,
+            final_round_executions,
+            final_round_scenarios,
+        });
+        report
     }
 
     /// Resolves the snapshot cache a run uses: the installed shared one,
@@ -316,7 +549,12 @@ impl ModelChecker {
     }
 
     /// The single-threaded depth-first walk over the decision tree.
-    fn check_sequential(&self, program: &dyn Program) -> CheckReport {
+    fn check_sequential(
+        &self,
+        program: &dyn Program,
+        prune: Option<&PruneOracle>,
+        salt: u64,
+    ) -> (CheckReport, ExploreAux) {
         install_panic_hook();
         let start = Instant::now();
 
@@ -328,7 +566,8 @@ impl ModelChecker {
             &self.config,
             self.shared_cache.as_ref().map(|c| (c, self.cache_group)),
             &mut local,
-        );
+        )
+        .map(|(c, g)| (c, g ^ salt));
         // On a long-lived shared cache, report only this run's activity.
         let base = cache.map(|(c, _)| c.stats());
 
@@ -337,7 +576,7 @@ impl ModelChecker {
                 truncated = true;
                 break;
             }
-            let (outcome, log) = run_scenario(&self.config, program, decisions, cache);
+            let (outcome, log) = run_scenario(&self.config, program, decisions, cache, prune);
             decisions = log;
             let had_bug = outcome.bug.is_some();
             acc.add(outcome);
@@ -362,8 +601,28 @@ impl ModelChecker {
             c.stats()
                 .since(&base.expect("base read when cache present"))
         });
-        acc.into_report(truncated, start.elapsed(), None, snapshots)
+        let aux = acc.take_aux();
+        (
+            acc.into_report(truncated, start.elapsed(), None, snapshots),
+            aux,
+        )
     }
+}
+
+/// FNV-1a over the sorted footprint lines: the per-round snapshot-cache
+/// group salt. Deterministic in the footprint *set*, not its iteration
+/// order.
+fn footprint_salt(footprint: &HashSet<u64>) -> u64 {
+    let mut lines: Vec<u64> = footprint.iter().copied().collect();
+    lines.sort_unstable();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for byte in line.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
 }
 
 impl ModelChecker {
@@ -447,6 +706,7 @@ impl ModelChecker {
             truncated: false,
             parallel: None,
             snapshots: None,
+            slice: None,
         }
     }
 }
@@ -1118,6 +1378,186 @@ mod tests {
             BTreeSet::from([1]),
             "fenced flush pins the store"
         );
+    }
+
+    /// Commit-store pattern plus a tail of scratch lines recovery never
+    /// reads: every scratch flush is an injection point the slice can
+    /// prune.
+    fn scratch_tail_program(env: &dyn PmEnv, bug: bool) {
+        let root = env.root();
+        let data = root + 64;
+        if env.is_recovery() {
+            if env.load_u64(root) != 0 {
+                env.pm_assert(env.load_u64(data) == 42, "lost committed data");
+            }
+            return;
+        }
+        env.store_u64(data, 42);
+        if !bug {
+            env.clflush(data, 8);
+        }
+        env.store_u64(root, 1);
+        env.clflush(root, 8);
+        env.sfence();
+        for i in 2..10u64 {
+            env.store_u64(root + i * 64, i);
+            env.clflush(root + i * 64, 8);
+        }
+        env.sfence();
+    }
+
+    fn bug_keys(report: &CheckReport) -> Vec<(String, String, Option<String>)> {
+        let mut keys: Vec<_> = report
+            .bugs
+            .iter()
+            .map(|b| {
+                (
+                    format!("{:?}", b.kind),
+                    b.message.clone(),
+                    b.location.clone(),
+                )
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    #[test]
+    fn pruning_preserves_verdicts_and_skips_points() {
+        let program = |env: &dyn PmEnv| scratch_tail_program(env, false);
+        let off = ModelChecker::new(small_config()).check(&program);
+        let mut config = small_config();
+        config.prune(true);
+        let on = ModelChecker::new(config).check(&program);
+
+        assert!(off.is_clean() && on.is_clean(), "{on}");
+        assert_eq!(bug_keys(&off), bug_keys(&on));
+        assert_eq!(off.lint_digest(), on.lint_digest());
+        assert!(off.slice.is_none(), "slice only attached when pruning");
+        let slice = on.slice.as_ref().expect("slice summary attached");
+        assert!(slice.points_skipped > 0, "{on}");
+        assert!(slice.rounds >= 2, "discovery + converged round");
+        assert!(!slice.footprint.is_empty(), "recovery reads root and data");
+        assert!(
+            on.stats.executions < off.stats.executions,
+            "pruning must pay for its discovery rounds: {} on vs {} off",
+            on.stats.executions,
+            off.stats.executions
+        );
+        assert_eq!(
+            on.stats.failure_points, off.stats.failure_points,
+            "skipped points are still counted as failure points"
+        );
+    }
+
+    #[test]
+    fn pruning_finds_the_same_bugs() {
+        let program = |env: &dyn PmEnv| scratch_tail_program(env, true);
+        let off = ModelChecker::new(small_config()).check(&program);
+        let mut config = small_config();
+        config.prune(true);
+        let on = ModelChecker::new(config).check(&program);
+        assert!(!off.is_clean() && !on.is_clean());
+        assert_eq!(bug_keys(&off), bug_keys(&on));
+    }
+
+    #[test]
+    fn pruned_bug_traces_replay_to_the_same_bug() {
+        let program = |env: &dyn PmEnv| scratch_tail_program(env, true);
+        let mut config = small_config();
+        config.prune(true);
+        let checker = ModelChecker::new(config);
+        let report = checker.check(&program);
+        let bug = &report.bugs[0];
+        // Replay never prunes, but a pruned trace's forced-continue
+        // decisions are position-aligned with unpruned ones, so the
+        // trace replays verbatim.
+        let replayed = checker.replay(&program, &bug.trace);
+        assert_eq!(replayed.bugs.len(), 1, "{replayed}");
+        assert_eq!(replayed.bugs[0].kind, bug.kind);
+        assert_eq!(replayed.bugs[0].message, bug.message);
+        assert_eq!(replayed.bugs[0].crash_points, bug.crash_points);
+    }
+
+    #[test]
+    fn pruning_matches_across_worker_counts() {
+        let program = |env: &dyn PmEnv| scratch_tail_program(env, true);
+        let mut config = small_config();
+        config.prune(true);
+        let sequential = ModelChecker::new(config.clone()).check(&program);
+        for jobs in [2usize, 4] {
+            let mut config = config.clone();
+            config.jobs(jobs);
+            let parallel = ModelChecker::new(config).check(&program);
+            assert_eq!(sequential.digest(), parallel.digest(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn pruning_with_lints_preserves_findings_and_flags_dead_flushes() {
+        use jaaru_analysis::DiagnosticKind;
+        let program = |env: &dyn PmEnv| scratch_tail_program(env, true);
+        let mut config = small_config();
+        config.lints(true).lint_flush_redundancy(true);
+        let off = ModelChecker::new(config.clone()).check(&program);
+        config.prune(true);
+        let on = ModelChecker::new(config).check(&program);
+
+        assert_eq!(bug_keys(&off), bug_keys(&on));
+        assert_eq!(off.lint_digest(), on.lint_digest());
+        // The scratch-tail flushes persist lines recovery never reads:
+        // the footprint-driven pass flags them, pruned runs only.
+        assert!(
+            on.diagnostics
+                .iter()
+                .any(|d| d.kind == DiagnosticKind::DeadFlush),
+            "{:?}",
+            on.diagnostics
+        );
+        assert!(
+            !off.diagnostics
+                .iter()
+                .any(|d| d.kind == DiagnosticKind::DeadFlush),
+            "dead flushes need a footprint"
+        );
+    }
+
+    #[test]
+    fn static_slice_agrees_with_dynamic_pruning() {
+        let program = |env: &dyn PmEnv| scratch_tail_program(env, false);
+        let checker = ModelChecker::new(small_config());
+        let slice = checker.slice(&program);
+        assert!(slice.predicted_skipped > 0, "{slice:?}");
+        assert!(slice.total_points > slice.predicted_skipped);
+
+        let mut config = small_config();
+        config.prune(true);
+        let on = ModelChecker::new(config).check(&program);
+        let dynamic = on.slice.as_ref().expect("slice summary");
+        assert_eq!(
+            slice.footprint, dynamic.footprint,
+            "static and dynamic footprints agree on a deterministic program"
+        );
+    }
+
+    #[test]
+    fn pruning_a_program_with_no_recovery_reads_converges_immediately() {
+        let program = |env: &dyn PmEnv| {
+            let root = env.root();
+            env.store_u64(root, 5);
+            env.persist(root, 8);
+            env.store_u64(root + 64, 6);
+            env.persist(root + 64, 8);
+        };
+        let off = ModelChecker::new(small_config()).check(&program);
+        let mut config = small_config();
+        config.prune(true);
+        let on = ModelChecker::new(config).check(&program);
+        assert!(on.is_clean() && off.is_clean());
+        let slice = on.slice.as_ref().expect("slice");
+        assert_eq!(slice.rounds, 1, "empty footprint is already a fixpoint");
+        assert!(slice.footprint.is_empty());
+        assert!(on.stats.scenarios < off.stats.scenarios, "{on}");
     }
 
     #[test]

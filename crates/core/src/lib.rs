@@ -87,7 +87,7 @@ pub use program::{Named, Program};
 pub use repair::{synthesize_repair, RepairDriver, RepairOutcome, RepairedProgram};
 pub use report::{
     BugKind, BugReport, CheckReport, CheckStats, ParallelStats, RaceCandidate, RaceReport,
-    WorkerStats,
+    SliceSummary, WorkerStats,
 };
 pub use signal::with_quiet_panics;
 pub use snapshot::SharedSnapshotCache;
@@ -95,8 +95,8 @@ pub use snapshot::SharedSnapshotCache;
 // The unified diagnostic framework (lint findings + perf warnings)
 // and its SARIF 2.1.0 rendering.
 pub use jaaru_analysis::{
-    minimize_edits, to_sarif, to_sarif_with_verified, Diagnostic, DiagnosticKind, DiagnosticSet,
-    FixEdit, Severity,
+    minimize_edits, to_sarif, to_sarif_with_verified, Absorption, CrashPointClass, Diagnostic,
+    DiagnosticKind, DiagnosticSet, FixEdit, Severity, SliceReport,
 };
 
 // Snapshot-cache counters, surfaced through `CheckReport::snapshots`.

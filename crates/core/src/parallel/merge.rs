@@ -17,7 +17,7 @@ use std::time::Duration;
 use jaaru_analysis::DiagnosticSet;
 use jaaru_snapshot::SnapshotStats;
 
-use crate::explorer::{bug_dedup_key, ScenarioOutcome};
+use crate::explorer::{bug_dedup_key, ExploreAux, ScenarioOutcome};
 use crate::report::{BugKind, BugReport, CheckReport, CheckStats, ParallelStats, RaceReport};
 
 use super::worker::WorkerPartial;
@@ -37,6 +37,7 @@ pub(crate) struct ReportAccumulator {
     races: Vec<RaceReport>,
     race_keys: HashSet<String>,
     diagnostics: DiagnosticSet,
+    aux: ExploreAux,
 }
 
 impl ReportAccumulator {
@@ -59,6 +60,14 @@ impl ReportAccumulator {
         self.stats.load_choice_points += outcome.load_choice_points;
         self.stats.max_rf_set = self.stats.max_rf_set.max(outcome.max_rf_set);
         self.stats.failure_points = self.stats.failure_points.max(outcome.failure_points);
+
+        self.aux.points_skipped += outcome.points_skipped;
+        for (line, n) in outcome.recovery_reads {
+            *self.aux.recovery_reads.entry(line).or_insert(0) += n;
+        }
+        if self.aux.clean_trace.is_none() {
+            self.aux.clean_trace = outcome.clean_trace;
+        }
 
         for race in outcome.races {
             if self.race_keys.insert(race.load_location.clone()) {
@@ -88,6 +97,13 @@ impl ReportAccumulator {
         self.bugs.len()
     }
 
+    /// Takes the accumulated exploration by-products (recovery reads,
+    /// skip counts, the crash-free trace). Call before
+    /// [`into_report`](Self::into_report).
+    pub fn take_aux(&mut self) -> ExploreAux {
+        std::mem::take(&mut self.aux)
+    }
+
     /// Finalizes the report.
     pub fn into_report(
         mut self,
@@ -105,6 +121,7 @@ impl ReportAccumulator {
             truncated,
             parallel,
             snapshots,
+            slice: None,
         }
     }
 }
@@ -121,7 +138,7 @@ pub(crate) fn merge_partials(
     truncated: bool,
     duration: Duration,
     snapshots: Option<SnapshotStats>,
-) -> CheckReport {
+) -> (CheckReport, ExploreAux) {
     let mut workers = Vec::with_capacity(jobs);
     let mut outcomes = Vec::new();
     for partial in partials {
@@ -136,7 +153,8 @@ pub(crate) fn merge_partials(
         acc.add(outcome);
     }
     let steals = workers.iter().map(|w| w.steals).sum();
-    acc.into_report(
+    let aux = acc.take_aux();
+    let report = acc.into_report(
         truncated,
         duration,
         Some(ParallelStats {
@@ -145,5 +163,6 @@ pub(crate) fn merge_partials(
             workers,
         }),
         snapshots,
-    )
+    );
+    (report, aux)
 }

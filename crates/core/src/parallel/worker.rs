@@ -11,6 +11,7 @@
 
 use std::time::Instant;
 
+use crate::checker_env::PruneOracle;
 use crate::config::Config;
 use crate::decision::DecisionLog;
 use crate::explorer::{bug_dedup_key, run_scenario, CacheRef, ScenarioOutcome};
@@ -32,6 +33,7 @@ pub(crate) fn worker_loop(
     config: &Config,
     program: &dyn Program,
     cache: CacheRef<'_>,
+    prune: Option<&PruneOracle>,
 ) -> WorkerPartial {
     let start = Instant::now();
     let mut stats = WorkerStats {
@@ -61,8 +63,13 @@ pub(crate) fn worker_loop(
             break;
         }
 
-        let (outcome, log) =
-            run_scenario(config, program, DecisionLog::from_trace(&item.trace), cache);
+        let (outcome, log) = run_scenario(
+            config,
+            program,
+            DecisionLog::from_trace(&item.trace),
+            cache,
+            prune,
+        );
         let children = log
             .sibling_prefixes(log.prefix_len())
             .into_iter()

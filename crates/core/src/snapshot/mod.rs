@@ -20,7 +20,7 @@
 //! scenario's *prescribed* prefix — restoring is always equivalent to
 //! replaying those executions.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -128,6 +128,11 @@ pub(crate) struct CheckerSnapshot {
     pub(crate) diagnostics: DiagnosticSet,
     pub(crate) work_since_fence: u64,
     pub(crate) op_traces: Vec<OpTrace>,
+    /// Per-line recovery read counts accumulated over the snapshotted
+    /// executions (the slicing footprint observations up to this point).
+    pub(crate) recovery_reads: HashMap<u64, u64>,
+    /// Injection points the prune oracle skipped in the prefix.
+    pub(crate) points_skipped: u64,
     /// Full metadata of the consumed decision prefix, so a restore into
     /// a `DecisionLog::from_trace` placeholder log can rehydrate the
     /// alternative counts and execution indices replay would have
@@ -158,6 +163,7 @@ pub(crate) fn estimate_bytes(
     op_traces: &[OpTrace],
     races: &[RaceReport],
     prefix: &[Decision],
+    recovery_reads: &HashMap<u64, u64>,
 ) -> usize {
     let storage: usize = stack.iter().map(ExecutionStorage::approx_bytes).sum();
     let traces: usize = op_traces.iter().map(OpTrace::approx_bytes).sum();
@@ -168,5 +174,6 @@ pub(crate) fn estimate_bytes(
         .map(|r| 96 + r.load_location.len() + r.candidates.len() * 64)
         .sum();
     let prefix = std::mem::size_of_val(prefix);
-    256 + storage + traces + races + prefix
+    let reads = recovery_reads.len() * 2 * std::mem::size_of::<u64>();
+    256 + storage + traces + races + prefix + reads
 }

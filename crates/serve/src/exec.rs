@@ -91,6 +91,7 @@ pub fn job_config(spec: &JobSpec, snapshot_cap: Option<usize>) -> Config {
         .max_ops_per_execution(40_000)
         .max_scenarios(20_000)
         .jobs(spec.jobs)
+        .prune(spec.prune)
         .snapshots(true);
     if let Some(cap) = snapshot_cap {
         c.snapshot_cap(cap);
@@ -481,6 +482,25 @@ mod tests {
         assert!(artifact.contains("\"executions_logical\""));
         assert!(!artifact.contains("duration_secs"), "canonical view");
         assert_eq!(spec.kind, JobKind::Bug);
+    }
+
+    #[test]
+    fn prune_off_job_reaches_the_same_verdict_and_bug() {
+        let pruned = run(&spec(r#"{"kind":"bug","suite":"recipe","row":10}"#));
+        let plain = run(&spec(
+            r#"{"kind":"bug","suite":"recipe","row":10,"prune":false}"#,
+        ));
+        assert_eq!(pruned.status, JobStatus::Violation);
+        assert_eq!(plain.status, JobStatus::Violation);
+        let (pruned, plain) = (pruned.artifact.unwrap(), plain.artifact.unwrap());
+        // Exploration stats legitimately differ (that is the point of
+        // pruning); the reported bug must not.
+        for artifact in [&pruned, &plain] {
+            assert!(
+                artifact.contains("durably committed key lost"),
+                "{artifact}"
+            );
+        }
     }
 
     #[test]

@@ -24,8 +24,14 @@ pub enum TraceOpKind {
     Store { addr: PmAddr, len: u32 },
     /// A load of `len` bytes starting at `addr`. Loads never constrain
     /// persist order; they are recorded so analysis passes can tell
-    /// which lines a recovery execution actually reads.
-    Load { addr: PmAddr, len: u32 },
+    /// which lines a recovery execution actually reads. `recovery` marks
+    /// loads issued by a post-failure execution — the seeds of the
+    /// recovery read footprint computed by persistence slicing.
+    Load {
+        addr: PmAddr,
+        len: u32,
+        recovery: bool,
+    },
     /// A `clflush` covering the inclusive cache-line range
     /// `first_line..=last_line` (takes effect immediately).
     Clflush { first_line: u64, last_line: u64 },
@@ -43,7 +49,14 @@ pub enum TraceOpKind {
     /// cell: failed attempts are still locked instructions — they fence
     /// the flush buffer and *acquire* from prior successful RMWs on the
     /// line — but publish nothing, so they carry no release edge.
-    Rmw { addr: PmAddr, success: bool },
+    /// `recovery` marks RMWs issued by a post-failure execution: a
+    /// failed recovery-phase CAS still *reads* the line, so it counts
+    /// toward the recovery read footprint like a load.
+    Rmw {
+        addr: PmAddr,
+        success: bool,
+        recovery: bool,
+    },
 }
 
 impl TraceOpKind {
@@ -51,7 +64,7 @@ impl TraceOpKind {
     /// for fences and RMW markers.
     pub fn line_range(&self) -> Option<(u64, u64)> {
         match *self {
-            TraceOpKind::Store { addr, len } | TraceOpKind::Load { addr, len } => {
+            TraceOpKind::Store { addr, len } | TraceOpKind::Load { addr, len, .. } => {
                 let first = addr.cache_line().index();
                 let last = (addr + (len.max(1) as u64 - 1)).cache_line().index();
                 Some((first, last))
@@ -74,6 +87,16 @@ impl TraceOpKind {
         matches!(
             self,
             TraceOpKind::Sfence | TraceOpKind::Mfence | TraceOpKind::Rmw { .. }
+        )
+    }
+
+    /// Whether this op reads persistent memory during a post-failure
+    /// (recovery) execution: a recovery-flagged load, or a
+    /// recovery-flagged RMW (even a failed CAS observes the cell).
+    pub fn is_recovery_read(&self) -> bool {
+        matches!(
+            self,
+            TraceOpKind::Load { recovery: true, .. } | TraceOpKind::Rmw { recovery: true, .. }
         )
     }
 }
@@ -206,6 +229,7 @@ mod tests {
         let k = TraceOpKind::Load {
             addr: PmAddr::new(CACHE_LINE_SIZE as u64 * 3 - 1),
             len: 2,
+            recovery: false,
         };
         assert_eq!(k.line_range(), Some((2, 3)));
         assert_eq!(TraceOpKind::Sfence.line_range(), None);
@@ -215,9 +239,34 @@ mod tests {
     fn loads_do_not_order() {
         assert!(!TraceOpKind::Load {
             addr: PmAddr::new(64),
-            len: 8
+            len: 8,
+            recovery: false
         }
         .is_ordering());
+    }
+
+    #[test]
+    fn recovery_reads_are_classified() {
+        assert!(TraceOpKind::Load {
+            addr: PmAddr::new(64),
+            len: 8,
+            recovery: true
+        }
+        .is_recovery_read());
+        assert!(!TraceOpKind::Load {
+            addr: PmAddr::new(64),
+            len: 8,
+            recovery: false
+        }
+        .is_recovery_read());
+        // A failed recovery CAS still observes the cell.
+        assert!(TraceOpKind::Rmw {
+            addr: PmAddr::new(64),
+            success: false,
+            recovery: true
+        }
+        .is_recovery_read());
+        assert!(!TraceOpKind::Sfence.is_recovery_read());
     }
 
     #[test]
@@ -226,13 +275,15 @@ mod tests {
         assert!(TraceOpKind::Mfence.is_ordering());
         assert!(TraceOpKind::Rmw {
             addr: PmAddr::new(64),
-            success: true
+            success: true,
+            recovery: false
         }
         .is_ordering());
         // A failed CAS is still a locked instruction: it fences.
         assert!(TraceOpKind::Rmw {
             addr: PmAddr::new(64),
-            success: false
+            success: false,
+            recovery: false
         }
         .is_ordering());
         assert!(!TraceOpKind::Clflush {
